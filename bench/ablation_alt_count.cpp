@@ -1,0 +1,57 @@
+// Ablation A1 — utilization and solve time versus the number of design
+// alternatives per module (1, 2, 4, 8).
+//
+// Expected shape: utilization rises monotonically with the alternative
+// count with diminishing returns; solver effort (and the paper's execution
+// time) grows with the number of shapes (30 modules -> 120 shapes at 4
+// alternatives, §V.B).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace rr;
+  const bench::EvalConfig config = bench::EvalConfig::from_env();
+  config.print(std::cout);
+
+  TextTable table({"Alternatives", "Total shapes", "Mean util.",
+                   "Mean time", "Mean extent"});
+  for (const int alternatives : {1, 2, 4, 8}) {
+    RunningStats util, time, extent;
+    long shape_total = 0;
+    for (int run = 0; run < config.runs; ++run) {
+      const std::uint64_t seed =
+          config.seed + static_cast<std::uint64_t>(run);
+      const auto region = bench::make_eval_region(seed, config.modules);
+      model::GeneratorParams params = bench::paper_workload_params();
+      params.alternatives = alternatives;
+      model::ModuleGenerator generator(params, seed);
+      const auto modules = generator.generate_many(config.modules);
+      for (const auto& m : modules) shape_total += m.shape_count();
+
+      placer::PlacerOptions options;
+      options.time_limit_seconds = config.time_limit;
+      options.seed = seed;
+      const auto outcome = placer::Placer(*region, modules, options).place();
+      if (!outcome.solution.feasible) continue;
+      const auto report =
+          placer::validate(*region, modules, outcome.solution);
+      if (!report.ok()) {
+        std::cerr << "VALIDATION FAILED: " << report.errors.front() << '\n';
+        return 1;
+      }
+      util.add(placer::spanned_utilization(*region, modules,
+                                           outcome.solution));
+      time.add(outcome.seconds);
+      extent.add(outcome.solution.extent);
+    }
+    table.add_row({std::to_string(alternatives),
+                   std::to_string(shape_total / std::max(1, config.runs)),
+                   TextTable::pct(util.mean()),
+                   TextTable::num(time.mean(), 3) + "s",
+                   TextTable::num(extent.mean(), 1)});
+  }
+  table.print(std::cout,
+              "Ablation A1: utilization vs number of design alternatives");
+  std::cout << "expected: monotone utilization gain with diminishing "
+               "returns as alternatives increase\n";
+  return 0;
+}

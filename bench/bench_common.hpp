@@ -1,0 +1,85 @@
+// Shared helpers for the table/figure bench harnesses.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <memory>
+
+#include "rrplace.hpp"
+#include "util/env.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace rr::bench {
+
+/// Evaluation-scale knobs. Defaults are CI-sized; set RRPLACE_FULL=1 to run
+/// the paper's full configuration (50 runs x 30 modules), or override the
+/// individual RRPLACE_* variables.
+struct EvalConfig {
+  int runs;
+  int modules;
+  double time_limit;  // seconds per solve
+  std::uint64_t seed;
+
+  static EvalConfig from_env() {
+    EvalConfig config{};
+    const bool full = env_int("RRPLACE_FULL", 0) != 0;
+    config.runs = env_int("RRPLACE_RUNS", full ? 50 : 6);
+    config.modules = env_int("RRPLACE_MODULES", full ? 30 : 12);
+    config.time_limit =
+        env_double("RRPLACE_TIME_LIMIT", full ? 10.0 : 1.0);
+    config.seed = static_cast<std::uint64_t>(env_int("RRPLACE_SEED", 2011));
+    return config;
+  }
+
+  void print(std::ostream& os) const {
+    os << "# config: runs=" << runs << " modules=" << modules
+       << " time_limit=" << time_limit << "s seed=" << seed
+       << "  (set RRPLACE_FULL=1 for the paper-scale run)\n";
+  }
+};
+
+/// The paper's evaluation workload generator (§V.A): 20-100 CLBs, 0-4
+/// embedded memory blocks, four design alternatives.
+inline model::GeneratorParams paper_workload_params() {
+  model::GeneratorParams params;
+  params.clb_min = 20;
+  params.clb_max = 100;
+  params.bram_blocks_min = 0;
+  params.bram_blocks_max = 4;
+  params.bram_block_height = 2;
+  params.alternatives = 4;
+  params.max_height = 14;
+  // Modules stay narrower than the BRAM column period of the evaluation
+  // device (12), so every layout has fabric-compatible anchors.
+  params.max_width = 11;
+  return params;
+}
+
+/// The evaluation region: the reconfigurable part of the evaluation device
+/// (its static right flank is excluded by availability masks). Sized so the
+/// workload spans well under the region width even without alternatives.
+inline std::shared_ptr<fpga::PartialRegion> make_eval_region(
+    std::uint64_t seed, int modules) {
+  // Scale the region width with the workload so spanned-area utilization
+  // (not feasibility) is what the experiment measures.
+  // The minimum of 48 columns keeps at least four BRAM columns available:
+  // narrower regions can be genuinely unplaceable for base layouts (wide
+  // memory modules competing for too few columns), which would conflate
+  // placeability with packing quality in the utilization comparison.
+  const int height = 28;
+  const int avg_module_cells = 64;
+  const int width =
+      std::max(48, modules * avg_module_cells * 2 / height);
+  fpga::IrregularSpec spec;
+  spec.base.bram_period = 12;
+  spec.base.bram_offset = 5;
+  spec.base.dsp_period = 0;  // the §V workload requests CLB + BRAM only
+  spec.base.center_clock_column = true;
+  spec.base.edge_io = false;
+  auto fabric = std::make_shared<const fpga::Fabric>(
+      fpga::make_irregular(width, height, spec, seed));
+  return std::make_shared<fpga::PartialRegion>(fabric);
+}
+
+}  // namespace rr::bench

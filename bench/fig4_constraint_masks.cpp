@@ -1,0 +1,63 @@
+// Figure 4 — how the placement constraints restrict where a module can go:
+//   (a) the bounding box of the complete partial region,
+//   (b) resource-feasible anchors of one module (gray areas in the paper),
+//   (c) the reconfigurable region covering only part of the device
+//       (static region blocked),
+//   (d) the shadow of a placed module that others must avoid.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace rr;
+  // A compact device so the pictures stay readable: BRAM columns every 6.
+  fpga::ColumnarSpec spec;
+  spec.bram_period = 6;
+  spec.bram_offset = 3;
+  spec.dsp_period = 0;
+  spec.center_clock_column = false;
+  spec.edge_io = false;
+  auto fabric = std::make_shared<const fpga::Fabric>(
+      fpga::make_columnar(30, 10, spec));
+
+  // The module: 8 CLBs + 1 memory block, two columns wide.
+  const auto shape = model::ModuleGenerator::make_column_shape(
+      8, 1, 2, 4, /*bram_column=*/0);
+
+  std::cout << "module used throughout (B = memory, C = logic):\n"
+            << model::shape_picture(shape) << '\n';
+
+  {
+    fpga::PartialRegion region(fabric);
+    std::cout << "== Figure 4a: the complete partial region (bounding box "
+              << region.width() << "x" << region.height() << ") ==\n"
+              << render::region_ascii(region) << '\n';
+    std::cout << "== Figure 4b: valid anchors of the module ('*'), "
+                 "restricted by resource types ==\n"
+              << render::anchor_mask_ascii(region, shape) << '\n';
+  }
+  {
+    // (c) the reconfigurable region covers only part of the device: the
+    // right half hosts the static design.
+    fpga::PartialRegion region(fabric);
+    region.block(Rect{15, 0, 15, 10});
+    std::cout << "== Figure 4c: placement constrained to the reconfigurable "
+                 "region (static part '#') ==\n"
+              << render::anchor_mask_ascii(region, shape) << '\n';
+  }
+  {
+    // (d) one placed module excludes its area for all others.
+    fpga::PartialRegion region(fabric);
+    const std::vector<model::Module> modules{
+        model::Module("placed", {shape})};
+    placer::PlacerOptions options;
+    options.time_limit_seconds = 1.0;
+    const auto outcome = placer::Placer(region, modules, options).place();
+    if (outcome.solution.feasible) {
+      std::cout << "== Figure 4d: a placed module ('A'); other modules "
+                   "cannot overlap it ==\n"
+                << render::placement_ascii(region, modules, outcome.solution)
+                << '\n';
+    }
+  }
+  std::cout << render::legend();
+  return 0;
+}

@@ -1,0 +1,91 @@
+// A6 — online service level: request acceptance under runtime churn.
+//
+// The related work ([1], [4], [5]) measures reconfigurable systems by the
+// fraction of module requests that can be fulfilled; [1] reports 36%
+// average utilization for online placement on a heterogeneous FPGA. This
+// bench replays identical arrival/departure traces through the online
+// bottom-left placer, with and without design alternatives.
+//
+// Expected shape: alternatives raise both the acceptance ratio and the
+// sustained occupancy; absolute occupancy sits well below the offline
+// optimum of Table I (fragmentation under churn).
+#include "bench_common.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace rr;
+  const bench::EvalConfig config = bench::EvalConfig::from_env();
+  config.print(std::cout);
+  const int steps = env_int("RRPLACE_STEPS", 400);
+
+  RunningStats accept_with, accept_without, occ_with, occ_without;
+  for (int run = 0; run < config.runs; ++run) {
+    const std::uint64_t seed = config.seed + static_cast<std::uint64_t>(run);
+    const auto region = bench::make_eval_region(seed, config.modules);
+    model::ModuleGenerator generator(bench::paper_workload_params(), seed);
+    const auto pool = generator.generate_many(config.modules);
+
+    for (const bool alternatives : {false, true}) {
+      baseline::OnlineOptions options;
+      options.use_alternatives = alternatives;
+      baseline::OnlinePlacer placer(*region, options);
+      Rng rng(seed ^ 0xABCDEF);  // identical trace for both configurations
+      std::vector<int> live;
+      int requests = 0, accepted = 0, next_id = 0;
+      RunningStats occupancy;
+      for (int step = 0; step < steps; ++step) {
+        if (live.empty() || rng.chance(0.55)) {
+          ++requests;
+          const auto& module = pool[rng.pick_index(pool)];
+          if (placer.place(next_id, module)) {
+            live.push_back(next_id);
+            ++accepted;
+          }
+          ++next_id;
+        } else {
+          const std::size_t pick = rng.pick_index(live);
+          placer.remove(live[pick]);
+          live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+        }
+        occupancy.add(placer.occupancy());
+      }
+      const double ratio =
+          requests > 0 ? static_cast<double>(accepted) / requests : 0.0;
+      (alternatives ? accept_with : accept_without).add(ratio);
+      (alternatives ? occ_with : occ_without).add(occupancy.mean());
+    }
+  }
+
+  TextTable table({"Configuration", "Acceptance ratio", "Mean occupancy"});
+  table.add_row({"without alternatives", TextTable::pct(accept_without.mean()),
+                 TextTable::pct(occ_without.mean())});
+  table.add_row({"with alternatives", TextTable::pct(accept_with.mean()),
+                 TextTable::pct(occ_with.mean())});
+  table.print(std::cout, "A6: online service level under churn (" +
+                             std::to_string(steps) + " steps)");
+  std::cout << "reference point: [1] reports 36% average utilization for "
+               "online placement on a heterogeneous FPGA\n";
+
+  // Defragmentation coda: greedily snapshot one churned workload and
+  // compact it with the CP machinery ([12]'s motivation).
+  {
+    const auto region = bench::make_eval_region(config.seed, config.modules);
+    model::ModuleGenerator generator(bench::paper_workload_params(),
+                                     config.seed);
+    const auto modules = generator.generate_many(config.modules);
+    const auto greedy = baseline::place_greedy(*region, modules);
+    if (greedy.solution.feasible) {
+      placer::CompactionOptions compaction;
+      compaction.time_limit_seconds = config.time_limit;
+      compaction.seed = config.seed;
+      const auto result =
+          placer::compact(*region, modules, greedy.solution, compaction);
+      std::cout << "compaction: greedy extent " << result.extent_before
+                << " -> " << result.extent_after << " columns ("
+                << result.relocated << " modules relocated, "
+                << result.iterations << " LNS iterations"
+                << (result.optimal ? ", optimal" : "") << ")\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+// R1 — runtime reconfiguration overhead across a configuration schedule:
+// replace-all (utilization-first) vs incremental (overhead-first) phase
+// placement.
+//
+// Expected shape: incremental placement keeps persistent modules in place,
+// cutting the tiles rewritten per transition (the reconfiguration-time
+// proxy the paper's intro says must stay low) at a modest utilization
+// cost; replace-all packs each phase tighter but rewrites far more.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace rr;
+  const bench::EvalConfig config = bench::EvalConfig::from_env();
+  config.print(std::cout);
+  const int phases = env_int("RRPLACE_PHASES", 5);
+
+  RunningStats util_replace, util_incremental;
+  RunningStats tiles_replace, tiles_incremental;
+  RunningStats kept_replace, kept_incremental;
+  int fallbacks = 0, infeasible = 0;
+
+  for (int run = 0; run < config.runs; ++run) {
+    const std::uint64_t seed = config.seed + static_cast<std::uint64_t>(run);
+    const auto region = bench::make_eval_region(seed, config.modules);
+    model::ModuleGenerator generator(bench::paper_workload_params(), seed);
+    // Pool twice the phase size, so phases swap half their content.
+    const auto pool = generator.generate_many(config.modules * 2);
+    const runtime::Schedule schedule = runtime::make_rolling_schedule(
+        static_cast<int>(pool.size()), phases, config.modules,
+        /*keep_fraction=*/0.6, seed);
+
+    placer::PlacerOptions options;
+    options.time_limit_seconds = config.time_limit;
+    options.seed = seed;
+    const runtime::ReconfigurationManager manager(*region, pool, options);
+
+    for (const auto policy : {runtime::PlacementPolicy::kReplaceAll,
+                              runtime::PlacementPolicy::kIncremental}) {
+      const runtime::RunResult result = manager.run(schedule, policy);
+      if (result.infeasible_phases() > 0) {
+        ++infeasible;
+        continue;
+      }
+      long kept = 0;
+      for (const auto& t : result.transitions) kept += t.modules_kept;
+      const bool incremental =
+          policy == runtime::PlacementPolicy::kIncremental;
+      if (incremental) {
+        for (const auto& p : result.phases) fallbacks += p.fell_back;
+      }
+      (incremental ? util_incremental : util_replace)
+          .add(result.mean_utilization());
+      (incremental ? tiles_incremental : tiles_replace)
+          .add(static_cast<double>(result.total_tiles_written()));
+      (incremental ? kept_incremental : kept_replace)
+          .add(static_cast<double>(kept));
+    }
+  }
+
+  TextTable table({"Policy", "Mean util.", "Tiles written / schedule",
+                   "Modules kept in place"});
+  table.add_row({"replace-all", TextTable::pct(util_replace.mean()),
+                 TextTable::num(tiles_replace.mean(), 0),
+                 TextTable::num(kept_replace.mean(), 1)});
+  table.add_row({"incremental", TextTable::pct(util_incremental.mean()),
+                 TextTable::num(tiles_incremental.mean(), 0),
+                 TextTable::num(kept_incremental.mean(), 1)});
+  table.print(std::cout,
+              "R1: reconfiguration overhead across a " +
+                  std::to_string(phases) + "-phase schedule");
+  std::cout << "expected: incremental rewrites far fewer tiles per "
+               "transition at a modest utilization cost\n";
+  if (fallbacks > 0)
+    std::cout << "# " << fallbacks
+              << " phase(s) fell back to a full re-place\n";
+  if (infeasible > 0)
+    std::cout << "# " << infeasible << " schedule(s) had infeasible phases\n";
+  return 0;
+}

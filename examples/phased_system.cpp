@@ -1,0 +1,81 @@
+// A phased runtime reconfigurable system: an application that cycles
+// through operating modes (phases), each activating a subset of a module
+// pool. Shows the ReconfigurationManager's two placement policies and the
+// area / reconfiguration-time trade-off between them.
+//
+//   ./phased_system [phases] [modules-per-phase]
+#include <cstdlib>
+#include <iostream>
+
+#include "rrplace.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rr;
+  const int phases = argc > 1 ? std::atoi(argv[1]) : 4;
+  const int per_phase = argc > 2 ? std::atoi(argv[2]) : 5;
+
+  // Device and pool.
+  fpga::IrregularSpec spec;
+  spec.base.bram_period = 12;
+  spec.base.bram_offset = 5;
+  spec.base.dsp_period = 0;
+  spec.base.edge_io = false;
+  auto fabric = std::make_shared<const fpga::Fabric>(
+      fpga::make_irregular(64, 28, spec, 99));
+  const fpga::PartialRegion region(fabric);
+
+  model::GeneratorParams params;
+  params.clb_min = 20;
+  params.clb_max = 80;
+  params.bram_blocks_max = 3;
+  params.max_width = 11;
+  params.max_height = 14;
+  model::ModuleGenerator generator(params, 99);
+  const auto pool = generator.generate_many(per_phase * 2);
+
+  const runtime::Schedule schedule = runtime::make_rolling_schedule(
+      static_cast<int>(pool.size()), phases, per_phase,
+      /*keep_fraction=*/0.6, /*seed=*/5);
+  std::cout << "schedule: " << phases << " phases over a pool of "
+            << pool.size() << " modules\n";
+  for (const auto& phase : schedule.phases) {
+    std::cout << "  " << phase.name << ":";
+    for (const int id : phase.active_modules)
+      std::cout << ' ' << pool[static_cast<std::size_t>(id)].name();
+    std::cout << '\n';
+  }
+
+  placer::PlacerOptions options;
+  options.time_limit_seconds = 1.0;
+  const runtime::ReconfigurationManager manager(region, pool, options);
+
+  for (const auto policy : {runtime::PlacementPolicy::kReplaceAll,
+                            runtime::PlacementPolicy::kIncremental}) {
+    const bool incremental =
+        policy == runtime::PlacementPolicy::kIncremental;
+    const runtime::RunResult result = manager.run(schedule, policy);
+    std::cout << "\n=== policy: "
+              << (incremental ? "incremental" : "replace-all") << " ===\n";
+    for (std::size_t p = 0; p < result.phases.size(); ++p) {
+      const auto& phase = result.phases[p];
+      const auto& cost = result.transitions[p];
+      std::cout << "  " << schedule.phases[p].name << ": ";
+      if (!phase.feasible) {
+        std::cout << "INFEASIBLE\n";
+        continue;
+      }
+      std::cout << "extent " << phase.extent << ", util "
+                << TextTable::pct(phase.utilization) << ", transition wrote "
+                << cost.tiles_written << " tiles (" << cost.modules_loaded
+                << " loaded, " << cost.modules_kept << " kept)"
+                << (phase.fell_back ? " [fell back to re-place]" : "")
+                << '\n';
+    }
+    std::cout << "  total tiles written: " << result.total_tiles_written()
+              << ", mean utilization: "
+              << TextTable::pct(result.mean_utilization()) << '\n';
+  }
+  std::cout << "\nreplace-all packs each phase tighter; incremental keeps "
+               "running modules untouched and rewrites far less.\n";
+  return 0;
+}

@@ -1,0 +1,188 @@
+#include "baseline/annealing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "baseline/greedy.hpp"
+#include "geost/object.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+namespace rr::baseline {
+namespace {
+
+/// Per-tile occupancy counter so overlap cells can be updated in O(shape).
+class CountGrid {
+ public:
+  CountGrid(int height, int width)
+      : width_(width), counts_(static_cast<std::size_t>(height) *
+                               static_cast<std::size_t>(width)) {}
+
+  /// Add (+1) or remove (-1) a footprint; returns the change in the number
+  /// of overlapped tiles (tiles with count >= 2).
+  int apply(const geost::ShapeFootprint& shape, int x, int y, int delta) {
+    int overlap_delta = 0;
+    for (const Point& cell : shape.all_cells().cells()) {
+      auto& count = counts_[static_cast<std::size_t>(cell.y + y) *
+                                static_cast<std::size_t>(width_) +
+                            static_cast<std::size_t>(cell.x + x)];
+      if (delta > 0) {
+        if (count >= 1) ++overlap_delta;
+        ++count;
+      } else {
+        --count;
+        if (count >= 1) --overlap_delta;
+      }
+    }
+    return overlap_delta;
+  }
+
+ private:
+  int width_;
+  std::vector<std::int16_t> counts_;
+};
+
+}  // namespace
+
+placer::PlacementOutcome place_annealing(
+    const fpga::PartialRegion& region,
+    std::span<const model::Module> modules, const AnnealingOptions& options) {
+  Stopwatch watch;
+  placer::PlacementOutcome outcome;
+  Rng rng(options.seed);
+
+  struct Candidate {
+    std::vector<geost::ShapeFootprint> shapes;
+    std::vector<geost::Placement> table;
+  };
+  std::vector<Candidate> candidates(modules.size());
+  for (std::size_t i = 0; i < modules.size(); ++i) {
+    Candidate& c = candidates[i];
+    if (options.use_alternatives) c.shapes = modules[i].shapes();
+    else c.shapes.push_back(modules[i].shapes().front());
+    std::vector<std::vector<Point>> anchors;
+    anchors.reserve(c.shapes.size());
+    for (const geost::ShapeFootprint& shape : c.shapes)
+      anchors.push_back(geost::compute_valid_anchors(region.masks(), shape));
+    c.table = geost::sorted_placement_table(c.shapes, anchors);
+    if (c.table.empty()) {
+      outcome.seconds = watch.seconds();
+      return outcome;  // unplaceable module: infeasible
+    }
+  }
+
+  const auto shape_of = [&](std::size_t i, int value) -> const geost::ShapeFootprint& {
+    const geost::Placement& p = candidates[i].table[static_cast<std::size_t>(value)];
+    return candidates[i].shapes[static_cast<std::size_t>(p.shape)];
+  };
+  const auto extent_of = [&](std::size_t i, int value) {
+    const geost::Placement& p = candidates[i].table[static_cast<std::size_t>(value)];
+    return p.x + shape_of(i, value).bounding_box().width;
+  };
+
+  // Initial state: greedy when it succeeds (fast descent start), otherwise
+  // every module at its bottom-left-most placement (overlaps likely).
+  std::vector<int> state(modules.size(), 0);
+  {
+    GreedyOptions greedy_options;
+    greedy_options.use_alternatives = options.use_alternatives;
+    const placer::PlacementOutcome greedy =
+        place_greedy(region, modules, greedy_options);
+    if (greedy.solution.feasible) {
+      for (std::size_t i = 0; i < modules.size(); ++i) {
+        const placer::ModulePlacement& mp = greedy.solution.placements[i];
+        const auto& table = candidates[i].table;
+        for (std::size_t v = 0; v < table.size(); ++v) {
+          if (table[v].shape == mp.shape && table[v].x == mp.x &&
+              table[v].y == mp.y) {
+            state[i] = static_cast<int>(v);
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  CountGrid grid(region.height(), region.width());
+  int overlap_tiles = 0;
+  std::vector<int> extents(modules.size());
+  for (std::size_t i = 0; i < modules.size(); ++i) {
+    const geost::Placement& p = candidates[i].table[static_cast<std::size_t>(state[i])];
+    overlap_tiles += grid.apply(shape_of(i, state[i]), p.x, p.y, +1);
+    extents[i] = extent_of(i, state[i]);
+  }
+  auto cost = [&]() {
+    const int extent = *std::max_element(extents.begin(), extents.end());
+    return static_cast<double>(extent) +
+           options.overlap_weight * overlap_tiles;
+  };
+
+  double current = cost();
+  double best_cost = std::numeric_limits<double>::infinity();
+  std::vector<int> best_state;
+  auto consider_best = [&]() {
+    if (overlap_tiles == 0 && current < best_cost) {
+      best_cost = current;
+      best_state = state;
+    }
+  };
+  consider_best();
+
+  const Deadline deadline(options.time_limit_seconds);
+  double temperature = options.initial_temperature;
+  const int moves_per_round = options.moves_per_round_per_module *
+                              static_cast<int>(modules.size());
+  while (!deadline.expired() && temperature > 1e-3) {
+    for (int move = 0; move < moves_per_round; ++move) {
+      const std::size_t i = rng.pick_index(candidates);
+      const auto& table = candidates[i].table;
+      // Bias toward low (bottom-left) table entries: squaring the uniform
+      // draw concentrates mass near 0 while keeping full support.
+      const double u = rng.uniform01();
+      const int value = static_cast<int>(u * u * static_cast<double>(table.size()));
+      if (value == state[i]) continue;
+
+      const geost::Placement& old_p = table[static_cast<std::size_t>(state[i])];
+      const geost::Placement& new_p = table[static_cast<std::size_t>(value)];
+      const int old_value = state[i];
+      const int old_extent = extents[i];
+      int delta_overlap = grid.apply(shape_of(i, old_value), old_p.x, old_p.y, -1);
+      delta_overlap += grid.apply(shape_of(i, value), new_p.x, new_p.y, +1);
+      overlap_tiles += delta_overlap;
+      state[i] = value;
+      extents[i] = extent_of(i, value);
+      const double next = cost();
+      const double delta = next - current;
+      if (delta <= 0 || rng.uniform01() < std::exp(-delta / temperature)) {
+        current = next;
+        consider_best();
+      } else {
+        // Undo: the reverse applies return exactly -delta_overlap in total.
+        overlap_tiles += grid.apply(shape_of(i, value), new_p.x, new_p.y, -1);
+        overlap_tiles += grid.apply(shape_of(i, old_value), old_p.x, old_p.y, +1);
+        state[i] = old_value;
+        extents[i] = old_extent;
+      }
+    }
+    temperature *= options.cooling;
+  }
+
+  if (!best_state.empty()) {
+    placer::PlacementSolution solution;
+    solution.feasible = true;
+    for (std::size_t i = 0; i < modules.size(); ++i) {
+      const geost::Placement& p =
+          candidates[i].table[static_cast<std::size_t>(best_state[i])];
+      solution.placements.push_back(placer::ModulePlacement{
+          static_cast<int>(i), p.shape, p.x, p.y});
+      solution.extent = std::max(solution.extent, extent_of(i, best_state[i]));
+    }
+    outcome.solution = std::move(solution);
+  }
+  outcome.seconds = watch.seconds();
+  return outcome;
+}
+
+}  // namespace rr::baseline

@@ -1,0 +1,36 @@
+// Simulated-annealing baseline placer.
+//
+// A metaheuristic comparator for the CP placer: the state assigns every
+// module one entry of its placement table; overlaps are allowed during the
+// walk and penalized, so the search can tunnel through infeasible
+// configurations. The best feasible (overlap-free) state seen is returned.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "fpga/region.hpp"
+#include "model/module.hpp"
+#include "placer/placement.hpp"
+
+namespace rr::baseline {
+
+struct AnnealingOptions {
+  bool use_alternatives = true;
+  double time_limit_seconds = 2.0;
+  std::uint64_t seed = 1;
+  /// Initial temperature and geometric cooling factor per round.
+  double initial_temperature = 8.0;
+  double cooling = 0.95;
+  /// Moves attempted per temperature (scaled by module count).
+  int moves_per_round_per_module = 40;
+  /// Cost weight of each doubly-occupied tile.
+  double overlap_weight = 4.0;
+};
+
+[[nodiscard]] placer::PlacementOutcome place_annealing(
+    const fpga::PartialRegion& region,
+    std::span<const model::Module> modules,
+    const AnnealingOptions& options = {});
+
+}  // namespace rr::baseline

@@ -1,0 +1,80 @@
+#include "baseline/greedy.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "geost/object.hpp"
+#include "util/stopwatch.hpp"
+
+namespace rr::baseline {
+
+placer::PlacementOutcome place_greedy(const fpga::PartialRegion& region,
+                                      std::span<const model::Module> modules,
+                                      const GreedyOptions& options) {
+  Stopwatch watch;
+  placer::PlacementOutcome outcome;
+
+  // Per-module sorted placement tables (same machinery as the CP model).
+  struct Candidate {
+    std::vector<geost::ShapeFootprint> shapes;
+    std::vector<geost::Placement> table;
+    int min_area = 0;
+  };
+  std::vector<Candidate> candidates(modules.size());
+  for (std::size_t i = 0; i < modules.size(); ++i) {
+    Candidate& c = candidates[i];
+    if (options.use_alternatives) {
+      c.shapes = modules[i].shapes();
+    } else {
+      c.shapes.push_back(modules[i].shapes().front());
+    }
+    std::vector<std::vector<Point>> anchors;
+    anchors.reserve(c.shapes.size());
+    for (const geost::ShapeFootprint& shape : c.shapes)
+      anchors.push_back(geost::compute_valid_anchors(region.masks(), shape));
+    c.table = geost::sorted_placement_table(c.shapes, anchors);
+    c.min_area = c.shapes.front().area();
+    for (const geost::ShapeFootprint& shape : c.shapes)
+      c.min_area = std::min(c.min_area, shape.area());
+  }
+
+  std::vector<std::size_t> order(modules.size());
+  std::iota(order.begin(), order.end(), 0);
+  if (options.order == GreedyOrder::kDecreasingArea) {
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return candidates[a].min_area > candidates[b].min_area;
+    });
+  }
+
+  BitMatrix occupied(region.height(), region.width());
+  placer::PlacementSolution solution;
+  solution.feasible = true;
+  solution.placements.assign(modules.size(), placer::ModulePlacement{});
+
+  for (std::size_t i : order) {
+    const Candidate& c = candidates[i];
+    bool placed = false;
+    for (const geost::Placement& p : c.table) {
+      const geost::ShapeFootprint& shape =
+          c.shapes[static_cast<std::size_t>(p.shape)];
+      if (occupied.intersects_shifted(shape.mask(), p.y, p.x)) continue;
+      occupied.or_shifted(shape.mask(), p.y, p.x);
+      solution.placements[i] = placer::ModulePlacement{
+          static_cast<int>(i), p.shape, p.x, p.y};
+      solution.extent = std::max(
+          solution.extent, p.x + shape.bounding_box().width);
+      placed = true;
+      break;
+    }
+    if (!placed) {
+      solution.feasible = false;
+      break;
+    }
+  }
+
+  if (solution.feasible) outcome.solution = std::move(solution);
+  outcome.seconds = watch.seconds();
+  return outcome;
+}
+
+}  // namespace rr::baseline

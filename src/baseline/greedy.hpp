@@ -1,0 +1,35 @@
+// Greedy bottom-left baseline placer.
+//
+// The related-work positioning (§II) compares constraint-based optimal
+// placement against classical first-fit style heuristics; this module
+// provides that comparator. It shares the anchor computation and the
+// bottom-left placement ordering with the CP placer, so differences in
+// outcome are attributable to search, not modeling.
+#pragma once
+
+#include <span>
+
+#include "fpga/region.hpp"
+#include "model/module.hpp"
+#include "placer/placement.hpp"
+
+namespace rr::baseline {
+
+enum class GreedyOrder {
+  kDecreasingArea,  // first-fit decreasing (the strong default)
+  kInputOrder,      // modules in list order (online-arrival flavour)
+};
+
+struct GreedyOptions {
+  bool use_alternatives = true;
+  GreedyOrder order = GreedyOrder::kDecreasingArea;
+};
+
+/// Place each module at its first (bottom-left-most) conflict-free
+/// placement. Never backtracks: a module with no conflict-free placement
+/// makes the outcome infeasible.
+[[nodiscard]] placer::PlacementOutcome place_greedy(
+    const fpga::PartialRegion& region,
+    std::span<const model::Module> modules, const GreedyOptions& options = {});
+
+}  // namespace rr::baseline

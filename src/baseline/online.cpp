@@ -1,0 +1,59 @@
+#include "baseline/online.hpp"
+
+#include "geost/object.hpp"
+#include "util/error.hpp"
+
+namespace rr::baseline {
+
+OnlinePlacer::OnlinePlacer(const fpga::PartialRegion& region,
+                           OnlineOptions options)
+    : region_(region),
+      options_(options),
+      occupied_(region.height(), region.width()) {}
+
+double OnlinePlacer::occupancy() const noexcept {
+  const long total = region_.total_available();
+  return total > 0 ? static_cast<double>(occupied_tiles_) /
+                         static_cast<double>(total)
+                   : 0.0;
+}
+
+std::optional<placer::ModulePlacement> OnlinePlacer::place(
+    int instance_id, const model::Module& module) {
+  RR_REQUIRE(!live_.contains(instance_id),
+             "instance id " + std::to_string(instance_id) + " already placed");
+  // Anchor tables are computed per request: the online setting has no
+  // design-time module list. (Callers placing the same module repeatedly
+  // can cache at their level.)
+  std::vector<geost::ShapeFootprint> shapes;
+  if (options_.use_alternatives) shapes = module.shapes();
+  else shapes.push_back(module.shapes().front());
+  std::vector<std::vector<Point>> anchors;
+  anchors.reserve(shapes.size());
+  for (const geost::ShapeFootprint& shape : shapes)
+    anchors.push_back(geost::compute_valid_anchors(region_.masks(), shape));
+  const auto table = geost::sorted_placement_table(shapes, anchors);
+
+  for (const geost::Placement& p : table) {
+    const geost::ShapeFootprint& shape =
+        shapes[static_cast<std::size_t>(p.shape)];
+    if (occupied_.intersects_shifted(shape.mask(), p.y, p.x)) continue;
+    occupied_.or_shifted(shape.mask(), p.y, p.x);
+    occupied_tiles_ += shape.area();
+    live_.emplace(instance_id, LiveInstance{shape, p.x, p.y});
+    return placer::ModulePlacement{instance_id, p.shape, p.x, p.y};
+  }
+  return std::nullopt;
+}
+
+void OnlinePlacer::remove(int instance_id) {
+  const auto it = live_.find(instance_id);
+  RR_REQUIRE(it != live_.end(),
+             "instance id " + std::to_string(instance_id) + " is not placed");
+  const LiveInstance& instance = it->second;
+  occupied_.clear_shifted(instance.shape.mask(), instance.y, instance.x);
+  occupied_tiles_ -= instance.shape.area();
+  live_.erase(it);
+}
+
+}  // namespace rr::baseline

@@ -1,0 +1,66 @@
+// Online module placement (the related-work setting of §II: modules are
+// placed and removed at run time in a nondeterministic order, and the
+// placer manages free space incrementally).
+//
+// OnlinePlacer keeps the occupancy state of a region and serves place() /
+// remove() requests with a bottom-left first-fit over precomputed anchor
+// tables. It is the comparison point for the paper's offline in-advance
+// placement, and demonstrates how design alternatives raise the request
+// acceptance ratio (service level) under fragmentation.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "fpga/region.hpp"
+#include "model/module.hpp"
+#include "placer/placement.hpp"
+
+namespace rr::baseline {
+
+struct OnlineOptions {
+  bool use_alternatives = true;
+};
+
+class OnlinePlacer {
+ public:
+  /// The region must outlive the placer.
+  explicit OnlinePlacer(const fpga::PartialRegion& region,
+                        OnlineOptions options = {});
+
+  /// Try to place an instance of `module`; returns the placement (region
+  /// coordinates and chosen shape) or nullopt when no conflict-free anchor
+  /// exists. `instance_id` names the instance for later removal and must be
+  /// fresh.
+  std::optional<placer::ModulePlacement> place(int instance_id,
+                                               const model::Module& module);
+
+  /// Remove a previously placed instance, freeing its tiles.
+  void remove(int instance_id);
+
+  [[nodiscard]] bool is_placed(int instance_id) const noexcept {
+    return live_.contains(instance_id);
+  }
+  [[nodiscard]] int live_count() const noexcept {
+    return static_cast<int>(live_.size());
+  }
+  /// Tiles currently occupied by live instances.
+  [[nodiscard]] long occupied_tiles() const noexcept { return occupied_tiles_; }
+  /// Fraction of the region's available tiles currently occupied.
+  [[nodiscard]] double occupancy() const noexcept;
+
+ private:
+  struct LiveInstance {
+    geost::ShapeFootprint shape;  // the chosen alternative (owned copy)
+    int x = 0;
+    int y = 0;
+  };
+
+  const fpga::PartialRegion& region_;
+  OnlineOptions options_;
+  BitMatrix occupied_;
+  long occupied_tiles_ = 0;
+  std::unordered_map<int, LiveInstance> live_;
+};
+
+}  // namespace rr::baseline

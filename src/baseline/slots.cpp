@@ -1,0 +1,90 @@
+#include "baseline/slots.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "geost/object.hpp"
+#include "util/stopwatch.hpp"
+
+namespace rr::baseline {
+
+placer::PlacementOutcome place_slots(const fpga::PartialRegion& region,
+                                     std::span<const model::Module> modules,
+                                     const SlotOptions& options) {
+  RR_REQUIRE(options.slot_width > 0, "slot width must be positive");
+  Stopwatch watch;
+  placer::PlacementOutcome outcome;
+
+  const int slot_count = region.width() / options.slot_width;
+  std::vector<bool> slot_used(static_cast<std::size_t>(slot_count), false);
+
+  // Decreasing-area order, as for the other first-fit baselines.
+  std::vector<std::size_t> order(modules.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return modules[a].min_area() > modules[b].min_area();
+  });
+
+  placer::PlacementSolution solution;
+  solution.feasible = true;
+  solution.placements.assign(modules.size(), placer::ModulePlacement{});
+  int last_slot_used = -1;
+
+  for (const std::size_t i : order) {
+    const model::Module& module = modules[i];
+    std::vector<geost::ShapeFootprint> shapes;
+    if (options.use_alternatives) shapes = module.shapes();
+    else shapes.push_back(module.shapes().front());
+
+    bool placed = false;
+    for (int slot = 0; slot < slot_count && !placed; ++slot) {
+      for (std::size_t s = 0; s < shapes.size() && !placed; ++s) {
+        const geost::ShapeFootprint& shape = shapes[s];
+        const int slots_needed =
+            (shape.bounding_box().width + options.slot_width - 1) /
+            options.slot_width;
+        if (slot + slots_needed > slot_count) continue;
+        bool free_run = true;
+        for (int k = 0; k < slots_needed; ++k)
+          free_run = free_run && !slot_used[static_cast<std::size_t>(slot + k)];
+        if (!free_run) continue;
+        // Resource-compatible anchor at the slot's left edge, any row.
+        const int x = slot * options.slot_width;
+        int anchor_y = -1;
+        for (int y = 0;
+             y + shape.bounding_box().height <= region.height() && anchor_y < 0;
+             ++y) {
+          bool ok = true;
+          for (std::size_t g = 0; g < shape.typed().size() && ok; ++g) {
+            ok = region.masks()[static_cast<std::size_t>(
+                                    shape.typed()[g].resource)]
+                     .covers_shifted(shape.typed_masks()[g], y, x);
+          }
+          if (ok) anchor_y = y;
+        }
+        if (anchor_y < 0) continue;
+        for (int k = 0; k < slots_needed; ++k)
+          slot_used[static_cast<std::size_t>(slot + k)] = true;
+        solution.placements[i] = placer::ModulePlacement{
+            static_cast<int>(i), static_cast<int>(s), x, anchor_y};
+        last_slot_used = std::max(last_slot_used, slot + slots_needed - 1);
+        placed = true;
+      }
+    }
+    if (!placed) {
+      solution.feasible = false;
+      break;
+    }
+  }
+
+  if (solution.feasible) {
+    // Slot-granular extent: whole slots are reserved even where the module
+    // is narrower (that is the internal fragmentation of slot systems).
+    solution.extent = (last_slot_used + 1) * options.slot_width;
+    outcome.solution = std::move(solution);
+  }
+  outcome.seconds = watch.seconds();
+  return outcome;
+}
+
+}  // namespace rr::baseline

@@ -1,0 +1,34 @@
+// 1-D slot-style placement (§II classification axis 5).
+//
+// Early reconfigurable systems divided the device into fixed-width,
+// full-height slots; a module occupies one or more adjacent slots
+// exclusively, and no two modules share a slot (no vertical stacking).
+// This is the classical comparison point for 2-D grid placement: internal
+// fragmentation is the slot area a module does not fill. The slot placer
+// reuses the anchor machinery (resource matching still applies inside a
+// slot) but restricts anchors to slot boundaries and allocates whole slots.
+#pragma once
+
+#include <span>
+
+#include "fpga/region.hpp"
+#include "model/module.hpp"
+#include "placer/placement.hpp"
+
+namespace rr::baseline {
+
+struct SlotOptions {
+  /// Width of one slot, in tiles.
+  int slot_width = 12;
+  bool use_alternatives = true;
+};
+
+/// First-fit decreasing over slots: each module takes the leftmost run of
+/// free slots in which one of its layouts has a resource-compatible anchor
+/// at the slot's left edge. The reported extent is the right edge of the
+/// last *slot* used (slot-granular, as slot-style systems are).
+[[nodiscard]] placer::PlacementOutcome place_slots(
+    const fpga::PartialRegion& region,
+    std::span<const model::Module> modules, const SlotOptions& options = {});
+
+}  // namespace rr::baseline

@@ -1,0 +1,88 @@
+#include "comm/bus.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace rr::comm {
+namespace {
+
+constexpr int kClb = static_cast<int>(fpga::ResourceType::kClb);
+constexpr int kBus = static_cast<int>(fpga::ResourceType::kBusMacro);
+
+/// Retype the CLB cells of row `row` (clamped into the shape's bounding
+/// box) to bus macros. Returns nullopt when the row has no CLB cell.
+std::optional<geost::ShapeFootprint> attach_shape(
+    const geost::ShapeFootprint& shape, int row) {
+  const Rect box = shape.bounding_box();
+  row = std::clamp(row, 0, box.height - 1);
+
+  std::vector<Point> clb_cells, bus_cells;
+  std::vector<geost::TypedCells> groups;
+  for (const geost::TypedCells& group : shape.typed()) {
+    if (group.resource != kClb) {
+      groups.push_back(group);
+      continue;
+    }
+    for (const Point& cell : group.cells.cells()) {
+      (cell.y == row ? bus_cells : clb_cells).push_back(cell);
+    }
+  }
+  if (bus_cells.empty()) return std::nullopt;
+  if (!clb_cells.empty())
+    groups.push_back(
+        geost::TypedCells{kClb, CellSet(std::move(clb_cells), false)});
+  groups.push_back(
+      geost::TypedCells{kBus, CellSet(std::move(bus_cells), false)});
+  return geost::ShapeFootprint::from_typed(std::move(groups));
+}
+
+}  // namespace
+
+std::vector<int> bus_rows(int height, const BusSpec& spec) {
+  RR_REQUIRE(spec.lane_period > 0, "bus lane period must be positive");
+  RR_REQUIRE(spec.lane_offset >= 0, "bus lane offset must be >= 0");
+  std::vector<int> rows;
+  for (int y = spec.lane_offset; y < height; y += spec.lane_period) {
+    rows.push_back(y);
+    if (spec.max_lanes > 0 &&
+        static_cast<int>(rows.size()) >= spec.max_lanes)
+      break;
+  }
+  return rows;
+}
+
+fpga::Fabric with_bus_lanes(const fpga::Fabric& fabric, const BusSpec& spec) {
+  fpga::Fabric out = fabric;
+  for (const int y : bus_rows(fabric.height(), spec)) {
+    for (int x = 0; x < fabric.width(); ++x) {
+      if (out.at(x, y) == fpga::ResourceType::kClb)
+        out.set(x, y, fpga::ResourceType::kBusMacro);
+    }
+  }
+  return out;
+}
+
+model::Module with_bus_attachment(const model::Module& module,
+                                  int attachment_row) {
+  std::vector<geost::ShapeFootprint> shapes;
+  for (const geost::ShapeFootprint& shape : module.shapes()) {
+    if (auto attached = attach_shape(shape, attachment_row))
+      shapes.push_back(std::move(*attached));
+  }
+  if (shapes.empty())
+    throw ModelError("module " + module.name() +
+                     " has no layout with logic on the attachment row");
+  return model::Module(module.name(), std::move(shapes));
+}
+
+std::vector<model::Module> with_bus_attachment(
+    std::span<const model::Module> modules, int attachment_row) {
+  std::vector<model::Module> out;
+  out.reserve(modules.size());
+  for (const model::Module& m : modules)
+    out.push_back(with_bus_attachment(m, attachment_row));
+  return out;
+}
+
+}  // namespace rr::comm

@@ -1,0 +1,49 @@
+// On-FPGA communication architecture (ReCoBus-style).
+//
+// The module placer in the paper is embedded in the ReCoBus-Builder
+// framework, whose bus macros connect reconfigurable modules to the static
+// system. §III.A notes that "internal resource types can further be used to
+// represent communication macros for bus attachment" — this module does
+// exactly that: horizontal bus lanes become rows of kBusMacro tiles, and a
+// module's connection row is retyped to kBusMacro, so the ordinary
+// resource-matching constraint (eq. 3) forces every module onto a lane.
+#pragma once
+
+#include <vector>
+
+#include "fpga/fabric.hpp"
+#include "model/module.hpp"
+
+namespace rr::comm {
+
+struct BusSpec {
+  /// A bus lane every `lane_period` rows.
+  int lane_period = 8;
+  /// Row of the first lane.
+  int lane_offset = 1;
+  /// Maximum number of lanes (0 = as many as fit).
+  int max_lanes = 0;
+};
+
+/// The rows of a `height`-row device that carry bus lanes under `spec`.
+[[nodiscard]] std::vector<int> bus_rows(int height, const BusSpec& spec);
+
+/// Copy of `fabric` with bus lanes: CLB tiles in every bus row become
+/// kBusMacro tiles. Dedicated resources (BRAM/DSP/IO/clock/static) are left
+/// untouched — on real devices the bus threads through the logic columns.
+[[nodiscard]] fpga::Fabric with_bus_lanes(const fpga::Fabric& fabric,
+                                          const BusSpec& spec);
+
+/// Copy of `module` whose shapes request a bus connection: in every shape,
+/// the CLB cells of the attachment row (local y = `attachment_row` within
+/// the shape, clamped to its height) are retyped to kBusMacro. Shapes
+/// without any CLB cell in that row are dropped (they cannot attach); a
+/// module losing all shapes this way throws ModelError.
+[[nodiscard]] model::Module with_bus_attachment(const model::Module& module,
+                                                int attachment_row = 0);
+
+/// Convenience: attach a whole module set (same row for all).
+[[nodiscard]] std::vector<model::Module> with_bus_attachment(
+    std::span<const model::Module> modules, int attachment_row = 0);
+
+}  // namespace rr::comm

@@ -1,0 +1,71 @@
+#include "cp/brancher.hpp"
+
+#include <limits>
+
+namespace rr::cp {
+
+BasicBrancher::BasicBrancher(std::vector<VarId> vars, VarSelect var_select,
+                             ValSelect val_select, std::uint64_t seed)
+    : vars_(std::move(vars)),
+      var_select_(var_select),
+      val_select_(val_select),
+      rng_(seed) {}
+
+std::optional<Choice> BasicBrancher::choose(const Space& space) {
+  VarId chosen = kNoVar;
+  long best_size = 0;
+  int unassigned_seen = 0;
+  for (VarId v : vars_) {
+    if (space.assigned(v)) continue;
+    ++unassigned_seen;
+    const long size = space.dom(v).size();
+    switch (var_select_) {
+      case VarSelect::kInputOrder:
+        if (chosen == kNoVar) chosen = v;
+        break;
+      case VarSelect::kFirstFail:
+        if (chosen == kNoVar || size < best_size) {
+          chosen = v;
+          best_size = size;
+        }
+        break;
+      case VarSelect::kLargestDomain:
+        if (chosen == kNoVar || size > best_size) {
+          chosen = v;
+          best_size = size;
+        }
+        break;
+      case VarSelect::kRandom:
+        // Reservoir sampling over unassigned variables.
+        if (rng_.bounded(static_cast<std::uint64_t>(unassigned_seen)) == 0)
+          chosen = v;
+        break;
+    }
+    if (var_select_ == VarSelect::kInputOrder && chosen != kNoVar) break;
+  }
+  if (chosen == kNoVar) return std::nullopt;
+
+  const Domain& dom = space.dom(chosen);
+  int value = dom.min();
+  switch (val_select_) {
+    case ValSelect::kMin: value = dom.min(); break;
+    case ValSelect::kMax: value = dom.max(); break;
+    case ValSelect::kRandom: {
+      // Pick the k-th domain value without materializing the domain.
+      long k = static_cast<long>(rng_.bounded(
+          static_cast<std::uint64_t>(dom.size())));
+      for (const auto& range : dom.ranges()) {
+        const long len = static_cast<long>(range.hi) - range.lo + 1;
+        if (k < len) {
+          value = range.lo + static_cast<int>(k);
+          break;
+        }
+        k -= len;
+      }
+      break;
+    }
+  }
+  return Choice{chosen, value};
+}
+
+}  // namespace rr::cp

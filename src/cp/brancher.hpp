@@ -1,0 +1,74 @@
+// Branching heuristics.
+//
+// The engine uses binary branching: a Choice (var, value) creates a left
+// child `var == value` and a right child `var != value`. A brancher only
+// proposes the next choice; the engine owns the tree walk.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cp/space.hpp"
+#include "util/rng.hpp"
+
+namespace rr::cp {
+
+struct Choice {
+  VarId var = kNoVar;
+  int value = 0;
+};
+
+class Brancher {
+ public:
+  virtual ~Brancher() = default;
+  /// Next decision, or nullopt when all watched variables are assigned
+  /// (i.e. the current node is a solution of this brancher's scope).
+  virtual std::optional<Choice> choose(const Space& space) = 0;
+};
+
+enum class VarSelect {
+  kInputOrder,     // first unassigned in the given order
+  kFirstFail,      // smallest domain
+  kLargestDomain,  // largest domain (anti-first-fail, for portfolios)
+  kRandom,         // uniformly random unassigned variable
+};
+
+enum class ValSelect {
+  kMin,     // smallest value
+  kMax,     // largest value
+  kRandom,  // uniformly random value from the domain
+};
+
+/// Standard variable/value strategy over a fixed variable list.
+class BasicBrancher final : public Brancher {
+ public:
+  BasicBrancher(std::vector<VarId> vars, VarSelect var_select,
+                ValSelect val_select, std::uint64_t seed = 1);
+
+  std::optional<Choice> choose(const Space& space) override;
+
+ private:
+  std::vector<VarId> vars_;
+  VarSelect var_select_;
+  ValSelect val_select_;
+  Rng rng_;
+};
+
+/// Brancher driven by a callback — the placer uses this to implement its
+/// bottom-left value ordering over placement tables.
+class FunctionBrancher final : public Brancher {
+ public:
+  using Fn = std::function<std::optional<Choice>(const Space&)>;
+  explicit FunctionBrancher(Fn fn) : fn_(std::move(fn)) {}
+
+  std::optional<Choice> choose(const Space& space) override {
+    return fn_(space);
+  }
+
+ private:
+  Fn fn_;
+};
+
+}  // namespace rr::cp

@@ -1,0 +1,56 @@
+// Constraint posting functions.
+//
+// Each post_* builds one or more propagators on the given Space. Posting
+// never runs propagation itself; call Space::propagate() (the search engine
+// does this at every node, including the root).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "cp/space.hpp"
+
+namespace rr::cp {
+
+enum class RelOp { kEq, kNeq, kLeq, kGeq, kLt, kGt };
+
+/// x `op` c — applied immediately to the domain (no propagator needed).
+void post_rel_const(Space& space, VarId x, RelOp op, int c);
+
+/// x `op` y + offset — bounds-consistent binary relation.
+void post_rel(Space& space, VarId x, RelOp op, VarId y, int offset = 0);
+
+/// sum(coeffs[i] * vars[i]) `op` rhs — bounds consistency.
+/// op must be kEq, kLeq or kGeq.
+void post_linear(Space& space, std::span<const int> coeffs,
+                 std::span<const VarId> vars, RelOp op, int rhs);
+
+/// z == max(xs) — bounds consistency. xs must be non-empty.
+void post_max(Space& space, VarId z, std::span<const VarId> xs);
+
+/// z == min(xs) — bounds consistency. xs must be non-empty.
+void post_min(Space& space, VarId z, std::span<const VarId> xs);
+
+/// result == table[index] — domain-consistent element constraint.
+/// Index values outside [0, table.size()) are pruned immediately.
+void post_element(Space& space, std::span<const int> table, VarId index,
+                  VarId result);
+
+/// All variables take pairwise distinct values (forward-checking strength).
+void post_all_different(Space& space, std::span<const VarId> vars);
+
+/// |{i : vars[i] == value}| `op` n, for op in {kEq, kLeq, kGeq}.
+void post_count(Space& space, std::span<const VarId> vars, int value,
+                RelOp op, int n);
+
+/// Reification: b <-> (x `op` c), where b is a 0/1 variable.
+/// b is clipped into [0, 1] at post time.
+void post_rel_reified(Space& space, VarId x, RelOp op, int c, VarId b);
+
+/// Positive table constraint: the tuple (vars[0], ..., vars[n-1]) must
+/// equal one of `tuples` (each of arity vars.size()). Generalized arc
+/// consistency by support counting — intended for small tables.
+void post_table(Space& space, std::span<const VarId> vars,
+                std::vector<std::vector<int>> tuples);
+
+}  // namespace rr::cp

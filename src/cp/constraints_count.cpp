@@ -1,0 +1,75 @@
+#include <memory>
+#include <vector>
+
+#include "cp/constraints.hpp"
+
+namespace rr::cp {
+namespace {
+
+/// |{i : vars[i] == value}| op n for op in {kEq, kLeq, kGeq}.
+class Count final : public Propagator {
+ public:
+  Count(std::vector<VarId> vars, int value, bool need_leq, bool need_geq,
+        int n)
+      : Propagator(PropPriority::kLinear),
+        vars_(std::move(vars)),
+        value_(value),
+        need_leq_(need_leq),
+        need_geq_(need_geq),
+        n_(n) {}
+
+  void attach(Space& space, int self) override {
+    for (VarId v : vars_) space.subscribe(v, self, kOnDomain);
+  }
+
+  PropStatus propagate(Space& space) override {
+    int fixed = 0;     // vars assigned to value
+    int possible = 0;  // vars whose domain still contains value
+    for (VarId v : vars_) {
+      const bool has = space.dom(v).contains(value_);
+      if (has) ++possible;
+      if (has && space.assigned(v)) ++fixed;
+    }
+    if (need_leq_ && fixed > n_) return PropStatus::kFail;
+    if (need_geq_ && possible < n_) return PropStatus::kFail;
+
+    if (need_leq_ && fixed == n_) {
+      // No further variable may take the value.
+      for (VarId v : vars_) {
+        if (space.assigned(v)) continue;
+        if (space.remove(v, value_) == ModEvent::kFail)
+          return PropStatus::kFail;
+      }
+    }
+    if (need_geq_ && possible == n_) {
+      // Every variable that still can take the value must.
+      for (VarId v : vars_) {
+        if (!space.dom(v).contains(value_)) continue;
+        if (space.assign(v, value_) == ModEvent::kFail)
+          return PropStatus::kFail;
+      }
+    }
+    return PropStatus::kFix;
+  }
+
+ private:
+  std::vector<VarId> vars_;
+  int value_;
+  bool need_leq_;
+  bool need_geq_;
+  int n_;
+};
+
+}  // namespace
+
+void post_count(Space& space, std::span<const VarId> vars, int value,
+                RelOp op, int n) {
+  RR_REQUIRE(op == RelOp::kEq || op == RelOp::kLeq || op == RelOp::kGeq,
+             "count: op must be ==, <= or >=");
+  const bool leq = op != RelOp::kGeq;
+  const bool geq = op != RelOp::kLeq;
+  space.post(std::make_unique<Count>(
+      std::vector<VarId>(vars.begin(), vars.end()), value, leq, geq, n));
+}
+
+}  // namespace rr::cp

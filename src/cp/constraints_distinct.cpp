@@ -1,0 +1,56 @@
+#include <memory>
+#include <vector>
+
+#include "cp/constraints.hpp"
+
+namespace rr::cp {
+namespace {
+
+/// all_different with forward-checking strength: once a variable is
+/// assigned, its value is removed everywhere else. Sufficient for the small
+/// symmetric-breaking uses in the placer and keeps propagation cheap.
+class Distinct final : public Propagator {
+ public:
+  explicit Distinct(std::vector<VarId> vars)
+      : Propagator(PropPriority::kLinear), vars_(std::move(vars)) {}
+
+  void attach(Space& space, int self) override {
+    for (VarId v : vars_) space.subscribe(v, self, kOnAssign);
+  }
+
+  PropStatus propagate(Space& space) override {
+    // Repeat until no new assignments appear (assignment cascades).
+    bool again = true;
+    while (again) {
+      again = false;
+      for (std::size_t i = 0; i < vars_.size(); ++i) {
+        if (!space.assigned(vars_[i])) continue;
+        const int value = space.value(vars_[i]);
+        for (std::size_t j = 0; j < vars_.size(); ++j) {
+          if (j == i) continue;
+          if (space.assigned(vars_[j])) {
+            if (space.value(vars_[j]) == value) return PropStatus::kFail;
+            continue;
+          }
+          const ModEvent ev = space.remove(vars_[j], value);
+          if (ev == ModEvent::kFail) return PropStatus::kFail;
+          if (ev == ModEvent::kAssign) again = true;
+        }
+      }
+    }
+    return PropStatus::kFix;
+  }
+
+ private:
+  std::vector<VarId> vars_;
+};
+
+}  // namespace
+
+void post_all_different(Space& space, std::span<const VarId> vars) {
+  if (vars.size() < 2) return;
+  space.post(
+      std::make_unique<Distinct>(std::vector<VarId>(vars.begin(), vars.end())));
+}
+
+}  // namespace rr::cp

@@ -1,0 +1,75 @@
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "cp/constraints.hpp"
+
+namespace rr::cp {
+namespace {
+
+/// result == table[index], domain consistent in both directions.
+///
+/// The placer uses this to tie a placement-index variable to the x-extent
+/// each placement would occupy, so pruning the extent (by the B&B cut)
+/// immediately prunes placements and vice versa.
+class Element final : public Propagator {
+ public:
+  Element(std::vector<int> table, VarId index, VarId result)
+      : Propagator(PropPriority::kLinear),
+        table_(std::move(table)),
+        index_(index),
+        result_(result) {}
+
+  void attach(Space& space, int self) override {
+    space.subscribe(index_, self, kOnDomain);
+    space.subscribe(result_, self, kOnDomain);
+    // Restrict the index to the table range once.
+    space.set_min(index_, 0);
+    space.set_max(index_, static_cast<int>(table_.size()) - 1);
+  }
+
+  PropStatus propagate(Space& space) override {
+    if (space.failed()) return PropStatus::kFail;
+    // Supported results and unsupported indices in one pass over dom(index).
+    std::vector<int> supported;
+    std::vector<int> dead_indices;
+    const Domain& rdom = space.dom(result_);
+    space.dom(index_).for_each([&](int i) {
+      const int entry = table_[static_cast<std::size_t>(i)];
+      if (rdom.contains(entry)) supported.push_back(entry);
+      else dead_indices.push_back(i);
+    });
+    if (supported.empty()) return PropStatus::kFail;
+    if (!dead_indices.empty()) {
+      if (space.remove_values_sorted(index_, dead_indices) == ModEvent::kFail)
+        return PropStatus::kFail;
+    }
+    if (space.intersect(result_, Domain::from_values(std::move(supported))) ==
+        ModEvent::kFail)
+      return PropStatus::kFail;
+    if (space.assigned(index_)) {
+      if (space.assign(result_,
+                       table_[static_cast<std::size_t>(space.value(index_))]) ==
+          ModEvent::kFail)
+        return PropStatus::kFail;
+      return PropStatus::kSubsumed;
+    }
+    return PropStatus::kFix;
+  }
+
+ private:
+  std::vector<int> table_;
+  VarId index_;
+  VarId result_;
+};
+
+}  // namespace
+
+void post_element(Space& space, std::span<const int> table, VarId index,
+                  VarId result) {
+  RR_REQUIRE(!table.empty(), "element: table must be non-empty");
+  space.post(std::make_unique<Element>(
+      std::vector<int>(table.begin(), table.end()), index, result));
+}
+
+}  // namespace rr::cp

@@ -1,0 +1,111 @@
+#include <memory>
+#include <vector>
+
+#include "cp/constraints.hpp"
+
+namespace rr::cp {
+namespace {
+
+/// Bounds-consistent linear constraint sum(a_i * x_i) op rhs for
+/// op in {kEq, kLeq, kGeq}. kGeq is normalized to kLeq by negation.
+class Linear final : public Propagator {
+ public:
+  Linear(std::vector<int> coeffs, std::vector<VarId> vars, bool equality,
+         int rhs)
+      : Propagator(PropPriority::kLinear),
+        coeffs_(std::move(coeffs)),
+        vars_(std::move(vars)),
+        equality_(equality),
+        rhs_(rhs) {}
+
+  void attach(Space& space, int self) override {
+    for (VarId v : vars_) space.subscribe(v, self, kOnBounds);
+  }
+
+  PropStatus propagate(Space& space) override {
+    // lb/ub of the sum under current bounds.
+    long lb = 0, ub = 0;
+    for (std::size_t i = 0; i < vars_.size(); ++i) {
+      const int a = coeffs_[i];
+      const long lo = space.min(vars_[i]);
+      const long hi = space.max(vars_[i]);
+      lb += a >= 0 ? a * lo : a * hi;
+      ub += a >= 0 ? a * hi : a * lo;
+    }
+    if (lb > rhs_) return PropStatus::kFail;
+    if (equality_ && ub < rhs_) return PropStatus::kFail;
+
+    // sum <= rhs: tighten each term's upper contribution.
+    for (std::size_t i = 0; i < vars_.size(); ++i) {
+      const int a = coeffs_[i];
+      if (a == 0) continue;
+      const long lo = space.min(vars_[i]);
+      const long hi = space.max(vars_[i]);
+      const long term_lb = a >= 0 ? a * lo : a * hi;
+      const long slack = rhs_ - (lb - term_lb);
+      // a * x_i <= slack
+      if (a > 0) {
+        if (space.set_max(vars_[i], static_cast<int>(div_floor(slack, a))) ==
+            ModEvent::kFail)
+          return PropStatus::kFail;
+      } else {
+        if (space.set_min(vars_[i], static_cast<int>(div_ceil(slack, a))) ==
+            ModEvent::kFail)
+          return PropStatus::kFail;
+      }
+      if (equality_) {
+        // sum >= rhs: symmetric tightening.
+        const long term_ub = a >= 0 ? a * hi : a * lo;
+        const long need = rhs_ - (ub - term_ub);
+        // a * x_i >= need
+        if (a > 0) {
+          if (space.set_min(vars_[i], static_cast<int>(div_ceil(need, a))) ==
+              ModEvent::kFail)
+            return PropStatus::kFail;
+        } else {
+          if (space.set_max(vars_[i], static_cast<int>(div_floor(need, a))) ==
+              ModEvent::kFail)
+            return PropStatus::kFail;
+        }
+      }
+    }
+    if (!equality_ && ub <= rhs_) return PropStatus::kSubsumed;
+    return PropStatus::kFix;
+  }
+
+ private:
+  static long div_floor(long a, long b) noexcept {
+    const long q = a / b;
+    return (a % b != 0 && ((a < 0) != (b < 0))) ? q - 1 : q;
+  }
+  static long div_ceil(long a, long b) noexcept {
+    const long q = a / b;
+    return (a % b != 0 && ((a < 0) == (b < 0))) ? q + 1 : q;
+  }
+
+  std::vector<int> coeffs_;
+  std::vector<VarId> vars_;
+  bool equality_;
+  int rhs_;
+};
+
+}  // namespace
+
+void post_linear(Space& space, std::span<const int> coeffs,
+                 std::span<const VarId> vars, RelOp op, int rhs) {
+  RR_REQUIRE(coeffs.size() == vars.size(),
+             "linear: coefficient/variable arity mismatch");
+  RR_REQUIRE(op == RelOp::kEq || op == RelOp::kLeq || op == RelOp::kGeq,
+             "linear: op must be ==, <= or >=");
+  std::vector<int> a(coeffs.begin(), coeffs.end());
+  std::vector<VarId> x(vars.begin(), vars.end());
+  if (op == RelOp::kGeq) {
+    // -sum <= -rhs
+    for (int& c : a) c = -c;
+    rhs = -rhs;
+  }
+  space.post(std::make_unique<Linear>(std::move(a), std::move(x),
+                                      op == RelOp::kEq, rhs));
+}
+
+}  // namespace rr::cp

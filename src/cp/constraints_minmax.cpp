@@ -1,0 +1,89 @@
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "cp/constraints.hpp"
+
+namespace rr::cp {
+namespace {
+
+/// z == max(xs) with bounds consistency. The min variant is obtained by
+/// negation at post time (z' = -z, x' = -x is avoided; instead a mirrored
+/// propagator flag flips the comparisons).
+class MaxOf final : public Propagator {
+ public:
+  MaxOf(VarId z, std::vector<VarId> xs, bool is_max)
+      : Propagator(PropPriority::kLinear),
+        z_(z),
+        xs_(std::move(xs)),
+        is_max_(is_max) {}
+
+  void attach(Space& space, int self) override {
+    space.subscribe(z_, self, kOnBounds);
+    for (VarId x : xs_) space.subscribe(x, self, kOnBounds);
+  }
+
+  PropStatus propagate(Space& space) override {
+    // Work in "max space": lo(v)/hi(v) flip roles for the min variant.
+    auto lo = [&](VarId v) { return is_max_ ? space.min(v) : -space.max(v); };
+    auto hi = [&](VarId v) { return is_max_ ? space.max(v) : -space.min(v); };
+    auto clamp_hi = [&](VarId v, int b) {
+      return is_max_ ? space.set_max(v, b) : space.set_min(v, -b);
+    };
+    auto clamp_lo = [&](VarId v, int b) {
+      return is_max_ ? space.set_min(v, b) : space.set_max(v, -b);
+    };
+
+    int best_hi = std::numeric_limits<int>::min();
+    int best_lo = std::numeric_limits<int>::min();
+    for (VarId x : xs_) {
+      best_hi = std::max(best_hi, hi(x));
+      best_lo = std::max(best_lo, lo(x));
+    }
+    if (clamp_hi(z_, best_hi) == ModEvent::kFail) return PropStatus::kFail;
+    if (clamp_lo(z_, best_lo) == ModEvent::kFail) return PropStatus::kFail;
+
+    // Every x is <= z.
+    for (VarId x : xs_) {
+      if (clamp_hi(x, hi(z_)) == ModEvent::kFail) return PropStatus::kFail;
+    }
+
+    // If exactly one x can reach z's lower bound, it must.
+    int support = -1, supports = 0;
+    for (std::size_t i = 0; i < xs_.size(); ++i) {
+      if (hi(xs_[i]) >= lo(z_)) {
+        support = static_cast<int>(i);
+        if (++supports > 1) break;
+      }
+    }
+    if (supports == 0) return PropStatus::kFail;
+    if (supports == 1) {
+      if (clamp_lo(xs_[static_cast<std::size_t>(support)], lo(z_)) ==
+          ModEvent::kFail)
+        return PropStatus::kFail;
+    }
+    return PropStatus::kFix;
+  }
+
+ private:
+  VarId z_;
+  std::vector<VarId> xs_;
+  bool is_max_;
+};
+
+}  // namespace
+
+void post_max(Space& space, VarId z, std::span<const VarId> xs) {
+  RR_REQUIRE(!xs.empty(), "max: needs at least one operand");
+  space.post(std::make_unique<MaxOf>(
+      z, std::vector<VarId>(xs.begin(), xs.end()), /*is_max=*/true));
+}
+
+void post_min(Space& space, VarId z, std::span<const VarId> xs) {
+  RR_REQUIRE(!xs.empty(), "min: needs at least one operand");
+  space.post(std::make_unique<MaxOf>(
+      z, std::vector<VarId>(xs.begin(), xs.end()), /*is_max=*/false));
+}
+
+}  // namespace rr::cp

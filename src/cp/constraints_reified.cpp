@@ -1,0 +1,113 @@
+#include <memory>
+
+#include "cp/constraints.hpp"
+
+namespace rr::cp {
+namespace {
+
+/// b <-> (x op c). Three-way propagation: a decided b enforces the relation
+/// or its negation on x; an entailed/refuted relation decides b.
+class ReifiedRelConst final : public Propagator {
+ public:
+  ReifiedRelConst(VarId x, RelOp op, int c, VarId b)
+      : Propagator(PropPriority::kUnary), x_(x), op_(op), c_(c), b_(b) {}
+
+  void attach(Space& space, int self) override {
+    space.subscribe(x_, self, kOnDomain);
+    space.subscribe(b_, self, kOnAssign);
+    space.set_min(b_, 0);
+    space.set_max(b_, 1);
+  }
+
+  PropStatus propagate(Space& space) override {
+    if (space.failed()) return PropStatus::kFail;
+    if (space.assigned(b_)) {
+      const bool truth = space.value(b_) == 1;
+      if (apply(space, truth ? op_ : negate(op_)) == ModEvent::kFail)
+        return PropStatus::kFail;
+      return PropStatus::kSubsumed;
+    }
+    switch (entailment(space)) {
+      case Entail::kTrue:
+        if (space.assign(b_, 1) == ModEvent::kFail) return PropStatus::kFail;
+        return PropStatus::kSubsumed;
+      case Entail::kFalse:
+        if (space.assign(b_, 0) == ModEvent::kFail) return PropStatus::kFail;
+        return PropStatus::kSubsumed;
+      case Entail::kUnknown:
+        return PropStatus::kFix;
+    }
+    return PropStatus::kFix;
+  }
+
+ private:
+  enum class Entail { kTrue, kFalse, kUnknown };
+
+  static RelOp negate(RelOp op) noexcept {
+    switch (op) {
+      case RelOp::kEq: return RelOp::kNeq;
+      case RelOp::kNeq: return RelOp::kEq;
+      case RelOp::kLeq: return RelOp::kGt;
+      case RelOp::kGt: return RelOp::kLeq;
+      case RelOp::kGeq: return RelOp::kLt;
+      case RelOp::kLt: return RelOp::kGeq;
+    }
+    return op;
+  }
+
+  ModEvent apply(Space& space, RelOp op) const {
+    switch (op) {
+      case RelOp::kEq: return space.assign(x_, c_);
+      case RelOp::kNeq: return space.remove(x_, c_);
+      case RelOp::kLeq: return space.set_max(x_, c_);
+      case RelOp::kLt: return space.set_max(x_, c_ - 1);
+      case RelOp::kGeq: return space.set_min(x_, c_);
+      case RelOp::kGt: return space.set_min(x_, c_ + 1);
+    }
+    return ModEvent::kNone;
+  }
+
+  [[nodiscard]] Entail entailment(const Space& space) const {
+    const Domain& dom = space.dom(x_);
+    switch (op_) {
+      case RelOp::kEq:
+        if (!dom.contains(c_)) return Entail::kFalse;
+        if (dom.assigned()) return Entail::kTrue;
+        return Entail::kUnknown;
+      case RelOp::kNeq:
+        if (!dom.contains(c_)) return Entail::kTrue;
+        if (dom.assigned()) return Entail::kFalse;
+        return Entail::kUnknown;
+      case RelOp::kLeq:
+        if (dom.max() <= c_) return Entail::kTrue;
+        if (dom.min() > c_) return Entail::kFalse;
+        return Entail::kUnknown;
+      case RelOp::kLt:
+        if (dom.max() < c_) return Entail::kTrue;
+        if (dom.min() >= c_) return Entail::kFalse;
+        return Entail::kUnknown;
+      case RelOp::kGeq:
+        if (dom.min() >= c_) return Entail::kTrue;
+        if (dom.max() < c_) return Entail::kFalse;
+        return Entail::kUnknown;
+      case RelOp::kGt:
+        if (dom.min() > c_) return Entail::kTrue;
+        if (dom.max() <= c_) return Entail::kFalse;
+        return Entail::kUnknown;
+    }
+    return Entail::kUnknown;
+  }
+
+  VarId x_;
+  RelOp op_;
+  int c_;
+  VarId b_;
+};
+
+}  // namespace
+
+void post_rel_reified(Space& space, VarId x, RelOp op, int c, VarId b) {
+  space.post(std::make_unique<ReifiedRelConst>(x, op, c, b));
+}
+
+}  // namespace rr::cp

@@ -1,0 +1,111 @@
+#include <memory>
+
+#include "cp/constraints.hpp"
+
+namespace rr::cp {
+namespace {
+
+/// x `op` y + offset with bounds reasoning; kEq additionally channels
+/// removed interior values (domain consistency for the equality case).
+class BinaryRel final : public Propagator {
+ public:
+  BinaryRel(VarId x, RelOp op, VarId y, int offset)
+      : Propagator(PropPriority::kUnary), x_(x), op_(op), y_(y), offset_(offset) {}
+
+  void attach(Space& space, int self) override {
+    const unsigned mask = op_ == RelOp::kEq ? kOnDomain : kOnBounds;
+    space.subscribe(x_, self, mask);
+    space.subscribe(y_, self, op_ == RelOp::kNeq ? kOnAssign : mask);
+  }
+
+  PropStatus propagate(Space& space) override {
+    switch (op_) {
+      case RelOp::kLeq:
+      case RelOp::kLt: {
+        const int strict = op_ == RelOp::kLt ? 1 : 0;
+        // x <= y + offset - strict
+        if (space.set_max(x_, space.max(y_) + offset_ - strict) ==
+            ModEvent::kFail)
+          return PropStatus::kFail;
+        if (space.set_min(y_, space.min(x_) - offset_ + strict) ==
+            ModEvent::kFail)
+          return PropStatus::kFail;
+        if (space.max(x_) <= space.min(y_) + offset_ - strict)
+          return PropStatus::kSubsumed;
+        return PropStatus::kFix;
+      }
+      case RelOp::kGeq:
+      case RelOp::kGt: {
+        const int strict = op_ == RelOp::kGt ? 1 : 0;
+        if (space.set_min(x_, space.min(y_) + offset_ + strict) ==
+            ModEvent::kFail)
+          return PropStatus::kFail;
+        if (space.set_max(y_, space.max(x_) - offset_ - strict) ==
+            ModEvent::kFail)
+          return PropStatus::kFail;
+        if (space.min(x_) >= space.max(y_) + offset_ + strict)
+          return PropStatus::kSubsumed;
+        return PropStatus::kFix;
+      }
+      case RelOp::kEq: {
+        // Channel full domains: x == y + offset.
+        Domain shifted_y(0, -1);
+        {
+          // Build dom(y) + offset.
+          std::vector<int> vals;
+          space.dom(y_).for_each([&](int v) { vals.push_back(v + offset_); });
+          shifted_y = Domain::from_values(std::move(vals));
+        }
+        if (space.intersect(x_, shifted_y) == ModEvent::kFail)
+          return PropStatus::kFail;
+        std::vector<int> vals;
+        space.dom(x_).for_each([&](int v) { vals.push_back(v - offset_); });
+        if (space.intersect(y_, Domain::from_values(std::move(vals))) ==
+            ModEvent::kFail)
+          return PropStatus::kFail;
+        if (space.assigned(x_) && space.assigned(y_))
+          return PropStatus::kSubsumed;
+        return PropStatus::kFix;
+      }
+      case RelOp::kNeq: {
+        if (space.assigned(x_)) {
+          if (space.remove(y_, space.value(x_) - offset_) == ModEvent::kFail)
+            return PropStatus::kFail;
+          return PropStatus::kSubsumed;
+        }
+        if (space.assigned(y_)) {
+          if (space.remove(x_, space.value(y_) + offset_) == ModEvent::kFail)
+            return PropStatus::kFail;
+          return PropStatus::kSubsumed;
+        }
+        return PropStatus::kFix;
+      }
+    }
+    return PropStatus::kFix;
+  }
+
+ private:
+  VarId x_;
+  RelOp op_;
+  VarId y_;
+  int offset_;
+};
+
+}  // namespace
+
+void post_rel_const(Space& space, VarId x, RelOp op, int c) {
+  switch (op) {
+    case RelOp::kEq: space.assign(x, c); break;
+    case RelOp::kNeq: space.remove(x, c); break;
+    case RelOp::kLeq: space.set_max(x, c); break;
+    case RelOp::kLt: space.set_max(x, c - 1); break;
+    case RelOp::kGeq: space.set_min(x, c); break;
+    case RelOp::kGt: space.set_min(x, c + 1); break;
+  }
+}
+
+void post_rel(Space& space, VarId x, RelOp op, VarId y, int offset) {
+  space.post(std::make_unique<BinaryRel>(x, op, y, offset));
+}
+
+}  // namespace rr::cp

@@ -1,0 +1,67 @@
+#include <memory>
+#include <vector>
+
+#include "cp/constraints.hpp"
+
+namespace rr::cp {
+namespace {
+
+/// Positive table constraint with straight support scanning: a tuple is
+/// live iff every component is still in its variable's domain; a value
+/// survives iff some live tuple uses it. O(#tuples x arity) per run.
+class PositiveTable final : public Propagator {
+ public:
+  PositiveTable(std::vector<VarId> vars, std::vector<std::vector<int>> tuples)
+      : Propagator(PropPriority::kLinear),
+        vars_(std::move(vars)),
+        tuples_(std::move(tuples)) {}
+
+  void attach(Space& space, int self) override {
+    for (VarId v : vars_) space.subscribe(v, self, kOnDomain);
+  }
+
+  PropStatus propagate(Space& space) override {
+    const std::size_t arity = vars_.size();
+    // Supported values per variable, collected from live tuples.
+    std::vector<std::vector<int>> supported(arity);
+    bool any_live = false;
+    for (const std::vector<int>& tuple : tuples_) {
+      bool live = true;
+      for (std::size_t i = 0; i < arity && live; ++i)
+        live = space.dom(vars_[i]).contains(tuple[i]);
+      if (!live) continue;
+      any_live = true;
+      for (std::size_t i = 0; i < arity; ++i)
+        supported[i].push_back(tuple[i]);
+    }
+    if (!any_live) return PropStatus::kFail;
+    bool all_assigned = true;
+    for (std::size_t i = 0; i < arity; ++i) {
+      if (space.intersect(vars_[i],
+                          Domain::from_values(std::move(supported[i]))) ==
+          ModEvent::kFail)
+        return PropStatus::kFail;
+      all_assigned = all_assigned && space.assigned(vars_[i]);
+    }
+    return all_assigned ? PropStatus::kSubsumed : PropStatus::kFix;
+  }
+
+ private:
+  std::vector<VarId> vars_;
+  std::vector<std::vector<int>> tuples_;
+};
+
+}  // namespace
+
+void post_table(Space& space, std::span<const VarId> vars,
+                std::vector<std::vector<int>> tuples) {
+  RR_REQUIRE(!vars.empty(), "table: needs at least one variable");
+  for (const std::vector<int>& tuple : tuples) {
+    RR_REQUIRE(tuple.size() == vars.size(),
+               "table: tuple arity must match variable count");
+  }
+  space.post(std::make_unique<PositiveTable>(
+      std::vector<VarId>(vars.begin(), vars.end()), std::move(tuples)));
+}
+
+}  // namespace rr::cp

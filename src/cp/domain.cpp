@@ -1,0 +1,171 @@
+#include "cp/domain.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace rr::cp {
+
+Domain::Domain(int lo, int hi) {
+  if (lo <= hi) {
+    ranges_.push_back(Range{lo, hi});
+    size_ = static_cast<long>(hi) - lo + 1;
+  }
+}
+
+Domain Domain::from_values(std::vector<int> values) {
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  Domain d;
+  for (int v : values) {
+    if (!d.ranges_.empty() && d.ranges_.back().hi + 1 == v) {
+      d.ranges_.back().hi = v;
+    } else {
+      d.ranges_.push_back(Range{v, v});
+    }
+  }
+  d.size_ = static_cast<long>(values.size());
+  return d;
+}
+
+void Domain::recount() noexcept {
+  size_ = 0;
+  for (const Range& r : ranges_) size_ += static_cast<long>(r.hi) - r.lo + 1;
+}
+
+bool Domain::contains(int v) const noexcept {
+  // Binary search for the first range with hi >= v.
+  auto it = std::lower_bound(
+      ranges_.begin(), ranges_.end(), v,
+      [](const Range& r, int value) { return r.hi < value; });
+  return it != ranges_.end() && it->lo <= v;
+}
+
+bool Domain::next_geq(int v, int& out) const noexcept {
+  auto it = std::lower_bound(
+      ranges_.begin(), ranges_.end(), v,
+      [](const Range& r, int value) { return r.hi < value; });
+  if (it == ranges_.end()) return false;
+  out = std::max(v, it->lo);
+  return true;
+}
+
+std::vector<int> Domain::values() const {
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(size_));
+  for_each([&](int v) { out.push_back(v); });
+  return out;
+}
+
+bool Domain::remove_below(int v) {
+  if (empty() || v <= min()) return false;
+  auto it = ranges_.begin();
+  while (it != ranges_.end() && it->hi < v) ++it;
+  ranges_.erase(ranges_.begin(), it);
+  if (!ranges_.empty() && ranges_.front().lo < v) ranges_.front().lo = v;
+  recount();
+  return true;
+}
+
+bool Domain::remove_above(int v) {
+  if (empty() || v >= max()) return false;
+  auto it = ranges_.end();
+  while (it != ranges_.begin() && std::prev(it)->lo > v) --it;
+  ranges_.erase(it, ranges_.end());
+  if (!ranges_.empty() && ranges_.back().hi > v) ranges_.back().hi = v;
+  recount();
+  return true;
+}
+
+bool Domain::remove(int v) { return remove_range(v, v); }
+
+bool Domain::remove_range(int lo, int hi) {
+  if (empty() || lo > hi || hi < min() || lo > max()) return false;
+  std::vector<Range> out;
+  out.reserve(ranges_.size() + 1);
+  bool changed = false;
+  for (const Range& r : ranges_) {
+    if (r.hi < lo || r.lo > hi) {
+      out.push_back(r);
+      continue;
+    }
+    changed = true;
+    if (r.lo < lo) out.push_back(Range{r.lo, lo - 1});
+    if (r.hi > hi) out.push_back(Range{hi + 1, r.hi});
+  }
+  if (!changed) return false;
+  ranges_ = std::move(out);
+  recount();
+  return true;
+}
+
+bool Domain::remove_values_sorted(std::span<const int> values) {
+  if (empty() || values.empty()) return false;
+  std::vector<Range> out;
+  out.reserve(ranges_.size() + values.size());
+  std::size_t vi = 0;
+  bool changed = false;
+  for (const Range& r : ranges_) {
+    int lo = r.lo;
+    while (vi < values.size() && values[vi] < lo) ++vi;
+    std::size_t vj = vi;
+    while (vj < values.size() && values[vj] <= r.hi) {
+      const int v = values[vj];
+      if (v > lo) out.push_back(Range{lo, v - 1});
+      lo = v + 1;
+      changed = true;
+      ++vj;
+    }
+    if (lo <= r.hi) out.push_back(Range{lo, r.hi});
+    vi = vj;
+  }
+  if (!changed) return false;
+  ranges_ = std::move(out);
+  recount();
+  return true;
+}
+
+bool Domain::intersect(const Domain& other) {
+  if (empty()) return false;
+  std::vector<Range> out;
+  out.reserve(std::max(ranges_.size(), other.ranges_.size()));
+  std::size_t i = 0, j = 0;
+  while (i < ranges_.size() && j < other.ranges_.size()) {
+    const Range& a = ranges_[i];
+    const Range& b = other.ranges_[j];
+    const int lo = std::max(a.lo, b.lo);
+    const int hi = std::min(a.hi, b.hi);
+    if (lo <= hi) out.push_back(Range{lo, hi});
+    if (a.hi < b.hi) ++i;
+    else ++j;
+  }
+  if (out == ranges_) return false;
+  ranges_ = std::move(out);
+  recount();
+  return true;
+}
+
+bool Domain::assign_value(int v) {
+  if (assigned() && value() == v) return false;
+  if (!contains(v)) {
+    ranges_.clear();
+    size_ = 0;
+    return true;
+  }
+  ranges_.assign(1, Range{v, v});
+  size_ = 1;
+  return true;
+}
+
+std::string Domain::to_string() const {
+  std::ostringstream os;
+  os << '{';
+  for (std::size_t i = 0; i < ranges_.size(); ++i) {
+    if (i) os << ", ";
+    if (ranges_[i].lo == ranges_[i].hi) os << ranges_[i].lo;
+    else os << ranges_[i].lo << ".." << ranges_[i].hi;
+  }
+  os << '}';
+  return os.str();
+}
+
+}  // namespace rr::cp

@@ -1,0 +1,94 @@
+// Finite integer domain stored as a sorted list of disjoint, non-adjacent
+// closed ranges. Range lists degrade gracefully for the two domain shapes
+// the placer produces: dense intervals (coordinates) and moderately
+// fragmented anchor index sets after pruning.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cp/types.hpp"
+#include "util/error.hpp"
+
+namespace rr::cp {
+
+class Domain {
+ public:
+  struct Range {
+    int lo;
+    int hi;  // inclusive
+    bool operator==(const Range&) const noexcept = default;
+  };
+
+  /// Empty domain.
+  Domain() = default;
+
+  /// Interval [lo, hi]; empty when lo > hi.
+  Domain(int lo, int hi);
+
+  /// Arbitrary value set (deduplicated, need not be sorted).
+  static Domain from_values(std::vector<int> values);
+
+  [[nodiscard]] bool empty() const noexcept { return ranges_.empty(); }
+  [[nodiscard]] long size() const noexcept { return size_; }
+  [[nodiscard]] int min() const noexcept {
+    RR_ASSERT(!empty());
+    return ranges_.front().lo;
+  }
+  [[nodiscard]] int max() const noexcept {
+    RR_ASSERT(!empty());
+    return ranges_.back().hi;
+  }
+  [[nodiscard]] bool assigned() const noexcept { return size_ == 1; }
+  [[nodiscard]] int value() const noexcept {
+    RR_ASSERT(assigned());
+    return ranges_.front().lo;
+  }
+
+  [[nodiscard]] bool contains(int v) const noexcept;
+
+  /// Smallest domain value >= v, or nullopt-ish sentinel: returns true and
+  /// writes `out` when such a value exists.
+  [[nodiscard]] bool next_geq(int v, int& out) const noexcept;
+
+  [[nodiscard]] std::span<const Range> ranges() const noexcept {
+    return ranges_;
+  }
+
+  /// Visit every value in increasing order.
+  template <typename F>
+  void for_each(F&& fn) const {
+    for (const Range& r : ranges_)
+      for (int v = r.lo; v <= r.hi; ++v) fn(v);
+  }
+
+  /// Materialize all values (test/debug convenience).
+  [[nodiscard]] std::vector<int> values() const;
+
+  // --- Mutators: every one returns true iff the domain changed. ---
+  bool remove_below(int v);
+  bool remove_above(int v);
+  bool remove(int v);
+  bool remove_range(int lo, int hi);
+  /// Remove a sorted, duplicate-free batch of values in one linear merge.
+  bool remove_values_sorted(std::span<const int> values);
+  /// Keep only values also present in `other`.
+  bool intersect(const Domain& other);
+  /// Collapse to {v}; collapses to empty when v is not present.
+  bool assign_value(int v);
+
+  bool operator==(const Domain& other) const noexcept {
+    return ranges_ == other.ranges_;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  void recount() noexcept;
+
+  std::vector<Range> ranges_;
+  long size_ = 0;
+};
+
+}  // namespace rr::cp

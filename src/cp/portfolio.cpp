@@ -1,0 +1,88 @@
+#include "cp/portfolio.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace rr::cp {
+namespace {
+
+struct SharedState {
+  std::atomic<long> bound{kNoBound};
+  std::atomic<bool> stop{false};
+  std::mutex mutex;  // guards the fields below
+  PortfolioResult result;
+};
+
+void run_worker(int index, PortfolioModel& model, const SearchLimits& limits,
+                SharedState& shared) {
+  Search::Options options;
+  options.limits = limits;
+  options.objective = model.objective;
+  options.shared_bound = &shared.bound;
+  options.stop = &shared.stop;
+  Search search(*model.space, *model.brancher, options);
+
+  while (search.next()) {
+    const long objective = model.space->min(model.objective);
+    std::lock_guard<std::mutex> lock(shared.mutex);
+    // Another worker may have found an equal or better solution while this
+    // one was propagating; keep only strict improvements.
+    if (!shared.result.found || objective < shared.result.objective) {
+      shared.result.found = true;
+      shared.result.objective = objective;
+      shared.result.winner = index;
+      shared.result.assignment.clear();
+      shared.result.assignment.reserve(model.report.size());
+      for (VarId v : model.report)
+        shared.result.assignment.push_back(model.space->min(v));
+    }
+  }
+
+  const SearchStats& stats = search.stats();
+  std::lock_guard<std::mutex> lock(shared.mutex);
+  shared.result.total.nodes += stats.nodes;
+  shared.result.total.fails += stats.fails;
+  shared.result.total.solutions += stats.solutions;
+  shared.result.total.max_depth =
+      std::max(shared.result.total.max_depth, stats.max_depth);
+  if (stats.complete) {
+    shared.result.complete = true;
+    // Optimality proved: stop the siblings.
+    shared.stop.store(true, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
+PortfolioResult minimize_portfolio(const PortfolioFactory& factory,
+                                   int workers, const SearchLimits& limits) {
+  RR_REQUIRE(workers >= 1, "portfolio needs at least one worker");
+  // Build all models up front on this thread; factories need not be
+  // thread-safe (they typically share a problem description).
+  std::vector<PortfolioModel> models;
+  models.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    models.push_back(factory(i));
+    RR_REQUIRE(models.back().space != nullptr && models.back().brancher != nullptr,
+               "portfolio factory returned an incomplete model");
+  }
+
+  SharedState shared;
+  if (workers == 1) {
+    run_worker(0, models[0], limits, shared);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(workers));
+    for (int i = 0; i < workers; ++i) {
+      threads.emplace_back(run_worker, i, std::ref(models[static_cast<std::size_t>(i)]),
+                           std::cref(limits), std::ref(shared));
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  return std::move(shared.result);
+}
+
+}  // namespace rr::cp

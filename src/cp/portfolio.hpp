@@ -1,0 +1,46 @@
+// Parallel portfolio minimization.
+//
+// Workers run independent branch-and-bound searches over copies of the same
+// model (typically with different branching heuristics or random seeds) and
+// share the incumbent objective through one atomic, so any worker's
+// improvement immediately prunes all others. One worker exhausting its tree
+// proves optimality for the whole portfolio, because every worker explores
+// the full search space under the shared cut.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cp/brancher.hpp"
+#include "cp/search.hpp"
+
+namespace rr::cp {
+
+/// A self-contained model instance for one worker.
+struct PortfolioModel {
+  std::unique_ptr<Space> space;
+  std::unique_ptr<Brancher> brancher;
+  VarId objective = kNoVar;
+  /// Variables whose values are reported back for the best solution.
+  std::vector<VarId> report;
+};
+
+/// Builds the model for worker `index`; must be safe to call concurrently
+/// is NOT required — all models are built sequentially before threads start.
+using PortfolioFactory = std::function<PortfolioModel(int index)>;
+
+struct PortfolioResult {
+  bool found = false;
+  long objective = kNoBound;
+  std::vector<int> assignment;  // report-var values at the best solution
+  bool complete = false;        // some worker proved optimality
+  int winner = -1;              // worker that produced the best solution
+  SearchStats total;            // summed across workers
+};
+
+/// Run `workers` B&B searches in parallel (sequentially when workers == 1).
+PortfolioResult minimize_portfolio(const PortfolioFactory& factory,
+                                   int workers, const SearchLimits& limits);
+
+}  // namespace rr::cp

@@ -1,0 +1,42 @@
+// Propagator interface.
+//
+// A propagator narrows variable domains toward consistency with one
+// constraint. Propagators are owned by the Space, subscribed to variables
+// with an event mask, and scheduled through a priority queue until fixpoint.
+//
+// Backtracking contract: propagators must be *stateless across search*, or
+// keep only state they can cheaply recompute in propagate(); the Space does
+// not snapshot propagator internals. Subsumption flags are trailed by the
+// Space, so returning kSubsumed is safe under backtracking.
+#pragma once
+
+#include "cp/types.hpp"
+
+namespace rr::cp {
+
+class Space;
+
+class Propagator {
+ public:
+  explicit Propagator(PropPriority priority = PropPriority::kLinear)
+      : priority_(priority) {}
+  virtual ~Propagator() = default;
+
+  Propagator(const Propagator&) = delete;
+  Propagator& operator=(const Propagator&) = delete;
+
+  /// Subscribe to variables. Called once, immediately after the Space takes
+  /// ownership; `self` is the id to pass to Space::subscribe.
+  virtual void attach(Space& space, int self) = 0;
+
+  /// Narrow domains. Must be monotone (only remove values) and idempotent
+  /// enough that re-running at fixpoint is a no-op.
+  virtual PropStatus propagate(Space& space) = 0;
+
+  [[nodiscard]] PropPriority priority() const noexcept { return priority_; }
+
+ private:
+  PropPriority priority_;
+};
+
+}  // namespace rr::cp

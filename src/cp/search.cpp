@@ -1,0 +1,193 @@
+#include "cp/search.hpp"
+
+#include <algorithm>
+
+namespace rr::cp {
+
+Search::Search(Space& space, Brancher& brancher, Options options)
+    : space_(space), brancher_(brancher), options_(options) {}
+
+long Search::current_bound() const noexcept {
+  long bound = local_bound_;
+  if (options_.shared_bound != nullptr) {
+    bound = std::min(
+        bound, options_.shared_bound->load(std::memory_order_relaxed));
+  }
+  return bound;
+}
+
+bool Search::apply_cut() {
+  if (options_.objective == kNoVar) return true;
+  const long bound = current_bound();
+  if (bound == kNoBound) return true;
+  return space_.set_max(options_.objective, static_cast<int>(bound - 1)) !=
+         ModEvent::kFail;
+}
+
+bool Search::limit_reached() const noexcept {
+  if (options_.stop != nullptr &&
+      options_.stop->load(std::memory_order_relaxed))
+    return true;
+  if (options_.limits.max_nodes != 0 &&
+      stats_.nodes >= options_.limits.max_nodes)
+    return true;
+  if (options_.limits.max_fails != 0 &&
+      stats_.fails >= options_.limits.max_fails)
+    return true;
+  return options_.limits.deadline.expired();
+}
+
+void Search::record_solution() {
+  ++stats_.solutions;
+  if (options_.objective == kNoVar) return;
+  // At a solution the objective is fixed by propagation; its lower bound is
+  // the sound value to cut with even if a custom brancher left it unassigned.
+  const long value = space_.min(options_.objective);
+  local_bound_ = std::min(local_bound_, value);
+  if (options_.shared_bound != nullptr) {
+    long observed = options_.shared_bound->load(std::memory_order_relaxed);
+    while (value < observed &&
+           !options_.shared_bound->compare_exchange_weak(
+               observed, value, std::memory_order_relaxed)) {
+    }
+  }
+}
+
+bool Search::backtrack() {
+  for (;;) {
+    // Discard exhausted frames (both children explored).
+    while (!stack_.empty() && stack_.back().right_done) {
+      space_.pop();
+      stack_.pop_back();
+    }
+    if (stack_.empty()) return false;
+
+    // Swap the left subtree for the right branch: var != value.
+    space_.pop();
+    space_.push();
+    Frame& frame = stack_.back();
+    frame.right_done = true;
+    ++stats_.nodes;
+    space_.remove(frame.choice.var, frame.choice.value);
+    if (!space_.failed() && apply_cut() && space_.propagate()) return true;
+    ++stats_.fails;
+    space_.pop();
+    space_.push();  // keep the one-level-per-frame invariant for the loop
+  }
+}
+
+bool Search::next() {
+  if (exhausted_) return false;
+  if (!started_) {
+    started_ = true;
+    if (space_.failed() || !apply_cut() || !space_.propagate()) {
+      ++stats_.fails;
+      stats_.complete = true;
+      exhausted_ = true;
+      return false;
+    }
+  } else if (need_backtrack_) {
+    need_backtrack_ = false;
+    if (!backtrack()) {
+      stats_.complete = true;
+      exhausted_ = true;
+      return false;
+    }
+  }
+
+  for (;;) {
+    if (limit_reached()) return false;
+    const std::optional<Choice> choice = brancher_.choose(space_);
+    if (!choice.has_value()) {
+      record_solution();
+      need_backtrack_ = true;
+      return true;
+    }
+    // Left branch: var == value.
+    space_.push();
+    stack_.push_back(Frame{*choice, false});
+    stats_.max_depth =
+        std::max(stats_.max_depth, static_cast<int>(stack_.size()));
+    ++stats_.nodes;
+    space_.assign(choice->var, choice->value);
+    if (space_.failed() || !apply_cut() || !space_.propagate()) {
+      ++stats_.fails;
+      if (!backtrack()) {
+        stats_.complete = true;
+        exhausted_ = true;
+        return false;
+      }
+    }
+  }
+}
+
+MinimizeResult minimize_with_restarts(
+    Space& space,
+    const std::function<std::unique_ptr<Brancher>(int restart)>& make_brancher,
+    VarId objective, std::span<const VarId> report, const SearchLimits& limits,
+    const RestartOptions& restart_options, int* restarts_out) {
+  MinimizeResult result;
+  std::atomic<long> bound{kNoBound};  // carries the incumbent across restarts
+  double budget = static_cast<double>(restart_options.base_fails);
+  int restart = 0;
+  for (;; ++restart) {
+    // Rewind to the root: a limited search may stop mid-tree.
+    while (space.decision_level() > 0) space.pop();
+
+    Search::Options options;
+    options.objective = objective;
+    options.shared_bound = &bound;
+    options.limits = limits;
+    const std::uint64_t restart_fails =
+        static_cast<std::uint64_t>(budget);
+    options.limits.max_fails =
+        limits.max_fails == 0 ? restart_fails
+                              : std::min(limits.max_fails, restart_fails);
+
+    std::unique_ptr<Brancher> brancher = make_brancher(restart);
+    Search search(space, *brancher, options);
+    while (search.next()) {
+      result.found = true;
+      result.objective = space.min(objective);
+      result.assignment.clear();
+      result.assignment.reserve(report.size());
+      for (VarId v : report) result.assignment.push_back(space.min(v));
+    }
+    result.stats.nodes += search.stats().nodes;
+    result.stats.fails += search.stats().fails;
+    result.stats.solutions += search.stats().solutions;
+    result.stats.max_depth =
+        std::max(result.stats.max_depth, search.stats().max_depth);
+    if (search.stats().complete) {
+      result.stats.complete = true;
+      break;
+    }
+    // Stop when the global limits (not this restart's budget) fired.
+    if (limits.deadline.expired()) break;
+    if (limits.max_fails != 0 && result.stats.fails >= limits.max_fails) break;
+    budget *= restart_options.growth;
+  }
+  if (restarts_out != nullptr) *restarts_out = restart + 1;
+  return result;
+}
+
+MinimizeResult minimize(Space& space, Brancher& brancher, VarId objective,
+                        std::span<const VarId> report,
+                        const SearchLimits& limits) {
+  Search::Options options;
+  options.limits = limits;
+  options.objective = objective;
+  Search search(space, brancher, options);
+  MinimizeResult result;
+  while (search.next()) {
+    result.found = true;
+    result.objective = space.min(objective);
+    result.assignment.clear();
+    result.assignment.reserve(report.size());
+    for (VarId v : report) result.assignment.push_back(space.min(v));
+  }
+  result.stats = search.stats();
+  return result;
+}
+
+}  // namespace rr::cp

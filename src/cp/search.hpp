@@ -1,0 +1,125 @@
+// Depth-first search with optional branch-and-bound minimization.
+//
+// The engine walks a binary tree over Choices from a Brancher: left child
+// asserts var == value, right child var != value. With an objective
+// variable set, every improving solution tightens a bound that is
+// re-applied at every node (the classic B&B cut); the bound may live in a
+// shared atomic so parallel portfolio workers prune each other.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "cp/brancher.hpp"
+#include "cp/space.hpp"
+#include "util/stopwatch.hpp"
+
+namespace rr::cp {
+
+struct SearchLimits {
+  Deadline deadline{};               // default: unlimited
+  std::uint64_t max_nodes = 0;       // 0 = unlimited
+  std::uint64_t max_fails = 0;       // 0 = unlimited
+};
+
+struct SearchStats {
+  std::uint64_t nodes = 0;
+  std::uint64_t fails = 0;
+  std::uint64_t solutions = 0;
+  int max_depth = 0;
+  /// True when the search tree was exhausted (proof of optimality /
+  /// unsatisfiability), false when a limit stopped the search.
+  bool complete = false;
+};
+
+inline constexpr long kNoBound = std::numeric_limits<long>::max();
+
+class Search {
+ public:
+  struct Options {
+    SearchLimits limits{};
+    /// Variable to minimize; kNoVar for plain satisfaction search.
+    VarId objective = kNoVar;
+    /// Optional cross-thread bound. When set, this engine both honours and
+    /// updates it. The atomic holds the best *known solution* objective, so
+    /// the cut applied is `objective <= bound - 1`.
+    std::atomic<long>* shared_bound = nullptr;
+    /// Optional cooperative stop flag (portfolio cancellation).
+    std::atomic<bool>* stop = nullptr;
+  };
+
+  Search(Space& space, Brancher& brancher, Options options);
+
+  /// Advance to the next solution (the next *improving* solution when an
+  /// objective is set). Returns false when exhausted or a limit fired —
+  /// distinguish via stats().complete.
+  bool next();
+
+  [[nodiscard]] const SearchStats& stats() const noexcept { return stats_; }
+
+  /// Best objective value seen by this engine (kNoBound if none yet).
+  [[nodiscard]] long best_objective() const noexcept { return local_bound_; }
+
+ private:
+  /// Apply the B&B cut for the current bound. False on immediate failure.
+  bool apply_cut();
+  /// Backtrack to the deepest open right branch and take it (propagating).
+  /// False when the stack empties (search exhausted).
+  bool backtrack();
+  /// True when a limit fired.
+  [[nodiscard]] bool limit_reached() const noexcept;
+  [[nodiscard]] long current_bound() const noexcept;
+  void record_solution();
+
+  struct Frame {
+    Choice choice;
+    bool right_done;
+  };
+
+  Space& space_;
+  Brancher& brancher_;
+  Options options_;
+  std::vector<Frame> stack_;
+  SearchStats stats_;
+  long local_bound_ = kNoBound;
+  bool started_ = false;
+  bool need_backtrack_ = false;  // true after a solution: leave it on resume
+  bool exhausted_ = false;
+};
+
+/// Convenience: minimize `objective`, returning the best assignment of
+/// `report` variables (empty when infeasible). `complete_out`, when
+/// non-null, receives the optimality proof flag.
+struct MinimizeResult {
+  bool found = false;
+  long objective = kNoBound;
+  std::vector<int> assignment;  // values of `report` vars at the best solution
+  SearchStats stats;
+};
+
+MinimizeResult minimize(Space& space, Brancher& brancher, VarId objective,
+                        std::span<const VarId> report,
+                        const SearchLimits& limits = {});
+
+/// Restart policy for minimize_with_restarts: geometric fail budgets.
+struct RestartOptions {
+  std::uint64_t base_fails = 200;  // budget of the first restart
+  double growth = 1.5;             // geometric growth per restart
+};
+
+/// Restarting branch-and-bound: run DFS under a growing fail budget,
+/// carrying the incumbent bound across restarts; a fresh brancher per
+/// restart (typically with a new random seed) diversifies the descents.
+/// Completes (proves optimality) when some restart exhausts its tree within
+/// budget. `restarts_out`, when non-null, receives the restart count.
+MinimizeResult minimize_with_restarts(
+    Space& space,
+    const std::function<std::unique_ptr<Brancher>(int restart)>& make_brancher,
+    VarId objective, std::span<const VarId> report, const SearchLimits& limits,
+    const RestartOptions& restart_options = {}, int* restarts_out = nullptr);
+
+}  // namespace rr::cp

@@ -1,0 +1,182 @@
+#include "cp/space.hpp"
+
+#include <algorithm>
+
+namespace rr::cp {
+
+VarId Space::new_var(int lo, int hi) { return new_var(Domain(lo, hi)); }
+
+VarId Space::new_var(Domain dom) {
+  RR_REQUIRE(!dom.empty(), "new variable must have a non-empty domain");
+  RR_REQUIRE(decision_level() == 0, "variables must be created at the root");
+  const VarId id = static_cast<VarId>(domains_.size());
+  domains_.push_back(std::move(dom));
+  domain_saved_at_.push_back(-1);
+  subscriptions_.emplace_back();
+  return id;
+}
+
+void Space::save_domain(VarId v) {
+  const int level = decision_level();
+  if (level == 0) return;  // root changes are permanent
+  auto& saved_at = domain_saved_at_[static_cast<std::size_t>(v)];
+  if (saved_at == level) return;
+  trail_.emplace_back(v, domains_[static_cast<std::size_t>(v)]);
+  saved_at = level;
+}
+
+ModEvent Space::classify(VarId v, const Domain& before) const noexcept {
+  const Domain& after = dom(v);
+  if (after.empty()) return ModEvent::kFail;
+  if (after.assigned() && !before.assigned()) return ModEvent::kAssign;
+  if (after.min() != before.min() || after.max() != before.max())
+    return ModEvent::kBounds;
+  return ModEvent::kDomain;
+}
+
+ModEvent Space::apply_result(VarId v, const Domain& before, bool changed) {
+  if (!changed) return ModEvent::kNone;
+  ++stats_.domain_changes;
+  const ModEvent event = classify(v, before);
+  if (event == ModEvent::kFail) {
+    failed_ = true;
+    return event;
+  }
+  notify(v, event);
+  return event;
+}
+
+// The mutators all follow the same scheme: snapshot (for trailing and event
+// classification), mutate, classify, notify.
+#define RR_SPACE_MUTATE(v, expr)                           \
+  if (failed_) return ModEvent::kFail;                     \
+  save_domain(v);                                          \
+  const Domain before = dom(v);                            \
+  Domain& d = domains_[static_cast<std::size_t>(v)];       \
+  const bool changed = (expr);                             \
+  return apply_result(v, before, changed)
+
+ModEvent Space::set_min(VarId v, int bound) {
+  if (bound <= dom(v).min()) return ModEvent::kNone;  // fast no-op path
+  RR_SPACE_MUTATE(v, d.remove_below(bound));
+}
+ModEvent Space::set_max(VarId v, int bound) {
+  if (bound >= dom(v).max()) return ModEvent::kNone;
+  RR_SPACE_MUTATE(v, d.remove_above(bound));
+}
+ModEvent Space::assign(VarId v, int value) {
+  if (dom(v).assigned() && dom(v).value() == value) return ModEvent::kNone;
+  RR_SPACE_MUTATE(v, d.assign_value(value));
+}
+ModEvent Space::remove(VarId v, int value) {
+  if (!dom(v).contains(value)) return ModEvent::kNone;
+  RR_SPACE_MUTATE(v, d.remove(value));
+}
+ModEvent Space::remove_range(VarId v, int lo, int hi) {
+  RR_SPACE_MUTATE(v, d.remove_range(lo, hi));
+}
+ModEvent Space::remove_values_sorted(VarId v, std::span<const int> values) {
+  RR_SPACE_MUTATE(v, d.remove_values_sorted(values));
+}
+ModEvent Space::intersect(VarId v, const Domain& with) {
+  RR_SPACE_MUTATE(v, d.intersect(with));
+}
+
+#undef RR_SPACE_MUTATE
+
+int Space::post(std::unique_ptr<Propagator> propagator) {
+  RR_ASSERT(propagator != nullptr);
+  const int id = static_cast<int>(propagators_.size());
+  propagators_.push_back(std::move(propagator));
+  scheduled_.push_back(false);
+  subsumed_.push_back(false);
+  propagators_.back()->attach(*this, id);
+  schedule(id);
+  return id;
+}
+
+void Space::subscribe(VarId v, int prop, unsigned mask) {
+  RR_ASSERT(v >= 0 && v < num_vars());
+  subscriptions_[static_cast<std::size_t>(v)].push_back(
+      Subscription{prop, mask});
+}
+
+void Space::schedule(int prop) {
+  RR_ASSERT(prop >= 0 && prop < num_propagators());
+  if (scheduled_[static_cast<std::size_t>(prop)] ||
+      subsumed_[static_cast<std::size_t>(prop)])
+    return;
+  scheduled_[static_cast<std::size_t>(prop)] = true;
+  const int bucket =
+      static_cast<int>(propagators_[static_cast<std::size_t>(prop)]->priority());
+  queue_[bucket].push_back(prop);
+}
+
+void Space::notify(VarId v, ModEvent event) {
+  unsigned fired = kOnDomain;
+  if (event == ModEvent::kBounds || event == ModEvent::kAssign)
+    fired |= kOnBounds;
+  if (event == ModEvent::kAssign) fired |= kOnAssign;
+  for (const Subscription& sub : subscriptions_[static_cast<std::size_t>(v)]) {
+    if (sub.mask & fired) schedule(sub.prop);
+  }
+}
+
+bool Space::propagate() {
+  while (!failed_) {
+    int prop = -1;
+    for (auto& bucket : queue_) {
+      if (!bucket.empty()) {
+        prop = bucket.back();
+        bucket.pop_back();
+        break;
+      }
+    }
+    if (prop < 0) break;  // queue drained: fixpoint
+    scheduled_[static_cast<std::size_t>(prop)] = false;
+    if (subsumed_[static_cast<std::size_t>(prop)]) continue;
+    ++stats_.propagations;
+    const PropStatus status =
+        propagators_[static_cast<std::size_t>(prop)]->propagate(*this);
+    if (status == PropStatus::kFail) failed_ = true;
+    if (status == PropStatus::kSubsumed) {
+      subsumed_[static_cast<std::size_t>(prop)] = true;
+      if (decision_level() > 0) subsumed_trail_.push_back(prop);
+    }
+  }
+  if (failed_) {
+    // Drop anything still queued; it will be rescheduled as needed.
+    for (auto& bucket : queue_) {
+      for (int prop : bucket) scheduled_[static_cast<std::size_t>(prop)] = false;
+      bucket.clear();
+    }
+  }
+  return !failed_;
+}
+
+void Space::push() {
+  RR_ASSERT(!failed_);
+  level_marks_.push_back(trail_.size());
+  subsumed_marks_.push_back(subsumed_trail_.size());
+}
+
+void Space::pop() {
+  RR_ASSERT(!level_marks_.empty());
+  const std::size_t mark = level_marks_.back();
+  level_marks_.pop_back();
+  while (trail_.size() > mark) {
+    auto& [var, saved] = trail_.back();
+    domains_[static_cast<std::size_t>(var)] = std::move(saved);
+    domain_saved_at_[static_cast<std::size_t>(var)] = -1;
+    trail_.pop_back();
+  }
+  const std::size_t smark = subsumed_marks_.back();
+  subsumed_marks_.pop_back();
+  while (subsumed_trail_.size() > smark) {
+    subsumed_[static_cast<std::size_t>(subsumed_trail_.back())] = false;
+    subsumed_trail_.pop_back();
+  }
+  failed_ = false;
+}
+
+}  // namespace rr::cp

@@ -1,0 +1,127 @@
+// The constraint store: variables, propagators, the propagation loop and
+// the backtracking trail.
+//
+// The engine uses trail-based state restoration (save a variable's domain
+// the first time it changes at each decision level) rather than copying
+// spaces; this keeps one Space per search thread and makes pushing and
+// popping choice points cheap.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cp/domain.hpp"
+#include "cp/propagator.hpp"
+#include "cp/types.hpp"
+
+namespace rr::cp {
+
+/// Counters exposed for search statistics and the micro-benchmarks.
+struct SpaceStats {
+  std::uint64_t propagations = 0;  // propagate() calls on propagators
+  std::uint64_t domain_changes = 0;
+};
+
+class Space {
+ public:
+  Space() = default;
+  Space(const Space&) = delete;
+  Space& operator=(const Space&) = delete;
+
+  // --- Variables -----------------------------------------------------------
+  VarId new_var(int lo, int hi);
+  VarId new_var(Domain dom);
+
+  [[nodiscard]] int num_vars() const noexcept {
+    return static_cast<int>(domains_.size());
+  }
+  [[nodiscard]] const Domain& dom(VarId v) const noexcept {
+    RR_ASSERT(v >= 0 && v < num_vars());
+    return domains_[static_cast<std::size_t>(v)];
+  }
+  [[nodiscard]] int min(VarId v) const noexcept { return dom(v).min(); }
+  [[nodiscard]] int max(VarId v) const noexcept { return dom(v).max(); }
+  [[nodiscard]] bool assigned(VarId v) const noexcept {
+    return dom(v).assigned();
+  }
+  [[nodiscard]] int value(VarId v) const noexcept { return dom(v).value(); }
+
+  // --- Domain modification (propagators & branchers) ------------------------
+  // Each returns the strongest event that occurred; kFail marks the space
+  // failed. Callers inside propagators typically just test for kFail.
+  ModEvent set_min(VarId v, int bound);
+  ModEvent set_max(VarId v, int bound);
+  ModEvent assign(VarId v, int value);
+  ModEvent remove(VarId v, int value);
+  ModEvent remove_range(VarId v, int lo, int hi);
+  ModEvent remove_values_sorted(VarId v, std::span<const int> values);
+  ModEvent intersect(VarId v, const Domain& with);
+
+  [[nodiscard]] bool failed() const noexcept { return failed_; }
+  /// Mark the space failed without touching a domain (global propagators).
+  void fail() noexcept { failed_ = true; }
+
+  // --- Propagators -----------------------------------------------------------
+  /// Take ownership, attach, and schedule for an initial run. Returns the
+  /// propagator id.
+  int post(std::unique_ptr<Propagator> propagator);
+
+  /// Subscribe propagator `prop` to events on `v` matching `mask`.
+  void subscribe(VarId v, int prop, unsigned mask);
+
+  /// Re-schedule a propagator explicitly (used by search for objective cuts).
+  void schedule(int prop);
+
+  /// Run the queue to fixpoint. Returns false iff the space failed.
+  bool propagate();
+
+  /// Number of posted propagators.
+  [[nodiscard]] int num_propagators() const noexcept {
+    return static_cast<int>(propagators_.size());
+  }
+
+  // --- Search support ---------------------------------------------------------
+  /// Open a new decision level.
+  void push();
+  /// Undo all changes of the current level (clears failure).
+  void pop();
+  [[nodiscard]] int decision_level() const noexcept {
+    return static_cast<int>(level_marks_.size());
+  }
+
+  [[nodiscard]] const SpaceStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Subscription {
+    int prop;
+    unsigned mask;
+  };
+
+  void notify(VarId v, ModEvent event);
+  void save_domain(VarId v);
+  ModEvent classify(VarId v, const Domain& before) const noexcept;
+  ModEvent apply_result(VarId v, const Domain& before, bool changed);
+
+  std::vector<Domain> domains_;
+  std::vector<int> domain_saved_at_;  // last level each var's domain was saved
+  std::vector<std::vector<Subscription>> subscriptions_;
+
+  std::vector<std::unique_ptr<Propagator>> propagators_;
+  std::vector<bool> scheduled_;
+  std::vector<bool> subsumed_;
+  // Queue, bucketed by priority.
+  std::vector<int> queue_[kNumPriorities];
+
+  // Trail of (var, previous domain) plus per-level marks.
+  std::vector<std::pair<VarId, Domain>> trail_;
+  std::vector<std::size_t> level_marks_;
+  // Subsumption trail: propagators subsumed at a level, restored on pop.
+  std::vector<int> subsumed_trail_;
+  std::vector<std::size_t> subsumed_marks_;
+
+  bool failed_ = false;
+  SpaceStats stats_;
+};
+
+}  // namespace rr::cp

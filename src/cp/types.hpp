@@ -1,0 +1,38 @@
+// Shared vocabulary types of the constraint engine.
+#pragma once
+
+namespace rr::cp {
+
+/// Handle to an integer decision variable owned by a Space.
+using VarId = int;
+inline constexpr VarId kNoVar = -1;
+
+/// Result of a domain modification.
+enum class ModEvent {
+  kNone,    // no change
+  kDomain,  // interior values removed, bounds unchanged
+  kBounds,  // min or max changed
+  kAssign,  // domain became a singleton
+  kFail,    // domain became empty
+};
+
+/// Result of a propagation step.
+enum class PropStatus {
+  kFix,       // at fixpoint for now; keep the propagator
+  kSubsumed,  // entailed at this node and below; disabled until backtrack
+  kFail,      // inconsistency detected
+};
+
+/// Events a propagator may subscribe to, as a bitmask.
+enum PropCond : unsigned {
+  kOnAssign = 1u << 0,
+  kOnBounds = 1u << 1,  // implies interest in assignment as well
+  kOnDomain = 1u << 2,  // any change at all
+};
+
+/// Scheduling priority: lower runs earlier. Cheap propagators first keeps
+/// the queue short before expensive global constraints run.
+enum class PropPriority : int { kUnary = 0, kLinear = 1, kGlobal = 2 };
+inline constexpr int kNumPriorities = 3;
+
+}  // namespace rr::cp

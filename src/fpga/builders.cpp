@@ -1,0 +1,84 @@
+#include "fpga/builders.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace rr::fpga {
+namespace {
+
+/// Columns that receive a special resource under `spec`, with optional
+/// per-column jitter already applied.
+std::vector<std::pair<int, ResourceType>> special_columns(
+    int width, const ColumnarSpec& spec, int jitter, Rng* rng) {
+  std::vector<std::pair<int, ResourceType>> columns;
+  auto add_period = [&](int period, int offset, ResourceType t) {
+    if (period <= 0) return;
+    for (int x = offset; x < width; x += period) {
+      int col = x;
+      if (jitter > 0 && rng != nullptr)
+        col += rng->uniform_int(-jitter, jitter);
+      if (col >= 0 && col < width) columns.emplace_back(col, t);
+    }
+  };
+  add_period(spec.bram_period, spec.bram_offset, ResourceType::kBram);
+  add_period(spec.dsp_period, spec.dsp_offset, ResourceType::kDsp);
+  if (spec.center_clock_column)
+    columns.emplace_back(width / 2, ResourceType::kClock);
+  if (spec.edge_io) {
+    columns.emplace_back(0, ResourceType::kIo);
+    columns.emplace_back(width - 1, ResourceType::kIo);
+  }
+  return columns;
+}
+
+}  // namespace
+
+Fabric make_homogeneous(int width, int height) {
+  return Fabric(width, height, ResourceType::kClb, "homogeneous");
+}
+
+Fabric make_columnar(int width, int height, const ColumnarSpec& spec) {
+  Fabric fabric(width, height, ResourceType::kClb, "columnar");
+  // Later entries win; IO/clock columns deliberately override BRAM/DSP as
+  // they do on real devices where the center column carries clocking.
+  for (const auto& [x, t] : special_columns(width, spec, 0, nullptr))
+    fabric.set_column(x, t);
+  return fabric;
+}
+
+Fabric make_irregular(int width, int height, const IrregularSpec& spec,
+                      std::uint64_t seed) {
+  Fabric fabric(width, height, ResourceType::kClb, "irregular");
+  Rng rng(seed);
+  for (const auto& [x, t] : special_columns(width, spec.base, spec.jitter, &rng)) {
+    fabric.set_column(x, t);
+    // Some columns differ from their resource type along the way ("e.g.
+    // they contain clock resources", §I): interrupt with clock tiles.
+    if (t == ResourceType::kBram || t == ResourceType::kDsp) {
+      if (rng.chance(spec.interruption_probability)) {
+        const int start = rng.uniform_int(0, std::max(0, height - spec.interruption_length));
+        for (int y = start;
+             y < std::min(height, start + spec.interruption_length); ++y)
+          fabric.set(x, y, ResourceType::kClock);
+      }
+    }
+  }
+  return fabric;
+}
+
+Fabric make_evaluation_device(std::uint64_t seed) {
+  // 120 x 48 tiles; the right 20 columns host the static design (Fig. 4c).
+  IrregularSpec spec;
+  spec.base.bram_period = 8;
+  spec.base.bram_offset = 4;
+  spec.base.dsp_period = 24;
+  spec.base.dsp_offset = 14;
+  spec.base.center_clock_column = true;
+  spec.base.edge_io = true;
+  Fabric fabric = make_irregular(120, 48, spec, seed);
+  fabric.set_rect(Rect{100, 0, 20, 48}, ResourceType::kStatic);
+  return fabric;
+}
+
+}  // namespace rr::fpga

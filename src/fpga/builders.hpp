@@ -1,0 +1,62 @@
+// Synthetic fabric generators.
+//
+// Stand-ins for real device descriptions (see DESIGN.md, substitutions):
+// the placement model only ever consumes the tile grid, so column-patterned
+// grids modeled on Xilinx Virtex-family devices exercise the identical
+// constraint structure. Three families:
+//   - homogeneous: all CLB (the classical model the paper argues is dated)
+//   - columnar:    regular BRAM/DSP columns (Virtex-II/-4 era)
+//   - irregular:   jittered columns, interrupted by clock tiles and holes
+//                  (current-generation heterogeneity per the paper's intro)
+#pragma once
+
+#include <cstdint>
+
+#include "fpga/fabric.hpp"
+
+namespace rr::fpga {
+
+/// All-CLB fabric.
+[[nodiscard]] Fabric make_homogeneous(int width, int height);
+
+struct ColumnarSpec {
+  /// Every `bram_period`-th column is a BRAM column (0 disables).
+  int bram_period = 8;
+  /// Column phase of the first BRAM column.
+  int bram_offset = 4;
+  /// Every `dsp_period`-th column is a DSP column (0 disables).
+  int dsp_period = 16;
+  int dsp_offset = 10;
+  /// Place a clock column at the horizontal center.
+  bool center_clock_column = true;
+  /// IO columns at the left/right device edges.
+  bool edge_io = true;
+};
+
+/// Regular columnar fabric (Virtex-II/-4 style).
+[[nodiscard]] Fabric make_columnar(int width, int height,
+                                   const ColumnarSpec& spec = {});
+
+struct IrregularSpec {
+  ColumnarSpec base{};
+  /// Column jitter: each special column may shift by up to +/- this much.
+  int jitter = 1;
+  /// Probability that a special column is interrupted by a clock tile run.
+  double interruption_probability = 0.35;
+  /// Length of each interruption run, in tiles.
+  int interruption_length = 2;
+};
+
+/// Irregular fabric: columnar layout with jittered columns and clock-tile
+/// interruptions, seeded deterministically.
+[[nodiscard]] Fabric make_irregular(int width, int height,
+                                    const IrregularSpec& spec,
+                                    std::uint64_t seed);
+
+/// The default evaluation device used by the benches: an irregular
+/// heterogeneous fabric sized so that the paper's 30-module workload spans
+/// roughly half of it at optimal packing (leaving slack to measure
+/// fragmentation), with a static region on the right flank as in Fig. 4(c).
+[[nodiscard]] Fabric make_evaluation_device(std::uint64_t seed = 2011);
+
+}  // namespace rr::fpga

@@ -1,0 +1,40 @@
+#include "fpga/fabric.hpp"
+
+namespace rr::fpga {
+
+Fabric::Fabric(int width, int height, ResourceType fill, std::string name)
+    : width_(width), height_(height), name_(std::move(name)) {
+  RR_REQUIRE(width > 0 && height > 0, "fabric dimensions must be positive");
+  tiles_.assign(static_cast<std::size_t>(width) * static_cast<std::size_t>(height),
+                fill);
+}
+
+void Fabric::set_column(int x, ResourceType t) noexcept {
+  RR_ASSERT(x >= 0 && x < width_);
+  for (int y = 0; y < height_; ++y) set(x, y, t);
+}
+
+void Fabric::set_rect(const Rect& r, ResourceType t) noexcept {
+  const Rect clipped = r.intersection(bounds());
+  for (int y = clipped.y; y < clipped.top(); ++y)
+    for (int x = clipped.x; x < clipped.right(); ++x) set(x, y, t);
+}
+
+std::array<long, kNumResourceTypes> Fabric::resource_counts() const {
+  std::array<long, kNumResourceTypes> counts{};
+  for (ResourceType t : tiles_) ++counts[static_cast<std::size_t>(t)];
+  return counts;
+}
+
+std::string Fabric::to_string() const {
+  std::string out;
+  out.reserve(static_cast<std::size_t>(height_) *
+              (static_cast<std::size_t>(width_) + 1));
+  for (int y = height_ - 1; y >= 0; --y) {
+    for (int x = 0; x < width_; ++x) out.push_back(resource_char(at(x, y)));
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace rr::fpga

@@ -1,0 +1,74 @@
+// The device model: a W x H grid of typed tiles.
+//
+// Coordinates follow the rest of the library: x is the column (the axis the
+// placer minimizes along), y the row. Tile (0, 0) is the bottom-left corner.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "fpga/resource.hpp"
+#include "geo/rect.hpp"
+#include "util/error.hpp"
+
+namespace rr::fpga {
+
+class Fabric {
+ public:
+  Fabric() = default;
+
+  /// A fabric initially made entirely of `fill` tiles.
+  Fabric(int width, int height, ResourceType fill = ResourceType::kClb,
+         std::string name = "fabric");
+
+  [[nodiscard]] int width() const noexcept { return width_; }
+  [[nodiscard]] int height() const noexcept { return height_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] Rect bounds() const noexcept {
+    return Rect{0, 0, width_, height_};
+  }
+
+  [[nodiscard]] ResourceType at(int x, int y) const noexcept {
+    RR_ASSERT(in_bounds(x, y));
+    return tiles_[index(x, y)];
+  }
+  void set(int x, int y, ResourceType t) noexcept {
+    RR_ASSERT(in_bounds(x, y));
+    tiles_[index(x, y)] = t;
+  }
+
+  /// Overwrite a whole column with one resource type.
+  void set_column(int x, ResourceType t) noexcept;
+
+  /// Overwrite a rectangle (clipped to the fabric) with one resource type.
+  void set_rect(const Rect& r, ResourceType t) noexcept;
+
+  [[nodiscard]] bool in_bounds(int x, int y) const noexcept {
+    return x >= 0 && x < width_ && y >= 0 && y < height_;
+  }
+
+  /// Tile count per resource type, indexed by static_cast<int>(type).
+  [[nodiscard]] std::array<long, kNumResourceTypes> resource_counts() const;
+
+  /// Multi-line picture, top row first, one resource char per tile.
+  [[nodiscard]] std::string to_string() const;
+
+  bool operator==(const Fabric& other) const noexcept {
+    return width_ == other.width_ && height_ == other.height_ &&
+           tiles_ == other.tiles_;
+  }
+
+ private:
+  [[nodiscard]] std::size_t index(int x, int y) const noexcept {
+    return static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+           static_cast<std::size_t>(x);
+  }
+
+  int width_ = 0;
+  int height_ = 0;
+  std::string name_;
+  std::vector<ResourceType> tiles_;
+};
+
+}  // namespace rr::fpga

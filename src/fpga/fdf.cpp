@@ -1,0 +1,106 @@
+#include "fpga/fdf.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "util/strings.hpp"
+
+namespace rr::fpga {
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  throw InvalidInput("fdf:" + std::to_string(line) + ": " + message);
+}
+
+}  // namespace
+
+Fabric parse_fdf(std::istream& in) {
+  std::string line;
+  int line_no = 0;
+  Fabric fabric;
+  bool have_header = false;
+  std::vector<bool> row_seen;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view text = trim(line);
+    if (text.empty() || text.front() == '#') continue;
+    const auto fields = split_ws(text);
+    if (fields[0] == "fabric") {
+      if (have_header) fail(line_no, "duplicate fabric header");
+      if (fields.size() != 4) fail(line_no, "expected: fabric <name> <w> <h>");
+      const auto w = parse_int(fields[2]);
+      const auto h = parse_int(fields[3]);
+      if (!w || !h || *w <= 0 || *h <= 0)
+        fail(line_no, "fabric dimensions must be positive integers");
+      fabric = Fabric(static_cast<int>(*w), static_cast<int>(*h),
+                      ResourceType::kClb, std::string(fields[1]));
+      row_seen.assign(static_cast<std::size_t>(*h), false);
+      have_header = true;
+    } else if (fields[0] == "row") {
+      if (!have_header) fail(line_no, "row before fabric header");
+      if (fields.size() != 3) fail(line_no, "expected: row <y> <tiles>");
+      const auto y = parse_int(fields[1]);
+      if (!y || *y < 0 || *y >= fabric.height())
+        fail(line_no, "row index out of range");
+      const std::string_view tiles = fields[2];
+      if (static_cast<int>(tiles.size()) != fabric.width())
+        fail(line_no, "row must have exactly width tiles");
+      if (row_seen[static_cast<std::size_t>(*y)])
+        fail(line_no, "duplicate row " + std::to_string(*y));
+      row_seen[static_cast<std::size_t>(*y)] = true;
+      for (int x = 0; x < fabric.width(); ++x) {
+        const auto t = resource_from_char(tiles[static_cast<std::size_t>(x)]);
+        if (!t) fail(line_no, std::string("unknown resource character '") +
+                                  tiles[static_cast<std::size_t>(x)] + "'");
+        fabric.set(x, static_cast<int>(*y), *t);
+      }
+    } else {
+      fail(line_no, "unknown directive '" + std::string(fields[0]) + "'");
+    }
+  }
+  if (!have_header) fail(line_no, "missing fabric header");
+  for (std::size_t y = 0; y < row_seen.size(); ++y) {
+    if (!row_seen[y])
+      fail(line_no, "missing row " + std::to_string(y));
+  }
+  return fabric;
+}
+
+Fabric parse_fdf_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_fdf(in);
+}
+
+Fabric load_fdf(const std::string& path) {
+  std::ifstream in(path);
+  RR_REQUIRE(in.good(), "cannot open fabric file: " + path);
+  return parse_fdf(in);
+}
+
+void write_fdf(std::ostream& out, const Fabric& fabric) {
+  out << "# rrplace fabric description\n";
+  out << "fabric " << (fabric.name().empty() ? "fabric" : fabric.name()) << ' '
+      << fabric.width() << ' ' << fabric.height() << '\n';
+  for (int y = 0; y < fabric.height(); ++y) {
+    out << "row " << y << ' ';
+    for (int x = 0; x < fabric.width(); ++x)
+      out << resource_char(fabric.at(x, y));
+    out << '\n';
+  }
+}
+
+std::string write_fdf_string(const Fabric& fabric) {
+  std::ostringstream out;
+  write_fdf(out, fabric);
+  return out.str();
+}
+
+void save_fdf(const std::string& path, const Fabric& fabric) {
+  std::ofstream out(path);
+  RR_REQUIRE(out.good(), "cannot write fabric file: " + path);
+  write_fdf(out, fabric);
+}
+
+}  // namespace rr::fpga

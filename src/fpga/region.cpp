@@ -1,0 +1,67 @@
+#include "fpga/region.hpp"
+
+namespace rr::fpga {
+
+PartialRegion::PartialRegion(std::shared_ptr<const Fabric> fabric)
+    : PartialRegion(fabric, fabric ? fabric->bounds() : Rect{}) {}
+
+PartialRegion::PartialRegion(std::shared_ptr<const Fabric> fabric,
+                             const Rect& window)
+    : fabric_(std::move(fabric)), window_(window) {
+  RR_REQUIRE(fabric_ != nullptr, "partial region needs a fabric");
+  RR_REQUIRE(!window_.empty() && fabric_->bounds().contains(window_),
+             "region window must lie inside the fabric");
+  blocked_ = BitMatrix(window_.height, window_.width);
+  rebuild_masks();
+}
+
+void PartialRegion::block(const Rect& local_rect) {
+  const Rect clipped =
+      local_rect.intersection(Rect{0, 0, window_.width, window_.height});
+  for (int y = clipped.y; y < clipped.top(); ++y)
+    for (int x = clipped.x; x < clipped.right(); ++x)
+      blocked_.set(y, x, true);
+  rebuild_masks();
+}
+
+bool PartialRegion::available(int x, int y) const noexcept {
+  if (x < 0 || x >= window_.width || y < 0 || y >= window_.height) return false;
+  if (blocked_.get(y, x)) return false;
+  return placeable(at(x, y));
+}
+
+void PartialRegion::rebuild_masks() {
+  masks_.assign(static_cast<std::size_t>(kNumResourceTypes),
+                BitMatrix(window_.height, window_.width));
+  for (int y = 0; y < window_.height; ++y) {
+    for (int x = 0; x < window_.width; ++x) {
+      if (!available(x, y)) continue;
+      masks_[static_cast<std::size_t>(at(x, y))].set(y, x, true);
+    }
+  }
+}
+
+std::array<long, kNumResourceTypes> PartialRegion::available_counts() const {
+  std::array<long, kNumResourceTypes> counts{};
+  for (int k = 0; k < kNumResourceTypes; ++k)
+    counts[static_cast<std::size_t>(k)] =
+        static_cast<long>(masks_[static_cast<std::size_t>(k)].popcount());
+  return counts;
+}
+
+long PartialRegion::total_available() const {
+  long total = 0;
+  for (long c : available_counts()) total += c;
+  return total;
+}
+
+long PartialRegion::available_in_columns(int columns) const {
+  long total = 0;
+  const int limit = std::min(columns, window_.width);
+  for (int y = 0; y < window_.height; ++y)
+    for (int x = 0; x < limit; ++x)
+      if (available(x, y)) ++total;
+  return total;
+}
+
+}  // namespace rr::fpga

@@ -1,0 +1,72 @@
+// The partial region (§III.B): the part of the device offered to
+// reconfigurable modules, with per-resource availability masks.
+//
+// A PartialRegion pins down its own coordinate system: local (0,0) is the
+// bottom-left tile of the region window on the fabric. Availability masks
+// are what the geost kernel consumes to compute valid anchors.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "fpga/fabric.hpp"
+#include "util/bitmatrix.hpp"
+
+namespace rr::fpga {
+
+class PartialRegion {
+ public:
+  /// The whole fabric as one region. Static tiles are unavailable.
+  explicit PartialRegion(std::shared_ptr<const Fabric> fabric);
+
+  /// A rectangular window of the fabric (the reconfigurable partition of
+  /// Fig. 4a/4c). The window must lie inside the fabric.
+  PartialRegion(std::shared_ptr<const Fabric> fabric, const Rect& window);
+
+  [[nodiscard]] int width() const noexcept { return window_.width; }
+  [[nodiscard]] int height() const noexcept { return window_.height; }
+  [[nodiscard]] const Rect& window() const noexcept { return window_; }
+  [[nodiscard]] const Fabric& fabric() const noexcept { return *fabric_; }
+  [[nodiscard]] const std::shared_ptr<const Fabric>& fabric_ptr() const noexcept {
+    return fabric_;
+  }
+
+  /// Block an additional rectangle (region-local coordinates) — e.g. a
+  /// second static island. Clipped to the region.
+  void block(const Rect& local_rect);
+
+  /// Resource type at region-local (x, y).
+  [[nodiscard]] ResourceType at(int x, int y) const noexcept {
+    return fabric_->at(x + window_.x, y + window_.y);
+  }
+
+  /// True when local (x, y) is inside the region, not blocked, and not a
+  /// static tile.
+  [[nodiscard]] bool available(int x, int y) const noexcept;
+
+  /// Per-resource availability bitmaps (indexed by int(ResourceType), rows
+  /// by y, columns by x) — the geost kernel's view of the region.
+  [[nodiscard]] const std::vector<BitMatrix>& masks() const noexcept {
+    return masks_;
+  }
+
+  /// Available tiles per resource type.
+  [[nodiscard]] std::array<long, kNumResourceTypes> available_counts() const;
+
+  /// Total available tiles (any placeable resource).
+  [[nodiscard]] long total_available() const;
+
+  /// Available tiles with x < columns (used for spanned-area utilization).
+  [[nodiscard]] long available_in_columns(int columns) const;
+
+ private:
+  void rebuild_masks();
+
+  std::shared_ptr<const Fabric> fabric_;
+  Rect window_{};
+  BitMatrix blocked_;  // locally blocked tiles (beyond static fabric tiles)
+  std::vector<BitMatrix> masks_;
+};
+
+}  // namespace rr::fpga

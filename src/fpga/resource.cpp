@@ -1,0 +1,46 @@
+#include "fpga/resource.hpp"
+
+namespace rr::fpga {
+
+char resource_char(ResourceType t) noexcept {
+  switch (t) {
+    case ResourceType::kClb: return 'C';
+    case ResourceType::kBram: return 'B';
+    case ResourceType::kDsp: return 'D';
+    case ResourceType::kIo: return 'I';
+    case ResourceType::kClock: return 'K';
+    case ResourceType::kBusMacro: return 'M';
+    case ResourceType::kStatic: return 'S';
+    case ResourceType::kCount: break;
+  }
+  return '?';
+}
+
+std::optional<ResourceType> resource_from_char(char c) noexcept {
+  switch (c) {
+    case 'C': case 'c': return ResourceType::kClb;
+    case 'B': case 'b': return ResourceType::kBram;
+    case 'D': case 'd': return ResourceType::kDsp;
+    case 'I': case 'i': return ResourceType::kIo;
+    case 'K': case 'k': return ResourceType::kClock;
+    case 'M': case 'm': return ResourceType::kBusMacro;
+    case 'S': case 's': return ResourceType::kStatic;
+    default: return std::nullopt;
+  }
+}
+
+std::string_view resource_name(ResourceType t) noexcept {
+  switch (t) {
+    case ResourceType::kClb: return "CLB";
+    case ResourceType::kBram: return "BRAM";
+    case ResourceType::kDsp: return "DSP";
+    case ResourceType::kIo: return "IO";
+    case ResourceType::kClock: return "CLOCK";
+    case ResourceType::kBusMacro: return "BUS";
+    case ResourceType::kStatic: return "STATIC";
+    case ResourceType::kCount: break;
+  }
+  return "?";
+}
+
+}  // namespace rr::fpga

@@ -1,0 +1,43 @@
+// FPGA resource types.
+//
+// The paper's partial-region model assigns every tile an internal resource
+// type (§III.B): logic (CLB), embedded memory (BRAM), multipliers/DSP, IO
+// and clock resources, plus "not available" for tiles claimed by the static
+// design. The integer values double as indices into per-resource masks.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+namespace rr::fpga {
+
+enum class ResourceType : int {
+  kClb = 0,      // configurable logic block
+  kBram = 1,     // embedded block memory
+  kDsp = 2,      // multiplier / DSP block
+  kIo = 3,       // input/output resources
+  kClock = 4,    // clock management resources
+  kBusMacro = 5, // on-FPGA communication macro (ReCoBus-style bus lane)
+  kStatic = 6,   // occupied by the static region: not available for modules
+  kCount = 7,
+};
+
+inline constexpr int kNumResourceTypes = static_cast<int>(ResourceType::kCount);
+
+/// Resource types modules may actually request. kIo/kClock exist on the
+/// fabric and constrain placement (modules cannot sit on them unless they
+/// ask for them); kStatic can never be requested.
+[[nodiscard]] constexpr bool placeable(ResourceType t) noexcept {
+  return t != ResourceType::kStatic && t != ResourceType::kCount;
+}
+
+/// One display/parse character per resource
+/// ('C', 'B', 'D', 'I', 'K', 'M', 'S').
+[[nodiscard]] char resource_char(ResourceType t) noexcept;
+
+/// Inverse of resource_char; also accepts lower case. nullopt when unknown.
+[[nodiscard]] std::optional<ResourceType> resource_from_char(char c) noexcept;
+
+[[nodiscard]] std::string_view resource_name(ResourceType t) noexcept;
+
+}  // namespace rr::fpga

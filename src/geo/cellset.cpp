@@ -1,0 +1,108 @@
+#include "geo/cellset.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/error.hpp"
+
+namespace rr {
+
+CellSet::CellSet(std::vector<Point> cells, bool normalize)
+    : cells_(std::move(cells)) {
+  std::sort(cells_.begin(), cells_.end());
+  cells_.erase(std::unique(cells_.begin(), cells_.end()), cells_.end());
+  recompute_bbox();
+  if (normalize && !cells_.empty() && (bbox_.x != 0 || bbox_.y != 0)) {
+    const Point d{-bbox_.x, -bbox_.y};
+    for (Point& p : cells_) p = p + d;
+    bbox_.x = 0;
+    bbox_.y = 0;
+  }
+}
+
+void CellSet::recompute_bbox() noexcept {
+  if (cells_.empty()) {
+    bbox_ = Rect{};
+    return;
+  }
+  int min_x = cells_.front().x, max_x = cells_.front().x;
+  int min_y = cells_.front().y, max_y = cells_.front().y;
+  for (const Point& p : cells_) {
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_y = std::max(max_y, p.y);
+  }
+  bbox_ = Rect{min_x, min_y, max_x - min_x + 1, max_y - min_y + 1};
+}
+
+bool CellSet::contains(Point p) const noexcept {
+  return std::binary_search(cells_.begin(), cells_.end(), p);
+}
+
+CellSet CellSet::translated(Point d) const {
+  std::vector<Point> moved;
+  moved.reserve(cells_.size());
+  for (const Point& p : cells_) moved.push_back(p + d);
+  return CellSet(std::move(moved), /*normalize=*/false);
+}
+
+CellSet CellSet::transformed(Transform t) const {
+  std::vector<Point> moved;
+  moved.reserve(cells_.size());
+  for (const Point& p : cells_) moved.push_back(apply(t, p));
+  return CellSet(std::move(moved), /*normalize=*/true);
+}
+
+std::pair<CellSet, Transform> CellSet::canonical() const {
+  CellSet best = transformed(Transform::kIdentity);
+  Transform best_t = Transform::kIdentity;
+  for (Transform t : kAllTransforms) {
+    if (t == Transform::kIdentity) continue;
+    CellSet candidate = transformed(t);
+    if (std::lexicographical_compare(candidate.cells_.begin(),
+                                     candidate.cells_.end(),
+                                     best.cells_.begin(), best.cells_.end())) {
+      best = std::move(candidate);
+      best_t = t;
+    }
+  }
+  return {std::move(best), best_t};
+}
+
+bool CellSet::connected() const {
+  if (cells_.size() <= 1) return true;
+  std::unordered_set<Point, PointHash> unseen(cells_.begin(), cells_.end());
+  std::vector<Point> frontier{cells_.front()};
+  unseen.erase(cells_.front());
+  while (!frontier.empty()) {
+    const Point p = frontier.back();
+    frontier.pop_back();
+    for (const Point d : {Point{1, 0}, Point{-1, 0}, Point{0, 1}, Point{0, -1}}) {
+      const Point q = p + d;
+      const auto it = unseen.find(q);
+      if (it != unseen.end()) {
+        unseen.erase(it);
+        frontier.push_back(q);
+      }
+    }
+  }
+  return unseen.empty();
+}
+
+bool CellSet::is_rectangle() const noexcept {
+  return static_cast<long>(cells_.size()) == bbox_.area();
+}
+
+std::string CellSet::to_string() const {
+  if (cells_.empty()) return "(empty)\n";
+  std::string out;
+  for (int y = bbox_.top() - 1; y >= bbox_.y; --y) {
+    for (int x = bbox_.x; x < bbox_.right(); ++x)
+      out.push_back(contains(Point{x, y}) ? '#' : '.');
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace rr

@@ -1,0 +1,70 @@
+// A CellSet is a finite set of unit grid cells — the geometric skeleton of
+// a tileset/shape (§III.A) before resource types are attached.
+//
+// CellSets are kept in normalized form: cells sorted lexicographically and
+// translated so the bounding-box origin is (0, 0). This makes equality,
+// hashing and canonicalization over symmetries straightforward.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "geo/point.hpp"
+#include "geo/rect.hpp"
+#include "geo/transform.hpp"
+
+namespace rr {
+
+class CellSet {
+ public:
+  CellSet() = default;
+
+  /// Build from arbitrary cells; duplicates are removed, and the set is
+  /// normalized to origin (0,0) unless `normalize` is false.
+  explicit CellSet(std::vector<Point> cells, bool normalize = true);
+
+  [[nodiscard]] bool empty() const noexcept { return cells_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return cells_.size(); }
+  [[nodiscard]] std::span<const Point> cells() const noexcept { return cells_; }
+
+  /// Bounding box; origin (0,0) when normalized.
+  [[nodiscard]] Rect bounding_box() const noexcept { return bbox_; }
+
+  [[nodiscard]] bool contains(Point p) const noexcept;
+
+  /// Set translated by d (not re-normalized).
+  [[nodiscard]] CellSet translated(Point d) const;
+
+  /// Set under an orthogonal transform, re-normalized to origin (0,0).
+  [[nodiscard]] CellSet transformed(Transform t) const;
+
+  /// The lexicographically-least normalized image over all 8 symmetries,
+  /// paired with one transform achieving it. Two cell sets are congruent
+  /// iff their canonical forms are equal.
+  [[nodiscard]] std::pair<CellSet, Transform> canonical() const;
+
+  /// True when the cells form a single 4-connected component. The paper
+  /// notes routing restricts modules to (mostly) adjacent tiles; the module
+  /// generator enforces this per shape.
+  [[nodiscard]] bool connected() const;
+
+  /// True when the set covers its bounding box entirely (a solid rectangle).
+  [[nodiscard]] bool is_rectangle() const noexcept;
+
+  bool operator==(const CellSet& other) const noexcept {
+    return cells_ == other.cells_;
+  }
+
+  /// '#'/'.' picture of the bounding box, highest y row printed first.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  void recompute_bbox() noexcept;
+
+  std::vector<Point> cells_;  // sorted, unique
+  Rect bbox_{};
+};
+
+}  // namespace rr

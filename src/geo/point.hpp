@@ -1,0 +1,35 @@
+// Integer grid point. The fabric plane follows the paper's convention:
+// x grows along the device's horizontal axis (the axis the objective
+// minimizes, eq. 6), y along the vertical axis. Tiles have unit size.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <functional>
+
+namespace rr {
+
+struct Point {
+  int x = 0;
+  int y = 0;
+
+  friend constexpr Point operator+(Point a, Point b) noexcept {
+    return {a.x + b.x, a.y + b.y};
+  }
+  friend constexpr Point operator-(Point a, Point b) noexcept {
+    return {a.x - b.x, a.y - b.y};
+  }
+  constexpr auto operator<=>(const Point&) const noexcept = default;
+};
+
+struct PointHash {
+  std::size_t operator()(const Point& p) const noexcept {
+    // 2-D -> 1-D mix; fine for the small coordinate ranges of FPGA grids.
+    const std::size_t h =
+        static_cast<std::size_t>(static_cast<unsigned>(p.x)) * 0x9e3779b97f4a7c15ULL;
+    return h ^ (static_cast<std::size_t>(static_cast<unsigned>(p.y)) +
+                0x517cc1b727220a95ULL + (h << 6) + (h >> 2));
+  }
+};
+
+}  // namespace rr

@@ -1,0 +1,46 @@
+#include "geo/transform.hpp"
+
+#include "util/error.hpp"
+
+namespace rr {
+namespace {
+
+// Probe points sufficient to identify an element of D4 uniquely.
+constexpr Point kProbeA{1, 0};
+constexpr Point kProbeB{0, 1};
+
+}  // namespace
+
+Transform compose(Transform a, Transform b) noexcept {
+  const Point pa = apply(b, apply(a, kProbeA));
+  const Point pb = apply(b, apply(a, kProbeB));
+  for (Transform t : kAllTransforms) {
+    if (apply(t, kProbeA) == pa && apply(t, kProbeB) == pb) return t;
+  }
+  RR_ASSERT(false && "composition closed over D4");
+  return Transform::kIdentity;
+}
+
+Transform inverse(Transform t) noexcept {
+  for (Transform u : kAllTransforms) {
+    if (compose(t, u) == Transform::kIdentity) return u;
+  }
+  RR_ASSERT(false && "every D4 element has an inverse");
+  return Transform::kIdentity;
+}
+
+std::string_view to_string(Transform t) noexcept {
+  switch (t) {
+    case Transform::kIdentity: return "id";
+    case Transform::kRot90: return "rot90";
+    case Transform::kRot180: return "rot180";
+    case Transform::kRot270: return "rot270";
+    case Transform::kMirrorX: return "mirror-x";
+    case Transform::kMirrorY: return "mirror-y";
+    case Transform::kMirrorXRot90: return "mirror-x+rot90";
+    case Transform::kMirrorYRot90: return "mirror-y+rot90";
+  }
+  return "?";
+}
+
+}  // namespace rr

@@ -1,0 +1,63 @@
+// The eight orthogonal symmetries of the grid (the dihedral group D4).
+//
+// Design alternatives in the paper include 180-degree rotations of a layout
+// (§V.A); the model layer uses the full group to derive external-layout
+// variants and then filters the ones that remain fabric-compatible.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+#include "geo/point.hpp"
+
+namespace rr {
+
+enum class Transform : int {
+  kIdentity = 0,
+  kRot90 = 1,    // counter-clockwise
+  kRot180 = 2,
+  kRot270 = 3,
+  kMirrorX = 4,  // flip across the vertical axis (x -> -x)
+  kMirrorY = 5,  // flip across the horizontal axis (y -> -y)
+  kMirrorXRot90 = 6,
+  kMirrorYRot90 = 7,
+};
+
+inline constexpr std::array<Transform, 8> kAllTransforms = {
+    Transform::kIdentity,     Transform::kRot90,
+    Transform::kRot180,       Transform::kRot270,
+    Transform::kMirrorX,      Transform::kMirrorY,
+    Transform::kMirrorXRot90, Transform::kMirrorYRot90,
+};
+
+/// Apply a transform to a point about the origin. The result generally has
+/// negative coordinates; callers re-normalize (see CellSet::transformed).
+[[nodiscard]] constexpr Point apply(Transform t, Point p) noexcept {
+  switch (t) {
+    case Transform::kIdentity: return p;
+    case Transform::kRot90: return {-p.y, p.x};
+    case Transform::kRot180: return {-p.x, -p.y};
+    case Transform::kRot270: return {p.y, -p.x};
+    case Transform::kMirrorX: return {-p.x, p.y};
+    case Transform::kMirrorY: return {p.x, -p.y};
+    case Transform::kMirrorXRot90: return {-p.y, -p.x};  // mirror then rot90
+    case Transform::kMirrorYRot90: return {p.y, p.x};
+  }
+  return p;
+}
+
+/// Composition: apply `a` then `b`.
+[[nodiscard]] Transform compose(Transform a, Transform b) noexcept;
+
+/// Inverse element.
+[[nodiscard]] Transform inverse(Transform t) noexcept;
+
+/// True when the transform swaps the roles of width and height.
+[[nodiscard]] constexpr bool swaps_axes(Transform t) noexcept {
+  return t == Transform::kRot90 || t == Transform::kRot270 ||
+         t == Transform::kMirrorXRot90 || t == Transform::kMirrorYRot90;
+}
+
+[[nodiscard]] std::string_view to_string(Transform t) noexcept;
+
+}  // namespace rr

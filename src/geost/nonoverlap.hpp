@@ -1,0 +1,36 @@
+// Resource-typed geost non-overlap propagator.
+//
+// Implements the sweep-style pruning of the geost kernel for 2-D objects
+// with shape alternatives: placements of any object that would overlap the
+// *definite* occupancy of other objects are removed. Definite occupancy is
+//   (a) the footprints of assigned objects, and
+//   (b) optionally, the compulsory part of nearly-decided objects — cells
+//       occupied by every placement still in an object's domain.
+// (b) is what makes this a sweep/forbidden-region kernel rather than plain
+// forward checking, and is the lever the ablation bench A3 toggles.
+#pragma once
+
+#include <vector>
+
+#include "cp/space.hpp"
+#include "geost/object.hpp"
+
+namespace rr::geost {
+
+struct NonOverlapOptions {
+  /// Compute compulsory parts for unassigned objects (kernel mode). With
+  /// false, only assigned objects prune (forward-checking mode).
+  bool use_compulsory_parts = true;
+  /// Compulsory parts are computed only for domains at most this large —
+  /// larger domains essentially never have a non-empty compulsory part.
+  int compulsory_threshold = 24;
+};
+
+/// Post the non-overlap constraint over `objects` on a region of
+/// `region_width` x `region_height` cells. Objects are copied (their shape
+/// lists are shared). Returns the propagator id.
+int post_non_overlap(cp::Space& space, std::vector<GeostObject> objects,
+                     int region_width, int region_height,
+                     const NonOverlapOptions& options = {});
+
+}  // namespace rr::geost

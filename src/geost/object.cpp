@@ -1,0 +1,66 @@
+#include "geost/object.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <tuple>
+
+namespace rr::geost {
+
+std::vector<int> GeostObject::extent_table() const {
+  std::vector<int> extents;
+  extents.reserve(table_.size());
+  for (int v = 0; v < static_cast<int>(table_.size()); ++v)
+    extents.push_back(extent_x_of(v));
+  return extents;
+}
+
+int GeostObject::min_area() const {
+  int best = std::numeric_limits<int>::max();
+  for (const ShapeFootprint& shape : shapes())
+    best = std::min(best, shape.area());
+  return best;
+}
+
+std::vector<Placement> sorted_placement_table(
+    const std::vector<ShapeFootprint>& shapes,
+    std::span<const std::vector<Point>> anchors_per_shape) {
+  RR_REQUIRE(anchors_per_shape.size() == shapes.size(),
+             "one anchor list per shape required");
+  std::vector<Placement> table;
+  for (std::size_t s = 0; s < shapes.size(); ++s) {
+    for (const Point& anchor : anchors_per_shape[s]) {
+      table.push_back(Placement{static_cast<int>(s), anchor.x, anchor.y});
+    }
+  }
+  auto key = [&](const Placement& p) {
+    const Rect box = shapes[static_cast<std::size_t>(p.shape)].bounding_box();
+    return std::tuple<int, int, int, int>(p.x + box.width, p.x, p.y, p.shape);
+  };
+  std::sort(table.begin(), table.end(),
+            [&](const Placement& a, const Placement& b) {
+              return key(a) < key(b);
+            });
+  return table;
+}
+
+GeostObject make_object(cp::Space& space, ShapeList shapes,
+                        std::span<const std::vector<Point>> anchors_per_shape) {
+  RR_REQUIRE(shapes != nullptr && !shapes->empty(),
+             "geost object needs at least one shape");
+  return make_object_from_table(
+      space, shapes, sorted_placement_table(*shapes, anchors_per_shape));
+}
+
+GeostObject make_object_from_table(cp::Space& space, ShapeList shapes,
+                                   std::vector<Placement> table) {
+  RR_REQUIRE(shapes != nullptr && !shapes->empty(),
+             "geost object needs at least one shape");
+  if (table.empty()) {
+    space.fail();
+    return GeostObject(cp::kNoVar, std::move(shapes), {});
+  }
+  const cp::VarId var = space.new_var(0, static_cast<int>(table.size()) - 1);
+  return GeostObject(var, std::move(shapes), std::move(table));
+}
+
+}  // namespace rr::geost

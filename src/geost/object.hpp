@@ -1,0 +1,101 @@
+// Polymorphic geost objects.
+//
+// A geost object has a set of alternative shapes (the module's design
+// alternatives) and a position. We encode the pair (shape id, anchor) in a
+// single *placement variable*: value v of the variable means "use
+// table[v].shape anchored at (table[v].x, table[v].y)". The table is built
+// from resource-compatible anchors only (compute_valid_anchors), which is
+// how the paper's constraints (2) and (3) become the initial domain, and
+// lets one variable carry the full polymorphism of the object.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cp/space.hpp"
+#include "geost/footprint.hpp"
+
+namespace rr::geost {
+
+/// One admissible (shape, anchor) pair of an object.
+struct Placement {
+  int shape = 0;  // index into the object's shape list
+  int x = 0;      // anchor: where the shape's local (0,0) lands
+  int y = 0;
+
+  bool operator==(const Placement&) const noexcept = default;
+};
+
+/// Shared, immutable shape list. Shared so portfolio workers can reference
+/// one copy across threads.
+using ShapeList = std::shared_ptr<const std::vector<ShapeFootprint>>;
+
+class GeostObject {
+ public:
+  GeostObject() = default;
+  GeostObject(cp::VarId var, ShapeList shapes, std::vector<Placement> table)
+      : var_(var), shapes_(std::move(shapes)), table_(std::move(table)) {}
+
+  [[nodiscard]] cp::VarId var() const noexcept { return var_; }
+  [[nodiscard]] const std::vector<ShapeFootprint>& shapes() const noexcept {
+    return *shapes_;
+  }
+  [[nodiscard]] const ShapeList& shape_list() const noexcept { return shapes_; }
+  [[nodiscard]] const std::vector<Placement>& table() const noexcept {
+    return table_;
+  }
+
+  [[nodiscard]] const Placement& placement(int value) const noexcept {
+    RR_ASSERT(value >= 0 && value < static_cast<int>(table_.size()));
+    return table_[static_cast<std::size_t>(value)];
+  }
+
+  [[nodiscard]] const ShapeFootprint& footprint_of(int value) const noexcept {
+    return shapes()[static_cast<std::size_t>(placement(value).shape)];
+  }
+
+  /// Bounding box of placement `value` in region coordinates.
+  [[nodiscard]] Rect bbox_of(int value) const noexcept {
+    const Placement& p = placement(value);
+    return footprint_of(value).bounding_box().translated(Point{p.x, p.y});
+  }
+
+  /// Rightmost occupied column + 1 for placement `value` — the quantity the
+  /// paper's minimization objective (eq. 6) bounds.
+  [[nodiscard]] int extent_x_of(int value) const noexcept {
+    return bbox_of(value).right();
+  }
+
+  /// Extent table parallel to the placement table (for element constraints).
+  [[nodiscard]] std::vector<int> extent_table() const;
+
+  /// Minimum cell count over all shapes still placeable (whole table).
+  [[nodiscard]] int min_area() const;
+
+ private:
+  cp::VarId var_ = cp::kNoVar;
+  ShapeList shapes_;
+  std::vector<Placement> table_;
+};
+
+/// Flatten per-shape anchor lists into a placement table sorted by
+/// (x-extent, x, y, shape) — "bottom-left" order, so that increasing table
+/// index is the natural greedy/value-heuristic order. Shared by the CP
+/// placer and the greedy baseline.
+[[nodiscard]] std::vector<Placement> sorted_placement_table(
+    const std::vector<ShapeFootprint>& shapes,
+    std::span<const std::vector<Point>> anchors_per_shape);
+
+/// Build an object and its placement variable on `space` from per-shape
+/// anchor lists. Shapes with no anchors contribute no placements; an object
+/// whose table ends up empty is unplaceable — the space is failed and the
+/// returned object has an empty table.
+GeostObject make_object(cp::Space& space, ShapeList shapes,
+                        std::span<const std::vector<Point>> anchors_per_shape);
+
+/// Same, but from an already-sorted placement table (see
+/// sorted_placement_table) — lets callers cache tables across model builds.
+GeostObject make_object_from_table(cp::Space& space, ShapeList shapes,
+                                   std::vector<Placement> table);
+
+}  // namespace rr::geost

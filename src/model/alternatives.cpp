@@ -1,0 +1,53 @@
+#include "model/alternatives.hpp"
+
+namespace rr::model {
+
+geost::ShapeFootprint transform_shape(const geost::ShapeFootprint& shape,
+                                      Transform t) {
+  std::vector<geost::TypedCells> groups;
+  groups.reserve(shape.typed().size());
+  for (const geost::TypedCells& group : shape.typed()) {
+    std::vector<Point> cells;
+    cells.reserve(group.cells.size());
+    for (const Point& p : group.cells.cells()) cells.push_back(apply(t, p));
+    // No per-group normalization: from_typed normalizes all groups jointly,
+    // preserving the relative position of dedicated resources.
+    groups.push_back(geost::TypedCells{
+        group.resource, CellSet(std::move(cells), /*normalize=*/false)});
+  }
+  return geost::ShapeFootprint::from_typed(std::move(groups));
+}
+
+bool same_layout(const geost::ShapeFootprint& a,
+                 const geost::ShapeFootprint& b) {
+  if (a.typed().size() != b.typed().size()) return false;
+  for (std::size_t i = 0; i < a.typed().size(); ++i) {
+    // from_typed sorts groups by resource id, so index-wise compare is sound.
+    if (a.typed()[i].resource != b.typed()[i].resource) return false;
+    if (!(a.typed()[i].cells == b.typed()[i].cells)) return false;
+  }
+  return true;
+}
+
+bool add_unique_shape(std::vector<geost::ShapeFootprint>& shapes,
+                      geost::ShapeFootprint candidate) {
+  for (const geost::ShapeFootprint& existing : shapes) {
+    if (same_layout(existing, candidate)) return false;
+  }
+  shapes.push_back(std::move(candidate));
+  return true;
+}
+
+std::vector<geost::ShapeFootprint> symmetry_variants(
+    const geost::ShapeFootprint& shape,
+    std::span<const Transform> transforms) {
+  std::vector<geost::ShapeFootprint> out;
+  out.push_back(transform_shape(shape, Transform::kIdentity));
+  for (Transform t : transforms) {
+    if (t == Transform::kIdentity) continue;
+    add_unique_shape(out, transform_shape(shape, t));
+  }
+  return out;
+}
+
+}  // namespace rr::model

@@ -1,0 +1,40 @@
+// Design-alternative derivation.
+//
+// Given a base shape, derive functionally equivalent layout variants:
+//   - rotations/mirrors (the paper's evaluation uses 180-degree rotation;
+//     90/270 are excluded for modules with rectangular dedicated resources,
+//     §V.A — callers filter via fabric compatibility anyway)
+//   - internal layout variants: same bounding box, dedicated resources at
+//     different positions inside the module
+//   - external layout variants: different bounding box for the same
+//     resource demand
+// The helpers here are purely geometric; the ModuleGenerator composes them.
+#pragma once
+
+#include <vector>
+
+#include "geo/transform.hpp"
+#include "geost/footprint.hpp"
+
+namespace rr::model {
+
+/// Shape under an orthogonal transform; all tile sets are transformed
+/// jointly and the result re-normalized to origin (0, 0).
+[[nodiscard]] geost::ShapeFootprint transform_shape(
+    const geost::ShapeFootprint& shape, Transform t);
+
+/// True when both shapes have identical typed cells (same layout).
+[[nodiscard]] bool same_layout(const geost::ShapeFootprint& a,
+                               const geost::ShapeFootprint& b);
+
+/// Append `candidate` unless an identical layout is already present.
+/// Returns true when appended.
+bool add_unique_shape(std::vector<geost::ShapeFootprint>& shapes,
+                      geost::ShapeFootprint candidate);
+
+/// All distinct images of `shape` under the given transforms, the identity
+/// first (deduplicated; symmetric shapes yield fewer variants).
+[[nodiscard]] std::vector<geost::ShapeFootprint> symmetry_variants(
+    const geost::ShapeFootprint& shape, std::span<const Transform> transforms);
+
+}  // namespace rr::model

@@ -1,0 +1,165 @@
+#include "model/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "model/alternatives.hpp"
+#include "util/error.hpp"
+
+namespace rr::model {
+namespace {
+
+constexpr int kClb = static_cast<int>(fpga::ResourceType::kClb);
+constexpr int kBram = static_cast<int>(fpga::ResourceType::kBram);
+
+}  // namespace
+
+ModuleGenerator::ModuleGenerator(const GeneratorParams& params,
+                                 std::uint64_t seed)
+    : params_(params), rng_(seed) {
+  RR_REQUIRE(params.clb_min > 0 && params.clb_max >= params.clb_min,
+             "CLB range must be positive and ordered");
+  RR_REQUIRE(params.bram_blocks_min >= 0 &&
+                 params.bram_blocks_max >= params.bram_blocks_min,
+             "BRAM block range must be non-negative and ordered");
+  RR_REQUIRE(params.bram_block_height > 0, "BRAM block height must be > 0");
+  RR_REQUIRE(params.alternatives >= 1, "at least one shape per module");
+  RR_REQUIRE(params.min_height >= 1 && params.max_height >= params.min_height,
+             "height range must be positive and ordered");
+}
+
+ShapeFootprint ModuleGenerator::make_column_shape(int clbs, int bram_blocks,
+                                                  int bram_block_height,
+                                                  int height,
+                                                  int bram_column) {
+  RR_REQUIRE(clbs > 0, "shape needs at least one CLB");
+  RR_REQUIRE(bram_blocks >= 0 && bram_block_height > 0,
+             "invalid BRAM parameters");
+  const int stack = bram_blocks * bram_block_height;
+  height = std::max({height, stack, 1});
+
+  const int full_cols = clbs / height;
+  const int remainder = clbs % height;
+  const int clb_cols = full_cols + (remainder > 0 ? 1 : 0);
+  const int total_cols = clb_cols + (bram_blocks > 0 ? 1 : 0);
+  bram_column = std::clamp(bram_column, 0, total_cols - 1);
+
+  std::vector<Point> clb_cells;
+  std::vector<Point> bram_cells;
+  int clb_left = clbs;
+  int clb_col_index = 0;  // counts CLB columns laid so far
+  for (int col = 0; col < total_cols; ++col) {
+    if (bram_blocks > 0 && col == bram_column) {
+      for (int y = 0; y < stack; ++y) bram_cells.push_back(Point{col, y});
+      continue;
+    }
+    // Full columns first; the final CLB column takes the remainder, giving
+    // the stair-stepped outlines of Figure 1.
+    const bool is_last_clb_col = clb_col_index == clb_cols - 1;
+    const int rows = is_last_clb_col ? clb_left : height;
+    for (int y = 0; y < rows; ++y) clb_cells.push_back(Point{col, y});
+    clb_left -= rows;
+    ++clb_col_index;
+  }
+  RR_ASSERT(clb_left == 0);
+
+  std::vector<TypedCells> groups;
+  groups.push_back(TypedCells{kClb, CellSet(std::move(clb_cells), false)});
+  if (!bram_cells.empty())
+    groups.push_back(TypedCells{kBram, CellSet(std::move(bram_cells), false)});
+  return ShapeFootprint::from_typed(std::move(groups));
+}
+
+int ModuleGenerator::min_feasible_height(int clbs, int bram_stack) const {
+  int lo = std::max({params_.min_height, bram_stack, 1});
+  if (params_.max_width > 0) {
+    // Keep the bounding box within max_width columns: the memory column
+    // (when present) consumes one, CLB columns the rest.
+    const int clb_width = params_.max_width - (bram_stack > 0 ? 1 : 0);
+    RR_REQUIRE(clb_width >= 1, "max_width too small for this module mix");
+    lo = std::max(lo, (clbs + clb_width - 1) / clb_width);
+  }
+  return lo;
+}
+
+int ModuleGenerator::pick_height(int total_cells, int bram_stack) const {
+  const int clbs = total_cells - bram_stack;
+  const int ideal =
+      static_cast<int>(std::lround(std::sqrt(static_cast<double>(total_cells))));
+  const int lo = min_feasible_height(clbs, bram_stack);
+  const int hi = std::max(lo, params_.max_height);
+  return std::clamp(ideal, lo, hi);
+}
+
+Module ModuleGenerator::generate(const std::string& name) {
+  const int clbs = rng_.uniform_int(params_.clb_min, params_.clb_max);
+  const int blocks =
+      rng_.uniform_int(params_.bram_blocks_min, params_.bram_blocks_max);
+  const int bh = params_.bram_block_height;
+  const int stack = blocks * bh;
+  int height = pick_height(clbs + stack, stack);
+  // Random +/-1 jitter keeps workloads from all sharing one aspect ratio.
+  const int height_lo = min_feasible_height(clbs, stack);
+  height = std::clamp(height + rng_.uniform_int(-1, 1), height_lo,
+                      std::max(params_.max_height, height_lo));
+
+  std::vector<ShapeFootprint> shapes;
+  const ShapeFootprint base =
+      make_column_shape(clbs, blocks, bh, height, /*bram_column=*/0);
+  shapes.push_back(base);
+
+  // Candidate variants in preference order (§V.A): 180-degree rotation,
+  // internal layout (memory column moved), external layout (new bounding
+  // box), then rotations of those until the requested count is reached.
+  auto try_add = [&](ShapeFootprint candidate) {
+    if (static_cast<int>(shapes.size()) >=
+        std::max(1, params_.alternatives))
+      return;
+    add_unique_shape(shapes, std::move(candidate));
+  };
+
+  try_add(transform_shape(base, Transform::kRot180));
+
+  // One external-layout variant (different bounding box) before the
+  // internal ones: bounding-box diversity is what reduces fragmentation,
+  // so it must make the cut even at alternatives=3..4.
+  const int height_floor = min_feasible_height(clbs, stack);
+  const int height_ceil = std::max(params_.max_height, height_floor);
+  const auto external_of = [&](int delta) {
+    const int h2 = std::clamp(height + delta, height_floor, height_ceil);
+    return make_column_shape(clbs, blocks, bh, h2, /*bram_column=*/0);
+  };
+  for (const int delta : {-2, 2, -3, 3, -1, 1}) {
+    if (static_cast<int>(shapes.size()) >= 3) break;
+    const int before = static_cast<int>(shapes.size());
+    try_add(external_of(delta));
+    if (static_cast<int>(shapes.size()) > before) break;  // one is enough here
+  }
+
+  // Internal variant: same bounding box, memory column at the other edge.
+  try_add(make_column_shape(clbs, blocks, bh, height, /*bram_column=*/1 << 20));
+
+  // Fill the remaining slots with more externals and their rotations.
+  for (const int delta : {-2, 2, -3, 3, -1, 1, -4, 4, -5, 5}) {
+    if (static_cast<int>(shapes.size()) >= params_.alternatives) break;
+    const ShapeFootprint external = external_of(delta);
+    try_add(external);
+    try_add(transform_shape(external, Transform::kRot180));
+  }
+  return Module(name, std::move(shapes));
+}
+
+std::vector<Module> ModuleGenerator::generate_many(int count) {
+  RR_REQUIRE(count >= 0, "module count must be >= 0");
+  std::vector<Module> modules;
+  modules.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    std::string name = "m";
+    if (i < 10) name += '0';
+    name += std::to_string(i);
+    modules.push_back(generate(name));
+  }
+  return modules;
+}
+
+}  // namespace rr::model

@@ -1,0 +1,66 @@
+// Random module workload generator following the paper's evaluation setup
+// (§V.A): modules of 20–100 CLBs and 0–4 embedded memory blocks, each
+// represented by four design alternatives — the 180-degree rotation plus
+// internal-layout (same bounding box, memory at a different position) and
+// external-layout (different bounding box) variants.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/module.hpp"
+#include "util/rng.hpp"
+
+namespace rr::model {
+
+struct GeneratorParams {
+  int clb_min = 20;
+  int clb_max = 100;
+  int bram_blocks_min = 0;
+  int bram_blocks_max = 4;
+  /// Embedded memory blocks are rectangular, taller than wide (§V.A):
+  /// one block occupies 1 column x this many rows of BRAM tiles.
+  int bram_block_height = 2;
+  /// Shapes per module, including the base layout. 1 disables alternatives.
+  int alternatives = 4;
+  /// Target module height; the generator picks near sqrt-area heights
+  /// clamped to [min_height, max_height].
+  int min_height = 3;
+  int max_height = 14;
+  /// Maximum bounding-box width, 0 = unconstrained. Real reconfigurable
+  /// modules are kept narrower than the device's dedicated-resource column
+  /// period so their footprints can match the fabric; set this to that
+  /// period minus one (e.g. 7 for BRAM columns every 8).
+  int max_width = 0;
+};
+
+class ModuleGenerator {
+ public:
+  ModuleGenerator(const GeneratorParams& params, std::uint64_t seed);
+
+  /// One random module with `params.alternatives` distinct layouts.
+  [[nodiscard]] Module generate(const std::string& name);
+
+  /// A batch named m00, m01, ...
+  [[nodiscard]] std::vector<Module> generate_many(int count);
+
+  /// Deterministic shape construction used by generate() and the tests:
+  /// `clbs` logic tiles and `bram_blocks` memory blocks in a column layout
+  /// of height `height`, with the memory column at `bram_column` (clamped)
+  /// and remaining columns filled bottom-up with CLBs. The last CLB column
+  /// may be partial, producing the paper's non-rectangular outlines.
+  [[nodiscard]] static ShapeFootprint make_column_shape(int clbs,
+                                                        int bram_blocks,
+                                                        int bram_block_height,
+                                                        int height,
+                                                        int bram_column);
+
+ private:
+  [[nodiscard]] int min_feasible_height(int clbs, int bram_stack) const;
+  [[nodiscard]] int pick_height(int total_cells, int bram_stack) const;
+
+  GeneratorParams params_;
+  Rng rng_;
+};
+
+}  // namespace rr::model

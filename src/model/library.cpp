@@ -1,0 +1,131 @@
+#include "model/library.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace rr::model {
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  throw InvalidInput("mlf:" + std::to_string(line) + ": " + message);
+}
+
+ShapeFootprint shape_from_rows(const std::vector<std::string>& rows,
+                               int line_no) {
+  std::map<int, std::vector<Point>> by_resource;
+  const int height = static_cast<int>(rows.size());
+  for (int i = 0; i < height; ++i) {
+    const std::string& row = rows[static_cast<std::size_t>(i)];
+    const int y = height - 1 - i;  // top row first in the file
+    for (int x = 0; x < static_cast<int>(row.size()); ++x) {
+      const char ch = row[static_cast<std::size_t>(x)];
+      if (ch == '.') continue;
+      const auto t = fpga::resource_from_char(ch);
+      if (!t || !fpga::placeable(*t))
+        fail(line_no, std::string("invalid shape character '") + ch + "'");
+      by_resource[static_cast<int>(*t)].push_back(Point{x, y});
+    }
+  }
+  if (by_resource.empty()) fail(line_no, "shape has no tiles");
+  std::vector<TypedCells> groups;
+  for (auto& [resource, cells] : by_resource)
+    groups.push_back(TypedCells{resource, CellSet(std::move(cells), false)});
+  return ShapeFootprint::from_typed(std::move(groups));
+}
+
+}  // namespace
+
+std::vector<Module> parse_mlf(std::istream& in) {
+  std::vector<Module> modules;
+  std::string line;
+  int line_no = 0;
+
+  std::string current_name;
+  std::vector<ShapeFootprint> current_shapes;
+  bool in_module = false;
+  bool in_shape = false;
+  std::vector<std::string> shape_rows;
+  int shape_start_line = 0;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (in_shape) {
+      const std::string_view text = trim(line);
+      if (text == "endshape") {
+        current_shapes.push_back(shape_from_rows(shape_rows, shape_start_line));
+        shape_rows.clear();
+        in_shape = false;
+      } else if (text.empty()) {
+        fail(line_no, "blank line inside shape");
+      } else {
+        shape_rows.emplace_back(text);
+      }
+      continue;
+    }
+    const std::string_view text = trim(line);
+    if (text.empty() || text.front() == '#') continue;
+    const auto fields = split_ws(text);
+    if (fields[0] == "module") {
+      if (in_module) fail(line_no, "nested module");
+      if (fields.size() != 2) fail(line_no, "expected: module <name>");
+      current_name = std::string(fields[1]);
+      current_shapes.clear();
+      in_module = true;
+    } else if (fields[0] == "shape") {
+      if (!in_module) fail(line_no, "shape outside module");
+      in_shape = true;
+      shape_start_line = line_no;
+    } else if (fields[0] == "endmodule") {
+      if (!in_module) fail(line_no, "endmodule without module");
+      if (current_shapes.empty()) fail(line_no, "module has no shapes");
+      modules.emplace_back(current_name, std::move(current_shapes));
+      current_shapes = {};
+      in_module = false;
+    } else {
+      fail(line_no, "unknown directive '" + std::string(fields[0]) + "'");
+    }
+  }
+  if (in_shape) fail(line_no, "unterminated shape");
+  if (in_module) fail(line_no, "unterminated module");
+  return modules;
+}
+
+std::vector<Module> parse_mlf_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_mlf(in);
+}
+
+std::vector<Module> load_mlf(const std::string& path) {
+  std::ifstream in(path);
+  RR_REQUIRE(in.good(), "cannot open module library: " + path);
+  return parse_mlf(in);
+}
+
+void write_mlf(std::ostream& out, std::span<const Module> modules) {
+  out << "# rrplace module library\n";
+  for (const Module& module : modules) {
+    out << "module " << module.name() << '\n';
+    for (const ShapeFootprint& shape : module.shapes()) {
+      out << "shape\n" << shape_picture(shape) << "endshape\n";
+    }
+    out << "endmodule\n";
+  }
+}
+
+std::string write_mlf_string(std::span<const Module> modules) {
+  std::ostringstream out;
+  write_mlf(out, modules);
+  return out.str();
+}
+
+void save_mlf(const std::string& path, std::span<const Module> modules) {
+  std::ofstream out(path);
+  RR_REQUIRE(out.good(), "cannot write module library: " + path);
+  write_mlf(out, modules);
+}
+
+}  // namespace rr::model

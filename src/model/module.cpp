@@ -1,0 +1,66 @@
+#include "model/module.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace rr::model {
+
+Module::Module(std::string name, std::vector<ShapeFootprint> shapes)
+    : name_(std::move(name)), shapes_(std::move(shapes)) {
+  // Structural violations of the §III.A definitions are ModelError, not
+  // InvalidInput: they indicate a broken construction, not a bad file.
+  if (name_.empty()) throw ModelError("module name must be non-empty");
+  if (shapes_.empty())
+    throw ModelError("module must have at least one shape (n > 0)");
+}
+
+int Module::min_area() const noexcept {
+  int best = shapes_.front().area();
+  for (const ShapeFootprint& s : shapes_) best = std::min(best, s.area());
+  return best;
+}
+
+int Module::max_area() const noexcept {
+  int best = shapes_.front().area();
+  for (const ShapeFootprint& s : shapes_) best = std::max(best, s.area());
+  return best;
+}
+
+Module Module::without_alternatives() const {
+  return Module(name_, {shapes_.front()});
+}
+
+int Module::demand(int shape_index, fpga::ResourceType resource) const {
+  RR_REQUIRE(shape_index >= 0 && shape_index < shape_count(),
+             "shape index out of range");
+  return shapes_[static_cast<std::size_t>(shape_index)].demand(
+      static_cast<int>(resource));
+}
+
+int Module::min_demand(fpga::ResourceType resource) const {
+  int best = demand(0, resource);
+  for (int s = 1; s < shape_count(); ++s)
+    best = std::min(best, demand(s, resource));
+  return best;
+}
+
+std::string shape_picture(const ShapeFootprint& shape) {
+  const Rect box = shape.bounding_box();
+  std::vector<std::string> rows(static_cast<std::size_t>(box.height),
+                                std::string(static_cast<std::size_t>(box.width), '.'));
+  for (const TypedCells& group : shape.typed()) {
+    const char ch = fpga::resource_char(
+        static_cast<fpga::ResourceType>(group.resource));
+    for (const Point& p : group.cells.cells())
+      rows[static_cast<std::size_t>(p.y)][static_cast<std::size_t>(p.x)] = ch;
+  }
+  std::string out;
+  for (auto it = rows.rbegin(); it != rows.rend(); ++it) {
+    out += *it;
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace rr::model

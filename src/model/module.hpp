@@ -1,0 +1,58 @@
+// Modules and their design alternatives (§III.A).
+//
+// A module M = {S1, ..., Sn} is a non-empty set of shapes; each shape is
+// one physical implementation (a ShapeFootprint: tile sets grouped by
+// resource type). Alternatives are "functionally equivalent modules with
+// different layouts" — same IP core, different internal/external layout and
+// possibly different resource consumption.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fpga/resource.hpp"
+#include "geost/footprint.hpp"
+
+namespace rr::model {
+
+using geost::ShapeFootprint;
+using geost::TypedCells;
+
+class Module {
+ public:
+  Module(std::string name, std::vector<ShapeFootprint> shapes);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::vector<ShapeFootprint>& shapes() const noexcept {
+    return shapes_;
+  }
+  [[nodiscard]] int shape_count() const noexcept {
+    return static_cast<int>(shapes_.size());
+  }
+
+  /// Smallest / largest cell count across the alternatives (alternatives
+  /// need not consume equal resources, §III.A).
+  [[nodiscard]] int min_area() const noexcept;
+  [[nodiscard]] int max_area() const noexcept;
+
+  /// Copy restricted to the first shape only — the paper's "without design
+  /// alternatives" configuration places every module with its base layout.
+  [[nodiscard]] Module without_alternatives() const;
+
+  /// Total demand for `resource` of shape `shape_index`.
+  [[nodiscard]] int demand(int shape_index, fpga::ResourceType resource) const;
+
+  /// Minimum demand for `resource` over all shapes (for capacity bounds).
+  [[nodiscard]] int min_demand(fpga::ResourceType resource) const;
+
+ private:
+  std::string name_;
+  std::vector<ShapeFootprint> shapes_;
+};
+
+/// Render a shape as a resource-character picture (top row first, '.' for
+/// cells outside the shape) — the visual form used in module library files
+/// and the Figure 1 bench.
+[[nodiscard]] std::string shape_picture(const ShapeFootprint& shape);
+
+}  // namespace rr::model

@@ -1,0 +1,108 @@
+#include "placer/brancher.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace rr::placer {
+namespace {
+
+class PlacementBrancher final : public cp::Brancher {
+ public:
+  PlacementBrancher(std::vector<cp::VarId> order,
+                    std::vector<geost::GeostObject> objects,
+                    SearchStrategy strategy, std::uint64_t seed)
+      : order_(std::move(order)),
+        objects_(std::move(objects)),
+        strategy_(strategy),
+        rng_(seed) {}
+
+  std::optional<cp::Choice> choose(const cp::Space& space) override {
+    cp::VarId chosen = cp::kNoVar;
+    const geost::GeostObject* object = nullptr;
+    switch (strategy_) {
+      case SearchStrategy::kAreaOrderBottomLeft:
+      case SearchStrategy::kAreaOrderRandomized:
+        for (std::size_t i = 0; i < order_.size(); ++i) {
+          if (!space.assigned(order_[i])) {
+            chosen = order_[i];
+            object = &objects_[i];
+            break;
+          }
+        }
+        break;
+      case SearchStrategy::kFirstFailBottomLeft: {
+        long best = 0;
+        for (std::size_t i = 0; i < order_.size(); ++i) {
+          if (space.assigned(order_[i])) continue;
+          const long size = space.dom(order_[i]).size();
+          if (chosen == cp::kNoVar || size < best) {
+            chosen = order_[i];
+            object = &objects_[i];
+            best = size;
+          }
+        }
+        break;
+      }
+    }
+    if (chosen == cp::kNoVar) return std::nullopt;
+
+    const cp::Domain& dom = space.dom(chosen);
+    int value = dom.min();
+    if (strategy_ == SearchStrategy::kAreaOrderRandomized) {
+      // Sample among the placements tied (or nearly tied) on extent with
+      // the bottom-left one, keeping the heuristic greedy but diverse.
+      const int best_extent = object->extent_x_of(dom.min());
+      std::vector<int> candidates;
+      int probe = dom.min();
+      // Values ascend in extent, so a prefix walk suffices.
+      while (true) {
+        if (object->extent_x_of(probe) > best_extent + 1) break;
+        candidates.push_back(probe);
+        int next = 0;
+        if (!dom.next_geq(probe + 1, next)) break;
+        probe = next;
+        if (candidates.size() >= 16) break;
+      }
+      value = candidates[rng_.pick_index(candidates)];
+    }
+    return cp::Choice{chosen, value};
+  }
+
+ private:
+  std::vector<cp::VarId> order_;
+  // Owned copies: the brancher must outlive any BuiltModel it was made
+  // from (portfolio workers); shape lists are shared, tables are copied.
+  std::vector<geost::GeostObject> objects_;
+  SearchStrategy strategy_;
+  Rng rng_;
+};
+
+}  // namespace
+
+std::unique_ptr<cp::Brancher> make_placement_brancher(const BuiltModel& model,
+                                                      SearchStrategy strategy,
+                                                      std::uint64_t seed) {
+  // Decreasing minimum-area order: placing big modules first keeps the
+  // branching factor manageable and the bottom-left packing tight.
+  std::vector<std::size_t> index(model.objects.size());
+  std::iota(index.begin(), index.end(), 0);
+  std::sort(index.begin(), index.end(), [&](std::size_t a, std::size_t b) {
+    return model.objects[a].min_area() > model.objects[b].min_area();
+  });
+  std::vector<cp::VarId> order;
+  std::vector<geost::GeostObject> objects;
+  order.reserve(index.size());
+  objects.reserve(index.size());
+  for (std::size_t i : index) {
+    order.push_back(model.objects[i].var());
+    objects.push_back(model.objects[i]);
+  }
+  return std::make_unique<PlacementBrancher>(std::move(order),
+                                             std::move(objects), strategy,
+                                             seed);
+}
+
+}  // namespace rr::placer

@@ -1,0 +1,32 @@
+// Placement-specific branching strategies.
+//
+// Because every object's placement table is sorted by (extent, x, y),
+// choosing the minimum remaining value realizes a bottom-left packing
+// heuristic: the very first descent of the search acts as a greedy
+// warm start whose extent seeds the branch-and-bound cut.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "cp/brancher.hpp"
+#include "placer/model_builder.hpp"
+
+namespace rr::placer {
+
+enum class SearchStrategy {
+  /// Modules in decreasing minimum-area order, bottom-left values —
+  /// the default and the strongest single strategy.
+  kAreaOrderBottomLeft,
+  /// First-fail (smallest placement domain first), bottom-left values.
+  kFirstFailBottomLeft,
+  /// Decreasing-area order with randomized value choice among the
+  /// lowest-extent placements (portfolio diversification).
+  kAreaOrderRandomized,
+};
+
+/// Build a brancher over the model's placement variables.
+[[nodiscard]] std::unique_ptr<cp::Brancher> make_placement_brancher(
+    const BuiltModel& model, SearchStrategy strategy, std::uint64_t seed = 1);
+
+}  // namespace rr::placer

@@ -1,0 +1,45 @@
+// Placement compaction (defragmentation).
+//
+// After run-time churn an online-managed region is fragmented ([12] and
+// §II's free-space management literature). compact() takes any valid
+// placement and improves it in place with the LNS machinery: modules are
+// re-placed (possibly switching design alternatives) to shrink the
+// occupied extent, never making it worse. The result can be interpreted
+// as a relocation plan: every module whose placement changed must be
+// reconfigured.
+#pragma once
+
+#include <span>
+
+#include "fpga/region.hpp"
+#include "model/module.hpp"
+#include "placer/placement.hpp"
+#include "util/stopwatch.hpp"
+
+namespace rr::placer {
+
+struct CompactionResult {
+  PlacementSolution solution;  // the compacted placement
+  int extent_before = 0;
+  int extent_after = 0;
+  /// Modules whose placement changed (these need reconfiguration).
+  int relocated = 0;
+  bool optimal = false;  // reached the area lower bound
+  int iterations = 0;
+};
+
+struct CompactionOptions {
+  double time_limit_seconds = 1.0;
+  bool use_alternatives = true;
+  std::uint64_t seed = 1;
+};
+
+/// Compact `solution` (which must validate against region/modules; an
+/// InvalidInput is thrown otherwise). The returned solution is always at
+/// least as good as the input.
+[[nodiscard]] CompactionResult compact(const fpga::PartialRegion& region,
+                                       std::span<const model::Module> modules,
+                                       const PlacementSolution& solution,
+                                       const CompactionOptions& options = {});
+
+}  // namespace rr::placer

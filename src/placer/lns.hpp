@@ -1,0 +1,53 @@
+// Large Neighborhood Search on top of the CP model.
+//
+// Branch-and-bound with chronological backtracking stalls on packing
+// instances: improving the incumbent usually requires moving an early
+// (big) module, which DFS only reconsiders after exhausting the tail
+// permutations. LNS sidesteps this: each iteration freezes a random subset
+// of modules at their incumbent placements, posts the incumbent extent as
+// an upper bound, and re-solves the small remainder exactly under a fail
+// limit. Model builds are microseconds from cached tables, so hundreds of
+// iterations fit in an interactive budget.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "placer/model_builder.hpp"
+#include "util/stopwatch.hpp"
+
+namespace rr::placer {
+
+struct LnsOptions {
+  /// Fraction of modules relaxed per iteration (drawn uniformly per round).
+  double relax_min = 0.25;
+  double relax_max = 0.5;
+  /// Fail budget per iteration.
+  std::uint64_t fails_per_iteration = 2000;
+  std::uint64_t seed = 1;
+  /// Modules that must keep their incumbent placement throughout (used by
+  /// incremental runtime reconfiguration). Empty = none; otherwise one flag
+  /// per module. When every extent-defining module is frozen the search
+  /// stops early — the extent cannot improve.
+  std::vector<bool> frozen;
+};
+
+struct LnsResult {
+  bool found = false;
+  std::vector<int> placement_values;  // table index per module
+  int extent = 0;
+  bool optimal = false;  // extent reached the area lower bound
+  cp::SearchStats stats; // summed over iterations
+  int iterations = 0;
+};
+
+/// Improve from `incumbent` (table index per module; must be a feasible
+/// assignment for the given tables) until the deadline.
+[[nodiscard]] LnsResult improve_lns(const fpga::PartialRegion& region,
+                                    std::span<const ModuleTables> tables,
+                                    std::span<const int> incumbent,
+                                    const BuildOptions& build_options,
+                                    const LnsOptions& options,
+                                    const Deadline& deadline);
+
+}  // namespace rr::placer

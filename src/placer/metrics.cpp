@@ -1,0 +1,135 @@
+#include "placer/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace rr::placer {
+
+long placed_area(std::span<const model::Module> modules,
+                 const PlacementSolution& solution) {
+  if (!solution.feasible) return 0;
+  long area = 0;
+  for (const ModulePlacement& p : solution.placements) {
+    const auto& shapes =
+        modules[static_cast<std::size_t>(p.module)].shapes();
+    area += shapes[static_cast<std::size_t>(p.shape)].area();
+  }
+  return area;
+}
+
+double spanned_utilization(const fpga::PartialRegion& region,
+                           std::span<const model::Module> modules,
+                           const PlacementSolution& solution) {
+  if (!solution.feasible || solution.extent <= 0) return 0.0;
+  const long span = region.available_in_columns(solution.extent);
+  if (span <= 0) return 0.0;
+  return static_cast<double>(placed_area(modules, solution)) /
+         static_cast<double>(span);
+}
+
+double region_utilization(const fpga::PartialRegion& region,
+                          std::span<const model::Module> modules,
+                          const PlacementSolution& solution) {
+  const long total = region.total_available();
+  if (!solution.feasible || total <= 0) return 0.0;
+  return static_cast<double>(placed_area(modules, solution)) /
+         static_cast<double>(total);
+}
+
+BitMatrix occupancy_grid(const fpga::PartialRegion& region,
+                         std::span<const model::Module> modules,
+                         const PlacementSolution& solution) {
+  BitMatrix grid(region.height(), region.width());
+  if (!solution.feasible) return grid;
+  for (const ModulePlacement& p : solution.placements) {
+    const auto& shape = modules[static_cast<std::size_t>(p.module)]
+                            .shapes()[static_cast<std::size_t>(p.shape)];
+    grid.or_shifted(shape.mask(), p.y, p.x);
+  }
+  return grid;
+}
+
+long largest_free_rectangle(const BitMatrix& occupied,
+                            const BitMatrix& usable) {
+  RR_ASSERT(occupied.rows() == usable.rows() &&
+            occupied.cols() == usable.cols());
+  const int rows = occupied.rows();
+  const int cols = occupied.cols();
+  if (rows == 0 || cols == 0) return 0;
+  // Classic maximal-rectangle-in-binary-matrix via histogram per row.
+  std::vector<int> heights(static_cast<std::size_t>(cols), 0);
+  long best = 0;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const bool free_cell = usable.get(r, c) && !occupied.get(r, c);
+      auto& h = heights[static_cast<std::size_t>(c)];
+      h = free_cell ? h + 1 : 0;
+    }
+    // Largest rectangle in histogram with a stack.
+    std::vector<std::pair<int, int>> stack;  // (start column, height)
+    for (int c = 0; c <= cols; ++c) {
+      const int h = c < cols ? heights[static_cast<std::size_t>(c)] : 0;
+      int start = c;
+      while (!stack.empty() && stack.back().second > h) {
+        const auto [s, sh] = stack.back();
+        stack.pop_back();
+        best = std::max(best, static_cast<long>(sh) * (c - s));
+        start = s;
+      }
+      if (stack.empty() || stack.back().second < h)
+        stack.emplace_back(start, h);
+    }
+  }
+  return best;
+}
+
+std::array<double, fpga::kNumResourceTypes> resource_utilization_breakdown(
+    const fpga::PartialRegion& region,
+    std::span<const model::Module> modules,
+    const PlacementSolution& solution) {
+  std::array<double, fpga::kNumResourceTypes> out{};
+  if (!solution.feasible || solution.extent <= 0) return out;
+  std::array<long, fpga::kNumResourceTypes> offered{};
+  const int span = std::min(solution.extent, region.width());
+  for (int y = 0; y < region.height(); ++y) {
+    for (int x = 0; x < span; ++x) {
+      if (region.available(x, y))
+        ++offered[static_cast<std::size_t>(region.at(x, y))];
+    }
+  }
+  std::array<long, fpga::kNumResourceTypes> used{};
+  for (const ModulePlacement& p : solution.placements) {
+    const auto& shape = modules[static_cast<std::size_t>(p.module)]
+                            .shapes()[static_cast<std::size_t>(p.shape)];
+    for (const geost::TypedCells& group : shape.typed())
+      used[static_cast<std::size_t>(group.resource)] +=
+          static_cast<long>(group.cells.size());
+  }
+  for (std::size_t k = 0; k < out.size(); ++k) {
+    if (offered[k] > 0)
+      out[k] = static_cast<double>(used[k]) / static_cast<double>(offered[k]);
+  }
+  return out;
+}
+
+double fragmentation(const fpga::PartialRegion& region,
+                     std::span<const model::Module> modules,
+                     const PlacementSolution& solution) {
+  if (!solution.feasible || solution.extent <= 0) return 0.0;
+  // Restrict to the spanned columns.
+  const int span_cols = std::min(solution.extent, region.width());
+  BitMatrix occupied = occupancy_grid(region, modules, solution);
+  BitMatrix usable(region.height(), region.width());
+  for (int y = 0; y < region.height(); ++y)
+    for (int x = 0; x < span_cols; ++x)
+      if (region.available(x, y)) usable.set(y, x, true);
+  const long free_tiles =
+      static_cast<long>(usable.popcount()) -
+      placed_area(modules, solution);
+  if (free_tiles <= 0) return 0.0;
+  const long biggest = largest_free_rectangle(occupied, usable);
+  return 1.0 - static_cast<double>(biggest) / static_cast<double>(free_tiles);
+}
+
+}  // namespace rr::placer

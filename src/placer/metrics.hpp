@@ -1,0 +1,55 @@
+// Utilization and fragmentation metrics (§V / Table I).
+#pragma once
+
+#include <span>
+
+#include "fpga/region.hpp"
+#include "model/module.hpp"
+#include "placer/placement.hpp"
+
+namespace rr::placer {
+
+/// Total tiles occupied by the placed shapes.
+[[nodiscard]] long placed_area(std::span<const model::Module> modules,
+                               const PlacementSolution& solution);
+
+/// Average resource utilization as the paper reports it: occupied tiles
+/// divided by the available tiles within the spanned extent (columns
+/// [0, solution.extent)). Higher is better; design alternatives raise this
+/// by shrinking the extent. Returns 0 for infeasible solutions.
+[[nodiscard]] double spanned_utilization(const fpga::PartialRegion& region,
+                                         std::span<const model::Module> modules,
+                                         const PlacementSolution& solution);
+
+/// Occupied tiles over all available tiles of the region.
+[[nodiscard]] double region_utilization(const fpga::PartialRegion& region,
+                                        std::span<const model::Module> modules,
+                                        const PlacementSolution& solution);
+
+/// External fragmentation of the spanned area: 1 - (largest free rectangle
+/// / free tiles). 0 means all waste is one reusable block; near 1 means the
+/// waste is scattered and unusable. Returns 0 when nothing is free.
+[[nodiscard]] double fragmentation(const fpga::PartialRegion& region,
+                                   std::span<const model::Module> modules,
+                                   const PlacementSolution& solution);
+
+/// Occupancy grid of a solution (rows = y): true where a module tile sits.
+[[nodiscard]] BitMatrix occupancy_grid(const fpga::PartialRegion& region,
+                                       std::span<const model::Module> modules,
+                                       const PlacementSolution& solution);
+
+/// Area (tiles) of the largest all-false axis-aligned rectangle of `free`.
+[[nodiscard]] long largest_free_rectangle(const BitMatrix& occupied,
+                                          const BitMatrix& usable);
+
+/// Per-resource utilization within the spanned columns: used[k] / offered[k]
+/// for each resource type k, indexed by int(ResourceType). Types the region
+/// does not offer in the span report 0. The paper's "dedicated resources
+/// reduce placement possibilities" argument becomes visible here: BRAM
+/// columns are often the under-used ones.
+[[nodiscard]] std::array<double, fpga::kNumResourceTypes>
+resource_utilization_breakdown(const fpga::PartialRegion& region,
+                               std::span<const model::Module> modules,
+                               const PlacementSolution& solution);
+
+}  // namespace rr::placer

@@ -1,0 +1,161 @@
+#include "placer/model_builder.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace rr::placer {
+
+std::vector<ModuleTables> prepare_tables(
+    const fpga::PartialRegion& region,
+    std::span<const model::Module> modules, bool use_alternatives) {
+  std::vector<ModuleTables> tables;
+  tables.reserve(modules.size());
+  for (const model::Module& module : modules) {
+    ModuleTables entry;
+    auto shapes = std::make_shared<std::vector<geost::ShapeFootprint>>();
+    if (use_alternatives) {
+      *shapes = module.shapes();
+    } else {
+      shapes->push_back(module.shapes().front());
+    }
+    // Valid anchors per shape: constraints (2) + (3) folded into the domain.
+    std::vector<std::vector<Point>> anchors;
+    anchors.reserve(shapes->size());
+    std::size_t total_anchors = 0;
+    for (const geost::ShapeFootprint& shape : *shapes) {
+      anchors.push_back(geost::compute_valid_anchors(region.masks(), shape));
+      total_anchors += anchors.back().size();
+    }
+    if (total_anchors == 0) {
+      RR_WARN("module " << module.name()
+                        << " has no valid placement on this region");
+    }
+    entry.table = geost::sorted_placement_table(*shapes, anchors);
+    entry.extents.reserve(entry.table.size());
+    for (const geost::Placement& p : entry.table) {
+      const Rect box =
+          (*shapes)[static_cast<std::size_t>(p.shape)].bounding_box();
+      entry.extents.push_back(p.x + box.width);
+    }
+    int min_area = shapes->front().area();
+    for (const geost::ShapeFootprint& shape : *shapes)
+      min_area = std::min(min_area, shape.area());
+    entry.min_area = min_area;
+    entry.shapes = std::move(shapes);
+    tables.push_back(std::move(entry));
+  }
+  return tables;
+}
+
+BuiltModel build_model_from_tables(const fpga::PartialRegion& region,
+                                   std::span<const ModuleTables> tables,
+                                   const BuildOptions& options) {
+  BuiltModel built;
+  built.space = std::make_unique<cp::Space>();
+  cp::Space& space = *built.space;
+
+  long total_min_area = 0;
+  for (const ModuleTables& entry : tables) {
+    geost::GeostObject object =
+        geost::make_object_from_table(space, entry.shapes, entry.table);
+    if (object.table().empty()) {
+      built.infeasible = true;
+      built.placement_vars.push_back(cp::kNoVar);
+      built.extent_vars.push_back(cp::kNoVar);
+      built.objects.push_back(std::move(object));
+      continue;
+    }
+    built.placement_vars.push_back(object.var());
+    built.objects.push_back(std::move(object));
+    total_min_area += entry.min_area;
+  }
+  if (built.infeasible) {
+    space.fail();
+    return built;
+  }
+
+  // extent_i = extent_table[placement_i]
+  for (std::size_t i = 0; i < tables.size(); ++i) {
+    const std::vector<int>& extents = tables[i].extents;
+    const int min_extent = *std::min_element(extents.begin(), extents.end());
+    const int max_extent = *std::max_element(extents.begin(), extents.end());
+    const cp::VarId extent_var = space.new_var(min_extent, max_extent);
+    cp::post_element(space, extents, built.placement_vars[i], extent_var);
+    built.extent_vars.push_back(extent_var);
+  }
+
+  // Objective: H = max_i extent_i, minimized by the search engine.
+  built.objective = space.new_var(0, region.width());
+  cp::post_max(space, built.objective, built.extent_vars);
+
+  if (options.area_bound) {
+    // The spanned columns must offer at least the modules' total minimum
+    // area. available_in_columns is monotone in c, so scan for the bound.
+    int bound = region.width() + 1;
+    for (int c = 1; c <= region.width(); ++c) {
+      if (region.available_in_columns(c) >= total_min_area) {
+        bound = c;
+        break;
+      }
+    }
+    if (bound > region.width()) {
+      RR_WARN("total module area exceeds region capacity");
+      space.fail();
+      built.infeasible = true;
+      return built;
+    }
+    space.set_min(built.objective, bound);
+  }
+
+  if (options.break_symmetries) {
+    // Identical modules (shared or layout-equal shape lists => identical
+    // placement tables) are interchangeable: force increasing placement
+    // indices. Equal indices would overlap anyway, so <= is sound and
+    // removes the k! permutations.
+    for (std::size_t i = 0; i + 1 < tables.size(); ++i) {
+      for (std::size_t j = i + 1; j < tables.size(); ++j) {
+        const bool same_tables =
+            tables[i].shapes == tables[j].shapes ||  // shared list
+            tables[i].table == tables[j].table;      // or equal content
+        if (!same_tables || tables[i].table.size() != tables[j].table.size())
+          continue;
+        cp::post_rel(space, built.placement_vars[i], cp::RelOp::kLeq,
+                     built.placement_vars[j]);
+      }
+    }
+  }
+
+  geost::post_non_overlap(space, built.objects, region.width(),
+                          region.height(), options.nonoverlap);
+  return built;
+}
+
+BuiltModel build_model(const fpga::PartialRegion& region,
+                       std::span<const model::Module> modules,
+                       const BuildOptions& options) {
+  const std::vector<ModuleTables> tables =
+      prepare_tables(region, modules, options.use_alternatives);
+  return build_model_from_tables(region, tables, options);
+}
+
+PlacementSolution extract_solution(const BuiltModel& model,
+                                   std::span<const int> placement_values) {
+  PlacementSolution solution;
+  if (model.infeasible ||
+      placement_values.size() != model.objects.size())
+    return solution;
+  solution.feasible = true;
+  solution.placements.reserve(model.objects.size());
+  for (std::size_t i = 0; i < model.objects.size(); ++i) {
+    const geost::GeostObject& object = model.objects[i];
+    const int value = placement_values[i];
+    const geost::Placement& p = object.placement(value);
+    solution.placements.push_back(
+        ModulePlacement{static_cast<int>(i), p.shape, p.x, p.y});
+    solution.extent = std::max(solution.extent, object.extent_x_of(value));
+  }
+  return solution;
+}
+
+}  // namespace rr::placer

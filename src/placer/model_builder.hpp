@@ -1,0 +1,72 @@
+// Translate a placement problem (partial region + modules) into a CP model:
+// one polymorphic geost object per module, an extent variable tied to each
+// placement via an element constraint, the resource-typed non-overlap
+// kernel, and the minimization objective H = max extent (eq. 6).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "cp/constraints.hpp"
+#include "fpga/region.hpp"
+#include "geost/nonoverlap.hpp"
+#include "model/module.hpp"
+#include "placer/placement.hpp"
+
+namespace rr::placer {
+
+struct BuildOptions {
+  /// false: restrict every module to its first shape (the paper's
+  /// "no design alternatives" configuration).
+  bool use_alternatives = true;
+  geost::NonOverlapOptions nonoverlap{};
+  /// Add the root-level area lower bound on the extent (redundant but
+  /// effective pruning: the spanned columns must offer enough tiles).
+  bool area_bound = true;
+  /// Order the placement variables of *identical* modules (same shape
+  /// lists): interchangeable modules otherwise multiply the search space by
+  /// k! without adding solutions.
+  bool break_symmetries = true;
+};
+
+struct BuiltModel {
+  std::unique_ptr<cp::Space> space;
+  std::vector<geost::GeostObject> objects;  // one per module, module order
+  std::vector<cp::VarId> placement_vars;    // objects[i].var()
+  std::vector<cp::VarId> extent_vars;
+  cp::VarId objective = cp::kNoVar;  // H = max_i extent_i
+  /// True when some module had no valid placement at all (model is failed).
+  bool infeasible = false;
+};
+
+/// Precomputed per-module placement data: the expensive part of model
+/// construction (anchor correlation over the region), cacheable across
+/// repeated builds (LNS iterations, portfolio workers).
+struct ModuleTables {
+  geost::ShapeList shapes;
+  std::vector<geost::Placement> table;  // sorted bottom-left
+  std::vector<int> extents;             // x-extent per table entry
+  int min_area = 0;
+};
+
+[[nodiscard]] std::vector<ModuleTables> prepare_tables(
+    const fpga::PartialRegion& region,
+    std::span<const model::Module> modules, bool use_alternatives);
+
+/// Build a model from cached tables — microseconds, no anchor scans.
+[[nodiscard]] BuiltModel build_model_from_tables(
+    const fpga::PartialRegion& region, std::span<const ModuleTables> tables,
+    const BuildOptions& options = {});
+
+/// Convenience: prepare_tables + build_model_from_tables.
+[[nodiscard]] BuiltModel build_model(const fpga::PartialRegion& region,
+                                     std::span<const model::Module> modules,
+                                     const BuildOptions& options = {});
+
+/// Extract the solution from a (solved) model given the report-variable
+/// assignment `placement_values` (one table index per module).
+[[nodiscard]] PlacementSolution extract_solution(
+    const BuiltModel& model, std::span<const int> placement_values);
+
+}  // namespace rr::placer

@@ -1,0 +1,37 @@
+// Placement result types shared by the CP placer, the baselines, the
+// metrics, the renderers and the validator.
+#pragma once
+
+#include <vector>
+
+#include "cp/search.hpp"
+#include "geo/rect.hpp"
+
+namespace rr::placer {
+
+/// One placed module: which design alternative and where its shape-local
+/// origin (0,0) sits in region coordinates.
+struct ModulePlacement {
+  int module = 0;
+  int shape = 0;
+  int x = 0;
+  int y = 0;
+};
+
+struct PlacementSolution {
+  bool feasible = false;
+  /// One entry per module (same order as the module list) when feasible.
+  std::vector<ModulePlacement> placements;
+  /// Rightmost occupied column + 1 — the minimized objective (eq. 6).
+  int extent = 0;
+};
+
+/// Solution plus solve telemetry, as reported in Table I.
+struct PlacementOutcome {
+  PlacementSolution solution;
+  double seconds = 0.0;
+  bool optimal = false;  // search proved the extent minimal
+  cp::SearchStats stats;
+};
+
+}  // namespace rr::placer

@@ -1,0 +1,227 @@
+#include "placer/placer.hpp"
+
+#include "cp/portfolio.hpp"
+#include "placer/lns.hpp"
+#include "util/stopwatch.hpp"
+
+namespace rr::placer {
+namespace {
+
+BuildOptions to_build_options(const PlacerOptions& options) {
+  BuildOptions build;
+  build.use_alternatives = options.use_alternatives;
+  build.nonoverlap = options.nonoverlap;
+  build.area_bound = options.area_bound;
+  return build;
+}
+
+cp::SearchLimits to_limits(const PlacerOptions& options) {
+  cp::SearchLimits limits;
+  if (options.time_limit_seconds > 0)
+    limits.deadline = Deadline(options.time_limit_seconds);
+  limits.max_fails = options.max_fails;
+  return limits;
+}
+
+/// Strategy/seed diversification per portfolio worker.
+SearchStrategy worker_strategy(const PlacerOptions& options, int worker) {
+  if (worker == 0) return options.strategy;
+  switch (worker % 3) {
+    case 1: return SearchStrategy::kFirstFailBottomLeft;
+    case 2: return SearchStrategy::kAreaOrderRandomized;
+    default: return SearchStrategy::kAreaOrderBottomLeft;
+  }
+}
+
+}  // namespace
+
+Placer::Placer(const fpga::PartialRegion& region,
+               std::span<const model::Module> modules, PlacerOptions options)
+    : region_(region), modules_(modules), options_(std::move(options)) {
+  RR_REQUIRE(!modules_.empty(), "nothing to place: module list is empty");
+  RR_REQUIRE(options_.workers >= 1, "placer needs at least one worker");
+}
+
+PlacementOutcome Placer::place() const {
+  if (options_.workers > 1) return place_portfolio();
+  switch (options_.mode) {
+    case PlacerMode::kBranchAndBound: return place_single();
+    case PlacerMode::kLns: return place_lns_mode(/*exact_first=*/false);
+    case PlacerMode::kAuto: return place_lns_mode(/*exact_first=*/true);
+    case PlacerMode::kRestarts: return place_restarts();
+  }
+  return place_single();
+}
+
+PlacementOutcome Placer::place_restarts() const {
+  Stopwatch watch;
+  PlacementOutcome outcome;
+
+  BuiltModel model = build_model(region_, modules_, to_build_options(options_));
+  if (model.infeasible) {
+    outcome.optimal = true;
+    outcome.seconds = watch.seconds();
+    return outcome;
+  }
+  // Restart 0 uses the deterministic bottom-left descent; later restarts
+  // randomize value choice so each one explores a different packing.
+  const auto make_brancher = [&](int restart) {
+    return make_placement_brancher(
+        model,
+        restart == 0 ? options_.strategy
+                     : SearchStrategy::kAreaOrderRandomized,
+        options_.seed + static_cast<std::uint64_t>(restart) * 0x9e3779b9ULL);
+  };
+  const cp::MinimizeResult result = cp::minimize_with_restarts(
+      *model.space, make_brancher, model.objective, model.placement_vars,
+      to_limits(options_));
+  outcome.stats = result.stats;
+  outcome.optimal = result.stats.complete;
+  if (result.found)
+    outcome.solution = extract_solution(model, result.assignment);
+  outcome.seconds = watch.seconds();
+  return outcome;
+}
+
+PlacementOutcome Placer::place_lns_mode(bool exact_first) const {
+  Stopwatch watch;
+  const Deadline deadline(options_.time_limit_seconds);
+  PlacementOutcome outcome;
+
+  const BuildOptions build_options = to_build_options(options_);
+  const std::vector<ModuleTables> tables =
+      prepare_tables(region_, modules_, options_.use_alternatives);
+  BuiltModel model = build_model_from_tables(region_, tables, build_options);
+  if (model.infeasible) {
+    outcome.optimal = true;  // proven: some module cannot be placed at all
+    outcome.seconds = watch.seconds();
+    return outcome;
+  }
+
+  // Phase 1: exact search — to completion (kAuto, small instances) or just
+  // to the first bottom-left descent (the LNS incumbent).
+  auto brancher =
+      make_placement_brancher(model, options_.strategy, options_.seed);
+  cp::Search::Options search_options;
+  search_options.objective = model.objective;
+  // The exact phase gets at most a quarter of the budget; if it cannot
+  // finish in that, LNS uses the remainder far better.
+  search_options.limits.deadline =
+      (exact_first && options_.time_limit_seconds > 0)
+          ? Deadline(options_.time_limit_seconds * 0.25)
+          : deadline;
+  search_options.limits.max_fails =
+      exact_first ? options_.auto_exact_fails : 0;
+  if (options_.max_fails != 0) {
+    search_options.limits.max_fails =
+        search_options.limits.max_fails == 0
+            ? options_.max_fails
+            : std::min(search_options.limits.max_fails, options_.max_fails);
+  }
+  cp::Search search(*model.space, *brancher, search_options);
+  std::vector<int> incumbent;
+  while (search.next()) {
+    incumbent.clear();
+    for (cp::VarId v : model.placement_vars)
+      incumbent.push_back(model.space->min(v));
+    if (!exact_first) break;  // the first descent is the LNS seed
+  }
+  outcome.stats = search.stats();
+  if (incumbent.empty()) {
+    // No solution yet: fall back to pure B&B semantics (likely infeasible
+    // or the deadline was too tight even for one descent).
+    outcome.optimal = search.stats().complete;
+    outcome.seconds = watch.seconds();
+    return outcome;
+  }
+  if (search.stats().complete) {
+    outcome.optimal = true;
+    outcome.solution = extract_solution(model, incumbent);
+    outcome.seconds = watch.seconds();
+    return outcome;
+  }
+
+  // Phase 2: LNS until the deadline.
+  LnsOptions lns_options;
+  lns_options.relax_min = options_.lns_relax_min;
+  lns_options.relax_max = options_.lns_relax_max;
+  lns_options.fails_per_iteration = options_.lns_fails_per_iteration;
+  lns_options.seed = options_.seed ^ 0xC0FFEEULL;
+  const LnsResult lns = improve_lns(region_, tables, incumbent,
+                                    build_options, lns_options, deadline);
+  outcome.stats.nodes += lns.stats.nodes;
+  outcome.stats.fails += lns.stats.fails;
+  outcome.stats.solutions += lns.stats.solutions;
+  outcome.optimal = lns.optimal;
+  outcome.solution = extract_solution(model, lns.placement_values);
+  outcome.seconds = watch.seconds();
+  return outcome;
+}
+
+PlacementOutcome Placer::place_single() const {
+  Stopwatch watch;
+  PlacementOutcome outcome;
+
+  BuiltModel model = build_model(region_, modules_, to_build_options(options_));
+  if (model.infeasible) {
+    outcome.optimal = true;  // proven: some module cannot be placed at all
+    outcome.seconds = watch.seconds();
+    return outcome;
+  }
+  auto brancher =
+      make_placement_brancher(model, options_.strategy, options_.seed);
+  const cp::MinimizeResult result =
+      cp::minimize(*model.space, *brancher, model.objective,
+                   model.placement_vars, to_limits(options_));
+  outcome.stats = result.stats;
+  // A completed search is a proof either way: of optimality when a solution
+  // was found, of infeasibility otherwise.
+  outcome.optimal = result.stats.complete;
+  if (result.found)
+    outcome.solution = extract_solution(model, result.assignment);
+  outcome.seconds = watch.seconds();
+  return outcome;
+}
+
+PlacementOutcome Placer::place_portfolio() const {
+  Stopwatch watch;
+  PlacementOutcome outcome;
+
+  // A reference model for early infeasibility detection and for mapping the
+  // winning assignment back to placements (all workers build identical
+  // placement tables, so any model can decode any worker's assignment).
+  const BuiltModel reference =
+      build_model(region_, modules_, to_build_options(options_));
+  if (reference.infeasible) {
+    outcome.optimal = true;
+    outcome.seconds = watch.seconds();
+    return outcome;
+  }
+
+  // All models are built sequentially by minimize_portfolio before any
+  // thread starts, so capturing `this` members is safe.
+  cp::PortfolioFactory factory = [&](int worker) {
+    BuiltModel model =
+        build_model(region_, modules_, to_build_options(options_));
+    cp::PortfolioModel instance;
+    instance.objective = model.objective;
+    instance.report = model.placement_vars;
+    instance.brancher = make_placement_brancher(
+        model, worker_strategy(options_, worker),
+        options_.seed + static_cast<std::uint64_t>(worker) * 0x9e37U);
+    instance.space = std::move(model.space);
+    return instance;
+  };
+
+  const cp::PortfolioResult result =
+      cp::minimize_portfolio(factory, options_.workers, to_limits(options_));
+  outcome.stats = result.total;
+  outcome.stats.complete = result.complete;
+  outcome.optimal = result.complete;
+  if (result.found)
+    outcome.solution = extract_solution(reference, result.assignment);
+  outcome.seconds = watch.seconds();
+  return outcome;
+}
+
+}  // namespace rr::placer

@@ -1,0 +1,81 @@
+// The public placement API (the "constraint solver → optimal placement"
+// box of Fig. 2): build the CP model for a region + module set and run
+// branch-and-bound minimization of the occupied extent, optionally as a
+// parallel portfolio.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "fpga/region.hpp"
+#include "model/module.hpp"
+#include "placer/brancher.hpp"
+#include "placer/model_builder.hpp"
+#include "placer/placement.hpp"
+
+namespace rr::placer {
+
+enum class PlacerMode {
+  /// Pure branch-and-bound: exact, proves optimality when it finishes, but
+  /// degrades on large instances under a time limit.
+  kBranchAndBound,
+  /// Large neighborhood search seeded by the first B&B descent: best
+  /// anytime quality; proves optimality only via the area lower bound.
+  kLns,
+  /// B&B under a fail budget first (small instances finish exactly), then
+  /// LNS with the remaining time. The default.
+  kAuto,
+  /// Restarting B&B with randomized bottom-left descents under a geometric
+  /// fail schedule — complete like kBranchAndBound, but diversified.
+  kRestarts,
+};
+
+struct PlacerOptions {
+  PlacerMode mode = PlacerMode::kAuto;
+  /// Consider all design alternatives (true) or only base layouts (false).
+  bool use_alternatives = true;
+  /// Wall-clock budget; <= 0 means unlimited. The best solution found by
+  /// the deadline is returned (offline placement per §V.B, but bounded so
+  /// the method stays usable interactively).
+  double time_limit_seconds = 5.0;
+  /// Optional fail limit (0 = unlimited) — deterministic truncation knob.
+  std::uint64_t max_fails = 0;
+  /// Portfolio width; 1 runs a single deterministic search.
+  int workers = 1;
+  SearchStrategy strategy = SearchStrategy::kAreaOrderBottomLeft;
+  geost::NonOverlapOptions nonoverlap{};
+  bool area_bound = true;
+  std::uint64_t seed = 1;
+  /// kAuto only: fail budget for the exact phase before switching to LNS.
+  std::uint64_t auto_exact_fails = 20000;
+  /// LNS tuning (kLns / kAuto).
+  double lns_relax_min = 0.25;
+  double lns_relax_max = 0.5;
+  std::uint64_t lns_fails_per_iteration = 2000;
+};
+
+class Placer {
+ public:
+  /// The region and modules must outlive the placer.
+  Placer(const fpga::PartialRegion& region,
+         std::span<const model::Module> modules, PlacerOptions options = {});
+
+  /// Solve. Repeatable; every call rebuilds and re-solves.
+  [[nodiscard]] PlacementOutcome place() const;
+
+  [[nodiscard]] const PlacerOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  [[nodiscard]] PlacementOutcome place_single() const;
+  [[nodiscard]] PlacementOutcome place_portfolio() const;
+  [[nodiscard]] PlacementOutcome place_lns_mode(bool exact_first) const;
+  [[nodiscard]] PlacementOutcome place_restarts() const;
+
+  const fpga::PartialRegion& region_;
+  std::span<const model::Module> modules_;
+  PlacerOptions options_;
+};
+
+}  // namespace rr::placer

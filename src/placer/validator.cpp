@@ -1,0 +1,109 @@
+#include "placer/validator.hpp"
+
+#include <sstream>
+
+namespace rr::placer {
+namespace {
+
+std::string describe(const model::Module& module, const ModulePlacement& p) {
+  std::ostringstream os;
+  os << module.name() << " (shape " << p.shape << " at " << p.x << "," << p.y
+     << ")";
+  return os.str();
+}
+
+}  // namespace
+
+ValidationReport validate(const fpga::PartialRegion& region,
+                          std::span<const model::Module> modules,
+                          const PlacementSolution& solution) {
+  ValidationReport report;
+  auto error = [&](const std::string& message) {
+    report.errors.push_back(message);
+  };
+
+  if (!solution.feasible) {
+    error("solution is marked infeasible");
+    return report;
+  }
+  if (solution.placements.size() != modules.size()) {
+    error("placement count does not match module count");
+    return report;
+  }
+
+  std::vector<bool> seen(modules.size(), false);
+  BitMatrix occupied(region.height(), region.width());
+  int extent = 0;
+
+  for (const ModulePlacement& p : solution.placements) {
+    if (p.module < 0 || p.module >= static_cast<int>(modules.size())) {
+      error("placement references unknown module index " +
+            std::to_string(p.module));
+      continue;
+    }
+    const model::Module& module = modules[static_cast<std::size_t>(p.module)];
+    if (seen[static_cast<std::size_t>(p.module)]) {
+      error("module " + module.name() + " placed twice");
+      continue;
+    }
+    seen[static_cast<std::size_t>(p.module)] = true;
+    if (p.shape < 0 || p.shape >= module.shape_count()) {
+      error("module " + module.name() + " uses unknown shape " +
+            std::to_string(p.shape));
+      continue;
+    }
+    const geost::ShapeFootprint& shape =
+        module.shapes()[static_cast<std::size_t>(p.shape)];
+
+    // Constraint (2) + (3): every tile inside the region on a tile of the
+    // same resource type.
+    bool placed_ok = true;
+    for (const geost::TypedCells& group : shape.typed()) {
+      for (const Point& cell : group.cells.cells()) {
+        const int x = cell.x + p.x;
+        const int y = cell.y + p.y;
+        if (!region.available(x, y)) {
+          error(describe(module, p) + ": tile (" + std::to_string(x) + "," +
+                std::to_string(y) + ") outside region or unavailable");
+          placed_ok = false;
+          break;
+        }
+        if (static_cast<int>(region.at(x, y)) != group.resource) {
+          error(describe(module, p) + ": tile (" + std::to_string(x) + "," +
+                std::to_string(y) + ") needs " +
+                std::string(fpga::resource_name(
+                    static_cast<fpga::ResourceType>(group.resource))) +
+                " but region offers " +
+                std::string(fpga::resource_name(region.at(x, y))));
+          placed_ok = false;
+          break;
+        }
+      }
+      if (!placed_ok) break;
+    }
+    if (!placed_ok) continue;
+
+    // Constraint (4): no overlap.
+    if (occupied.intersects_shifted(shape.mask(), p.y, p.x)) {
+      error(describe(module, p) + ": overlaps a previously placed module");
+      continue;
+    }
+    occupied.or_shifted(shape.mask(), p.y, p.x);
+    extent = std::max(extent,
+                      shape.bounding_box().width + p.x);
+  }
+
+  for (std::size_t i = 0; i < modules.size(); ++i) {
+    if (!seen[i]) error("module " + modules[i].name() + " not placed");
+  }
+  // The reported extent is the number of reserved columns: it must cover
+  // every placement. Over-reservation is legal (slot-style placers reserve
+  // whole slots); under-reporting is not.
+  if (report.ok() && solution.extent < extent) {
+    error("reported extent " + std::to_string(solution.extent) +
+          " does not cover the actual extent " + std::to_string(extent));
+  }
+  return report;
+}
+
+}  // namespace rr::placer

@@ -1,0 +1,28 @@
+// Independent solution checker.
+//
+// Re-verifies a PlacementSolution directly against the paper's constraint
+// definitions — inside the region (eq. 2), resource types match (eq. 3),
+// no overlaps (eq. 4) — without consulting any solver state. Used by tests,
+// the bench harnesses and the examples after every solve.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fpga/region.hpp"
+#include "model/module.hpp"
+#include "placer/placement.hpp"
+
+namespace rr::placer {
+
+struct ValidationReport {
+  std::vector<std::string> errors;
+  [[nodiscard]] bool ok() const noexcept { return errors.empty(); }
+};
+
+[[nodiscard]] ValidationReport validate(const fpga::PartialRegion& region,
+                                        std::span<const model::Module> modules,
+                                        const PlacementSolution& solution);
+
+}  // namespace rr::placer

@@ -1,0 +1,91 @@
+#include "render/ascii.hpp"
+
+#include <cctype>
+#include <vector>
+
+#include "geost/footprint.hpp"
+
+namespace rr::render {
+namespace {
+
+constexpr std::string_view kModuleChars =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789abcdefghijklmnopqrstuvwxyz";
+
+/// Character grid with region background, top row emitted first.
+std::vector<std::string> background(const fpga::PartialRegion& region) {
+  std::vector<std::string> rows(
+      static_cast<std::size_t>(region.height()),
+      std::string(static_cast<std::size_t>(region.width()), '#'));
+  for (int y = 0; y < region.height(); ++y) {
+    for (int x = 0; x < region.width(); ++x) {
+      char ch = '#';
+      if (region.available(x, y)) {
+        ch = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(
+                fpga::resource_char(region.at(x, y)))));
+      }
+      rows[static_cast<std::size_t>(y)][static_cast<std::size_t>(x)] = ch;
+    }
+  }
+  return rows;
+}
+
+std::string flush(const std::vector<std::string>& rows) {
+  std::string out;
+  for (auto it = rows.rbegin(); it != rows.rend(); ++it) {
+    out += *it;
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace
+
+char module_char(int index) noexcept {
+  if (index < 0) return '?';
+  return kModuleChars[static_cast<std::size_t>(index) % kModuleChars.size()];
+}
+
+std::string region_ascii(const fpga::PartialRegion& region) {
+  return flush(background(region));
+}
+
+std::string placement_ascii(const fpga::PartialRegion& region,
+                            std::span<const model::Module> modules,
+                            const placer::PlacementSolution& solution) {
+  std::vector<std::string> rows = background(region);
+  if (solution.feasible) {
+    for (const placer::ModulePlacement& p : solution.placements) {
+      const geost::ShapeFootprint& shape =
+          modules[static_cast<std::size_t>(p.module)]
+              .shapes()[static_cast<std::size_t>(p.shape)];
+      const char ch = module_char(p.module);
+      for (const Point& cell : shape.all_cells().cells()) {
+        const int x = cell.x + p.x;
+        const int y = cell.y + p.y;
+        if (y >= 0 && y < region.height() && x >= 0 && x < region.width())
+          rows[static_cast<std::size_t>(y)][static_cast<std::size_t>(x)] = ch;
+      }
+    }
+  }
+  return flush(rows);
+}
+
+std::string anchor_mask_ascii(const fpga::PartialRegion& region,
+                              const geost::ShapeFootprint& shape) {
+  std::vector<std::string> rows = background(region);
+  for (const Point& anchor :
+       geost::compute_valid_anchors(region.masks(), shape)) {
+    rows[static_cast<std::size_t>(anchor.y)][static_cast<std::size_t>(anchor.x)] =
+        '*';
+  }
+  return flush(rows);
+}
+
+std::string legend() {
+  return "legend: c=CLB b=BRAM d=DSP i=IO k=clock m=bus-macro (free, "
+         "lower-case)  "
+         "#=static/blocked  *=valid anchor  A..Z0..9a..z=placed modules\n";
+}
+
+}  // namespace rr::render

@@ -1,0 +1,39 @@
+// ASCII rendering of fabrics, regions, anchor masks and placements —
+// regenerates the visual artifacts of Figures 1, 3, 4 and 5 on a terminal.
+//
+// Legend: free tiles print as lower-case resource characters ('c' CLB,
+// 'b' BRAM, 'd' DSP, 'i' IO, 'k' clock), static/blocked tiles as '#',
+// placed modules as an upper-case letter / digit cycle, valid anchors as
+// '*'. The top row of the picture is the highest y.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "fpga/region.hpp"
+#include "geost/footprint.hpp"
+#include "model/module.hpp"
+#include "placer/placement.hpp"
+
+namespace rr::render {
+
+/// Character used for module `index` in placement pictures.
+[[nodiscard]] char module_char(int index) noexcept;
+
+/// The bare region: resources and blocked tiles.
+[[nodiscard]] std::string region_ascii(const fpga::PartialRegion& region);
+
+/// Region with a placement drawn over it (Figures 3 and 5).
+[[nodiscard]] std::string placement_ascii(
+    const fpga::PartialRegion& region,
+    std::span<const model::Module> modules,
+    const placer::PlacementSolution& solution);
+
+/// Region with every valid anchor of `shape` marked '*' (Figure 4b).
+[[nodiscard]] std::string anchor_mask_ascii(const fpga::PartialRegion& region,
+                                            const geost::ShapeFootprint& shape);
+
+/// The legend string matching the pictures above.
+[[nodiscard]] std::string legend();
+
+}  // namespace rr::render

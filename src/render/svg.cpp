@@ -1,0 +1,92 @@
+#include "render/svg.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace rr::render {
+namespace {
+
+std::string resource_fill(fpga::ResourceType t) {
+  switch (t) {
+    case fpga::ResourceType::kClb: return "#f2f2f2";
+    case fpga::ResourceType::kBram: return "#cfe3ff";
+    case fpga::ResourceType::kDsp: return "#ffe9c7";
+    case fpga::ResourceType::kIo: return "#e4d7f5";
+    case fpga::ResourceType::kClock: return "#f8d7da";
+    case fpga::ResourceType::kBusMacro: return "#d9f2d9";
+    case fpga::ResourceType::kStatic: return "#555555";
+    case fpga::ResourceType::kCount: break;
+  }
+  return "#ffffff";
+}
+
+/// Evenly spaced hues; module index -> solid fill color.
+std::string module_fill(int index) {
+  const double hue = std::fmod(static_cast<double>(index) * 47.0, 360.0);
+  char buffer[48];
+  std::snprintf(buffer, sizeof buffer, "hsl(%.0f, 65%%, 55%%)", hue);
+  return buffer;
+}
+
+}  // namespace
+
+std::string placement_svg(const fpga::PartialRegion& region,
+                          std::span<const model::Module> modules,
+                          const placer::PlacementSolution& solution,
+                          const SvgOptions& options) {
+  const int t = options.tile_pixels;
+  const int width_px = region.width() * t;
+  const int height_px = region.height() * t;
+  // y is flipped: tile row 0 is the bottom of the picture.
+  auto tile_rect = [&](int x, int y, const std::string& fill,
+                       const std::string& extra = "") {
+    std::ostringstream os;
+    os << "  <rect x=\"" << x * t << "\" y=\"" << (region.height() - 1 - y) * t
+       << "\" width=\"" << t << "\" height=\"" << t << "\" fill=\"" << fill
+       << "\"" << extra << "/>\n";
+    return os.str();
+  };
+
+  std::ostringstream svg;
+  svg << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width_px
+      << "\" height=\"" << height_px << "\" viewBox=\"0 0 " << width_px << ' '
+      << height_px << "\">\n";
+  const std::string grid_attr =
+      options.draw_grid ? " stroke=\"#bbbbbb\" stroke-width=\"0.5\"" : "";
+  for (int y = 0; y < region.height(); ++y) {
+    for (int x = 0; x < region.width(); ++x) {
+      const std::string fill = region.available(x, y)
+                                   ? resource_fill(region.at(x, y))
+                                   : resource_fill(fpga::ResourceType::kStatic);
+      svg << tile_rect(x, y, fill, grid_attr);
+    }
+  }
+  if (solution.feasible) {
+    for (const placer::ModulePlacement& p : solution.placements) {
+      const auto& shape = modules[static_cast<std::size_t>(p.module)]
+                              .shapes()[static_cast<std::size_t>(p.shape)];
+      const std::string fill = module_fill(p.module);
+      for (const Point& cell : shape.all_cells().cells())
+        svg << tile_rect(cell.x + p.x, cell.y + p.y, fill,
+                         " stroke=\"#333333\" stroke-width=\"0.4\"");
+    }
+  }
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+void save_placement_svg(const std::string& path,
+                        const fpga::PartialRegion& region,
+                        std::span<const model::Module> modules,
+                        const placer::PlacementSolution& solution,
+                        const SvgOptions& options) {
+  std::ofstream out(path);
+  RR_REQUIRE(out.good(), "cannot write SVG file: " + path);
+  out << placement_svg(region, modules, solution, options);
+}
+
+}  // namespace rr::render

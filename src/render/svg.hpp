@@ -1,0 +1,32 @@
+// SVG rendering of placements — publication-style counterparts of the
+// ASCII pictures, one <rect> per tile with per-module colors and
+// per-resource background shades.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "fpga/region.hpp"
+#include "model/module.hpp"
+#include "placer/placement.hpp"
+
+namespace rr::render {
+
+struct SvgOptions {
+  int tile_pixels = 10;
+  bool draw_grid = true;
+};
+
+[[nodiscard]] std::string placement_svg(
+    const fpga::PartialRegion& region,
+    std::span<const model::Module> modules,
+    const placer::PlacementSolution& solution, const SvgOptions& options = {});
+
+/// Write placement_svg output to `path`.
+void save_placement_svg(const std::string& path,
+                        const fpga::PartialRegion& region,
+                        std::span<const model::Module> modules,
+                        const placer::PlacementSolution& solution,
+                        const SvgOptions& options = {});
+
+}  // namespace rr::render

@@ -1,0 +1,41 @@
+// Umbrella header: the full public API of rrplace.
+//
+// rrplace is a constraint-programming floorplanner for runtime
+// reconfigurable systems on heterogeneous FPGAs, reproducing Wold, Koch &
+// Torresen, "Enhancing Resource Utilization with Design Alternatives in
+// Runtime Reconfigurable Systems" (2011). Typical flow (Fig. 2):
+//
+//   auto fabric = std::make_shared<const rr::fpga::Fabric>(
+//       rr::fpga::make_evaluation_device());
+//   rr::fpga::PartialRegion region(fabric);
+//   rr::model::ModuleGenerator gen({}, /*seed=*/1);
+//   auto modules = gen.generate_many(10);
+//   rr::placer::Placer placer(region, modules);
+//   auto outcome = placer.place();
+//   std::cout << rr::render::placement_ascii(region, modules,
+//                                            outcome.solution);
+#pragma once
+
+#include "baseline/annealing.hpp"   // IWYU pragma: export
+#include "baseline/greedy.hpp"      // IWYU pragma: export
+#include "baseline/online.hpp"      // IWYU pragma: export
+#include "baseline/slots.hpp"       // IWYU pragma: export
+#include "comm/bus.hpp"             // IWYU pragma: export
+#include "cp/constraints.hpp"       // IWYU pragma: export
+#include "cp/portfolio.hpp"         // IWYU pragma: export
+#include "cp/search.hpp"            // IWYU pragma: export
+#include "fpga/builders.hpp"        // IWYU pragma: export
+#include "fpga/fdf.hpp"             // IWYU pragma: export
+#include "fpga/region.hpp"          // IWYU pragma: export
+#include "geost/nonoverlap.hpp"     // IWYU pragma: export
+#include "model/generator.hpp"      // IWYU pragma: export
+#include "model/library.hpp"        // IWYU pragma: export
+#include "placer/compaction.hpp"    // IWYU pragma: export
+#include "placer/metrics.hpp"       // IWYU pragma: export
+#include "placer/placer.hpp"        // IWYU pragma: export
+#include "placer/validator.hpp"     // IWYU pragma: export
+#include "render/ascii.hpp"         // IWYU pragma: export
+#include "runtime/manager.hpp"      // IWYU pragma: export
+#include "render/svg.hpp"           // IWYU pragma: export
+#include "util/stats.hpp"           // IWYU pragma: export
+#include "util/table.hpp"           // IWYU pragma: export

@@ -1,0 +1,211 @@
+#include "runtime/manager.hpp"
+
+#include <algorithm>
+
+#include "placer/lns.hpp"
+#include "placer/metrics.hpp"
+#include "util/stopwatch.hpp"
+
+namespace rr::runtime {
+namespace {
+
+long footprint_area(std::span<const model::Module> pool,
+                    const PlacedModule& p) {
+  return pool[static_cast<std::size_t>(p.module)]
+      .shapes()[static_cast<std::size_t>(p.shape)]
+      .area();
+}
+
+}  // namespace
+
+long RunResult::total_tiles_written() const {
+  long total = 0;
+  for (const TransitionCost& t : transitions) total += t.tiles_written;
+  return total;
+}
+
+double RunResult::mean_utilization() const {
+  double sum = 0.0;
+  int feasible = 0;
+  for (const PhaseOutcome& p : phases) {
+    if (!p.feasible) continue;
+    sum += p.utilization;
+    ++feasible;
+  }
+  return feasible > 0 ? sum / feasible : 0.0;
+}
+
+int RunResult::infeasible_phases() const {
+  int count = 0;
+  for (const PhaseOutcome& p : phases) count += !p.feasible;
+  return count;
+}
+
+TransitionCost transition_cost(std::span<const model::Module> pool,
+                               const std::vector<PlacedModule>& before,
+                               const std::vector<PlacedModule>& after) {
+  TransitionCost cost;
+  for (const PlacedModule& next : after) {
+    const auto prev = std::find_if(
+        before.begin(), before.end(),
+        [&](const PlacedModule& p) { return p.module == next.module; });
+    if (prev != before.end() && *prev == next) {
+      ++cost.modules_kept;
+      continue;
+    }
+    ++cost.modules_loaded;
+    cost.tiles_written += footprint_area(pool, next);
+    if (prev != before.end())
+      cost.tiles_cleared += footprint_area(pool, *prev);  // moved: blank old
+  }
+  for (const PlacedModule& prev : before) {
+    const bool still_active = std::any_of(
+        after.begin(), after.end(),
+        [&](const PlacedModule& p) { return p.module == prev.module; });
+    if (!still_active) cost.tiles_cleared += footprint_area(pool, prev);
+  }
+  return cost;
+}
+
+ReconfigurationManager::ReconfigurationManager(
+    const fpga::PartialRegion& region, std::span<const model::Module> pool,
+    placer::PlacerOptions solver_options)
+    : region_(region), pool_(pool), options_(std::move(solver_options)) {
+  RR_REQUIRE(!pool_.empty(), "module pool must be non-empty");
+}
+
+PhaseOutcome ReconfigurationManager::place_phase(
+    const Phase& phase, const std::vector<PlacedModule>& frozen) const {
+  Stopwatch watch;
+  PhaseOutcome outcome;
+  if (phase.active_modules.empty()) {
+    outcome.feasible = true;
+    outcome.seconds = watch.seconds();
+    return outcome;
+  }
+  std::vector<model::Module> modules;
+  modules.reserve(phase.active_modules.size());
+  for (const int id : phase.active_modules)
+    modules.push_back(pool_[static_cast<std::size_t>(id)]);
+
+  const Deadline deadline(options_.time_limit_seconds);
+  const auto tables =
+      placer::prepare_tables(region_, modules, options_.use_alternatives);
+
+  // Locate the frozen modules' previous placements in this phase's tables.
+  std::vector<bool> frozen_mask(modules.size(), false);
+  std::vector<int> frozen_value(modules.size(), -1);
+  for (std::size_t i = 0; i < modules.size(); ++i) {
+    const int id = phase.active_modules[i];
+    const auto prev = std::find_if(
+        frozen.begin(), frozen.end(),
+        [&](const PlacedModule& p) { return p.module == id; });
+    if (prev == frozen.end()) continue;
+    for (std::size_t v = 0; v < tables[i].table.size(); ++v) {
+      const geost::Placement& p = tables[i].table[v];
+      if (p.shape == prev->shape && p.x == prev->x && p.y == prev->y) {
+        frozen_mask[i] = true;
+        frozen_value[i] = static_cast<int>(v);
+        break;
+      }
+    }
+  }
+
+  placer::BuildOptions build_options;
+  build_options.use_alternatives = options_.use_alternatives;
+  build_options.nonoverlap = options_.nonoverlap;
+  build_options.area_bound = options_.area_bound;
+
+  // First descent with the frozen placements pinned; on failure, fall back
+  // to a free re-place of the whole phase.
+  std::vector<int> incumbent;
+  bool used_freeze = false;
+  for (const bool pin : {true, false}) {
+    if (!pin) {
+      const bool any_frozen =
+          std::any_of(frozen_mask.begin(), frozen_mask.end(),
+                      [](bool f) { return f; });
+      if (!any_frozen && used_freeze) break;  // nothing differed
+    }
+    placer::BuiltModel model =
+        placer::build_model_from_tables(region_, tables, build_options);
+    if (model.infeasible) break;
+    if (pin) {
+      used_freeze = true;
+      for (std::size_t i = 0; i < modules.size(); ++i) {
+        if (frozen_mask[i])
+          model.space->assign(model.placement_vars[i], frozen_value[i]);
+      }
+    }
+    auto brancher = placer::make_placement_brancher(
+        model, options_.strategy, options_.seed);
+    cp::Search::Options search_options;
+    search_options.objective = model.objective;
+    search_options.limits.deadline = deadline;
+    cp::Search search(*model.space, *brancher, search_options);
+    if (search.next()) {
+      incumbent.clear();
+      for (cp::VarId v : model.placement_vars)
+        incumbent.push_back(model.space->min(v));
+      if (!pin) {
+        outcome.fell_back = true;
+        std::fill(frozen_mask.begin(), frozen_mask.end(), false);
+      }
+      break;
+    }
+    if (!pin) break;  // even the free re-place failed: infeasible phase
+  }
+  if (incumbent.empty()) {
+    outcome.seconds = watch.seconds();
+    return outcome;  // infeasible
+  }
+
+  // Improve with LNS, keeping the pinned modules pinned.
+  placer::LnsOptions lns_options;
+  lns_options.seed = options_.seed ^ 0x5EEDULL;
+  lns_options.fails_per_iteration = options_.lns_fails_per_iteration;
+  lns_options.frozen.assign(frozen_mask.begin(), frozen_mask.end());
+  const placer::LnsResult lns = placer::improve_lns(
+      region_, tables, incumbent, build_options, lns_options, deadline);
+
+  outcome.feasible = true;
+  placer::PlacementSolution solution;
+  solution.feasible = true;
+  for (std::size_t i = 0; i < modules.size(); ++i) {
+    const geost::Placement& p =
+        tables[i].table[static_cast<std::size_t>(lns.placement_values[i])];
+    outcome.placements.push_back(PlacedModule{
+        phase.active_modules[i], p.shape, p.x, p.y});
+    solution.placements.push_back(placer::ModulePlacement{
+        static_cast<int>(i), p.shape, p.x, p.y});
+    solution.extent = std::max(
+        solution.extent, tables[i].extents[static_cast<std::size_t>(
+                             lns.placement_values[i])]);
+  }
+  outcome.extent = solution.extent;
+  outcome.utilization =
+      placer::spanned_utilization(region_, modules, solution);
+  outcome.seconds = watch.seconds();
+  return outcome;
+}
+
+RunResult ReconfigurationManager::run(const Schedule& schedule,
+                                      PlacementPolicy policy) const {
+  schedule.validate(static_cast<int>(pool_.size()));
+  RunResult result;
+  std::vector<PlacedModule> previous;
+  for (const Phase& phase : schedule.phases) {
+    const std::vector<PlacedModule> frozen =
+        policy == PlacementPolicy::kIncremental
+            ? previous
+            : std::vector<PlacedModule>{};
+    PhaseOutcome outcome = place_phase(phase, frozen);
+    result.transitions.push_back(
+        transition_cost(pool_, previous, outcome.placements));
+    previous = outcome.placements;
+    result.phases.push_back(std::move(outcome));
+  }
+  return result;
+}
+
+}  // namespace rr::runtime

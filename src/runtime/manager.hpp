@@ -1,0 +1,91 @@
+// Offline placement of configuration schedules, and the reconfiguration
+// overhead a system pays at run time.
+//
+// The cost of runtime reconfiguration "is measured in both area utilization
+// and reconfiguration time" (§I). The manager places every phase of a
+// schedule and accounts the tiles that must be rewritten at each
+// transition (a proxy for partial-bitstream size and thus reconfiguration
+// time). Two policies:
+//   - kReplaceAll: every phase placed from scratch for maximal utilization;
+//     persistent modules may move and must then be reconfigured anyway.
+//   - kIncremental: modules surviving a transition keep their placement, so
+//     they cost nothing to keep running — at a possible utilization loss.
+#pragma once
+
+#include <vector>
+
+#include "fpga/region.hpp"
+#include "model/module.hpp"
+#include "placer/placer.hpp"
+#include "runtime/schedule.hpp"
+
+namespace rr::runtime {
+
+enum class PlacementPolicy { kReplaceAll, kIncremental };
+
+/// One placed module of a phase; `module` is the *pool* index.
+struct PlacedModule {
+  int module = 0;
+  int shape = 0;
+  int x = 0;
+  int y = 0;
+
+  bool operator==(const PlacedModule&) const = default;
+};
+
+struct PhaseOutcome {
+  bool feasible = false;
+  std::vector<PlacedModule> placements;
+  int extent = 0;
+  double utilization = 0.0;  // spanned-area utilization
+  double seconds = 0.0;
+  /// kIncremental only: the frozen placements admitted no solution and the
+  /// phase fell back to a full re-place.
+  bool fell_back = false;
+};
+
+struct TransitionCost {
+  long tiles_written = 0;  // footprints of modules (re)configured
+  long tiles_cleared = 0;  // footprints of modules removed or moved away
+  int modules_loaded = 0;
+  int modules_kept = 0;  // identical placement carried over: no rewrite
+};
+
+struct RunResult {
+  std::vector<PhaseOutcome> phases;
+  /// transitions[k] is the cost of entering phase k (k=0: initial load).
+  std::vector<TransitionCost> transitions;
+
+  [[nodiscard]] long total_tiles_written() const;
+  [[nodiscard]] double mean_utilization() const;  // over feasible phases
+  [[nodiscard]] int infeasible_phases() const;
+};
+
+class ReconfigurationManager {
+ public:
+  /// `region` and `pool` must outlive the manager.
+  ReconfigurationManager(const fpga::PartialRegion& region,
+                         std::span<const model::Module> pool,
+                         placer::PlacerOptions solver_options = {});
+
+  [[nodiscard]] RunResult run(const Schedule& schedule,
+                              PlacementPolicy policy) const;
+
+ private:
+  [[nodiscard]] PhaseOutcome place_phase(
+      const Phase& phase, const std::vector<PlacedModule>& frozen) const;
+
+  const fpga::PartialRegion& region_;
+  std::span<const model::Module> pool_;
+  placer::PlacerOptions options_;
+};
+
+/// Tiles that must be written/cleared when moving from `before` to `after`
+/// (pool module areas from `pool`). Pass an empty `before` for the initial
+/// configuration load.
+[[nodiscard]] TransitionCost transition_cost(
+    std::span<const model::Module> pool,
+    const std::vector<PlacedModule>& before,
+    const std::vector<PlacedModule>& after);
+
+}  // namespace rr::runtime

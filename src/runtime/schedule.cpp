@@ -1,0 +1,75 @@
+#include "runtime/schedule.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace rr::runtime {
+
+void Schedule::validate(int pool_size) const {
+  for (const Phase& phase : phases) {
+    std::vector<int> seen;
+    for (const int id : phase.active_modules) {
+      RR_REQUIRE(id >= 0 && id < pool_size,
+                 "phase " + phase.name + " references unknown module " +
+                     std::to_string(id));
+      RR_REQUIRE(std::find(seen.begin(), seen.end(), id) == seen.end(),
+                 "phase " + phase.name + " activates module " +
+                     std::to_string(id) + " twice");
+      seen.push_back(id);
+    }
+  }
+}
+
+std::vector<int> Schedule::persistent_between(std::size_t a,
+                                              std::size_t b) const {
+  RR_REQUIRE(a < phases.size() && b < phases.size(),
+             "phase index out of range");
+  std::vector<int> first = phases[a].active_modules;
+  std::vector<int> second = phases[b].active_modules;
+  std::sort(first.begin(), first.end());
+  std::sort(second.begin(), second.end());
+  std::vector<int> out;
+  std::set_intersection(first.begin(), first.end(), second.begin(),
+                        second.end(), std::back_inserter(out));
+  return out;
+}
+
+Schedule make_rolling_schedule(int pool_size, int phases, int phase_size,
+                               double keep_fraction, std::uint64_t seed) {
+  RR_REQUIRE(pool_size > 0 && phases > 0, "schedule dimensions must be > 0");
+  RR_REQUIRE(phase_size > 0 && phase_size <= pool_size,
+             "phase size must be in [1, pool size]");
+  RR_REQUIRE(keep_fraction >= 0.0 && keep_fraction <= 1.0,
+             "keep fraction must be in [0, 1]");
+  Rng rng(seed);
+  Schedule schedule;
+  std::vector<int> previous;
+  for (int p = 0; p < phases; ++p) {
+    Phase phase;
+    phase.name = "phase" + std::to_string(p);
+    // Keep a random subset of the previous phase...
+    std::vector<int> keep = previous;
+    rng.shuffle(keep);
+    keep.resize(std::min(keep.size(),
+                         static_cast<std::size_t>(
+                             keep_fraction * static_cast<double>(phase_size))));
+    phase.active_modules = keep;
+    // ...and fill with random others from the pool.
+    std::vector<int> others;
+    for (int id = 0; id < pool_size; ++id) {
+      if (std::find(keep.begin(), keep.end(), id) == keep.end())
+        others.push_back(id);
+    }
+    rng.shuffle(others);
+    for (const int id : others) {
+      if (static_cast<int>(phase.active_modules.size()) >= phase_size) break;
+      phase.active_modules.push_back(id);
+    }
+    previous = phase.active_modules;
+    schedule.phases.push_back(std::move(phase));
+  }
+  return schedule;
+}
+
+}  // namespace rr::runtime

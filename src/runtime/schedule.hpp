@@ -1,0 +1,43 @@
+// Configuration schedules for deterministic runtime reconfigurable systems.
+//
+// The paper targets "in-advance placement for deterministic run-time
+// reconfigurable systems": the sequence of configurations (phases) is known
+// at design time, and module placements are computed offline. A Schedule
+// names the phases and which modules of a pool are active in each.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace rr::runtime {
+
+struct Phase {
+  std::string name;
+  /// Indices into the module pool, each at most once per phase.
+  std::vector<int> active_modules;
+};
+
+struct Schedule {
+  std::vector<Phase> phases;
+
+  /// Throws InvalidInput when a phase references a module outside
+  /// [0, pool_size) or twice.
+  void validate(int pool_size) const;
+
+  /// Modules active in both phases `a` and `b` (sorted).
+  [[nodiscard]] std::vector<int> persistent_between(std::size_t a,
+                                                    std::size_t b) const;
+};
+
+/// A synthetic schedule: `phases` phases over a pool of `pool_size`
+/// modules; each phase keeps roughly `keep_fraction` of the previous
+/// phase's modules and fills up to `phase_size` with random others.
+/// Deterministic in `seed`.
+[[nodiscard]] Schedule make_rolling_schedule(int pool_size, int phases,
+                                             int phase_size,
+                                             double keep_fraction,
+                                             std::uint64_t seed);
+
+}  // namespace rr::runtime

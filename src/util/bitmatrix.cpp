@@ -1,0 +1,146 @@
+#include "util/bitmatrix.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace rr {
+
+BitMatrix::BitMatrix(int rows, int cols, bool fillValue) {
+  RR_REQUIRE(rows >= 0 && cols >= 0, "BitMatrix dimensions must be >= 0");
+  rows_ = rows;
+  cols_ = cols;
+  words_per_row_ = static_cast<std::size_t>((cols + 63) / 64);
+  words_.assign(static_cast<std::size_t>(rows) * words_per_row_, 0);
+  if (fillValue) fill();
+}
+
+void BitMatrix::clear() noexcept {
+  std::fill(words_.begin(), words_.end(), 0);
+}
+
+void BitMatrix::fill() noexcept {
+  if (empty()) return;
+  std::fill(words_.begin(), words_.end(), ~std::uint64_t{0});
+  // Mask off the tail bits beyond the last column in each row.
+  const int tail = cols_ & 63;
+  if (tail != 0) {
+    const std::uint64_t mask = (std::uint64_t{1} << tail) - 1;
+    for (int r = 0; r < rows_; ++r) {
+      words_[static_cast<std::size_t>(r) * words_per_row_ +
+             (words_per_row_ - 1)] &= mask;
+    }
+  }
+}
+
+std::size_t BitMatrix::popcount() const noexcept {
+  std::size_t total = 0;
+  for (std::uint64_t w : words_) total += static_cast<std::size_t>(std::popcount(w));
+  return total;
+}
+
+std::size_t BitMatrix::row_popcount(int r) const noexcept {
+  RR_ASSERT(r >= 0 && r < rows_);
+  std::size_t total = 0;
+  const std::size_t base = static_cast<std::size_t>(r) * words_per_row_;
+  for (std::size_t i = 0; i < words_per_row_; ++i)
+    total += static_cast<std::size_t>(std::popcount(words_[base + i]));
+  return total;
+}
+
+std::uint64_t BitMatrix::row_window(int r, int c) const noexcept {
+  // Reads 64 bits of row r starting at column c; columns outside [0, cols_)
+  // contribute zeros. c may be negative.
+  if (r < 0 || r >= rows_) return 0;
+  std::uint64_t out = 0;
+  const std::size_t base = static_cast<std::size_t>(r) * words_per_row_;
+  // The window spans at most two stored words.
+  const int firstWord = c >= 0 ? (c >> 6) : ((c - 63) / 64);
+  const int shift = c - firstWord * 64;  // in [0, 63]
+  auto load = [&](int wi) -> std::uint64_t {
+    if (wi < 0 || wi >= static_cast<int>(words_per_row_)) return 0;
+    return words_[base + static_cast<std::size_t>(wi)];
+  };
+  out = load(firstWord) >> shift;
+  if (shift != 0) out |= load(firstWord + 1) << (64 - shift);
+  return out;
+}
+
+bool BitMatrix::intersects_shifted(const BitMatrix& other, int dr,
+                                   int dc) const noexcept {
+  for (int r = 0; r < other.rows_; ++r) {
+    const int tr = r + dr;
+    if (tr < 0 || tr >= rows_) continue;
+    const std::size_t obase = static_cast<std::size_t>(r) * other.words_per_row_;
+    for (std::size_t wi = 0; wi < other.words_per_row_; ++wi) {
+      const std::uint64_t ow = other.words_[obase + wi];
+      if (ow == 0) continue;
+      const int col = static_cast<int>(wi) * 64 + dc;
+      if (ow & row_window(tr, col)) return true;
+    }
+  }
+  return false;
+}
+
+bool BitMatrix::covers_shifted(const BitMatrix& other, int dr,
+                               int dc) const noexcept {
+  for (int r = 0; r < other.rows_; ++r) {
+    const int tr = r + dr;
+    const std::size_t obase = static_cast<std::size_t>(r) * other.words_per_row_;
+    for (std::size_t wi = 0; wi < other.words_per_row_; ++wi) {
+      const std::uint64_t ow = other.words_[obase + wi];
+      if (ow == 0) continue;
+      if (tr < 0 || tr >= rows_) return false;
+      const int col = static_cast<int>(wi) * 64 + dc;
+      if ((ow & row_window(tr, col)) != ow) return false;
+    }
+  }
+  return true;
+}
+
+void BitMatrix::or_shifted(const BitMatrix& other, int dr, int dc) noexcept {
+  for (int r = 0; r < other.rows_; ++r) {
+    const int tr = r + dr;
+    for (int c = 0; c < other.cols_; ++c) {
+      if (!other.get(r, c)) continue;
+      const int tc = c + dc;
+      RR_ASSERT(tr >= 0 && tr < rows_ && tc >= 0 && tc < cols_);
+      set(tr, tc, true);
+    }
+  }
+}
+
+void BitMatrix::clear_shifted(const BitMatrix& other, int dr, int dc) noexcept {
+  for (int r = 0; r < other.rows_; ++r) {
+    const int tr = r + dr;
+    if (tr < 0 || tr >= rows_) continue;
+    for (int c = 0; c < other.cols_; ++c) {
+      if (!other.get(r, c)) continue;
+      const int tc = c + dc;
+      if (tc < 0 || tc >= cols_) continue;
+      set(tr, tc, false);
+    }
+  }
+}
+
+void BitMatrix::and_with(const BitMatrix& other) noexcept {
+  RR_ASSERT(rows_ == other.rows_ && cols_ == other.cols_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+}
+
+void BitMatrix::or_with(const BitMatrix& other) noexcept {
+  RR_ASSERT(rows_ == other.rows_ && cols_ == other.cols_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+}
+
+std::string BitMatrix::to_string() const {
+  std::string out;
+  out.reserve(static_cast<std::size_t>(rows_) *
+              (static_cast<std::size_t>(cols_) + 1));
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) out.push_back(get(r, c) ? '#' : '.');
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace rr

@@ -1,0 +1,28 @@
+#include "util/env.hpp"
+
+#include <cstdlib>
+
+#include "util/strings.hpp"
+
+namespace rr {
+
+int env_int(const char* name, int fallback) noexcept {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  const auto parsed = parse_int(value);
+  return parsed ? static_cast<int>(*parsed) : fallback;
+}
+
+double env_double(const char* name, double fallback) noexcept {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  const auto parsed = parse_double(value);
+  return parsed ? *parsed : fallback;
+}
+
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* value = std::getenv(name);
+  return value ? std::string(value) : fallback;
+}
+
+}  // namespace rr

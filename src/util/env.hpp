@@ -1,0 +1,22 @@
+// Environment-variable knobs for the experiment harnesses.
+//
+// The paper's full evaluation (50 runs x 30 modules) takes minutes; bench
+// binaries default to a scaled-down configuration and honour RRPLACE_RUNS /
+// RRPLACE_MODULES / RRPLACE_TIME_LIMIT to reproduce the full setting.
+#pragma once
+
+#include <string>
+
+namespace rr {
+
+/// $name as int, or `fallback` when unset/unparseable.
+[[nodiscard]] int env_int(const char* name, int fallback) noexcept;
+
+/// $name as double, or `fallback` when unset/unparseable.
+[[nodiscard]] double env_double(const char* name, double fallback) noexcept;
+
+/// $name as string, or `fallback` when unset.
+[[nodiscard]] std::string env_string(const char* name,
+                                     const std::string& fallback);
+
+}  // namespace rr

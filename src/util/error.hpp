@@ -1,0 +1,48 @@
+// Error handling primitives shared across the library.
+//
+// We use exceptions for contract violations on the public API surface
+// (malformed input files, inconsistent models) and RR_ASSERT for internal
+// invariants that indicate a bug in rrplace itself.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace rr {
+
+/// Thrown when user-provided input (fabric files, module libraries,
+/// generator parameters) is malformed or inconsistent.
+class InvalidInput : public std::runtime_error {
+ public:
+  explicit InvalidInput(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a model is structurally inconsistent (e.g. a shape with no
+/// tiles, a module with no shapes) — violations of the §III definitions.
+class ModelError : public std::logic_error {
+ public:
+  explicit ModelError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line) {
+  throw std::logic_error(std::string("rrplace internal assertion failed: ") +
+                         expr + " at " + file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace rr
+
+// Internal invariant check. Always on: the solver relies on these to catch
+// propagation bugs early, and their cost is negligible next to search.
+#define RR_ASSERT(expr)                                       \
+  do {                                                        \
+    if (!(expr)) ::rr::detail::assert_fail(#expr, __FILE__, __LINE__); \
+  } while (false)
+
+// Input validation on public entry points.
+#define RR_REQUIRE(expr, msg)                  \
+  do {                                         \
+    if (!(expr)) throw ::rr::InvalidInput(msg); \
+  } while (false)

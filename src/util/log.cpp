@@ -1,0 +1,59 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace rr {
+namespace {
+
+LogLevel initial_level() {
+  const char* env = std::getenv("RRPLACE_LOG");
+  if (env == nullptr) return LogLevel::kWarn;
+  const std::string v(env);
+  if (v == "error" || v == "0") return LogLevel::kError;
+  if (v == "warn" || v == "1") return LogLevel::kWarn;
+  if (v == "info" || v == "2") return LogLevel::kInfo;
+  if (v == "debug" || v == "3") return LogLevel::kDebug;
+  return LogLevel::kWarn;
+}
+
+std::atomic<int>& level_storage() noexcept {
+  static std::atomic<int> level{static_cast<int>(initial_level())};
+  return level;
+}
+
+const char* level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kDebug: return "DEBUG";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() noexcept {
+  return static_cast<LogLevel>(level_storage().load(std::memory_order_relaxed));
+}
+
+void set_log_level(LogLevel level) noexcept {
+  level_storage().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+bool log_enabled(LogLevel level) noexcept {
+  return static_cast<int>(level) <= static_cast<int>(log_level());
+}
+
+namespace detail {
+void log_emit(LogLevel level, std::string_view message) {
+  // One fprintf per message keeps interleaving at line granularity.
+  std::fprintf(stderr, "[rrplace %s] %.*s\n", level_name(level),
+               static_cast<int>(message.size()), message.data());
+}
+}  // namespace detail
+
+}  // namespace rr

@@ -1,0 +1,38 @@
+// Minimal leveled logger. Thread-safe (each message is a single write);
+// level is a process-wide atomic so the solver can raise verbosity from the
+// RRPLACE_LOG environment variable without plumbing a logger everywhere.
+#pragma once
+
+#include <sstream>
+#include <string_view>
+
+namespace rr {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Current process-wide log level (default: kWarn, or $RRPLACE_LOG).
+[[nodiscard]] LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+/// True when messages at `level` would be emitted.
+[[nodiscard]] bool log_enabled(LogLevel level) noexcept;
+
+namespace detail {
+void log_emit(LogLevel level, std::string_view message);
+}
+
+}  // namespace rr
+
+#define RR_LOG(level, ...)                                       \
+  do {                                                           \
+    if (::rr::log_enabled(level)) {                              \
+      std::ostringstream rr_log_os;                              \
+      rr_log_os << __VA_ARGS__;                                  \
+      ::rr::detail::log_emit(level, rr_log_os.str());            \
+    }                                                            \
+  } while (false)
+
+#define RR_ERROR(...) RR_LOG(::rr::LogLevel::kError, __VA_ARGS__)
+#define RR_WARN(...) RR_LOG(::rr::LogLevel::kWarn, __VA_ARGS__)
+#define RR_INFO(...) RR_LOG(::rr::LogLevel::kInfo, __VA_ARGS__)
+#define RR_DEBUG(...) RR_LOG(::rr::LogLevel::kDebug, __VA_ARGS__)

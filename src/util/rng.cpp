@@ -1,0 +1,7 @@
+#include "util/rng.hpp"
+
+// Header-only in practice; this TU pins the vtable-free class into the
+// library so downstream link lines stay uniform.
+namespace rr {
+static_assert(Rng::min() == 0);
+}  // namespace rr

@@ -1,0 +1,115 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// All stochastic components (module generator, simulated annealing, value
+// ordering randomization, portfolio seeds) draw from rr::Rng so that every
+// experiment is reproducible from a single seed. xoshiro256** is used for
+// its speed and statistical quality; seeding goes through splitmix64 as
+// recommended by the xoshiro authors.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace rr {
+
+/// splitmix64 step; used for seeding and as a cheap stateless mixer.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator. Satisfies UniformRandomBitGenerator so it can be
+/// plugged into <random> distributions, though the member helpers below are
+/// preferred (they are reproducible across standard library versions).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept {
+    reseed(seed);
+  }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi], inclusive. Uses Lemire's unbiased method.
+  int uniform_int(int lo, int hi) noexcept {
+    RR_ASSERT(lo <= hi);
+    const std::uint64_t range = static_cast<std::uint64_t>(hi) - lo + 1;
+    return lo + static_cast<int>(bounded(range));
+  }
+
+  /// Uniform value in [0, n). n must be > 0.
+  std::uint64_t bounded(std::uint64_t n) noexcept {
+    RR_ASSERT(n > 0);
+    // Rejection sampling on the top bits to avoid modulo bias.
+    const std::uint64_t threshold = (0 - n) % n;
+    for (;;) {
+      const std::uint64_t r = (*this)();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p of returning true.
+  bool chance(double p) noexcept { return uniform01() < p; }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = bounded(i);
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Pick a uniformly random element index of a non-empty container.
+  template <typename Container>
+  std::size_t pick_index(const Container& c) noexcept {
+    RR_ASSERT(!c.empty());
+    return static_cast<std::size_t>(bounded(c.size()));
+  }
+
+  /// Derive an independent child generator (for portfolio workers etc.).
+  Rng split() noexcept { return Rng((*this)() ^ 0xd1b54a32d192ed03ULL); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace rr

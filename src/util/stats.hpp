@@ -1,0 +1,60 @@
+// Streaming and batch descriptive statistics for experiment harnesses.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace rr {
+
+/// Welford streaming accumulator: numerically stable mean/variance plus
+/// min/max. Used by every bench harness to aggregate per-run measurements.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  /// Half-width of the ~95% normal-approximation confidence interval.
+  [[nodiscard]] double ci95_half_width() const noexcept;
+
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Batch summary of a sample vector, including order statistics.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double max = 0.0;
+};
+
+/// Summarize a sample. The input is copied, not mutated.
+[[nodiscard]] Summary summarize(std::span<const double> sample);
+
+/// Linearly interpolated percentile of a *sorted* sample, q in [0, 1].
+[[nodiscard]] double percentile_sorted(std::span<const double> sorted,
+                                       double q);
+
+/// Render a summary as "mean ± sd [min, max]" with the given precision.
+[[nodiscard]] std::string format_summary(const Summary& s, int precision = 2);
+
+}  // namespace rr

@@ -1,0 +1,59 @@
+// Wall-clock stopwatch and deadline helpers used by the search engines.
+#pragma once
+
+#include <chrono>
+
+namespace rr {
+
+/// Monotonic stopwatch. Started on construction.
+class Stopwatch {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  Stopwatch() noexcept : start_(clock::now()) {}
+
+  void restart() noexcept { start_ = clock::now(); }
+
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  [[nodiscard]] std::chrono::nanoseconds elapsed() const noexcept {
+    return clock::now() - start_;
+  }
+
+ private:
+  clock::time_point start_;
+};
+
+/// A deadline that search loops poll. A non-positive budget means "no limit".
+class Deadline {
+ public:
+  Deadline() noexcept : unlimited_(true) {}
+
+  explicit Deadline(double budget_seconds) noexcept
+      : unlimited_(budget_seconds <= 0.0),
+        end_(Stopwatch::clock::now() +
+             std::chrono::duration_cast<Stopwatch::clock::duration>(
+                 std::chrono::duration<double>(
+                     budget_seconds > 0 ? budget_seconds : 0))) {}
+
+  [[nodiscard]] bool expired() const noexcept {
+    return !unlimited_ && Stopwatch::clock::now() >= end_;
+  }
+
+  [[nodiscard]] bool unlimited() const noexcept { return unlimited_; }
+
+  /// Remaining budget in seconds (infinity-ish large value when unlimited).
+  [[nodiscard]] double remaining_seconds() const noexcept {
+    if (unlimited_) return 1e30;
+    return std::chrono::duration<double>(end_ - Stopwatch::clock::now())
+        .count();
+  }
+
+ private:
+  bool unlimited_;
+  Stopwatch::clock::time_point end_{};
+};
+
+}  // namespace rr

@@ -1,0 +1,34 @@
+// Small string parsing helpers shared by the fabric / module file formats.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rr {
+
+/// Strip leading/trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s) noexcept;
+
+/// Split on a delimiter; empty fields are preserved.
+[[nodiscard]] std::vector<std::string_view> split(std::string_view s,
+                                                  char delim);
+
+/// Split on runs of whitespace; no empty fields.
+[[nodiscard]] std::vector<std::string_view> split_ws(std::string_view s);
+
+/// Parse a base-10 integer; nullopt on any trailing garbage or overflow.
+[[nodiscard]] std::optional<long> parse_int(std::string_view s) noexcept;
+
+/// Parse a double; nullopt on any trailing garbage.
+[[nodiscard]] std::optional<double> parse_double(std::string_view s) noexcept;
+
+/// True when `s` begins with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view s,
+                               std::string_view prefix) noexcept;
+
+/// Lower-case an ASCII string.
+[[nodiscard]] std::string to_lower(std::string_view s);
+
+}  // namespace rr

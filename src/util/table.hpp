@@ -1,0 +1,39 @@
+// Console table and CSV emission for the benchmark harnesses.
+//
+// Every bench binary prints its table/figure in two forms: an aligned
+// human-readable table (what the paper prints) and a machine-readable CSV
+// block (for downstream plotting), separated so scripts can grep `# csv`.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rr {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format doubles with fixed precision.
+  static std::string num(double value, int precision = 2);
+  static std::string pct(double fraction, int precision = 1);
+
+  /// Render as an aligned ASCII table.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Render as CSV (header + rows), commas in cells are escaped by quoting.
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Print both renderings to `os`, the CSV prefixed with "# csv".
+  void print(std::ostream& os, const std::string& title) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rr

@@ -1,0 +1,163 @@
+// Communication architecture: bus lanes, module attachment, and the effect
+// of the bus-alignment constraint on placement.
+#include <gtest/gtest.h>
+
+#include "comm/bus.hpp"
+#include "fpga/builders.hpp"
+#include "model/generator.hpp"
+#include "placer/placer.hpp"
+#include "placer/validator.hpp"
+
+namespace rr::comm {
+namespace {
+
+constexpr auto kBus = fpga::ResourceType::kBusMacro;
+constexpr auto kClb = fpga::ResourceType::kClb;
+
+TEST(BusRows, PeriodAndOffset) {
+  BusSpec spec;
+  spec.lane_period = 8;
+  spec.lane_offset = 1;
+  EXPECT_EQ(bus_rows(28, spec), (std::vector<int>{1, 9, 17, 25}));
+  spec.max_lanes = 2;
+  EXPECT_EQ(bus_rows(28, spec), (std::vector<int>{1, 9}));
+  spec.lane_offset = 30;
+  EXPECT_TRUE(bus_rows(28, spec).empty());
+}
+
+TEST(BusRows, RejectsBadSpec) {
+  BusSpec bad;
+  bad.lane_period = 0;
+  EXPECT_THROW(bus_rows(10, bad), InvalidInput);
+}
+
+TEST(WithBusLanes, RetypesOnlyClbTiles) {
+  fpga::Fabric fabric = fpga::make_homogeneous(10, 12);
+  fabric.set_column(4, fpga::ResourceType::kBram);
+  BusSpec spec;
+  spec.lane_period = 6;
+  spec.lane_offset = 2;
+  const fpga::Fabric with_bus = with_bus_lanes(fabric, spec);
+  EXPECT_EQ(with_bus.at(0, 2), kBus);
+  EXPECT_EQ(with_bus.at(9, 8), kBus);
+  EXPECT_EQ(with_bus.at(4, 2), fpga::ResourceType::kBram);  // untouched
+  EXPECT_EQ(with_bus.at(0, 3), kClb);                        // off-lane
+  // The original is unmodified.
+  EXPECT_EQ(fabric.at(0, 2), kClb);
+}
+
+TEST(WithBusAttachment, RetypesBottomRowLogic) {
+  // 3x2 all-CLB module.
+  const model::Module module(
+      "m", {model::ModuleGenerator::make_column_shape(6, 0, 1, 2, 0)});
+  const model::Module attached = with_bus_attachment(module, 0);
+  ASSERT_EQ(attached.shape_count(), 1);
+  const auto& shape = attached.shapes().front();
+  EXPECT_EQ(shape.demand(static_cast<int>(kBus)), 3);
+  EXPECT_EQ(shape.demand(static_cast<int>(kClb)), 3);
+  EXPECT_EQ(shape.area(), 6);  // same tiles, different types
+}
+
+TEST(WithBusAttachment, KeepsDedicatedResources) {
+  // BRAM column + CLB columns; BRAM cell in row 0 must stay BRAM.
+  const model::Module module(
+      "m", {model::ModuleGenerator::make_column_shape(6, 1, 2, 3, 0)});
+  const model::Module attached = with_bus_attachment(module, 0);
+  const auto& shape = attached.shapes().front();
+  EXPECT_EQ(shape.demand(static_cast<int>(fpga::ResourceType::kBram)), 2);
+  EXPECT_GT(shape.demand(static_cast<int>(kBus)), 0);
+}
+
+TEST(WithBusAttachment, AttachmentRowIsClamped) {
+  const model::Module module(
+      "m", {model::ModuleGenerator::make_column_shape(4, 0, 1, 2, 0)});
+  const model::Module attached = with_bus_attachment(module, 99);
+  // Clamped to the top row (y = 1).
+  const auto& shape = attached.shapes().front();
+  for (const auto& group : shape.typed()) {
+    if (group.resource != static_cast<int>(kBus)) continue;
+    for (const Point& p : group.cells.cells()) EXPECT_EQ(p.y, 1);
+  }
+}
+
+TEST(WithBusAttachment, PlacementSticksToLanes) {
+  // 24x14 device with lanes at rows 1 and 8; modules must anchor so their
+  // bottom (attachment) row hits a lane.
+  BusSpec spec;
+  spec.lane_period = 7;
+  spec.lane_offset = 1;
+  auto fabric = std::make_shared<const fpga::Fabric>(
+      with_bus_lanes(fpga::make_homogeneous(24, 14), spec));
+  const fpga::PartialRegion region(fabric);
+
+  model::GeneratorParams params;
+  params.clb_min = 6;
+  params.clb_max = 15;
+  params.bram_blocks_max = 0;
+  params.max_height = 5;
+  model::ModuleGenerator generator(params, 3);
+  const auto modules = with_bus_attachment(generator.generate_many(4), 0);
+
+  placer::PlacerOptions options;
+  options.time_limit_seconds = 2.0;
+  const auto outcome = placer::Placer(region, modules, options).place();
+  ASSERT_TRUE(outcome.solution.feasible);
+  EXPECT_TRUE(placer::validate(region, modules, outcome.solution).ok());
+  for (const auto& p : outcome.solution.placements) {
+    EXPECT_TRUE(p.y == 1 || p.y == 8)
+        << "module " << p.module << " not on a bus lane (y=" << p.y << ")";
+  }
+}
+
+TEST(WithBusAttachment, UtilizationCostOfBusAlignment) {
+  // The same workload on the same device, with and without the bus
+  // constraint: alignment can only reduce (or keep) packing quality.
+  auto plain_fabric =
+      std::make_shared<const fpga::Fabric>(fpga::make_homogeneous(30, 14));
+  BusSpec spec;
+  spec.lane_period = 7;
+  spec.lane_offset = 0;
+  auto bus_fabric = std::make_shared<const fpga::Fabric>(
+      with_bus_lanes(*plain_fabric, spec));
+
+  model::GeneratorParams params;
+  params.clb_min = 8;
+  params.clb_max = 18;
+  params.bram_blocks_max = 0;
+  params.max_height = 6;
+  model::ModuleGenerator generator(params, 11);
+  const auto modules = generator.generate_many(5);
+  const auto attached = with_bus_attachment(modules, 0);
+
+  placer::PlacerOptions options;
+  options.mode = placer::PlacerMode::kBranchAndBound;
+  options.time_limit_seconds = 5.0;
+  const fpga::PartialRegion plain_region(plain_fabric);
+  const fpga::PartialRegion bus_region(bus_fabric);
+  const auto free_outcome =
+      placer::Placer(plain_region, modules, options).place();
+  const auto bus_outcome =
+      placer::Placer(bus_region, attached, options).place();
+  ASSERT_TRUE(free_outcome.solution.feasible);
+  if (bus_outcome.solution.feasible) {
+    EXPECT_TRUE(placer::validate(bus_region, attached, bus_outcome.solution).ok());
+    // Alignment restricts placements to a subset, so with both optima
+    // proven the bus-constrained extent cannot be smaller.
+    if (free_outcome.optimal && bus_outcome.optimal) {
+      EXPECT_GE(bus_outcome.solution.extent, free_outcome.solution.extent);
+    }
+  }
+}
+
+TEST(WithBusAttachment, ModuleWithNoLogicOnRowThrows) {
+  // A module that is pure BRAM cannot attach (no logic anywhere).
+  const model::Module module(
+      "mem_only",
+      {geost::ShapeFootprint::from_typed(
+          {geost::TypedCells{static_cast<int>(fpga::ResourceType::kBram),
+                             CellSet({{0, 0}, {0, 1}})}})});
+  EXPECT_THROW(with_bus_attachment(module, 0), ModelError);
+}
+
+}  // namespace
+}  // namespace rr::comm

@@ -1,0 +1,171 @@
+// Unit + property tests for cp::Domain (range-list integer domains).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cp/domain.hpp"
+#include "util/rng.hpp"
+
+namespace rr::cp {
+namespace {
+
+TEST(Domain, IntervalConstruction) {
+  const Domain d(3, 7);
+  EXPECT_EQ(d.size(), 5);
+  EXPECT_EQ(d.min(), 3);
+  EXPECT_EQ(d.max(), 7);
+  EXPECT_TRUE(d.contains(5));
+  EXPECT_FALSE(d.contains(8));
+  EXPECT_FALSE(d.assigned());
+}
+
+TEST(Domain, EmptyWhenLoAboveHi) {
+  const Domain d(5, 4);
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.size(), 0);
+}
+
+TEST(Domain, FromValuesCoalescesRuns) {
+  const Domain d = Domain::from_values({5, 1, 2, 3, 9, 2});
+  EXPECT_EQ(d.size(), 5);
+  EXPECT_EQ(d.ranges().size(), 3u);  // 1..3, 5, 9
+  EXPECT_TRUE(d.contains(2));
+  EXPECT_FALSE(d.contains(4));
+}
+
+TEST(Domain, RemoveBelowAbove) {
+  Domain d(0, 10);
+  EXPECT_TRUE(d.remove_below(3));
+  EXPECT_EQ(d.min(), 3);
+  EXPECT_FALSE(d.remove_below(2));  // no-op
+  EXPECT_TRUE(d.remove_above(7));
+  EXPECT_EQ(d.max(), 7);
+  EXPECT_EQ(d.size(), 5);
+}
+
+TEST(Domain, RemoveValueSplitsRange) {
+  Domain d(0, 4);
+  EXPECT_TRUE(d.remove(2));
+  EXPECT_EQ(d.size(), 4);
+  EXPECT_EQ(d.ranges().size(), 2u);
+  EXPECT_FALSE(d.contains(2));
+  EXPECT_FALSE(d.remove(2));  // already gone
+}
+
+TEST(Domain, RemoveRange) {
+  Domain d(0, 9);
+  EXPECT_TRUE(d.remove_range(3, 6));
+  EXPECT_EQ(d.size(), 6);
+  EXPECT_FALSE(d.contains(4));
+  EXPECT_TRUE(d.contains(7));
+}
+
+TEST(Domain, AssignValue) {
+  Domain d(0, 9);
+  EXPECT_TRUE(d.assign_value(4));
+  EXPECT_TRUE(d.assigned());
+  EXPECT_EQ(d.value(), 4);
+  // Assigning a missing value empties the domain.
+  Domain e(0, 3);
+  e.remove(2);
+  EXPECT_TRUE(e.assign_value(2));
+  EXPECT_TRUE(e.empty());
+}
+
+TEST(Domain, NextGeq) {
+  Domain d = Domain::from_values({1, 2, 3, 7, 8});
+  int out = 0;
+  EXPECT_TRUE(d.next_geq(0, out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(d.next_geq(4, out));
+  EXPECT_EQ(out, 7);
+  EXPECT_TRUE(d.next_geq(8, out));
+  EXPECT_EQ(out, 8);
+  EXPECT_FALSE(d.next_geq(9, out));
+}
+
+TEST(Domain, Intersect) {
+  Domain a(0, 10);
+  const Domain b = Domain::from_values({2, 3, 8, 12});
+  EXPECT_TRUE(a.intersect(b));
+  EXPECT_EQ(a.values(), (std::vector<int>{2, 3, 8}));
+  EXPECT_FALSE(a.intersect(b));  // fixpoint
+}
+
+TEST(Domain, RemoveValuesSorted) {
+  Domain d(0, 9);
+  const std::vector<int> gone{0, 3, 4, 9};
+  EXPECT_TRUE(d.remove_values_sorted(gone));
+  EXPECT_EQ(d.values(), (std::vector<int>{1, 2, 5, 6, 7, 8}));
+  EXPECT_FALSE(d.remove_values_sorted(gone));
+}
+
+TEST(Domain, ForEachVisitsAscending) {
+  const Domain d = Domain::from_values({9, 1, 5});
+  std::vector<int> seen;
+  d.for_each([&](int v) { seen.push_back(v); });
+  EXPECT_EQ(seen, (std::vector<int>{1, 5, 9}));
+}
+
+TEST(Domain, ToString) {
+  EXPECT_EQ(Domain(1, 3).to_string(), "{1..3}");
+  EXPECT_EQ(Domain::from_values({1, 3}).to_string(), "{1, 3}");
+}
+
+// Property test: a Domain behaves exactly like a std::set<int> under a
+// random operation sequence.
+class DomainModelTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DomainModelTest, MatchesReferenceSet) {
+  Rng rng(GetParam());
+  Domain dom(0, 60);
+  std::set<int> ref;
+  for (int v = 0; v <= 60; ++v) ref.insert(v);
+
+  for (int step = 0; step < 300 && !ref.empty(); ++step) {
+    const int op = rng.uniform_int(0, 4);
+    const int v = rng.uniform_int(-5, 65);
+    switch (op) {
+      case 0:
+        dom.remove(v);
+        ref.erase(v);
+        break;
+      case 1:
+        dom.remove_below(v);
+        ref.erase(ref.begin(), ref.lower_bound(v));
+        break;
+      case 2:
+        dom.remove_above(v);
+        ref.erase(ref.upper_bound(v), ref.end());
+        break;
+      case 3: {
+        const int w = v + rng.uniform_int(0, 8);
+        dom.remove_range(v, w);
+        for (int x = v; x <= w; ++x) ref.erase(x);
+        break;
+      }
+      case 4: {
+        std::vector<int> batch;
+        for (int i = 0; i < 4; ++i)
+          batch.push_back(rng.uniform_int(0, 60));
+        std::sort(batch.begin(), batch.end());
+        batch.erase(std::unique(batch.begin(), batch.end()), batch.end());
+        dom.remove_values_sorted(batch);
+        for (int x : batch) ref.erase(x);
+        break;
+      }
+    }
+    ASSERT_EQ(dom.size(), static_cast<long>(ref.size()));
+    ASSERT_EQ(dom.values(), std::vector<int>(ref.begin(), ref.end()));
+    if (!ref.empty()) {
+      ASSERT_EQ(dom.min(), *ref.begin());
+      ASSERT_EQ(dom.max(), *ref.rbegin());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, DomainModelTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace rr::cp

@@ -1,0 +1,222 @@
+// Tests for the Space: modification events, trailing, propagation loop.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cp/space.hpp"
+
+namespace rr::cp {
+namespace {
+
+TEST(Space, VariableCreationAndAccess) {
+  Space s;
+  const VarId x = s.new_var(1, 5);
+  EXPECT_EQ(s.num_vars(), 1);
+  EXPECT_EQ(s.min(x), 1);
+  EXPECT_EQ(s.max(x), 5);
+  EXPECT_FALSE(s.assigned(x));
+}
+
+TEST(Space, ModificationEvents) {
+  Space s;
+  const VarId x = s.new_var(0, 10);
+  EXPECT_EQ(s.set_min(x, 0), ModEvent::kNone);
+  EXPECT_EQ(s.set_min(x, 3), ModEvent::kBounds);
+  EXPECT_EQ(s.remove(x, 5), ModEvent::kDomain);
+  EXPECT_EQ(s.set_max(x, 3), ModEvent::kAssign);
+  EXPECT_TRUE(s.assigned(x));
+  EXPECT_EQ(s.value(x), 3);
+}
+
+TEST(Space, FailureOnEmptyDomain) {
+  Space s;
+  const VarId x = s.new_var(0, 2);
+  EXPECT_EQ(s.remove_range(x, 0, 2), ModEvent::kFail);
+  EXPECT_TRUE(s.failed());
+}
+
+TEST(Space, MutatingFailedSpaceIsBenign) {
+  Space s;
+  const VarId x = s.new_var(0, 2);
+  const VarId y = s.new_var(0, 2);
+  s.fail();
+  EXPECT_EQ(s.assign(x, 1), ModEvent::kFail);
+  EXPECT_EQ(s.set_min(y, 2), ModEvent::kFail);
+  EXPECT_TRUE(s.failed());
+}
+
+TEST(Space, PushPopRestoresDomains) {
+  Space s;
+  const VarId x = s.new_var(0, 10);
+  const VarId y = s.new_var(0, 10);
+  s.set_min(x, 2);  // root-level change: permanent
+
+  s.push();
+  s.assign(x, 5);
+  s.remove(y, 7);
+  EXPECT_TRUE(s.assigned(x));
+  s.pop();
+  EXPECT_EQ(s.min(x), 2);
+  EXPECT_EQ(s.max(x), 10);
+  EXPECT_TRUE(s.dom(y).contains(7));
+}
+
+TEST(Space, NestedPushPop) {
+  Space s;
+  const VarId x = s.new_var(0, 10);
+  s.push();
+  s.set_min(x, 3);
+  s.push();
+  s.set_min(x, 6);
+  s.push();
+  s.assign(x, 8);
+  EXPECT_EQ(s.decision_level(), 3);
+  s.pop();
+  EXPECT_EQ(s.min(x), 6);
+  s.pop();
+  EXPECT_EQ(s.min(x), 3);
+  s.pop();
+  EXPECT_EQ(s.min(x), 0);
+}
+
+TEST(Space, PopClearsFailure) {
+  Space s;
+  const VarId x = s.new_var(0, 3);
+  s.push();
+  s.remove_range(x, 0, 3);
+  EXPECT_TRUE(s.failed());
+  s.pop();
+  EXPECT_FALSE(s.failed());
+  EXPECT_EQ(s.dom(x).size(), 4);
+}
+
+// A propagator that enforces x < y (bounds) and counts its activations.
+class LessThan final : public Propagator {
+ public:
+  LessThan(VarId x, VarId y, int* counter)
+      : x_(x), y_(y), counter_(counter) {}
+  void attach(Space& space, int self) override {
+    space.subscribe(x_, self, kOnBounds);
+    space.subscribe(y_, self, kOnBounds);
+  }
+  PropStatus propagate(Space& space) override {
+    ++*counter_;
+    if (space.set_max(x_, space.max(y_) - 1) == ModEvent::kFail)
+      return PropStatus::kFail;
+    if (space.set_min(y_, space.min(x_) + 1) == ModEvent::kFail)
+      return PropStatus::kFail;
+    return PropStatus::kFix;
+  }
+
+ private:
+  VarId x_, y_;
+  int* counter_;
+};
+
+TEST(Space, PropagationReachesFixpoint) {
+  Space s;
+  const VarId x = s.new_var(0, 10);
+  const VarId y = s.new_var(0, 10);
+  int count = 0;
+  s.post(std::make_unique<LessThan>(x, y, &count));
+  ASSERT_TRUE(s.propagate());
+  EXPECT_EQ(s.max(x), 9);
+  EXPECT_EQ(s.min(y), 1);
+  const int after_initial = count;
+
+  s.push();
+  s.set_min(x, 7);
+  ASSERT_TRUE(s.propagate());
+  EXPECT_EQ(s.min(y), 8);
+  EXPECT_GT(count, after_initial);
+}
+
+TEST(Space, PropagationChainAcrossPropagators) {
+  // x < y, y < z: setting x's min must cascade to z.
+  Space s;
+  const VarId x = s.new_var(0, 10);
+  const VarId y = s.new_var(0, 10);
+  const VarId z = s.new_var(0, 10);
+  int c1 = 0, c2 = 0;
+  s.post(std::make_unique<LessThan>(x, y, &c1));
+  s.post(std::make_unique<LessThan>(y, z, &c2));
+  ASSERT_TRUE(s.propagate());
+  s.push();
+  s.set_min(x, 8);
+  ASSERT_TRUE(s.propagate());
+  EXPECT_EQ(s.min(y), 9);
+  EXPECT_EQ(s.min(z), 10);
+  s.push();
+  s.set_min(y, 10);
+  EXPECT_FALSE(s.propagate());  // y < z impossible
+  EXPECT_TRUE(s.failed());
+}
+
+// Propagator that reports subsumption immediately and must not run again at
+// this level or below, but must run again after backtracking.
+class SubsumeOnce final : public Propagator {
+ public:
+  SubsumeOnce(VarId x, int* counter) : x_(x), counter_(counter) {}
+  void attach(Space& space, int self) override {
+    space.subscribe(x_, self, kOnDomain);
+  }
+  PropStatus propagate(Space&) override {
+    ++*counter_;
+    return PropStatus::kSubsumed;
+  }
+
+ private:
+  VarId x_;
+  int* counter_;
+};
+
+TEST(Space, SubsumptionIsTrailed) {
+  Space s;
+  const VarId x = s.new_var(0, 10);
+  int count = 0;
+  s.post(std::make_unique<SubsumeOnce>(x, &count));
+  s.push();
+  ASSERT_TRUE(s.propagate());
+  EXPECT_EQ(count, 1);
+  s.remove(x, 5);  // would schedule, but the propagator is subsumed
+  ASSERT_TRUE(s.propagate());
+  EXPECT_EQ(count, 1);
+  s.pop();
+  // After backtracking past the subsumption level, it runs again.
+  s.push();
+  s.remove(x, 6);
+  ASSERT_TRUE(s.propagate());
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Space, StatsCountPropagations) {
+  Space s;
+  const VarId x = s.new_var(0, 10);
+  const VarId y = s.new_var(0, 10);
+  int count = 0;
+  s.post(std::make_unique<LessThan>(x, y, &count));
+  s.propagate();
+  EXPECT_GE(s.stats().propagations, 1u);
+  EXPECT_GE(s.stats().domain_changes, 2u);
+}
+
+TEST(Space, RemoveValuesSortedEvent) {
+  Space s;
+  const VarId x = s.new_var(0, 5);
+  const std::vector<int> batch{1, 3};
+  EXPECT_EQ(s.remove_values_sorted(x, batch), ModEvent::kDomain);
+  EXPECT_EQ(s.dom(x).size(), 4);
+  const std::vector<int> rest{0, 2, 4, 5};
+  EXPECT_EQ(s.remove_values_sorted(x, rest), ModEvent::kFail);
+}
+
+TEST(Space, IntersectEvent) {
+  Space s;
+  const VarId x = s.new_var(0, 10);
+  EXPECT_EQ(s.intersect(x, Domain(2, 4)), ModEvent::kBounds);
+  EXPECT_EQ(s.intersect(x, Domain(2, 4)), ModEvent::kNone);
+  EXPECT_EQ(s.intersect(x, Domain(20, 30)), ModEvent::kFail);
+}
+
+}  // namespace
+}  // namespace rr::cp

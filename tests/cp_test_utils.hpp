@@ -1,0 +1,55 @@
+// Shared helpers for constraint/search tests: exhaustive solution
+// enumeration through the engine, and brute-force reference enumeration.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+#include "cp/brancher.hpp"
+#include "cp/search.hpp"
+#include "cp/space.hpp"
+
+namespace rr::cp::testing {
+
+using Assignment = std::vector<int>;
+
+/// All solutions of `space` projected onto `vars`, sorted, found by DFS.
+inline std::vector<Assignment> solve_all(Space& space,
+                                         const std::vector<VarId>& vars) {
+  BasicBrancher brancher(vars, VarSelect::kInputOrder, ValSelect::kMin);
+  Search search(space, brancher, {});
+  std::vector<Assignment> solutions;
+  while (search.next()) {
+    Assignment a;
+    a.reserve(vars.size());
+    for (VarId v : vars) a.push_back(space.value(v));
+    solutions.push_back(std::move(a));
+  }
+  std::sort(solutions.begin(), solutions.end());
+  return solutions;
+}
+
+/// Brute force: every assignment over the given inclusive ranges that
+/// satisfies `ok`, sorted.
+inline std::vector<Assignment> brute_force(
+    const std::vector<std::pair<int, int>>& ranges,
+    const std::function<bool(const Assignment&)>& ok) {
+  std::vector<Assignment> out;
+  Assignment current(ranges.size());
+  std::function<void(std::size_t)> rec = [&](std::size_t i) {
+    if (i == ranges.size()) {
+      if (ok(current)) out.push_back(current);
+      return;
+    }
+    for (int v = ranges[i].first; v <= ranges[i].second; ++v) {
+      current[i] = v;
+      rec(i + 1);
+    }
+  };
+  rec(0);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace rr::cp::testing

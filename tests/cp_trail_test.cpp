@@ -1,0 +1,124 @@
+// Trail stress test: a random walk of push / pop / mutate operations on a
+// Space, mirrored against a reference implementation that snapshots full
+// domain states per level. After every operation, all domains must agree.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "cp/space.hpp"
+#include "util/rng.hpp"
+
+namespace rr::cp {
+namespace {
+
+/// Reference: per-level full snapshots of every variable's value set.
+class ReferenceStore {
+ public:
+  explicit ReferenceStore(int vars, int lo, int hi) {
+    std::set<int> full;
+    for (int v = lo; v <= hi; ++v) full.insert(v);
+    current_.assign(static_cast<std::size_t>(vars), full);
+  }
+
+  void push() { stack_.push_back(current_); }
+  void pop() {
+    current_ = stack_.back();
+    stack_.pop_back();
+  }
+  [[nodiscard]] int depth() const { return static_cast<int>(stack_.size()); }
+
+  std::set<int>& dom(int v) { return current_[static_cast<std::size_t>(v)]; }
+
+ private:
+  std::vector<std::set<int>> current_;
+  std::vector<std::vector<std::set<int>>> stack_;
+};
+
+class TrailStressTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TrailStressTest, SpaceMatchesSnapshotReference) {
+  constexpr int kVars = 6;
+  constexpr int kLo = 0;
+  constexpr int kHi = 25;
+  Rng rng(GetParam());
+
+  Space space;
+  std::vector<VarId> vars;
+  for (int i = 0; i < kVars; ++i) vars.push_back(space.new_var(kLo, kHi));
+  ReferenceStore ref(kVars, kLo, kHi);
+
+  auto check_all = [&]() {
+    for (int i = 0; i < kVars; ++i) {
+      const auto& expected = ref.dom(i);
+      const Domain& actual = space.dom(vars[static_cast<std::size_t>(i)]);
+      ASSERT_EQ(actual.size(), static_cast<long>(expected.size()))
+          << "var " << i;
+      ASSERT_EQ(actual.values(),
+                std::vector<int>(expected.begin(), expected.end()))
+          << "var " << i;
+    }
+  };
+
+  for (int step = 0; step < 600; ++step) {
+    const int op = rng.uniform_int(0, 9);
+    if (op <= 1) {  // push
+      if (space.decision_level() < 12) {
+        space.push();
+        ref.push();
+      }
+    } else if (op <= 3) {  // pop
+      if (space.decision_level() > 0) {
+        space.pop();
+        ref.pop();
+      }
+    } else {  // mutate a random variable, skipping ops that would fail
+      const int i = rng.uniform_int(0, kVars - 1);
+      auto& rdom = ref.dom(i);
+      if (rdom.size() <= 1) continue;
+      const VarId v = vars[static_cast<std::size_t>(i)];
+      switch (rng.uniform_int(0, 3)) {
+        case 0: {  // raise min, keep non-empty
+          const int bound = *std::next(rdom.begin(),
+                                       static_cast<long>(rng.bounded(rdom.size() - 1)) + 1);
+          space.set_min(v, bound);
+          rdom.erase(rdom.begin(), rdom.lower_bound(bound));
+          break;
+        }
+        case 1: {  // lower max, keep non-empty
+          const int bound = *std::next(rdom.begin(),
+                                       static_cast<long>(rng.bounded(rdom.size() - 1)));
+          space.set_max(v, bound);
+          rdom.erase(rdom.upper_bound(bound), rdom.end());
+          break;
+        }
+        case 2: {  // remove an interior value
+          const int value = *std::next(rdom.begin(),
+                                       static_cast<long>(rng.bounded(rdom.size())));
+          if (rdom.size() <= 1) break;
+          space.remove(v, value);
+          rdom.erase(value);
+          break;
+        }
+        case 3: {  // assign
+          const int value = *std::next(rdom.begin(),
+                                       static_cast<long>(rng.bounded(rdom.size())));
+          space.assign(v, value);
+          rdom.clear();
+          rdom.insert(value);
+          break;
+        }
+      }
+    }
+    ASSERT_EQ(space.decision_level(), ref.depth());
+    check_all();
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrailStressTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace rr::cp

@@ -1,0 +1,211 @@
+// Fabric, builders, partial region and the .fdf format.
+#include <gtest/gtest.h>
+
+#include "fpga/builders.hpp"
+#include "fpga/fdf.hpp"
+#include "fpga/region.hpp"
+
+namespace rr::fpga {
+namespace {
+
+TEST(Resource, CharRoundTrip) {
+  for (int k = 0; k < kNumResourceTypes; ++k) {
+    const auto t = static_cast<ResourceType>(k);
+    const auto back = resource_from_char(resource_char(t));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, t);
+  }
+  EXPECT_FALSE(resource_from_char('x').has_value());
+  EXPECT_EQ(resource_from_char('b'), ResourceType::kBram);  // lower case
+}
+
+TEST(Resource, Placeability) {
+  EXPECT_TRUE(placeable(ResourceType::kClb));
+  EXPECT_TRUE(placeable(ResourceType::kIo));
+  EXPECT_FALSE(placeable(ResourceType::kStatic));
+}
+
+TEST(Fabric, ConstructionAndMutation) {
+  Fabric f(8, 4);
+  EXPECT_EQ(f.width(), 8);
+  EXPECT_EQ(f.height(), 4);
+  EXPECT_EQ(f.at(0, 0), ResourceType::kClb);
+  f.set(3, 2, ResourceType::kDsp);
+  EXPECT_EQ(f.at(3, 2), ResourceType::kDsp);
+  f.set_column(5, ResourceType::kBram);
+  for (int y = 0; y < 4; ++y) EXPECT_EQ(f.at(5, y), ResourceType::kBram);
+  f.set_rect(Rect{6, 1, 10, 2}, ResourceType::kStatic);  // clipped
+  EXPECT_EQ(f.at(7, 1), ResourceType::kStatic);
+  EXPECT_EQ(f.at(7, 0), ResourceType::kClb);
+}
+
+TEST(Fabric, RejectsDegenerateDimensions) {
+  EXPECT_THROW(Fabric(0, 5), InvalidInput);
+  EXPECT_THROW(Fabric(5, -1), InvalidInput);
+}
+
+TEST(Fabric, ResourceCounts) {
+  Fabric f(4, 2);
+  f.set_column(1, ResourceType::kBram);
+  const auto counts = f.resource_counts();
+  EXPECT_EQ(counts[static_cast<int>(ResourceType::kClb)], 6);
+  EXPECT_EQ(counts[static_cast<int>(ResourceType::kBram)], 2);
+}
+
+TEST(Builders, Homogeneous) {
+  const Fabric f = make_homogeneous(10, 5);
+  const auto counts = f.resource_counts();
+  EXPECT_EQ(counts[static_cast<int>(ResourceType::kClb)], 50);
+}
+
+TEST(Builders, ColumnarPlacesBramColumns) {
+  ColumnarSpec spec;
+  spec.bram_period = 4;
+  spec.bram_offset = 1;
+  spec.dsp_period = 0;
+  spec.center_clock_column = false;
+  spec.edge_io = false;
+  const Fabric f = make_columnar(10, 3, spec);
+  for (const int x : {1, 5, 9})
+    EXPECT_EQ(f.at(x, 0), ResourceType::kBram) << x;
+  EXPECT_EQ(f.at(2, 0), ResourceType::kClb);
+}
+
+TEST(Builders, ColumnarEdgeIoAndClock) {
+  ColumnarSpec spec;
+  spec.bram_period = 0;
+  spec.dsp_period = 0;
+  const Fabric f = make_columnar(11, 3, spec);
+  EXPECT_EQ(f.at(0, 1), ResourceType::kIo);
+  EXPECT_EQ(f.at(10, 1), ResourceType::kIo);
+  EXPECT_EQ(f.at(5, 1), ResourceType::kClock);
+}
+
+TEST(Builders, IrregularIsDeterministicPerSeed) {
+  IrregularSpec spec;
+  const Fabric a = make_irregular(40, 16, spec, 7);
+  const Fabric b = make_irregular(40, 16, spec, 7);
+  const Fabric c = make_irregular(40, 16, spec, 8);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(Builders, EvaluationDeviceHasStaticFlank) {
+  const Fabric f = make_evaluation_device();
+  EXPECT_EQ(f.width(), 120);
+  EXPECT_EQ(f.height(), 48);
+  EXPECT_EQ(f.at(110, 10), ResourceType::kStatic);
+  EXPECT_NE(f.at(50, 10), ResourceType::kStatic);
+}
+
+TEST(PartialRegion, WholeFabricExcludesStatic) {
+  auto fabric = std::make_shared<const Fabric>(make_evaluation_device());
+  const PartialRegion region(fabric);
+  EXPECT_EQ(region.width(), 120);
+  EXPECT_FALSE(region.available(110, 10));  // static flank
+  EXPECT_TRUE(region.available(1, 1));
+  const auto counts = region.available_counts();
+  EXPECT_EQ(counts[static_cast<int>(ResourceType::kStatic)], 0);
+  EXPECT_GT(counts[static_cast<int>(ResourceType::kClb)], 0);
+}
+
+TEST(PartialRegion, WindowUsesLocalCoordinates) {
+  auto fabric = std::make_shared<const Fabric>(make_homogeneous(10, 10));
+  const PartialRegion region(fabric, Rect{4, 2, 5, 6});
+  EXPECT_EQ(region.width(), 5);
+  EXPECT_EQ(region.height(), 6);
+  EXPECT_TRUE(region.available(0, 0));   // fabric (4,2)
+  EXPECT_FALSE(region.available(5, 0));  // outside window
+  EXPECT_EQ(region.total_available(), 30);
+}
+
+TEST(PartialRegion, RejectsWindowOutsideFabric) {
+  auto fabric = std::make_shared<const Fabric>(make_homogeneous(4, 4));
+  EXPECT_THROW(PartialRegion(fabric, Rect{2, 2, 4, 4}), InvalidInput);
+  EXPECT_THROW(PartialRegion(fabric, Rect{0, 0, 0, 0}), InvalidInput);
+}
+
+TEST(PartialRegion, BlockRemovesTiles) {
+  auto fabric = std::make_shared<const Fabric>(make_homogeneous(6, 6));
+  PartialRegion region(fabric);
+  region.block(Rect{0, 0, 3, 6});
+  EXPECT_FALSE(region.available(1, 1));
+  EXPECT_TRUE(region.available(3, 1));
+  EXPECT_EQ(region.total_available(), 18);
+  EXPECT_EQ(region.available_in_columns(3), 0);
+  EXPECT_EQ(region.available_in_columns(4), 6);
+}
+
+TEST(PartialRegion, MasksMatchAvailability) {
+  auto fabric = std::make_shared<const Fabric>(make_evaluation_device());
+  const PartialRegion region(fabric);
+  const auto& masks = region.masks();
+  ASSERT_EQ(masks.size(), static_cast<std::size_t>(kNumResourceTypes));
+  for (int y = 0; y < region.height(); ++y) {
+    for (int x = 0; x < region.width(); ++x) {
+      int set_count = 0;
+      for (const auto& mask : masks) set_count += mask.get(y, x);
+      EXPECT_EQ(set_count, region.available(x, y) ? 1 : 0)
+          << "tile " << x << "," << y;
+    }
+  }
+}
+
+TEST(Fdf, RoundTrip) {
+  const Fabric original = make_evaluation_device(99);
+  const Fabric parsed = parse_fdf_string(write_fdf_string(original));
+  EXPECT_EQ(parsed, original);
+  EXPECT_EQ(parsed.name(), original.name());
+}
+
+TEST(Fdf, ParsesMinimalFabric) {
+  const Fabric f = parse_fdf_string(
+      "# comment\n"
+      "fabric tiny 3 2\n"
+      "row 0 CBC\n"
+      "row 1 CCS\n");
+  EXPECT_EQ(f.width(), 3);
+  EXPECT_EQ(f.at(1, 0), ResourceType::kBram);
+  EXPECT_EQ(f.at(2, 1), ResourceType::kStatic);
+}
+
+TEST(Fdf, RowsInAnyOrder) {
+  const Fabric f = parse_fdf_string(
+      "fabric t 2 2\nrow 1 BB\nrow 0 CC\n");
+  EXPECT_EQ(f.at(0, 1), ResourceType::kBram);
+  EXPECT_EQ(f.at(0, 0), ResourceType::kClb);
+}
+
+class FdfErrorTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FdfErrorTest, RejectsMalformedInput) {
+  EXPECT_THROW(parse_fdf_string(GetParam()), InvalidInput);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, FdfErrorTest,
+    ::testing::Values(
+        "",                                          // empty
+        "row 0 CC\n",                                // row before header
+        "fabric t 0 2\nrow 0 \n",                    // zero width
+        "fabric t 2 2\nrow 0 CC\n",                  // missing row 1
+        "fabric t 2 2\nrow 0 CC\nrow 0 CC\nrow 1 CC\n",  // duplicate row
+        "fabric t 2 1\nrow 0 CCC\n",                 // row too long
+        "fabric t 2 1\nrow 0 CX\n",                  // bad character
+        "fabric t 2 1\nrow 5 CC\n",                  // row out of range
+        "fabric t 2 1\nbogus\n",                     // unknown directive
+        "fabric t 2 1\nfabric t 2 1\nrow 0 CC\n"));  // duplicate header
+
+TEST(Fdf, FileRoundTrip) {
+  const Fabric original = make_columnar(12, 6);
+  const std::string path = ::testing::TempDir() + "/rr_fabric.fdf";
+  save_fdf(path, original);
+  EXPECT_EQ(load_fdf(path), original);
+}
+
+TEST(Fdf, LoadMissingFileThrows) {
+  EXPECT_THROW(load_fdf("/nonexistent/path/x.fdf"), InvalidInput);
+}
+
+}  // namespace
+}  // namespace rr::fpga

@@ -1,0 +1,183 @@
+// Unit tests for src/geo: points, rects, D4 transforms and cell sets.
+#include <gtest/gtest.h>
+
+#include "geo/cellset.hpp"
+#include "geo/rect.hpp"
+#include "geo/transform.hpp"
+
+namespace rr {
+namespace {
+
+TEST(PointTest, Arithmetic) {
+  const Point a{1, 2}, b{3, -1};
+  EXPECT_EQ(a + b, (Point{4, 1}));
+  EXPECT_EQ(a - b, (Point{-2, 3}));
+  EXPECT_LT(a, b);  // lexicographic
+}
+
+TEST(RectTest, ContainsAndArea) {
+  const Rect r{1, 1, 3, 2};
+  EXPECT_EQ(r.area(), 6);
+  EXPECT_TRUE(r.contains(Point{1, 1}));
+  EXPECT_TRUE(r.contains(Point{3, 2}));
+  EXPECT_FALSE(r.contains(Point{4, 1}));
+  EXPECT_FALSE(r.contains(Point{1, 3}));
+}
+
+TEST(RectTest, Intersection) {
+  const Rect a{0, 0, 4, 4}, b{2, 2, 4, 4};
+  const Rect i = a.intersection(b);
+  EXPECT_EQ(i, (Rect{2, 2, 2, 2}));
+  const Rect disjoint{10, 10, 2, 2};
+  EXPECT_TRUE(a.intersection(disjoint).empty());
+  EXPECT_FALSE(a.intersects(disjoint));
+  EXPECT_TRUE(a.intersects(b));
+}
+
+TEST(RectTest, EmptyRectsNeverIntersect) {
+  const Rect empty{};
+  const Rect r{0, 0, 5, 5};
+  EXPECT_FALSE(empty.intersects(r));
+  EXPECT_FALSE(r.intersects(empty));
+}
+
+TEST(RectTest, BoundingUnion) {
+  const Rect a{0, 0, 2, 2}, b{5, 5, 1, 1};
+  EXPECT_EQ(a.bounding_union(b), (Rect{0, 0, 6, 6}));
+  EXPECT_EQ(Rect{}.bounding_union(b), b);
+  EXPECT_EQ(b.bounding_union(Rect{}), b);
+}
+
+TEST(RectTest, ContainsRect) {
+  const Rect outer{0, 0, 10, 10};
+  EXPECT_TRUE(outer.contains(Rect{2, 3, 4, 5}));
+  EXPECT_TRUE(outer.contains(outer));
+  EXPECT_FALSE(outer.contains(Rect{8, 8, 3, 3}));
+}
+
+// --- D4 group properties, checked over all elements -------------------------
+
+class TransformGroupTest : public ::testing::TestWithParam<Transform> {};
+
+TEST_P(TransformGroupTest, InverseComposesToIdentity) {
+  const Transform t = GetParam();
+  EXPECT_EQ(compose(t, inverse(t)), Transform::kIdentity);
+  EXPECT_EQ(compose(inverse(t), t), Transform::kIdentity);
+}
+
+TEST_P(TransformGroupTest, ApplyMatchesComposition) {
+  const Transform t = GetParam();
+  for (Transform u : kAllTransforms) {
+    const Transform c = compose(t, u);
+    for (const Point p : {Point{2, 5}, Point{-1, 3}, Point{0, 0}}) {
+      EXPECT_EQ(apply(c, p), apply(u, apply(t, p)))
+          << to_string(t) << " then " << to_string(u);
+    }
+  }
+}
+
+TEST_P(TransformGroupTest, PreservesOriginDistance) {
+  const Transform t = GetParam();
+  const Point p{3, 4};
+  const Point q = apply(t, p);
+  EXPECT_EQ(q.x * q.x + q.y * q.y, 25);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTransforms, TransformGroupTest,
+                         ::testing::ValuesIn(kAllTransforms),
+                         [](const auto& info) {
+                           std::string name(to_string(info.param));
+                           for (char& c : name)
+                             if (c == '-' || c == '+') c = '_';
+                           return name;
+                         });
+
+TEST(TransformTest, Rot180IsItsOwnInverse) {
+  EXPECT_EQ(compose(Transform::kRot180, Transform::kRot180),
+            Transform::kIdentity);
+}
+
+TEST(TransformTest, SwapsAxes) {
+  EXPECT_TRUE(swaps_axes(Transform::kRot90));
+  EXPECT_TRUE(swaps_axes(Transform::kRot270));
+  EXPECT_FALSE(swaps_axes(Transform::kRot180));
+  EXPECT_FALSE(swaps_axes(Transform::kMirrorX));
+}
+
+// --- CellSet ---------------------------------------------------------------
+
+TEST(CellSetTest, NormalizesToOrigin) {
+  const CellSet s({{5, 7}, {6, 7}, {5, 8}});
+  EXPECT_EQ(s.bounding_box(), (Rect{0, 0, 2, 2}));
+  EXPECT_TRUE(s.contains(Point{0, 0}));
+  EXPECT_TRUE(s.contains(Point{1, 0}));
+  EXPECT_TRUE(s.contains(Point{0, 1}));
+  EXPECT_FALSE(s.contains(Point{1, 1}));
+}
+
+TEST(CellSetTest, DeduplicatesCells) {
+  const CellSet s({{0, 0}, {0, 0}, {1, 0}});
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(CellSetTest, TranslationIsExact) {
+  const CellSet s({{0, 0}, {1, 1}});
+  const CellSet moved = s.translated(Point{3, 4});
+  EXPECT_TRUE(moved.contains(Point{3, 4}));
+  EXPECT_TRUE(moved.contains(Point{4, 5}));
+  EXPECT_EQ(moved.bounding_box(), (Rect{3, 4, 2, 2}));
+}
+
+TEST(CellSetTest, TransformRot90OfLShape) {
+  // L-shape: (0,0),(1,0),(0,1)
+  const CellSet l({{0, 0}, {1, 0}, {0, 1}});
+  const CellSet r = l.transformed(Transform::kRot90);
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_EQ(r.bounding_box(), (Rect{0, 0, 2, 2}));
+  // rot90 ccw maps (x,y)->(-y,x): {(0,0),(0,1),(-1,0)} -> normalized
+  EXPECT_TRUE(r.contains(Point{1, 0}));
+  EXPECT_TRUE(r.contains(Point{1, 1}));
+  EXPECT_TRUE(r.contains(Point{0, 0}));
+}
+
+TEST(CellSetTest, TransformTwiceRot180IsIdentity) {
+  const CellSet s({{0, 0}, {1, 0}, {2, 0}, {2, 1}});
+  EXPECT_EQ(
+      s.transformed(Transform::kRot180).transformed(Transform::kRot180), s);
+}
+
+TEST(CellSetTest, CanonicalEqualForCongruentShapes) {
+  const CellSet a({{0, 0}, {1, 0}, {0, 1}});
+  for (Transform t : kAllTransforms) {
+    const CellSet b = a.transformed(t);
+    EXPECT_EQ(a.canonical().first, b.canonical().first) << to_string(t);
+  }
+}
+
+TEST(CellSetTest, CanonicalDistinguishesDifferentShapes) {
+  const CellSet l({{0, 0}, {1, 0}, {0, 1}});
+  const CellSet bar({{0, 0}, {1, 0}, {2, 0}});
+  EXPECT_FALSE(l.canonical().first == bar.canonical().first);
+}
+
+TEST(CellSetTest, Connectivity) {
+  EXPECT_TRUE(CellSet({{0, 0}, {1, 0}, {1, 1}}).connected());
+  EXPECT_FALSE(CellSet({{0, 0}, {2, 0}}).connected());
+  EXPECT_TRUE(CellSet({{0, 0}}).connected());
+  EXPECT_TRUE(CellSet(std::vector<Point>{}).connected());
+  // Diagonal adjacency does not count (4-connectivity).
+  EXPECT_FALSE(CellSet({{0, 0}, {1, 1}}).connected());
+}
+
+TEST(CellSetTest, IsRectangle) {
+  EXPECT_TRUE(CellSet({{0, 0}, {1, 0}, {0, 1}, {1, 1}}).is_rectangle());
+  EXPECT_FALSE(CellSet({{0, 0}, {1, 0}, {0, 1}}).is_rectangle());
+}
+
+TEST(CellSetTest, ToStringPicture) {
+  const CellSet l({{0, 0}, {1, 0}, {0, 1}});
+  EXPECT_EQ(l.to_string(), "#.\n##\n");
+}
+
+}  // namespace
+}  // namespace rr

@@ -1,0 +1,252 @@
+// End-to-end flows (the Fig. 2 pipeline): fabric file -> module library ->
+// constraint model -> optimal placement -> validation and metrics, plus
+// cross-configuration invariants used by the experiment harnesses.
+#include <gtest/gtest.h>
+
+#include "rrplace.hpp"
+
+namespace rr {
+namespace {
+
+TEST(Integration, FileBasedDesignFlow) {
+  // Write a fabric and module library to disk, load both, place, validate.
+  const std::string dir = ::testing::TempDir();
+  fpga::ColumnarSpec spec;
+  spec.bram_period = 6;
+  spec.bram_offset = 3;
+  spec.dsp_period = 0;
+  spec.center_clock_column = false;
+  spec.edge_io = false;
+  fpga::save_fdf(dir + "/flow.fdf", fpga::make_columnar(24, 8, spec));
+
+  model::GeneratorParams params;
+  params.clb_min = 6;
+  params.clb_max = 18;
+  params.bram_blocks_max = 1;
+  params.bram_block_height = 2;
+  params.max_height = 6;
+  params.max_width = 5;
+  model::ModuleGenerator generator(params, 77);
+  model::save_mlf(dir + "/flow.mlf", generator.generate_many(4));
+
+  const auto fabric =
+      std::make_shared<const fpga::Fabric>(fpga::load_fdf(dir + "/flow.fdf"));
+  const fpga::PartialRegion region(fabric);
+  const auto modules = model::load_mlf(dir + "/flow.mlf");
+  ASSERT_EQ(modules.size(), 4u);
+
+  placer::PlacerOptions options;
+  options.time_limit_seconds = 3.0;
+  placer::Placer placer(region, modules, options);
+  const auto outcome = placer.place();
+  ASSERT_TRUE(outcome.solution.feasible);
+  EXPECT_TRUE(placer::validate(region, modules, outcome.solution).ok());
+  EXPECT_GT(placer::spanned_utilization(region, modules, outcome.solution),
+            0.3);
+}
+
+TEST(Integration, AlternativesNeverHurtOptimalExtent) {
+  // On fully solved instances, the with-alternatives optimum is at most
+  // the without-alternatives optimum (the base layout is always available).
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    auto fabric = std::make_shared<const fpga::Fabric>(
+        fpga::make_homogeneous(18, 6));
+    const fpga::PartialRegion region(fabric);
+    model::GeneratorParams params;
+    params.clb_min = 4;
+    params.clb_max = 12;
+    params.bram_blocks_max = 0;
+    params.max_height = 5;
+    model::ModuleGenerator generator(params, seed);
+    const auto modules = generator.generate_many(4);
+
+    placer::PlacerOptions options;
+    options.mode = placer::PlacerMode::kBranchAndBound;
+    options.time_limit_seconds = 20.0;
+    placer::Placer with(region, modules, options);
+    options.use_alternatives = false;
+    placer::Placer without(region, modules, options);
+    const auto a = with.place();
+    const auto b = without.place();
+    if (a.optimal && b.optimal && a.solution.feasible &&
+        b.solution.feasible) {
+      EXPECT_LE(a.solution.extent, b.solution.extent) << "seed " << seed;
+    }
+  }
+}
+
+TEST(Integration, ValidatorAgreesWithSolverOnManySeeds) {
+  for (std::uint64_t seed = 10; seed < 16; ++seed) {
+    auto fabric = std::make_shared<const fpga::Fabric>(
+        fpga::make_irregular(32, 12, {}, seed));
+    const fpga::PartialRegion region(fabric);
+    model::GeneratorParams params;
+    params.clb_min = 6;
+    params.clb_max = 20;
+    params.bram_blocks_max = 1;
+    params.max_height = 8;
+    params.max_width = 6;
+    model::ModuleGenerator generator(params, seed);
+    const auto modules = generator.generate_many(5);
+    placer::PlacerOptions options;
+    options.time_limit_seconds = 1.0;
+    options.seed = seed;
+    const auto outcome = placer::Placer(region, modules, options).place();
+    if (!outcome.solution.feasible) continue;
+    const auto report = placer::validate(region, modules, outcome.solution);
+    EXPECT_TRUE(report.ok())
+        << "seed " << seed << ": " << report.errors.front();
+  }
+}
+
+TEST(Integration, GreedyAnnealingCpQualityOrder) {
+  auto fabric = std::make_shared<const fpga::Fabric>(
+      fpga::make_homogeneous(28, 8));
+  const fpga::PartialRegion region(fabric);
+  model::GeneratorParams params;
+  params.clb_min = 6;
+  params.clb_max = 24;
+  params.bram_blocks_max = 0;
+  params.max_height = 7;
+  model::ModuleGenerator generator(params, 5);
+  const auto modules = generator.generate_many(7);
+
+  const auto greedy = baseline::place_greedy(region, modules);
+  baseline::AnnealingOptions sa;
+  sa.time_limit_seconds = 1.0;
+  const auto annealed = baseline::place_annealing(region, modules, sa);
+  placer::PlacerOptions options;
+  options.time_limit_seconds = 2.0;
+  const auto cp = placer::Placer(region, modules, options).place();
+
+  ASSERT_TRUE(greedy.solution.feasible);
+  ASSERT_TRUE(annealed.solution.feasible);
+  ASSERT_TRUE(cp.solution.feasible);
+  for (const auto* outcome : {&greedy, &annealed, &cp}) {
+    EXPECT_TRUE(placer::validate(region, modules, outcome->solution).ok());
+  }
+  EXPECT_LE(annealed.solution.extent, greedy.solution.extent);
+  EXPECT_LE(cp.solution.extent, greedy.solution.extent);
+}
+
+TEST(Integration, StaticRegionIsNeverUsed) {
+  auto fabric = std::make_shared<const fpga::Fabric>(
+      fpga::make_evaluation_device(3));
+  const fpga::PartialRegion region(fabric);
+  model::GeneratorParams params;
+  params.clb_min = 10;
+  params.clb_max = 40;
+  params.bram_blocks_max = 2;
+  params.max_height = 12;
+  params.max_width = 7;
+  model::ModuleGenerator generator(params, 3);
+  const auto modules = generator.generate_many(6);
+  placer::PlacerOptions options;
+  options.time_limit_seconds = 1.5;
+  const auto outcome = placer::Placer(region, modules, options).place();
+  ASSERT_TRUE(outcome.solution.feasible);
+  // No placed tile may land on the static flank (x >= 100) or any other
+  // unavailable tile — validate() checks exactly that.
+  EXPECT_TRUE(placer::validate(region, modules, outcome.solution).ok());
+  for (const auto& p : outcome.solution.placements) {
+    const auto& shape = modules[static_cast<std::size_t>(p.module)]
+                            .shapes()[static_cast<std::size_t>(p.shape)];
+    EXPECT_LE(p.x + shape.bounding_box().width, 100);
+  }
+}
+
+TEST(Integration, PortfolioIsDeterministicallyValid) {
+  auto fabric = std::make_shared<const fpga::Fabric>(
+      fpga::make_homogeneous(20, 6));
+  const fpga::PartialRegion region(fabric);
+  model::GeneratorParams params;
+  params.clb_min = 6;
+  params.clb_max = 16;
+  params.bram_blocks_max = 0;
+  params.max_height = 5;
+  model::ModuleGenerator generator(params, 9);
+  const auto modules = generator.generate_many(5);
+  placer::PlacerOptions options;
+  options.workers = 3;
+  options.time_limit_seconds = 2.0;
+  const auto outcome = placer::Placer(region, modules, options).place();
+  ASSERT_TRUE(outcome.solution.feasible);
+  EXPECT_TRUE(placer::validate(region, modules, outcome.solution).ok());
+}
+
+TEST(Integration, RendersRegenerateFigure3Layouts) {
+  // Fig. 3: same modules, with vs without alternatives, rendered; both
+  // renderings must be valid pictures of validated placements.
+  auto fabric = std::make_shared<const fpga::Fabric>([] {
+    fpga::ColumnarSpec spec;
+    spec.bram_period = 6;
+    spec.bram_offset = 3;
+    spec.dsp_period = 0;
+    spec.center_clock_column = false;
+    spec.edge_io = false;
+    return fpga::make_columnar(20, 8, spec);
+  }());
+  const fpga::PartialRegion region(fabric);
+  model::GeneratorParams params;
+  params.clb_min = 6;
+  params.clb_max = 16;
+  params.bram_blocks_max = 1;
+  params.max_height = 6;
+  params.max_width = 5;
+  model::ModuleGenerator generator(params, 31);
+  const auto modules = generator.generate_many(5);
+  for (const bool alternatives : {true, false}) {
+    placer::PlacerOptions options;
+    options.use_alternatives = alternatives;
+    options.time_limit_seconds = 1.5;
+    const auto outcome = placer::Placer(region, modules, options).place();
+    if (!outcome.solution.feasible) continue;
+    ASSERT_TRUE(placer::validate(region, modules, outcome.solution).ok());
+    const std::string ascii =
+        render::placement_ascii(region, modules, outcome.solution);
+    EXPECT_EQ(ascii.size(),
+              static_cast<std::size_t>((region.width() + 1) * region.height()));
+    const std::string svg =
+        render::placement_svg(region, modules, outcome.solution);
+    EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  }
+}
+
+TEST(Integration, BusAttachedScheduleThroughRuntimeManager) {
+  // Full stack: bus lanes on the fabric, bus-attached modules, phased
+  // schedule through the runtime manager — every phase placement must obey
+  // lane alignment (validated) and incremental transitions must keep
+  // persistent modules in place when possible.
+  comm::BusSpec bus;
+  bus.lane_period = 8;
+  bus.lane_offset = 0;
+  auto fabric = std::make_shared<const fpga::Fabric>(
+      comm::with_bus_lanes(fpga::make_homogeneous(40, 16), bus));
+  const fpga::PartialRegion region(fabric);
+
+  model::GeneratorParams params;
+  params.clb_min = 8;
+  params.clb_max = 20;
+  params.bram_blocks_max = 0;
+  params.max_height = 6;
+  model::ModuleGenerator generator(params, 41);
+  const auto pool = comm::with_bus_attachment(generator.generate_many(8), 0);
+
+  placer::PlacerOptions options;
+  options.time_limit_seconds = 0.5;
+  const runtime::ReconfigurationManager manager(region, pool, options);
+  const runtime::Schedule schedule =
+      runtime::make_rolling_schedule(8, 3, 4, 0.5, 2);
+  const runtime::RunResult result =
+      manager.run(schedule, runtime::PlacementPolicy::kIncremental);
+  EXPECT_EQ(result.infeasible_phases(), 0);
+  for (const runtime::PhaseOutcome& phase : result.phases) {
+    for (const runtime::PlacedModule& p : phase.placements) {
+      // Anchors must sit on bus lanes (rows 0, 8).
+      EXPECT_TRUE(p.y % 8 == 0) << "module " << p.module << " off-lane";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rr

@@ -1,0 +1,173 @@
+// Online placement: incremental occupancy management, removal, acceptance
+// behavior under churn, and the service-level effect of alternatives.
+#include <gtest/gtest.h>
+
+#include "baseline/online.hpp"
+#include "fpga/builders.hpp"
+#include "model/generator.hpp"
+#include "util/rng.hpp"
+
+namespace rr::baseline {
+namespace {
+
+using model::Module;
+using model::ModuleGenerator;
+
+std::shared_ptr<fpga::PartialRegion> homogeneous_region(int w, int h) {
+  auto fabric =
+      std::make_shared<const fpga::Fabric>(fpga::make_homogeneous(w, h));
+  return std::make_shared<fpga::PartialRegion>(fabric);
+}
+
+Module rect_module(const std::string& name, int w, int h) {
+  return Module(name, {ModuleGenerator::make_column_shape(w * h, 0, 1, h, 0)});
+}
+
+TEST(OnlinePlacer, PlaceAndRemoveRoundTrip) {
+  const auto region = homogeneous_region(8, 4);
+  OnlinePlacer placer(*region);
+  const Module m = rect_module("m", 2, 2);
+  const auto placement = placer.place(1, m);
+  ASSERT_TRUE(placement.has_value());
+  EXPECT_EQ(placement->x, 0);
+  EXPECT_EQ(placement->y, 0);
+  EXPECT_EQ(placer.occupied_tiles(), 4);
+  EXPECT_TRUE(placer.is_placed(1));
+  placer.remove(1);
+  EXPECT_EQ(placer.occupied_tiles(), 0);
+  EXPECT_FALSE(placer.is_placed(1));
+  // The freed space is reusable.
+  EXPECT_TRUE(placer.place(2, m).has_value());
+  EXPECT_TRUE(placer.place(3, rect_module("x", 1, 1)).has_value());
+}
+
+TEST(OnlinePlacer, RejectsDuplicateAndUnknownIds) {
+  const auto region = homogeneous_region(8, 4);
+  OnlinePlacer placer(*region);
+  ASSERT_TRUE(placer.place(7, rect_module("m", 2, 2)).has_value());
+  EXPECT_THROW(placer.place(7, rect_module("m", 1, 1)), InvalidInput);
+  EXPECT_THROW(placer.remove(99), InvalidInput);
+}
+
+TEST(OnlinePlacer, FillsBottomLeftFirst) {
+  const auto region = homogeneous_region(6, 4);
+  OnlinePlacer placer(*region);
+  const Module m = rect_module("m", 2, 2);
+  const auto a = placer.place(0, m);
+  const auto b = placer.place(1, m);
+  ASSERT_TRUE(a && b);
+  // Bottom-left order: second instance stacks above the first (same
+  // column, lower extent) before moving right.
+  EXPECT_EQ(a->x, 0);
+  EXPECT_EQ(b->x, 0);
+  EXPECT_EQ(b->y, 2);
+}
+
+TEST(OnlinePlacer, RefusesWhenFull) {
+  const auto region = homogeneous_region(4, 2);
+  OnlinePlacer placer(*region);
+  ASSERT_TRUE(placer.place(0, rect_module("m", 2, 2)).has_value());
+  ASSERT_TRUE(placer.place(1, rect_module("m", 2, 2)).has_value());
+  EXPECT_EQ(placer.place(2, rect_module("m", 2, 2)), std::nullopt);
+  EXPECT_DOUBLE_EQ(placer.occupancy(), 1.0);
+}
+
+TEST(OnlinePlacer, AlternativesRaiseAcceptance) {
+  // Tall base layout cannot fit a short region; the rotated alternative can.
+  const auto region = homogeneous_region(8, 2);
+  const Module rotatable(
+      "rot", {ModuleGenerator::make_column_shape(4, 0, 1, 4, 0),   // 1x4
+              ModuleGenerator::make_column_shape(4, 0, 1, 1, 0)}); // 4x1
+  OnlineOptions with;
+  OnlinePlacer a(*region, with);
+  EXPECT_TRUE(a.place(0, rotatable).has_value());
+  OnlineOptions without;
+  without.use_alternatives = false;
+  OnlinePlacer b(*region, without);
+  EXPECT_EQ(b.place(0, rotatable), std::nullopt);
+}
+
+TEST(OnlinePlacer, ChurnConservesOccupancyAccounting) {
+  // Random arrivals and departures; occupancy accounting must never drift.
+  const auto region = homogeneous_region(24, 10);
+  OnlinePlacer placer(*region);
+  model::GeneratorParams params;
+  params.clb_min = 4;
+  params.clb_max = 16;
+  params.bram_blocks_max = 0;
+  params.max_height = 5;
+  ModuleGenerator generator(params, 17);
+  const auto pool = generator.generate_many(6);
+
+  Rng rng(99);
+  std::vector<std::pair<int, long>> live;  // (id, area placed)
+  long expected = 0;
+  int next_id = 0;
+  for (int step = 0; step < 300; ++step) {
+    if (live.empty() || rng.chance(0.6)) {
+      const auto& module = pool[rng.pick_index(pool)];
+      const auto placement = placer.place(next_id, module);
+      if (placement) {
+        const long area =
+            module.shapes()[static_cast<std::size_t>(placement->shape)].area();
+        live.emplace_back(next_id, area);
+        expected += area;
+      } else {
+        // Rejection must not change state; clean up the failed id space.
+        EXPECT_FALSE(placer.is_placed(next_id));
+      }
+      ++next_id;
+    } else {
+      const std::size_t pick = rng.pick_index(live);
+      placer.remove(live[pick].first);
+      expected -= live[pick].second;
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    ASSERT_EQ(placer.occupied_tiles(), expected);
+    ASSERT_EQ(placer.live_count(), static_cast<int>(live.size()));
+  }
+}
+
+TEST(OnlinePlacer, AcceptanceRatioStudyUnderChurn) {
+  // The service-level claim, in miniature: with alternatives the online
+  // placer accepts at least as many requests as without, on the same
+  // arrival/departure trace.
+  const auto region = homogeneous_region(20, 8);
+  model::GeneratorParams params;
+  params.clb_min = 8;
+  params.clb_max = 24;
+  params.bram_blocks_max = 0;
+  params.max_height = 7;
+  params.min_height = 4;
+  ModuleGenerator generator(params, 23);
+  const auto pool = generator.generate_many(5);
+
+  int accepted[2] = {0, 0};
+  for (const bool alternatives : {false, true}) {
+    OnlineOptions options;
+    options.use_alternatives = alternatives;
+    OnlinePlacer placer(*region, options);
+    Rng rng(5);  // identical trace for both configurations
+    std::vector<int> live;
+    int next_id = 0;
+    for (int step = 0; step < 200; ++step) {
+      if (live.empty() || rng.chance(0.55)) {
+        const auto& module = pool[rng.pick_index(pool)];
+        if (placer.place(next_id, module)) {
+          live.push_back(next_id);
+          ++accepted[alternatives];
+        }
+        ++next_id;
+      } else {
+        const std::size_t pick = rng.pick_index(live);
+        placer.remove(live[pick]);
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+      }
+    }
+  }
+  EXPECT_GE(accepted[1], accepted[0]);
+  EXPECT_GT(accepted[0], 0);
+}
+
+}  // namespace
+}  // namespace rr::baseline

@@ -1,0 +1,99 @@
+// Exhaustive cross-check: on tiny random instances, the CP placer's proven
+// optimum must equal the optimum found by brute-force enumeration over all
+// placement combinations. This is the strongest end-to-end correctness
+// property the engine can be held to.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <limits>
+
+#include "fpga/builders.hpp"
+#include "model/generator.hpp"
+#include "placer/model_builder.hpp"
+#include "placer/placer.hpp"
+#include "placer/validator.hpp"
+
+namespace rr::placer {
+namespace {
+
+/// Brute force: try every combination of table entries, track the minimal
+/// feasible extent. Exponential — callers keep instances tiny.
+int brute_force_optimal_extent(const fpga::PartialRegion& region,
+                               std::span<const ModuleTables> tables) {
+  const std::size_t n = tables.size();
+  BitMatrix occupied(region.height(), region.width());
+  int best = std::numeric_limits<int>::max();
+
+  std::vector<int> chosen(n, -1);
+  // Recursive enumeration with the only pruning being feasibility — no
+  // bounds, so the result is an independent ground truth.
+  std::function<void(std::size_t, int)> rec = [&](std::size_t i, int extent) {
+    if (i == n) {
+      best = std::min(best, extent);
+      return;
+    }
+    const ModuleTables& t = tables[i];
+    for (std::size_t v = 0; v < t.table.size(); ++v) {
+      const geost::Placement& p = t.table[v];
+      const geost::ShapeFootprint& shape =
+          (*t.shapes)[static_cast<std::size_t>(p.shape)];
+      if (occupied.intersects_shifted(shape.mask(), p.y, p.x)) continue;
+      occupied.or_shifted(shape.mask(), p.y, p.x);
+      rec(i + 1, std::max(extent, t.extents[v]));
+      occupied.clear_shifted(shape.mask(), p.y, p.x);
+    }
+  };
+  rec(0, 0);
+  return best;
+}
+
+class OptimalityFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OptimalityFuzzTest, BranchAndBoundMatchesBruteForce) {
+  const std::uint64_t seed = GetParam();
+  // Tiny instances: 3 modules, small region with one BRAM column.
+  auto fabric = std::make_shared<const fpga::Fabric>([&] {
+    fpga::Fabric f(10, 5);
+    f.set_column(static_cast<int>(3 + seed % 4), fpga::ResourceType::kBram);
+    return f;
+  }());
+  const fpga::PartialRegion region(fabric);
+
+  model::GeneratorParams params;
+  params.clb_min = 3;
+  params.clb_max = 9;
+  params.bram_blocks_min = 0;
+  params.bram_blocks_max = 1;
+  params.bram_block_height = 2;
+  params.max_height = 4;
+  params.max_width = 3;
+  params.alternatives = 3;
+  model::ModuleGenerator generator(params, seed);
+  const auto modules = generator.generate_many(3);
+
+  const auto tables = prepare_tables(region, modules, true);
+  bool any_empty = false;
+  for (const auto& t : tables) any_empty |= t.table.empty();
+  const int expected =
+      any_empty ? std::numeric_limits<int>::max()
+                : brute_force_optimal_extent(region, tables);
+
+  PlacerOptions options;
+  options.mode = PlacerMode::kBranchAndBound;
+  options.time_limit_seconds = 30.0;
+  const PlacementOutcome outcome = Placer(region, modules, options).place();
+  ASSERT_TRUE(outcome.optimal) << "instance too hard for the test budget";
+  if (expected == std::numeric_limits<int>::max()) {
+    EXPECT_FALSE(outcome.solution.feasible) << "seed " << seed;
+  } else {
+    ASSERT_TRUE(outcome.solution.feasible) << "seed " << seed;
+    EXPECT_EQ(outcome.solution.extent, expected) << "seed " << seed;
+    EXPECT_TRUE(validate(region, modules, outcome.solution).ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimalityFuzzTest,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace rr::placer

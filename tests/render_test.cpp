@@ -1,0 +1,109 @@
+// ASCII and SVG renderers.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "fpga/builders.hpp"
+#include "model/generator.hpp"
+#include "placer/placer.hpp"
+#include "render/ascii.hpp"
+#include "render/svg.hpp"
+
+namespace rr::render {
+namespace {
+
+using model::Module;
+using model::ModuleGenerator;
+
+std::shared_ptr<fpga::PartialRegion> small_region() {
+  auto fabric = std::make_shared<const fpga::Fabric>([] {
+    fpga::Fabric f(6, 3);
+    f.set_column(2, fpga::ResourceType::kBram);
+    f.set_rect(Rect{5, 0, 1, 3}, fpga::ResourceType::kStatic);
+    return f;
+  }());
+  return std::make_shared<fpga::PartialRegion>(fabric);
+}
+
+TEST(ModuleChar, CyclesThroughAlphabet) {
+  EXPECT_EQ(module_char(0), 'A');
+  EXPECT_EQ(module_char(25), 'Z');
+  EXPECT_EQ(module_char(26), '0');
+  EXPECT_EQ(module_char(-1), '?');
+}
+
+TEST(Ascii, RegionShowsResourcesAndStatic) {
+  const auto region = small_region();
+  const std::string picture = region_ascii(*region);
+  // 3 rows of 6 characters + newlines.
+  EXPECT_EQ(picture.size(), 3u * 7u);
+  // Row content: ccbcc# (BRAM column at x=2, static at x=5).
+  EXPECT_EQ(picture.substr(0, 6), "ccbcc#");
+}
+
+TEST(Ascii, PlacementDrawsModuleLetters) {
+  const auto region = small_region();
+  const std::vector<Module> modules{
+      Module("a", {ModuleGenerator::make_column_shape(4, 0, 1, 2, 0)})};
+  placer::PlacementSolution solution;
+  solution.feasible = true;
+  solution.placements = {{0, 0, 0, 0}};  // 2x2 at origin
+  solution.extent = 2;
+  const std::string picture = placement_ascii(*region, modules, solution);
+  // Bottom row (printed last) starts with AA.
+  const auto lines_start = picture.rfind("AA");
+  EXPECT_NE(lines_start, std::string::npos);
+  // Top row (printed first) keeps the background.
+  EXPECT_EQ(picture.substr(0, 6), "ccbcc#");
+}
+
+TEST(Ascii, AnchorMaskMarksValidAnchors) {
+  const auto region = small_region();
+  const auto shape = ModuleGenerator::make_column_shape(4, 0, 1, 2, 0);
+  const std::string picture = anchor_mask_ascii(*region, shape);
+  EXPECT_NE(picture.find('*'), std::string::npos);
+}
+
+TEST(Ascii, LegendMentionsAllSymbols) {
+  const std::string text = legend();
+  for (const char* token : {"CLB", "BRAM", "static", "anchor"})
+    EXPECT_NE(text.find(token), std::string::npos) << token;
+}
+
+TEST(Svg, ContainsModuleAndBackgroundRects) {
+  const auto region = small_region();
+  const std::vector<Module> modules{
+      Module("a", {ModuleGenerator::make_column_shape(4, 0, 1, 2, 0)})};
+  placer::PlacementSolution solution;
+  solution.feasible = true;
+  solution.placements = {{0, 0, 0, 0}};
+  solution.extent = 2;
+  const std::string svg = placement_svg(*region, modules, solution);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("hsl("), std::string::npos);       // module fill
+  EXPECT_NE(svg.find("#555555"), std::string::npos);    // static fill
+  // 18 background tiles + 4 module tiles.
+  std::size_t rects = 0;
+  for (std::size_t pos = svg.find("<rect"); pos != std::string::npos;
+       pos = svg.find("<rect", pos + 1))
+    ++rects;
+  EXPECT_EQ(rects, 22u);
+}
+
+TEST(Svg, SaveWritesFile) {
+  const auto region = small_region();
+  const std::vector<Module> modules{
+      Module("a", {ModuleGenerator::make_column_shape(2, 0, 1, 1, 0)})};
+  placer::PlacementSolution solution;  // infeasible: background only
+  const std::string path = ::testing::TempDir() + "/rr_render.svg";
+  save_placement_svg(path, *region, modules, solution);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("<svg"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rr::render

@@ -1,0 +1,140 @@
+// Validator fuzzing: take solver-produced (valid) solutions, apply a
+// corrupting mutation, and require the validator to reject the result.
+// Each mutation type targets one constraint family of §III.C.
+#include <gtest/gtest.h>
+
+#include "fpga/builders.hpp"
+#include "model/generator.hpp"
+#include "placer/placer.hpp"
+#include "placer/validator.hpp"
+#include "util/rng.hpp"
+
+namespace rr::placer {
+namespace {
+
+enum class Mutation {
+  kShiftOutOfRegion,   // move a module past the region edge
+  kOverlapNeighbor,    // move a module onto another one
+  kWrongShapeIndex,    // reference a shape the module does not have
+  kMisalignResource,   // shift by one column: resource types mismatch
+  kDropModule,         // remove one placement entirely
+  kDuplicateModule,    // place one module twice
+  kLieAboutExtent,     // under-report the extent
+};
+
+struct FuzzCase {
+  Mutation mutation;
+  std::uint64_t seed;
+};
+
+class ValidatorFuzzTest : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(ValidatorFuzzTest, MutationIsRejected) {
+  const FuzzCase param = GetParam();
+  // A heterogeneous region so resource-alignment mutations can bite.
+  fpga::ColumnarSpec spec;
+  spec.bram_period = 6;
+  spec.bram_offset = 3;
+  spec.dsp_period = 0;
+  spec.center_clock_column = false;
+  spec.edge_io = false;
+  auto fabric = std::make_shared<const fpga::Fabric>(
+      fpga::make_columnar(30, 10, spec));
+  const fpga::PartialRegion region(fabric);
+
+  model::GeneratorParams params;
+  params.clb_min = 8;
+  params.clb_max = 20;
+  params.bram_blocks_min = 1;  // every module has a memory column, so the
+  params.bram_blocks_max = 1;  // misalignment mutation always breaks eq. 3
+  params.max_height = 7;
+  params.max_width = 5;
+  model::ModuleGenerator generator(params, param.seed);
+  const auto modules = generator.generate_many(4);
+
+  PlacerOptions options;
+  options.time_limit_seconds = 2.0;
+  options.seed = param.seed;
+  const PlacementOutcome outcome = Placer(region, modules, options).place();
+  ASSERT_TRUE(outcome.solution.feasible);
+  ASSERT_TRUE(validate(region, modules, outcome.solution).ok());
+
+  PlacementSolution mutated = outcome.solution;
+  Rng rng(param.seed * 31 + 7);
+  const std::size_t victim = rng.pick_index(mutated.placements);
+  switch (param.mutation) {
+    case Mutation::kShiftOutOfRegion:
+      mutated.placements[victim].x = region.width();  // clearly outside
+      break;
+    case Mutation::kOverlapNeighbor: {
+      const std::size_t other = (victim + 1) % mutated.placements.size();
+      mutated.placements[victim].x = mutated.placements[other].x;
+      mutated.placements[victim].y = mutated.placements[other].y;
+      // Verify the mutation really creates an overlap (footprints could in
+      // principle interlock); if not, this case proves nothing -- skip.
+      const auto& a = mutated.placements[victim];
+      const auto& b = mutated.placements[other];
+      BitMatrix grid(region.height(), region.width());
+      const auto& shape_a = modules[static_cast<std::size_t>(a.module)]
+                                .shapes()[static_cast<std::size_t>(a.shape)];
+      const auto& shape_b = modules[static_cast<std::size_t>(b.module)]
+                                .shapes()[static_cast<std::size_t>(b.shape)];
+      grid.or_shifted(shape_a.mask(), a.y, a.x);
+      if (!grid.intersects_shifted(shape_b.mask(), b.y, b.x))
+        GTEST_SKIP() << "footprints interlock; no overlap to detect";
+      break;
+    }
+    case Mutation::kWrongShapeIndex:
+      mutated.placements[victim].shape =
+          modules[static_cast<std::size_t>(
+                      mutated.placements[victim].module)]
+              .shape_count();
+      break;
+    case Mutation::kMisalignResource:
+      // One column over: a memory column lands on logic (or logic on a
+      // BRAM column), or the module pokes out of the region.
+      mutated.placements[victim].x += 1;
+      break;
+    case Mutation::kDropModule:
+      mutated.placements.erase(mutated.placements.begin() +
+                               static_cast<std::ptrdiff_t>(victim));
+      break;
+    case Mutation::kDuplicateModule:
+      mutated.placements.push_back(mutated.placements[victim]);
+      break;
+    case Mutation::kLieAboutExtent:
+      mutated.extent -= 1;  // no longer covers the rightmost module
+      break;
+  }
+  const ValidationReport report = validate(region, modules, mutated);
+  EXPECT_FALSE(report.ok())
+      << "mutation " << static_cast<int>(param.mutation)
+      << " slipped past the validator";
+}
+
+std::vector<FuzzCase> all_cases() {
+  std::vector<FuzzCase> cases;
+  for (const Mutation m :
+       {Mutation::kShiftOutOfRegion, Mutation::kOverlapNeighbor,
+        Mutation::kWrongShapeIndex, Mutation::kMisalignResource,
+        Mutation::kDropModule, Mutation::kDuplicateModule,
+        Mutation::kLieAboutExtent}) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed)
+      cases.push_back(FuzzCase{m, seed});
+  }
+  return cases;
+}
+
+std::string case_name(const ::testing::TestParamInfo<FuzzCase>& info) {
+  static constexpr const char* kNames[] = {
+      "ShiftOut", "Overlap",   "WrongShape", "Misalign",
+      "Drop",     "Duplicate", "WrongExtent"};
+  return std::string(kNames[static_cast<int>(info.param.mutation)]) + "_s" +
+         std::to_string(info.param.seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Mutations, ValidatorFuzzTest,
+                         ::testing::ValuesIn(all_cases()), case_name);
+
+}  // namespace
+}  // namespace rr::placer

@@ -1,0 +1,155 @@
+// rrplace command-line tool — the "interactive tool" use the paper's
+// conclusion targets: place a module library on a fabric description and
+// print/emit the floorplan.
+//
+//   rrplace_cli --fabric F.fdf --modules M.mlf [options]
+//
+// Options:
+//   --no-alternatives         place base layouts only
+//   --time-limit <seconds>    solver budget (default 5)
+//   --mode bnb|lns|auto       search mode (default auto)
+//   --workers <n>             portfolio width (default 1)
+//   --seed <n>                random seed (default 1)
+//   --svg <path>              also write an SVG floorplan
+//   --anchors <module>        print the valid-anchor mask of a module's
+//                             base shape instead of solving (Fig. 4b view)
+//   --quiet                   suppress the ASCII floorplan
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "rrplace.hpp"
+
+namespace {
+
+struct CliOptions {
+  std::string fabric_path;
+  std::string modules_path;
+  bool alternatives = true;
+  double time_limit = 5.0;
+  rr::placer::PlacerMode mode = rr::placer::PlacerMode::kAuto;
+  int workers = 1;
+  std::uint64_t seed = 1;
+  std::string svg_path;
+  std::string anchors_module;
+  bool quiet = false;
+};
+
+[[noreturn]] void usage(const char* error = nullptr) {
+  if (error != nullptr) std::cerr << "error: " << error << "\n\n";
+  std::cerr <<
+      "usage: rrplace_cli --fabric F.fdf --modules M.mlf [options]\n"
+      "  --no-alternatives, --time-limit S, --mode bnb|lns|auto,\n"
+      "  --workers N, --seed N, --svg PATH, --anchors MODULE, --quiet\n";
+  std::exit(error == nullptr ? 0 : 2);
+}
+
+CliOptions parse_args(int argc, char** argv) {
+  CliOptions options;
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage("missing argument value");
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--fabric") options.fabric_path = need_value(i);
+    else if (arg == "--modules") options.modules_path = need_value(i);
+    else if (arg == "--no-alternatives") options.alternatives = false;
+    else if (arg == "--time-limit") options.time_limit = std::atof(need_value(i));
+    else if (arg == "--workers") options.workers = std::atoi(need_value(i));
+    else if (arg == "--seed")
+      options.seed = std::strtoull(need_value(i), nullptr, 10);
+    else if (arg == "--svg") options.svg_path = need_value(i);
+    else if (arg == "--anchors") options.anchors_module = need_value(i);
+    else if (arg == "--quiet") options.quiet = true;
+    else if (arg == "--mode") {
+      const std::string mode = need_value(i);
+      if (mode == "bnb") options.mode = rr::placer::PlacerMode::kBranchAndBound;
+      else if (mode == "lns") options.mode = rr::placer::PlacerMode::kLns;
+      else if (mode == "auto") options.mode = rr::placer::PlacerMode::kAuto;
+      else usage("unknown mode");
+    } else if (arg == "--help" || arg == "-h") usage();
+    else usage(("unknown option: " + arg).c_str());
+  }
+  if (options.fabric_path.empty() || options.modules_path.empty())
+    usage("--fabric and --modules are required");
+  return options;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions cli = parse_args(argc, argv);
+  try {
+    const auto fabric = std::make_shared<const rr::fpga::Fabric>(
+        rr::fpga::load_fdf(cli.fabric_path));
+    const rr::fpga::PartialRegion region(fabric);
+    const auto modules = rr::model::load_mlf(cli.modules_path);
+    if (modules.empty()) {
+      std::cerr << "error: module library is empty\n";
+      return 2;
+    }
+
+    if (!cli.anchors_module.empty()) {
+      for (const auto& module : modules) {
+        if (module.name() != cli.anchors_module) continue;
+        std::cout << rr::render::anchor_mask_ascii(region,
+                                                   module.shapes().front())
+                  << rr::render::legend();
+        return 0;
+      }
+      std::cerr << "error: no module named '" << cli.anchors_module << "'\n";
+      return 2;
+    }
+
+    rr::placer::PlacerOptions options;
+    options.use_alternatives = cli.alternatives;
+    options.time_limit_seconds = cli.time_limit;
+    options.mode = cli.mode;
+    options.workers = cli.workers;
+    options.seed = cli.seed;
+    rr::placer::Placer placer(region, modules, options);
+    const auto outcome = placer.place();
+
+    if (!outcome.solution.feasible) {
+      std::cout << "infeasible"
+                << (outcome.optimal ? " (proven: no placement exists)" : "")
+                << '\n';
+      return 1;
+    }
+    const auto report = rr::placer::validate(region, modules, outcome.solution);
+    if (!report.ok()) {
+      std::cerr << "internal error: solution failed validation: "
+                << report.errors.front() << '\n';
+      return 3;
+    }
+    if (!cli.quiet) {
+      std::cout << rr::render::placement_ascii(region, modules,
+                                               outcome.solution)
+                << rr::render::legend();
+    }
+    std::cout << "modules: " << modules.size()
+              << "  extent: " << outcome.solution.extent
+              << (outcome.optimal ? " (optimal)" : " (best found)")
+              << "  utilization: "
+              << rr::TextTable::pct(rr::placer::spanned_utilization(
+                     region, modules, outcome.solution))
+              << "  time: " << rr::TextTable::num(outcome.seconds, 3)
+              << "s\n";
+    for (const auto& p : outcome.solution.placements) {
+      std::cout << "  " << modules[static_cast<std::size_t>(p.module)].name()
+                << " shape=" << p.shape << " at (" << p.x << "," << p.y
+                << ")\n";
+    }
+    if (!cli.svg_path.empty()) {
+      rr::render::save_placement_svg(cli.svg_path, region, modules,
+                                     outcome.solution);
+      std::cout << "SVG written to " << cli.svg_path << '\n';
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 2;
+  }
+}
