@@ -2,8 +2,10 @@
 #pragma once
 
 #include <cstdint>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <string>
 
 #include "rrplace.hpp"
 #include "util/env.hpp"
@@ -37,6 +39,84 @@ struct EvalConfig {
        << " time_limit=" << time_limit << "s seed=" << seed
        << "  (set RRPLACE_FULL=1 for the paper-scale run)\n";
   }
+
+  [[nodiscard]] json::Value to_json() const {
+    json::Value doc = json::Value::object();
+    doc.set("runs", json::Value(runs));
+    doc.set("modules", json::Value(modules));
+    doc.set("time_limit", json::Value(time_limit));
+    doc.set("seed", json::Value(seed));
+    return doc;
+  }
+};
+
+/// Observability hook for bench harnesses. Construct it first thing in
+/// main(): when $RRPLACE_BENCH_JSON is set (1 for the default location,
+/// anything else as a directory), it enables metrics collection and, on
+/// destruction, writes an `rrplace-bench-v1` record
+///
+///   {"schema", "bench", "config", "results", "metrics"}
+///
+/// to BENCH_<name>.json — the trajectory file CI archives and
+/// tools/check_stats_json validates. Add result rows via add_result().
+class StatsJsonWriter {
+ public:
+  StatsJsonWriter(std::string bench_name, const EvalConfig& config)
+      : name_(std::move(bench_name)) {
+    const std::string mode = env_string("RRPLACE_BENCH_JSON", "");
+    if (mode.empty() || mode == "0") return;
+    enabled_ = true;
+    directory_ = mode == "1" ? std::string(".") : mode;
+    metrics::set_enabled(true);
+    config_ = config.to_json();
+  }
+
+  StatsJsonWriter(const StatsJsonWriter&) = delete;
+  StatsJsonWriter& operator=(const StatsJsonWriter&) = delete;
+
+  /// Record one named result (means, ratios, ... — harness-defined).
+  void add_result(std::string_view key, json::Value value) {
+    results_.set(key, std::move(value));
+  }
+
+  /// Summaries get the standard {count, mean, min, max} shape.
+  void add_result(std::string_view key, const RunningStats& stats) {
+    json::Value entry = json::Value::object();
+    entry.set("count", json::Value(stats.count()));
+    entry.set("mean", json::Value(stats.mean()));
+    entry.set("min", json::Value(stats.count() ? stats.min() : 0.0));
+    entry.set("max", json::Value(stats.count() ? stats.max() : 0.0));
+    results_.set(key, std::move(entry));
+  }
+
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  ~StatsJsonWriter() {
+    if (!enabled_) return;
+    json::Value doc = json::Value::object();
+    doc.set("schema", json::Value("rrplace-bench-v1"));
+    doc.set("bench", json::Value(name_));
+    doc.set("config", config_.is_object() ? std::move(config_)
+                                          : json::Value::object());
+    doc.set("results", results_.is_object() ? std::move(results_)
+                                            : json::Value::object());
+    doc.set("metrics", metrics::global().to_json());
+    const std::string path = directory_ + "/BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    if (out) {
+      out << doc.dump(2) << '\n';
+      std::cout << "# bench record written to " << path << '\n';
+    } else {
+      std::cerr << "# cannot write bench record to " << path << '\n';
+    }
+  }
+
+ private:
+  std::string name_;
+  bool enabled_ = false;
+  std::string directory_;
+  json::Value config_;
+  json::Value results_ = json::Value::object();
 };
 
 /// The paper's evaluation workload generator (§V.A): 20-100 CLBs, 0-4

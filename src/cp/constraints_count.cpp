@@ -11,7 +11,7 @@ class Count final : public Propagator {
  public:
   Count(std::vector<VarId> vars, int value, bool need_leq, bool need_geq,
         int n)
-      : Propagator(PropPriority::kLinear),
+      : Propagator(PropPriority::kLinear, PropKind::kCount),
         vars_(std::move(vars)),
         value_(value),
         need_leq_(need_leq),

@@ -12,7 +12,8 @@ namespace {
 class Distinct final : public Propagator {
  public:
   explicit Distinct(std::vector<VarId> vars)
-      : Propagator(PropPriority::kLinear), vars_(std::move(vars)) {}
+      : Propagator(PropPriority::kLinear, PropKind::kDistinct),
+        vars_(std::move(vars)) {}
 
   void attach(Space& space, int self) override {
     for (VarId v : vars_) space.subscribe(v, self, kOnAssign);

@@ -15,7 +15,7 @@ namespace {
 class Element final : public Propagator {
  public:
   Element(std::vector<int> table, VarId index, VarId result)
-      : Propagator(PropPriority::kLinear),
+      : Propagator(PropPriority::kLinear, PropKind::kElement),
         table_(std::move(table)),
         index_(index),
         result_(result) {}

@@ -12,7 +12,7 @@ class Linear final : public Propagator {
  public:
   Linear(std::vector<int> coeffs, std::vector<VarId> vars, bool equality,
          int rhs)
-      : Propagator(PropPriority::kLinear),
+      : Propagator(PropPriority::kLinear, PropKind::kLinear),
         coeffs_(std::move(coeffs)),
         vars_(std::move(vars)),
         equality_(equality),

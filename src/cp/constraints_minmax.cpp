@@ -14,7 +14,7 @@ namespace {
 class MaxOf final : public Propagator {
  public:
   MaxOf(VarId z, std::vector<VarId> xs, bool is_max)
-      : Propagator(PropPriority::kLinear),
+      : Propagator(PropPriority::kLinear, PropKind::kMinMax),
         z_(z),
         xs_(std::move(xs)),
         is_max_(is_max) {}

@@ -10,7 +10,8 @@ namespace {
 class ReifiedRelConst final : public Propagator {
  public:
   ReifiedRelConst(VarId x, RelOp op, int c, VarId b)
-      : Propagator(PropPriority::kUnary), x_(x), op_(op), c_(c), b_(b) {}
+      : Propagator(PropPriority::kUnary, PropKind::kReified),
+        x_(x), op_(op), c_(c), b_(b) {}
 
   void attach(Space& space, int self) override {
     space.subscribe(x_, self, kOnDomain);

@@ -10,7 +10,8 @@ namespace {
 class BinaryRel final : public Propagator {
  public:
   BinaryRel(VarId x, RelOp op, VarId y, int offset)
-      : Propagator(PropPriority::kUnary), x_(x), op_(op), y_(y), offset_(offset) {}
+      : Propagator(PropPriority::kUnary, PropKind::kRel),
+        x_(x), op_(op), y_(y), offset_(offset) {}
 
   void attach(Space& space, int self) override {
     const unsigned mask = op_ == RelOp::kEq ? kOnDomain : kOnBounds;

@@ -12,7 +12,7 @@ namespace {
 class PositiveTable final : public Propagator {
  public:
   PositiveTable(std::vector<VarId> vars, std::vector<std::vector<int>> tuples)
-      : Propagator(PropPriority::kLinear),
+      : Propagator(PropPriority::kLinear, PropKind::kTable),
         vars_(std::move(vars)),
         tuples_(std::move(tuples)) {}
 

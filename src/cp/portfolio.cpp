@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "util/error.hpp"
+#include "util/stopwatch.hpp"
 
 namespace rr::cp {
 namespace {
@@ -12,6 +13,7 @@ namespace {
 struct SharedState {
   std::atomic<long> bound{kNoBound};
   std::atomic<bool> stop{false};
+  Stopwatch watch;   // portfolio launch time, for the incumbent timeline
   std::mutex mutex;  // guards the fields below
   PortfolioResult result;
 };
@@ -27,7 +29,9 @@ void run_worker(int index, PortfolioModel& model, const SearchLimits& limits,
 
   while (search.next()) {
     const long objective = model.space->min(model.objective);
+    const double at = shared.watch.seconds();
     std::lock_guard<std::mutex> lock(shared.mutex);
+    shared.result.incumbents.push_back(IncumbentEvent{index, at, objective});
     // Another worker may have found an equal or better solution while this
     // one was propagating; keep only strict improvements.
     if (!shared.result.found || objective < shared.result.objective) {
@@ -43,11 +47,8 @@ void run_worker(int index, PortfolioModel& model, const SearchLimits& limits,
 
   const SearchStats& stats = search.stats();
   std::lock_guard<std::mutex> lock(shared.mutex);
-  shared.result.total.nodes += stats.nodes;
-  shared.result.total.fails += stats.fails;
-  shared.result.total.solutions += stats.solutions;
-  shared.result.total.max_depth =
-      std::max(shared.result.total.max_depth, stats.max_depth);
+  shared.result.total.merge(stats);
+  shared.result.space.merge(model.space->stats());
   if (stats.complete) {
     shared.result.complete = true;
     // Optimality proved: stop the siblings.

@@ -26,9 +26,19 @@ struct PortfolioModel {
   std::vector<VarId> report;
 };
 
-/// Builds the model for worker `index`; must be safe to call concurrently
-/// is NOT required — all models are built sequentially before threads start.
+/// Builds the model for worker `index`. Thread safety is NOT required:
+/// minimize_portfolio invokes the factory sequentially, for every worker,
+/// on the calling thread, before any worker thread starts — factories may
+/// freely share mutable state (typically one problem description).
 using PortfolioFactory = std::function<PortfolioModel(int index)>;
+
+/// One improving solution found by some worker, stamped with the wall time
+/// since the portfolio launched — the per-worker incumbent timeline.
+struct IncumbentEvent {
+  int worker = -1;
+  double seconds = 0.0;
+  long objective = 0;
+};
 
 struct PortfolioResult {
   bool found = false;
@@ -37,6 +47,11 @@ struct PortfolioResult {
   bool complete = false;        // some worker proved optimality
   int winner = -1;              // worker that produced the best solution
   SearchStats total;            // summed across workers
+  SpaceStats space;             // propagation counters summed across workers
+  /// Every solution any worker reported, in discovery order. Objectives are
+  /// not globally monotone: a worker only reports improvements over the
+  /// *shared* bound it observed when its search began propagating.
+  std::vector<IncumbentEvent> incumbents;
 };
 
 /// Run `workers` B&B searches in parallel (sequentially when workers == 1).

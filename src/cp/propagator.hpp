@@ -18,8 +18,9 @@ class Space;
 
 class Propagator {
  public:
-  explicit Propagator(PropPriority priority = PropPriority::kLinear)
-      : priority_(priority) {}
+  explicit Propagator(PropPriority priority = PropPriority::kLinear,
+                      PropKind kind = PropKind::kOther)
+      : priority_(priority), kind_(kind) {}
   virtual ~Propagator() = default;
 
   Propagator(const Propagator&) = delete;
@@ -35,8 +36,12 @@ class Propagator {
 
   [[nodiscard]] PropPriority priority() const noexcept { return priority_; }
 
+  /// Metrics bucket this propagator's runs are accounted under.
+  [[nodiscard]] PropKind kind() const noexcept { return kind_; }
+
  private:
   PropPriority priority_;
+  PropKind kind_;
 };
 
 }  // namespace rr::cp

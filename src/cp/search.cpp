@@ -153,15 +153,9 @@ MinimizeResult minimize_with_restarts(
       result.assignment.reserve(report.size());
       for (VarId v : report) result.assignment.push_back(space.min(v));
     }
-    result.stats.nodes += search.stats().nodes;
-    result.stats.fails += search.stats().fails;
-    result.stats.solutions += search.stats().solutions;
-    result.stats.max_depth =
-        std::max(result.stats.max_depth, search.stats().max_depth);
-    if (search.stats().complete) {
-      result.stats.complete = true;
-      break;
-    }
+    result.stats.merge(search.stats());
+    result.stats.restarts = static_cast<std::uint64_t>(restart) + 1;
+    if (search.stats().complete) break;
     // Stop when the global limits (not this restart's budget) fired.
     if (limits.deadline.expired()) break;
     if (limits.max_fails != 0 && result.stats.fails >= limits.max_fails) break;

@@ -31,9 +31,22 @@ struct SearchStats {
   std::uint64_t fails = 0;
   std::uint64_t solutions = 0;
   int max_depth = 0;
+  /// Restart count (minimize_with_restarts); 0 for single-descent engines.
+  std::uint64_t restarts = 0;
   /// True when the search tree was exhausted (proof of optimality /
   /// unsatisfiability), false when a limit stopped the search.
   bool complete = false;
+
+  /// Sum another engine's counters into this one (restarts, LNS rounds,
+  /// portfolio workers). `complete` stays an OR: any proof is a proof.
+  void merge(const SearchStats& other) noexcept {
+    nodes += other.nodes;
+    fails += other.fails;
+    solutions += other.solutions;
+    max_depth = max_depth > other.max_depth ? max_depth : other.max_depth;
+    restarts += other.restarts;
+    complete = complete || other.complete;
+  }
 };
 
 inline constexpr long kNoBound = std::numeric_limits<long>::max();

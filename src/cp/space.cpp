@@ -2,7 +2,16 @@
 
 #include <algorithm>
 
+#include "util/metrics.hpp"
+#include "util/stopwatch.hpp"
+
 namespace rr::cp {
+
+Space::Space() {
+#ifndef RRPLACE_DISABLE_METRICS
+  collect_metrics_ = metrics::enabled();
+#endif
+}
 
 VarId Space::new_var(int lo, int hi) { return new_var(Domain(lo, hi)); }
 
@@ -136,8 +145,26 @@ bool Space::propagate() {
     scheduled_[static_cast<std::size_t>(prop)] = false;
     if (subsumed_[static_cast<std::size_t>(prop)]) continue;
     ++stats_.propagations;
-    const PropStatus status =
-        propagators_[static_cast<std::size_t>(prop)]->propagate(*this);
+    Propagator& propagator = *propagators_[static_cast<std::size_t>(prop)];
+    PropStatus status;
+#ifndef RRPLACE_DISABLE_METRICS
+    if (collect_metrics_) {
+      auto& bucket =
+          stats_.by_kind[static_cast<std::size_t>(propagator.kind())];
+      ++bucket.runs;
+      const std::uint64_t changes_before = stats_.domain_changes;
+      Stopwatch watch;
+      status = propagator.propagate(*this);
+      bucket.time_ns +=
+          static_cast<std::uint64_t>(watch.elapsed().count());
+      bucket.prunings += stats_.domain_changes - changes_before;
+      if (status == PropStatus::kFail || failed_) ++bucket.failures;
+    } else {
+      status = propagator.propagate(*this);
+    }
+#else
+    status = propagator.propagate(*this);
+#endif
     if (status == PropStatus::kFail) failed_ = true;
     if (status == PropStatus::kSubsumed) {
       subsumed_[static_cast<std::size_t>(prop)] = true;

@@ -7,6 +7,7 @@
 // popping choice points cheap.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -17,15 +18,46 @@
 
 namespace rr::cp {
 
+/// Per-propagator-kind counters: where propagation effort goes and which
+/// constraint families actually prune or fail. Time is only collected when
+/// metrics collection is enabled (rr::metrics::enabled() at Space
+/// construction); the counts are always cheap enough to keep.
+struct PropKindStats {
+  std::uint64_t runs = 0;      // propagate() invocations
+  std::uint64_t failures = 0;  // runs that detected inconsistency
+  std::uint64_t prunings = 0;  // domain changes made during those runs
+  std::uint64_t time_ns = 0;   // cumulative wall time (0 when disabled)
+};
+
 /// Counters exposed for search statistics and the micro-benchmarks.
 struct SpaceStats {
   std::uint64_t propagations = 0;  // propagate() calls on propagators
   std::uint64_t domain_changes = 0;
+  /// Buckets indexed by int(PropKind); populated only while metrics
+  /// collection is enabled (see rr::metrics::enabled()).
+  std::array<PropKindStats, kNumPropKinds> by_kind{};
+
+  /// Sum another space's counters into this one (portfolio aggregation).
+  void merge(const SpaceStats& other) noexcept {
+    propagations += other.propagations;
+    domain_changes += other.domain_changes;
+    for (int k = 0; k < kNumPropKinds; ++k) {
+      auto& mine = by_kind[static_cast<std::size_t>(k)];
+      const auto& theirs = other.by_kind[static_cast<std::size_t>(k)];
+      mine.runs += theirs.runs;
+      mine.failures += theirs.failures;
+      mine.prunings += theirs.prunings;
+      mine.time_ns += theirs.time_ns;
+    }
+  }
 };
 
 class Space {
  public:
-  Space() = default;
+  /// Snapshots rr::metrics::enabled() at construction: per-kind metrics are
+  /// collected for the space's whole lifetime or not at all, so the hot
+  /// propagation loop tests one cached bool instead of an atomic.
+  Space();
   Space(const Space&) = delete;
   Space& operator=(const Space&) = delete;
 
@@ -122,6 +154,7 @@ class Space {
 
   bool failed_ = false;
   SpaceStats stats_;
+  bool collect_metrics_ = false;  // rr::metrics::enabled() at construction
 };
 
 }  // namespace rr::cp

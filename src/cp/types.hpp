@@ -35,4 +35,39 @@ enum PropCond : unsigned {
 enum class PropPriority : int { kUnary = 0, kLinear = 1, kGlobal = 2 };
 inline constexpr int kNumPriorities = 3;
 
+/// Propagator family, for per-kind solver metrics (runs / failures /
+/// prunings / time bucketed by constraint type). Purely observational:
+/// scheduling only ever looks at PropPriority.
+enum class PropKind : int {
+  kRel = 0,      // binary relations (x op y + c)
+  kLinear,       // linear sums
+  kElement,      // result == table[index]
+  kMinMax,       // z == min/max(xs)
+  kDistinct,     // all-different
+  kCount,        // occurrence counting
+  kReified,      // b <-> (x op c)
+  kTable,        // positive table / GAC
+  kGeost,        // geost-style non-overlap over resource-typed boxes
+  kOther,        // anything user-defined that doesn't declare a kind
+};
+inline constexpr int kNumPropKinds = 10;
+
+/// Stable lowercase name of a kind ("linear", "geost-nonoverlap", ...),
+/// used as the JSON key in emitted stats.
+[[nodiscard]] constexpr const char* prop_kind_name(PropKind kind) noexcept {
+  switch (kind) {
+    case PropKind::kRel: return "rel";
+    case PropKind::kLinear: return "linear";
+    case PropKind::kElement: return "element";
+    case PropKind::kMinMax: return "minmax";
+    case PropKind::kDistinct: return "distinct";
+    case PropKind::kCount: return "count";
+    case PropKind::kReified: return "reified";
+    case PropKind::kTable: return "table";
+    case PropKind::kGeost: return "geost-nonoverlap";
+    case PropKind::kOther: return "other";
+  }
+  return "other";
+}
+
 }  // namespace rr::cp

@@ -9,7 +9,7 @@ class NonOverlap final : public cp::Propagator {
  public:
   NonOverlap(std::vector<GeostObject> objects, int width, int height,
              NonOverlapOptions options)
-      : cp::Propagator(cp::PropPriority::kGlobal),
+      : cp::Propagator(cp::PropPriority::kGlobal, cp::PropKind::kGeost),
         objects_(std::move(objects)),
         width_(width),
         height_(height),

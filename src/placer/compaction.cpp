@@ -4,6 +4,7 @@
 
 #include "placer/lns.hpp"
 #include "placer/validator.hpp"
+#include "util/metrics.hpp"
 
 namespace rr::placer {
 
@@ -50,6 +51,9 @@ CompactionResult compact(const fpga::PartialRegion& region,
       improve_lns(region, tables, incumbent, build_options, lns_options,
                   Deadline(options.time_limit_seconds));
 
+  RR_METRIC_COUNT("placer.compaction.passes");
+  RR_METRIC_ADD("placer.compaction.iterations",
+                static_cast<std::uint64_t>(lns.iterations));
   result.iterations = lns.iterations;
   result.optimal = lns.optimal;
   if (lns.extent >= solution.extent) {
@@ -73,6 +77,8 @@ CompactionResult compact(const fpga::PartialRegion& region,
   }
   result.extent_after = result.solution.extent;
   RR_ASSERT(result.extent_after <= result.extent_before);
+  RR_METRIC_ADD("placer.compaction.relocations",
+                static_cast<std::uint64_t>(result.relocated));
   return result;
 }
 

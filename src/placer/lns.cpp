@@ -4,6 +4,7 @@
 
 #include "placer/brancher.hpp"
 #include "util/log.hpp"
+#include "util/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace rr::placer {
@@ -28,13 +29,6 @@ int area_lower_bound(const fpga::PartialRegion& region,
     if (region.available_in_columns(c) >= total_min_area) return c;
   }
   return region.width() + 1;
-}
-
-void accumulate(cp::SearchStats& total, const cp::SearchStats& stats) {
-  total.nodes += stats.nodes;
-  total.fails += stats.fails;
-  total.solutions += stats.solutions;
-  total.max_depth = std::max(total.max_depth, stats.max_depth);
 }
 
 }  // namespace
@@ -126,6 +120,7 @@ LnsResult improve_lns(const fpga::PartialRegion& region,
                            << " relaxed=" << relaxed_count << " extent "
                            << result.extent << " -> " << new_extent
                            << " fails=" << search.stats().fails);
+      if (new_extent < result.extent) ++result.improvements;
       result.extent = new_extent;
     } else {
       RR_DEBUG("lns iter " << result.iterations << (strict ? " strict" : " sideways")
@@ -133,10 +128,19 @@ LnsResult improve_lns(const fpga::PartialRegion& region,
                            << " no solution (fails=" << search.stats().fails
                            << ", complete=" << search.stats().complete << ")");
     }
-    accumulate(result.stats, search.stats());
+    // A completed sub-search only exhausted its restricted neighborhood —
+    // never fold that into `complete`, which callers read as a global proof.
+    cp::SearchStats iteration_stats = search.stats();
+    iteration_stats.complete = false;
+    result.stats.merge(iteration_stats);
+    result.space_stats.merge(space.stats());
   }
 
   result.optimal = result.extent <= lower_bound;
+  RR_METRIC_ADD("placer.lns.iterations",
+                static_cast<std::uint64_t>(result.iterations));
+  RR_METRIC_ADD("placer.lns.improvements",
+                static_cast<std::uint64_t>(result.improvements));
   return result;
 }
 

@@ -38,7 +38,9 @@ struct LnsResult {
   int extent = 0;
   bool optimal = false;  // extent reached the area lower bound
   cp::SearchStats stats; // summed over iterations
+  cp::SpaceStats space_stats;  // propagation counters summed over iterations
   int iterations = 0;
+  int improvements = 0;  // iterations that reduced the extent
 };
 
 /// Improve from `incumbent` (table index per module; must be a feasible

@@ -3,12 +3,14 @@
 #include <algorithm>
 
 #include "util/log.hpp"
+#include "util/metrics.hpp"
 
 namespace rr::placer {
 
 std::vector<ModuleTables> prepare_tables(
     const fpga::PartialRegion& region,
     std::span<const model::Module> modules, bool use_alternatives) {
+  metrics::ScopedTimer timer("placer.prepare_tables");
   std::vector<ModuleTables> tables;
   tables.reserve(modules.size());
   for (const model::Module& module : modules) {

@@ -4,6 +4,7 @@
 
 #include <vector>
 
+#include "cp/portfolio.hpp"
 #include "cp/search.hpp"
 #include "geo/rect.hpp"
 
@@ -32,6 +33,12 @@ struct PlacementOutcome {
   double seconds = 0.0;
   bool optimal = false;  // search proved the extent minimal
   cp::SearchStats stats;
+  /// Propagation counters of the solve, summed over portfolio workers and
+  /// LNS iterations. Per-kind buckets fill only while metrics collection is
+  /// enabled (rr::metrics::enabled()).
+  cp::SpaceStats space_stats;
+  /// Incumbent timeline (portfolio mode only; empty otherwise).
+  std::vector<cp::IncumbentEvent> incumbents;
 };
 
 }  // namespace rr::placer

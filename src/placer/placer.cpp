@@ -2,6 +2,7 @@
 
 #include "cp/portfolio.hpp"
 #include "placer/lns.hpp"
+#include "util/metrics.hpp"
 #include "util/stopwatch.hpp"
 
 namespace rr::placer {
@@ -43,6 +44,17 @@ Placer::Placer(const fpga::PartialRegion& region,
 }
 
 PlacementOutcome Placer::place() const {
+  metrics::ScopedTimer timer("placer.place");
+  RR_METRIC_COUNT("placer.solves");
+  // "Alternatives tried" in the paper's sense: layouts the model may pick.
+  if (metrics::enabled()) {
+    std::uint64_t alternatives = 0;
+    for (const model::Module& module : modules_)
+      alternatives += static_cast<std::uint64_t>(
+          options_.use_alternatives ? module.shape_count() : 1);
+    RR_METRIC_ADD("placer.modules", modules_.size());
+    RR_METRIC_ADD("placer.alternatives_considered", alternatives);
+  }
   if (options_.workers > 1) return place_portfolio();
   switch (options_.mode) {
     case PlacerMode::kBranchAndBound: return place_single();
@@ -76,6 +88,7 @@ PlacementOutcome Placer::place_restarts() const {
       *model.space, make_brancher, model.objective, model.placement_vars,
       to_limits(options_));
   outcome.stats = result.stats;
+  outcome.space_stats = model.space->stats();
   outcome.optimal = result.stats.complete;
   if (result.found)
     outcome.solution = extract_solution(model, result.assignment);
@@ -127,6 +140,7 @@ PlacementOutcome Placer::place_lns_mode(bool exact_first) const {
     if (!exact_first) break;  // the first descent is the LNS seed
   }
   outcome.stats = search.stats();
+  outcome.space_stats = model.space->stats();
   if (incumbent.empty()) {
     // No solution yet: fall back to pure B&B semantics (likely infeasible
     // or the deadline was too tight even for one descent).
@@ -149,9 +163,8 @@ PlacementOutcome Placer::place_lns_mode(bool exact_first) const {
   lns_options.seed = options_.seed ^ 0xC0FFEEULL;
   const LnsResult lns = improve_lns(region_, tables, incumbent,
                                     build_options, lns_options, deadline);
-  outcome.stats.nodes += lns.stats.nodes;
-  outcome.stats.fails += lns.stats.fails;
-  outcome.stats.solutions += lns.stats.solutions;
+  outcome.stats.merge(lns.stats);
+  outcome.space_stats.merge(lns.space_stats);
   outcome.optimal = lns.optimal;
   outcome.solution = extract_solution(model, lns.placement_values);
   outcome.seconds = watch.seconds();
@@ -174,6 +187,7 @@ PlacementOutcome Placer::place_single() const {
       cp::minimize(*model.space, *brancher, model.objective,
                    model.placement_vars, to_limits(options_));
   outcome.stats = result.stats;
+  outcome.space_stats = model.space->stats();
   // A completed search is a proof either way: of optimality when a solution
   // was found, of infeasibility otherwise.
   outcome.optimal = result.stats.complete;
@@ -217,6 +231,8 @@ PlacementOutcome Placer::place_portfolio() const {
       cp::minimize_portfolio(factory, options_.workers, to_limits(options_));
   outcome.stats = result.total;
   outcome.stats.complete = result.complete;
+  outcome.space_stats = result.space;
+  outcome.incumbents = result.incumbents;
   outcome.optimal = result.complete;
   if (result.found)
     outcome.solution = extract_solution(reference, result.assignment);

@@ -1,0 +1,94 @@
+#include "placer/stats_json.hpp"
+
+#include "placer/metrics.hpp"
+#include "util/metrics.hpp"
+
+namespace rr::placer {
+
+json::Value search_stats_json(const cp::SearchStats& stats) {
+  json::Value doc = json::Value::object();
+  doc.set("nodes", json::Value(stats.nodes));
+  doc.set("fails", json::Value(stats.fails));
+  doc.set("solutions", json::Value(stats.solutions));
+  doc.set("max_depth", json::Value(stats.max_depth));
+  doc.set("restarts", json::Value(stats.restarts));
+  doc.set("complete", json::Value(stats.complete));
+  return doc;
+}
+
+json::Value space_stats_json(const cp::SpaceStats& stats) {
+  json::Value doc = json::Value::object();
+  json::Value space = json::Value::object();
+  space.set("propagations", json::Value(stats.propagations));
+  space.set("domain_changes", json::Value(stats.domain_changes));
+  doc.set("space", std::move(space));
+  json::Value kinds = json::Value::object();
+  for (int k = 0; k < cp::kNumPropKinds; ++k) {
+    const cp::PropKindStats& bucket =
+        stats.by_kind[static_cast<std::size_t>(k)];
+    json::Value entry = json::Value::object();
+    entry.set("runs", json::Value(bucket.runs));
+    entry.set("failures", json::Value(bucket.failures));
+    entry.set("prunings", json::Value(bucket.prunings));
+    entry.set("seconds",
+              json::Value(static_cast<double>(bucket.time_ns) * 1e-9));
+    kinds.set(cp::prop_kind_name(static_cast<cp::PropKind>(k)),
+              std::move(entry));
+  }
+  doc.set("propagators", std::move(kinds));
+  return doc;
+}
+
+json::Value solve_stats_json(const fpga::PartialRegion& region,
+                             std::span<const model::Module> modules,
+                             const PlacementOutcome& outcome,
+                             const std::string& tool, json::Value config) {
+  json::Value doc = json::Value::object();
+  doc.set("schema", json::Value("rrplace-stats-v1"));
+  doc.set("tool", json::Value(tool));
+  // The schema always carries a config object so consumers can index it
+  // unconditionally; a producer with nothing to echo gets {}.
+  doc.set("config", config.is_object() ? std::move(config)
+                                       : json::Value::object());
+
+  doc.set("search", search_stats_json(outcome.stats));
+  json::Value propagation = space_stats_json(outcome.space_stats);
+  doc.set("space", propagation.at("space"));
+  doc.set("propagators", propagation.at("propagators"));
+
+  json::Value incumbents = json::Value::array();
+  for (const cp::IncumbentEvent& event : outcome.incumbents) {
+    json::Value entry = json::Value::object();
+    entry.set("worker", json::Value(event.worker));
+    entry.set("seconds", json::Value(event.seconds));
+    entry.set("objective",
+              json::Value(static_cast<double>(event.objective)));
+    incumbents.push_back(std::move(entry));
+  }
+  doc.set("incumbents", std::move(incumbents));
+
+  json::Value result = json::Value::object();
+  result.set("feasible", json::Value(outcome.solution.feasible));
+  result.set("extent", json::Value(outcome.solution.extent));
+  result.set("optimal", json::Value(outcome.optimal));
+  result.set("seconds", json::Value(outcome.seconds));
+  result.set("utilization",
+             json::Value(outcome.solution.feasible
+                             ? spanned_utilization(region, modules,
+                                                   outcome.solution)
+                             : 0.0));
+  doc.set("result", std::move(result));
+
+  json::Value module_doc = json::Value::object();
+  module_doc.set("count", json::Value(modules.size()));
+  json::Value alternatives = json::Value::array();
+  for (const model::Module& module : modules)
+    alternatives.push_back(json::Value(module.shape_count()));
+  module_doc.set("alternatives_per_module", std::move(alternatives));
+  doc.set("modules", std::move(module_doc));
+
+  doc.set("metrics", metrics::global().to_json());
+  return doc;
+}
+
+}  // namespace rr::placer

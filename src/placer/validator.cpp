@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "util/metrics.hpp"
+
 namespace rr::placer {
 namespace {
 
@@ -12,11 +14,9 @@ std::string describe(const model::Module& module, const ModulePlacement& p) {
   return os.str();
 }
 
-}  // namespace
-
-ValidationReport validate(const fpga::PartialRegion& region,
-                          std::span<const model::Module> modules,
-                          const PlacementSolution& solution) {
+ValidationReport validate_impl(const fpga::PartialRegion& region,
+                               std::span<const model::Module> modules,
+                               const PlacementSolution& solution) {
   ValidationReport report;
   auto error = [&](const std::string& message) {
     report.errors.push_back(message);
@@ -103,6 +103,17 @@ ValidationReport validate(const fpga::PartialRegion& region,
     error("reported extent " + std::to_string(solution.extent) +
           " does not cover the actual extent " + std::to_string(extent));
   }
+  return report;
+}
+
+}  // namespace
+
+ValidationReport validate(const fpga::PartialRegion& region,
+                          std::span<const model::Module> modules,
+                          const PlacementSolution& solution) {
+  ValidationReport report = validate_impl(region, modules, solution);
+  RR_METRIC_COUNT("placer.validator.checks");
+  if (!report.ok()) RR_METRIC_COUNT("placer.validator.rejections");
   return report;
 }
 

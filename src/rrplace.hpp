@@ -33,9 +33,12 @@
 #include "placer/compaction.hpp"    // IWYU pragma: export
 #include "placer/metrics.hpp"       // IWYU pragma: export
 #include "placer/placer.hpp"        // IWYU pragma: export
+#include "placer/stats_json.hpp"    // IWYU pragma: export
 #include "placer/validator.hpp"     // IWYU pragma: export
 #include "render/ascii.hpp"         // IWYU pragma: export
 #include "runtime/manager.hpp"      // IWYU pragma: export
 #include "render/svg.hpp"           // IWYU pragma: export
+#include "util/json.hpp"            // IWYU pragma: export
+#include "util/metrics.hpp"         // IWYU pragma: export
 #include "util/stats.hpp"           // IWYU pragma: export
 #include "util/table.hpp"           // IWYU pragma: export

@@ -1,0 +1,124 @@
+// Minimal JSON document model: build, serialize, parse.
+//
+// This backs the solver observability layer (metrics snapshots, the
+// `--stats-json` CLI flag, BENCH_*.json records) and the schema checker in
+// tools/check_stats_json. It is deliberately small: objects keep insertion
+// order (stable, diffable output), numbers are doubles (every counter we
+// emit fits far below 2^53), and parse() accepts exactly what dump()
+// produces plus ordinary interchange JSON.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace rr::json {
+
+class Value;
+
+/// One JSON value. Default-constructed as null; assign or use the factory
+/// helpers to build documents:
+///
+///   json::Value doc = json::Value::object();
+///   doc.set("nodes", 42.0);
+///   doc.set("complete", true);
+///   doc["propagators"].set("linear", json::Value::object());
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() noexcept : type_(Type::kNull) {}
+  Value(bool b) noexcept : type_(Type::kBool), bool_(b) {}  // NOLINT
+  Value(double n) noexcept : type_(Type::kNumber), number_(n) {}  // NOLINT
+  Value(std::int64_t n) noexcept  // NOLINT
+      : type_(Type::kNumber), number_(static_cast<double>(n)) {}
+  Value(std::uint64_t n) noexcept  // NOLINT
+      : type_(Type::kNumber), number_(static_cast<double>(n)) {}
+  Value(int n) noexcept : type_(Type::kNumber), number_(n) {}  // NOLINT
+  Value(std::string s) : type_(Type::kString), string_(std::move(s)) {}  // NOLINT
+  Value(const char* s) : type_(Type::kString), string_(s) {}  // NOLINT
+
+  static Value array() {
+    Value v;
+    v.type_ = Type::kArray;
+    return v;
+  }
+  static Value object() {
+    Value v;
+    v.type_ = Type::kObject;
+    return v;
+  }
+
+  [[nodiscard]] Type type() const noexcept { return type_; }
+  [[nodiscard]] bool is_null() const noexcept { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return type_ == Type::kBool; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return type_ == Type::kNumber;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return type_ == Type::kString;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return type_ == Type::kObject;
+  }
+
+  /// Typed accessors; throw InvalidInput on a type mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+
+  /// Array/object element count; 0 for scalars.
+  [[nodiscard]] std::size_t size() const noexcept;
+
+  // --- Arrays ---------------------------------------------------------------
+  /// Append to an array (null values become arrays on first push).
+  void push_back(Value v);
+  /// Array element access; throws InvalidInput when out of range.
+  [[nodiscard]] const Value& at(std::size_t index) const;
+
+  // --- Objects --------------------------------------------------------------
+  /// Insert or overwrite a member (null values become objects on first set).
+  void set(std::string_view key, Value v);
+  /// Member lookup returning null; creates the member (as null) on a
+  /// non-const object so nested construction composes.
+  Value& operator[](std::string_view key);
+  [[nodiscard]] bool contains(std::string_view key) const noexcept;
+  /// Member access; throws InvalidInput when missing.
+  [[nodiscard]] const Value& at(std::string_view key) const;
+  /// Members in insertion order (empty for non-objects).
+  [[nodiscard]] const std::vector<std::pair<std::string, Value>>& members()
+      const noexcept {
+    return object_;
+  }
+  /// Array items (empty for non-arrays).
+  [[nodiscard]] const std::vector<Value>& items() const noexcept {
+    return array_;
+  }
+
+  /// Serialize. indent < 0 gives the compact single-line form; otherwise
+  /// pretty-print with that many spaces per nesting level.
+  [[nodiscard]] std::string dump(int indent = -1) const;
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Value> array_;
+  std::vector<std::pair<std::string, Value>> object_;
+};
+
+/// Parse a JSON document. Throws InvalidInput with position context on
+/// malformed input; trailing non-whitespace is an error.
+[[nodiscard]] Value parse(std::string_view text);
+
+/// Quote + escape a string as a JSON string literal.
+[[nodiscard]] std::string escape(std::string_view raw);
+
+}  // namespace rr::json

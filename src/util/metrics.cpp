@@ -1,0 +1,154 @@
+#include "util/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/env.hpp"
+
+namespace rr::metrics {
+namespace {
+
+std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> flag{env_int("RRPLACE_METRICS", 0) != 0};
+  return flag;
+}
+
+template <typename T>
+T* find_entry(std::vector<std::pair<std::string, T>>& entries,
+              std::string_view name) {
+  for (auto& [key, value] : entries) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+template <typename T>
+const T* find_entry(const std::vector<std::pair<std::string, T>>& entries,
+                    std::string_view name) {
+  for (const auto& [key, value] : entries) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+template <typename T>
+std::vector<std::pair<std::string, T>> sorted_copy(
+    const std::vector<std::pair<std::string, T>>& entries) {
+  auto copy = entries;
+  std::sort(copy.begin(), copy.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return copy;
+}
+
+}  // namespace
+
+bool enabled() noexcept {
+  return enabled_flag().load(std::memory_order_relaxed);
+}
+
+void set_enabled(bool on) noexcept {
+  enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+void Registry::add(std::string_view name, std::uint64_t delta) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (std::uint64_t* counter = find_entry(counters_, name)) {
+    *counter += delta;
+    return;
+  }
+  counters_.emplace_back(std::string(name), delta);
+}
+
+void Registry::record_time(std::string_view name, std::uint64_t elapsed_ns) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  TimerStat* timer = find_entry(timers_, name);
+  if (timer == nullptr) {
+    timers_.emplace_back(std::string(name), TimerStat{});
+    timer = &timers_.back().second;
+  }
+  ++timer->count;
+  timer->total_ns += elapsed_ns;
+}
+
+std::uint64_t Registry::counter(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t* counter = find_entry(counters_, name);
+  return counter != nullptr ? *counter : 0;
+}
+
+TimerStat Registry::timer(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const TimerStat* timer = find_entry(timers_, name);
+  return timer != nullptr ? *timer : TimerStat{};
+}
+
+void Registry::merge(const Registry& other) {
+  // Copy under the source lock, then fold under ours (avoids lock-order
+  // issues if two registries merge into each other concurrently).
+  decltype(counters_) other_counters;
+  decltype(timers_) other_timers;
+  {
+    std::lock_guard<std::mutex> lock(other.mutex_);
+    other_counters = other.counters_;
+    other_timers = other.timers_;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, delta] : other_counters) {
+    if (std::uint64_t* counter = find_entry(counters_, name)) {
+      *counter += delta;
+    } else {
+      counters_.emplace_back(name, delta);
+    }
+  }
+  for (const auto& [name, stat] : other_timers) {
+    if (TimerStat* timer = find_entry(timers_, name)) {
+      timer->count += stat.count;
+      timer->total_ns += stat.total_ns;
+    } else {
+      timers_.emplace_back(name, stat);
+    }
+  }
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.clear();
+  timers_.clear();
+}
+
+bool Registry::empty() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_.empty() && timers_.empty();
+}
+
+json::Value Registry::to_json() const {
+  decltype(counters_) counters;
+  decltype(timers_) timers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters = counters_;
+    timers = timers_;
+  }
+  json::Value doc = json::Value::object();
+  json::Value counter_doc = json::Value::object();
+  for (const auto& [name, value] : sorted_copy(counters))
+    counter_doc.set(name, json::Value(value));
+  doc.set("counters", std::move(counter_doc));
+  json::Value timer_doc = json::Value::object();
+  for (const auto& [name, stat] : sorted_copy(timers)) {
+    json::Value entry = json::Value::object();
+    entry.set("count", json::Value(stat.count));
+    entry.set("seconds", json::Value(stat.seconds()));
+    timer_doc.set(name, std::move(entry));
+  }
+  doc.set("timers", std::move(timer_doc));
+  return doc;
+}
+
+Registry& global() {
+  static Registry registry;
+  return registry;
+}
+
+}  // namespace rr::metrics

@@ -1,0 +1,125 @@
+// Schema validator for observability output — the CI gate that keeps
+// emitted statistics machine-readable.
+//
+//   check_stats_json <file.json> [...]
+//
+// Accepts two document families:
+//   - rrplace-stats-v1 (rrplace_cli --stats-json, placer::solve_stats_json)
+//   - rrplace-bench-v1 (bench harness records, bench_common.hpp)
+// Exits 0 when every file parses and carries the documented keys; prints
+// the first problem and exits 1 otherwise.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "cp/types.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using rr::json::Value;
+
+void require(bool ok, const std::string& what) {
+  if (!ok) throw rr::InvalidInput(what);
+}
+
+void check_number(const Value& doc, const char* key) {
+  require(doc.contains(key) && doc.at(key).is_number(),
+          std::string("missing numeric key \"") + key + "\"");
+}
+
+void check_search(const Value& search) {
+  for (const char* key :
+       {"nodes", "fails", "solutions", "max_depth", "restarts"})
+    check_number(search, key);
+  require(search.contains("complete") && search.at("complete").is_bool(),
+          "search.complete must be a bool");
+}
+
+void check_propagators(const Value& kinds) {
+  require(kinds.is_object(), "\"propagators\" must be an object");
+  for (int k = 0; k < rr::cp::kNumPropKinds; ++k) {
+    const char* name =
+        rr::cp::prop_kind_name(static_cast<rr::cp::PropKind>(k));
+    require(kinds.contains(name),
+            std::string("propagators missing kind \"") + name + "\"");
+    const Value& bucket = kinds.at(name);
+    for (const char* key : {"runs", "failures", "prunings", "seconds"})
+      check_number(bucket, key);
+  }
+}
+
+void check_stats_v1(const Value& doc) {
+  require(doc.contains("tool") && doc.at("tool").is_string(),
+          "missing string key \"tool\"");
+  check_search(doc.at("search"));
+  const Value& space = doc.at("space");
+  check_number(space, "propagations");
+  check_number(space, "domain_changes");
+  check_propagators(doc.at("propagators"));
+  require(doc.at("incumbents").is_array(), "\"incumbents\" must be an array");
+  const Value& result = doc.at("result");
+  require(result.at("feasible").is_bool(), "result.feasible must be a bool");
+  for (const char* key : {"extent", "seconds", "utilization"})
+    check_number(result, key);
+  const Value& metrics = doc.at("metrics");
+  require(metrics.at("counters").is_object(),
+          "metrics.counters must be an object");
+  require(metrics.at("timers").is_object(),
+          "metrics.timers must be an object");
+}
+
+void check_bench_v1(const Value& doc) {
+  require(doc.contains("bench") && doc.at("bench").is_string(),
+          "missing string key \"bench\"");
+  require(doc.at("config").is_object(), "\"config\" must be an object");
+  require(doc.at("results").is_object(), "\"results\" must be an object");
+  const Value& metrics = doc.at("metrics");
+  require(metrics.at("counters").is_object(),
+          "metrics.counters must be an object");
+  require(metrics.at("timers").is_object(),
+          "metrics.timers must be an object");
+}
+
+void check_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw rr::InvalidInput("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const Value doc = rr::json::parse(buffer.str());
+  require(doc.is_object(), "document root must be an object");
+  const std::string schema =
+      doc.contains("schema") && doc.at("schema").is_string()
+          ? doc.at("schema").as_string()
+          : "";
+  if (schema == "rrplace-stats-v1") {
+    check_stats_v1(doc);
+  } else if (schema == "rrplace-bench-v1") {
+    check_bench_v1(doc);
+  } else {
+    throw rr::InvalidInput("unknown or missing \"schema\": \"" + schema +
+                           "\"");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: check_stats_json <file.json> [...]\n";
+    return 2;
+  }
+  int failures = 0;
+  for (int i = 1; i < argc; ++i) {
+    try {
+      check_file(argv[i]);
+      std::cout << argv[i] << ": ok\n";
+    } catch (const std::exception& e) {
+      std::cerr << argv[i] << ": FAIL: " << e.what() << '\n';
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}

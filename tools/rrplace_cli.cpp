@@ -11,10 +11,14 @@
 //   --workers <n>             portfolio width (default 1)
 //   --seed <n>                random seed (default 1)
 //   --svg <path>              also write an SVG floorplan
+//   --stats-json <path>       write solver statistics (rrplace-stats-v1
+//                             JSON: per-propagator-kind counters, search
+//                             stats, placer metrics); "-" for stdout
 //   --anchors <module>        print the valid-anchor mask of a module's
 //                             base shape instead of solving (Fig. 4b view)
 //   --quiet                   suppress the ASCII floorplan
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -32,6 +36,7 @@ struct CliOptions {
   int workers = 1;
   std::uint64_t seed = 1;
   std::string svg_path;
+  std::string stats_json_path;
   std::string anchors_module;
   bool quiet = false;
 };
@@ -41,7 +46,8 @@ struct CliOptions {
   std::cerr <<
       "usage: rrplace_cli --fabric F.fdf --modules M.mlf [options]\n"
       "  --no-alternatives, --time-limit S, --mode bnb|lns|auto,\n"
-      "  --workers N, --seed N, --svg PATH, --anchors MODULE, --quiet\n";
+      "  --workers N, --seed N, --svg PATH, --stats-json PATH|-,\n"
+      "  --anchors MODULE, --quiet\n";
   std::exit(error == nullptr ? 0 : 2);
 }
 
@@ -61,6 +67,7 @@ CliOptions parse_args(int argc, char** argv) {
     else if (arg == "--seed")
       options.seed = std::strtoull(need_value(i), nullptr, 10);
     else if (arg == "--svg") options.svg_path = need_value(i);
+    else if (arg == "--stats-json") options.stats_json_path = need_value(i);
     else if (arg == "--anchors") options.anchors_module = need_value(i);
     else if (arg == "--quiet") options.quiet = true;
     else if (arg == "--mode") {
@@ -109,11 +116,41 @@ int main(int argc, char** argv) {
     options.mode = cli.mode;
     options.workers = cli.workers;
     options.seed = cli.seed;
+    // Collection must be on before the Placer builds its Spaces: each Space
+    // snapshots the flag at construction.
+    if (!cli.stats_json_path.empty()) rr::metrics::set_enabled(true);
     rr::placer::Placer placer(region, modules, options);
     const auto outcome = placer.place();
 
+    if (!cli.stats_json_path.empty()) {
+      rr::json::Value config = rr::json::Value::object();
+      config.set("fabric", rr::json::Value(cli.fabric_path));
+      config.set("modules", rr::json::Value(cli.modules_path));
+      config.set("alternatives", rr::json::Value(cli.alternatives));
+      config.set("time_limit", rr::json::Value(cli.time_limit));
+      config.set("workers", rr::json::Value(cli.workers));
+      config.set("seed", rr::json::Value(cli.seed));
+      const rr::json::Value stats = rr::placer::solve_stats_json(
+          region, modules, outcome, "rrplace_cli", std::move(config));
+      if (cli.stats_json_path == "-") {
+        std::cout << stats.dump(2) << '\n';
+      } else {
+        std::ofstream out(cli.stats_json_path);
+        if (!out) {
+          std::cerr << "error: cannot write " << cli.stats_json_path << '\n';
+          return 2;
+        }
+        out << stats.dump(2) << '\n';
+      }
+    }
+
+    // With --stats-json - the document owns stdout; the human-readable
+    // report moves to stderr so the output stays machine-parseable.
+    std::ostream& human =
+        cli.stats_json_path == "-" ? std::cerr : std::cout;
+
     if (!outcome.solution.feasible) {
-      std::cout << "infeasible"
+      human << "infeasible"
                 << (outcome.optimal ? " (proven: no placement exists)" : "")
                 << '\n';
       return 1;
@@ -125,11 +162,11 @@ int main(int argc, char** argv) {
       return 3;
     }
     if (!cli.quiet) {
-      std::cout << rr::render::placement_ascii(region, modules,
+      human << rr::render::placement_ascii(region, modules,
                                                outcome.solution)
                 << rr::render::legend();
     }
-    std::cout << "modules: " << modules.size()
+    human << "modules: " << modules.size()
               << "  extent: " << outcome.solution.extent
               << (outcome.optimal ? " (optimal)" : " (best found)")
               << "  utilization: "
@@ -138,14 +175,14 @@ int main(int argc, char** argv) {
               << "  time: " << rr::TextTable::num(outcome.seconds, 3)
               << "s\n";
     for (const auto& p : outcome.solution.placements) {
-      std::cout << "  " << modules[static_cast<std::size_t>(p.module)].name()
+      human << "  " << modules[static_cast<std::size_t>(p.module)].name()
                 << " shape=" << p.shape << " at (" << p.x << "," << p.y
                 << ")\n";
     }
     if (!cli.svg_path.empty()) {
       rr::render::save_placement_svg(cli.svg_path, region, modules,
                                      outcome.solution);
-      std::cout << "SVG written to " << cli.svg_path << '\n';
+      human << "SVG written to " << cli.svg_path << '\n';
     }
     return 0;
   } catch (const std::exception& e) {
