@@ -4,10 +4,17 @@
 // constraint. Propagators are owned by the Space, subscribed to variables
 // with an event mask, and scheduled through a priority queue until fixpoint.
 //
-// Backtracking contract: propagators must be *stateless across search*, or
-// keep only state they can cheaply recompute in propagate(); the Space does
-// not snapshot propagator internals. Subsumption flags are trailed by the
-// Space, so returning kSubsumed is safe under backtracking.
+// Backtracking contract: by default propagators must be *stateless across
+// search*, or keep only state they can cheaply recompute in propagate();
+// the Space does not snapshot propagator internals. Subsumption flags are
+// trailed by the Space, so returning kSubsumed is safe under backtracking.
+//
+// Advised propagators (advised() returning true) opt into richer plumbing
+// for *incremental* state: the Space tells them which subscribed variable
+// changed (modified()) and when decision levels open and close
+// (level_pushed()/level_popped()), so they can keep their own trail in
+// lockstep with the Space's and restore internal state exactly where the
+// Space restores domains.
 #pragma once
 
 #include "cp/types.hpp"
@@ -33,6 +40,23 @@ class Propagator {
   /// Narrow domains. Must be monotone (only remove values) and idempotent
   /// enough that re-running at fixpoint is a no-op.
   virtual PropStatus propagate(Space& space) = 0;
+
+  /// Opt into modification events and level notifications. Sampled once at
+  /// post() time; advised propagators receive modified() and the level
+  /// hooks below for the Space's whole lifetime.
+  [[nodiscard]] virtual bool advised() const noexcept { return false; }
+
+  /// Advisor hook: subscribed variable `var` changed (`data` is the value
+  /// passed to Space::subscribe). Called mid-mutation, in addition to
+  /// scheduling — record the event (e.g. into a dirty set drained at
+  /// propagate() entry); do NOT modify domains from here.
+  virtual void modified(Space& /*space*/, VarId /*var*/, int /*data*/) {}
+
+  /// Level hooks, called from Space::push()/pop() so trailed internal state
+  /// can mark and restore in lockstep with the domain trail. level_popped()
+  /// runs after the Space has restored domains.
+  virtual void level_pushed(Space& /*space*/) {}
+  virtual void level_popped(Space& /*space*/) {}
 
   [[nodiscard]] PropPriority priority() const noexcept { return priority_; }
 

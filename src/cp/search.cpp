@@ -62,6 +62,16 @@ bool Search::backtrack() {
     }
     if (stack_.empty()) return false;
 
+    // Failed right branches below count toward the fail budget, so the
+    // limits must be honored here too — otherwise a cascade of exhausted
+    // subtrees overshoots max_fails arbitrarily. Stop with the stack
+    // intact; need_backtrack_ makes the next next() call resume exactly
+    // here.
+    if (limit_reached()) {
+      need_backtrack_ = true;
+      return false;
+    }
+
     // Swap the left subtree for the right branch: var != value.
     space_.pop();
     space_.push();
@@ -89,6 +99,7 @@ bool Search::next() {
   } else if (need_backtrack_) {
     need_backtrack_ = false;
     if (!backtrack()) {
+      if (need_backtrack_) return false;  // limit fired mid-backtrack
       stats_.complete = true;
       exhausted_ = true;
       return false;
@@ -113,6 +124,7 @@ bool Search::next() {
     if (space_.failed() || !apply_cut() || !space_.propagate()) {
       ++stats_.fails;
       if (!backtrack()) {
+        if (need_backtrack_) return false;  // limit fired mid-backtrack
         stats_.complete = true;
         exhausted_ = true;
         return false;
@@ -138,11 +150,15 @@ MinimizeResult minimize_with_restarts(
     options.objective = objective;
     options.shared_bound = &bound;
     options.limits = limits;
-    const std::uint64_t restart_fails =
-        static_cast<std::uint64_t>(budget);
-    options.limits.max_fails =
-        limits.max_fails == 0 ? restart_fails
-                              : std::min(limits.max_fails, restart_fails);
+    // Cap this restart's budget by what remains of the *global* fail
+    // budget; handing each restart min(max_fails, restart_fails) afresh
+    // would let the total overshoot max_fails by nearly a full restart.
+    std::uint64_t restart_fails = static_cast<std::uint64_t>(budget);
+    if (limits.max_fails != 0) {
+      const std::uint64_t remaining = limits.max_fails - result.stats.fails;
+      restart_fails = std::min(restart_fails, remaining);
+    }
+    options.limits.max_fails = restart_fails;
 
     std::unique_ptr<Brancher> brancher = make_brancher(restart);
     Search search(space, *brancher, options);

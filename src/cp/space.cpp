@@ -95,19 +95,24 @@ ModEvent Space::intersect(VarId v, const Domain& with) {
 
 int Space::post(std::unique_ptr<Propagator> propagator) {
   RR_ASSERT(propagator != nullptr);
+  // Advised propagators keep trailed internal state whose level marks must
+  // start in lockstep with the Space's (see push()/pop()).
+  RR_ASSERT(decision_level() == 0 || !propagator->advised());
   const int id = static_cast<int>(propagators_.size());
   propagators_.push_back(std::move(propagator));
   scheduled_.push_back(false);
   subsumed_.push_back(false);
+  advised_.push_back(propagators_.back()->advised());
+  if (advised_.back()) advisors_.push_back(id);
   propagators_.back()->attach(*this, id);
   schedule(id);
   return id;
 }
 
-void Space::subscribe(VarId v, int prop, unsigned mask) {
+void Space::subscribe(VarId v, int prop, unsigned mask, int data) {
   RR_ASSERT(v >= 0 && v < num_vars());
   subscriptions_[static_cast<std::size_t>(v)].push_back(
-      Subscription{prop, mask});
+      Subscription{prop, mask, data});
 }
 
 void Space::schedule(int prop) {
@@ -127,7 +132,12 @@ void Space::notify(VarId v, ModEvent event) {
     fired |= kOnBounds;
   if (event == ModEvent::kAssign) fired |= kOnAssign;
   for (const Subscription& sub : subscriptions_[static_cast<std::size_t>(v)]) {
-    if (sub.mask & fired) schedule(sub.prop);
+    if ((sub.mask & fired) == 0) continue;
+    schedule(sub.prop);
+    if (advised_[static_cast<std::size_t>(sub.prop)]) {
+      propagators_[static_cast<std::size_t>(sub.prop)]->modified(*this, v,
+                                                                 sub.data);
+    }
   }
 }
 
@@ -185,6 +195,8 @@ void Space::push() {
   RR_ASSERT(!failed_);
   level_marks_.push_back(trail_.size());
   subsumed_marks_.push_back(subsumed_trail_.size());
+  for (int prop : advisors_)
+    propagators_[static_cast<std::size_t>(prop)]->level_pushed(*this);
 }
 
 void Space::pop() {
@@ -203,6 +215,10 @@ void Space::pop() {
     subsumed_[static_cast<std::size_t>(subsumed_trail_.back())] = false;
     subsumed_trail_.pop_back();
   }
+  // Domains are restored above; advised propagators now roll their own
+  // trails back to the matching mark.
+  for (int prop : advisors_)
+    propagators_[static_cast<std::size_t>(prop)]->level_popped(*this);
   failed_ = false;
 }
 

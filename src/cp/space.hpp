@@ -99,8 +99,10 @@ class Space {
   /// propagator id.
   int post(std::unique_ptr<Propagator> propagator);
 
-  /// Subscribe propagator `prop` to events on `v` matching `mask`.
-  void subscribe(VarId v, int prop, unsigned mask);
+  /// Subscribe propagator `prop` to events on `v` matching `mask`. `data`
+  /// is an opaque payload handed back through Propagator::modified() for
+  /// advised propagators (typically the subscriber's index for `v`).
+  void subscribe(VarId v, int prop, unsigned mask, int data = 0);
 
   /// Re-schedule a propagator explicitly (used by search for objective cuts).
   void schedule(int prop);
@@ -128,6 +130,7 @@ class Space {
   struct Subscription {
     int prop;
     unsigned mask;
+    int data;
   };
 
   void notify(VarId v, ModEvent event);
@@ -142,6 +145,8 @@ class Space {
   std::vector<std::unique_ptr<Propagator>> propagators_;
   std::vector<bool> scheduled_;
   std::vector<bool> subsumed_;
+  std::vector<bool> advised_;  // advised() sampled at post()
+  std::vector<int> advisors_;  // ids of advised propagators (level hooks)
   // Queue, bucketed by priority.
   std::vector<int> queue_[kNumPriorities];
 

@@ -24,6 +24,8 @@ Fabric parse_fdf(std::istream& in) {
 
   while (std::getline(in, line)) {
     ++line_no;
+    // Accept CRLF line endings regardless of how trim() treats '\r'.
+    if (!line.empty() && line.back() == '\r') line.pop_back();
     const std::string_view text = trim(line);
     if (text.empty() || text.front() == '#') continue;
     const auto fields = split_ws(text);
@@ -53,14 +55,20 @@ Fabric parse_fdf(std::istream& in) {
       for (int x = 0; x < fabric.width(); ++x) {
         const auto t = resource_from_char(tiles[static_cast<std::size_t>(x)]);
         if (!t) fail(line_no, std::string("unknown resource character '") +
-                                  tiles[static_cast<std::size_t>(x)] + "'");
+                                  tiles[static_cast<std::size_t>(x)] +
+                                  "' (column " + std::to_string(x + 1) + ")");
         fabric.set(x, static_cast<int>(*y), *t);
       }
     } else {
       fail(line_no, "unknown directive '" + std::string(fields[0]) + "'");
     }
   }
-  if (!have_header) fail(line_no, "missing fabric header");
+  if (!have_header) {
+    // Distinguish "no input at all" from "input without a header": the
+    // former gets a message that does not point at a bogus line 0.
+    if (line_no == 0) throw InvalidInput("fdf: empty fabric file");
+    fail(line_no, "missing fabric header");
+  }
   for (std::size_t y = 0; y < row_seen.size(); ++y) {
     if (!row_seen[y])
       fail(line_no, "missing row " + std::to_string(y));

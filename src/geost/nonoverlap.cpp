@@ -1,10 +1,30 @@
 #include "geost/nonoverlap.hpp"
 
 #include <memory>
+#include <utility>
+
+#include "util/error.hpp"
 
 namespace rr::geost {
 namespace {
 
+// Two engines, one pruning semantics (see nonoverlap.hpp):
+//
+// The incremental engine is an advised propagator. The Space reports every
+// modification of a placement variable through modified(), which lands in a
+// dirty set drained at propagate() entry. Internal state — the union
+// occupancy bitmap of committed (assigned) objects and per-object cached
+// compulsory parts — is trailed through level_pushed()/level_popped() in
+// lockstep with the Space's domain trail:
+//   - committing an object ORs its footprint in; commits are recorded on a
+//     trail and are pairwise disjoint (a conflicting commit fails the space
+//     first), so rollback via clear_shifted is exact;
+//   - a compulsory part cached at a decision level is invalidated when that
+//     level dies, because the prunings justified against it die with it.
+// Each run then prunes open objects only against the *delta*: footprint
+// cells committed this run plus cells each recomputed compulsory part
+// gained. Values that survived earlier runs stay consistent with the old
+// occupancy, so re-checking them against it would be pure waste.
 class NonOverlap final : public cp::Propagator {
  public:
   NonOverlap(std::vector<GeostObject> objects, int width, int height,
@@ -16,107 +36,335 @@ class NonOverlap final : public cp::Propagator {
         options_(options) {}
 
   void attach(cp::Space& space, int self) override {
-    for (const GeostObject& object : objects_)
-      space.subscribe(object.var(), self, cp::kOnDomain);
+    const std::size_t n = objects_.size();
+    for (std::size_t j = 0; j < n; ++j) {
+      space.subscribe(objects_[j].var(), self, cp::kOnDomain,
+                      static_cast<int>(j));
+    }
+    if (!options_.incremental) return;
+    occupancy_ = BitMatrix(height_, width_);
+    delta_occupancy_ = BitMatrix(height_, width_);
+    committed_.assign(n, -1);
+    caches_.resize(n);
+    // Start with everything dirty: the first run is a full from-scratch
+    // pruning, later runs are pure deltas.
+    in_dirty_.assign(n, 1);
+    dirty_.resize(n);
+    for (std::size_t j = 0; j < n; ++j) dirty_[j] = static_cast<int>(j);
+    // Bounding box over each object's whole placement table — a cheap
+    // whole-object prefilter for the delta pruning pass.
+    table_boxes_.reserve(n);
+    for (const GeostObject& object : objects_) {
+      Rect box{};
+      const int values = static_cast<int>(object.table().size());
+      for (int v = 0; v < values; ++v)
+        box = box.bounding_union(object.bbox_of(v));
+      table_boxes_.push_back(box);
+    }
+  }
+
+  [[nodiscard]] bool advised() const noexcept override {
+    return options_.incremental;
+  }
+
+  void modified(cp::Space& /*space*/, cp::VarId /*var*/, int data) override {
+    const std::size_t j = static_cast<std::size_t>(data);
+    if (in_dirty_[j]) return;
+    in_dirty_[j] = 1;
+    dirty_.push_back(static_cast<int>(j));
+  }
+
+  void level_pushed(cp::Space& /*space*/) override {
+    commit_marks_.push_back(commit_trail_.size());
+    cache_marks_.push_back(cache_trail_.size());
+  }
+
+  void level_popped(cp::Space& /*space*/) override {
+    RR_ASSERT(!commit_marks_.empty());
+    const std::size_t cmark = commit_marks_.back();
+    commit_marks_.pop_back();
+    while (commit_trail_.size() > cmark) {
+      const std::size_t j = commit_trail_.back();
+      const GeostObject& object = objects_[j];
+      const Placement& p = object.placement(committed_[j]);
+      occupancy_.clear_shifted(object.footprint_of(committed_[j]).mask(), p.y,
+                               p.x);
+      committed_[j] = -1;
+      commit_trail_.pop_back();
+    }
+    const std::size_t kmark = cache_marks_.back();
+    cache_marks_.pop_back();
+    while (cache_trail_.size() > kmark) {
+      caches_[cache_trail_.back()].has_content = false;
+      cache_trail_.pop_back();
+    }
   }
 
   cp::PropStatus propagate(cp::Space& space) override {
-    // Definite occupancy from assigned objects. Rebuilt every call; the
-    // propagator keeps no search-dependent state, which keeps it trivially
-    // backtrack-safe (see Propagator contract).
-    BitMatrix occupancy(height_, width_);
-    Rect occupied_box{};  // union bbox, cheap prefilter
-    int assigned = 0;
-    for (const GeostObject& object : objects_) {
-      if (!space.assigned(object.var())) continue;
-      ++assigned;
-      const int value = space.value(object.var());
-      const Placement& p = object.placement(value);
-      const ShapeFootprint& shape = object.footprint_of(value);
-      if (occupancy.intersects_shifted(shape.mask(), p.y, p.x))
-        return cp::PropStatus::kFail;
-      occupancy.or_shifted(shape.mask(), p.y, p.x);
-      occupied_box = occupied_box.bounding_union(object.bbox_of(value));
-    }
-
-    // Compulsory parts of nearly-decided, still-open objects.
-    struct Soft {
-      std::size_t owner;
-      BitMatrix mask;
-      Rect box;
-    };
-    std::vector<Soft> soft;
-    if (options_.use_compulsory_parts) {
-      for (std::size_t j = 0; j < objects_.size(); ++j) {
-        const GeostObject& object = objects_[j];
-        const cp::Domain& dom = space.dom(object.var());
-        if (dom.assigned() || dom.size() > options_.compulsory_threshold)
-          continue;
-        BitMatrix part(height_, width_);
-        bool first = true;
-        Rect box{};
-        dom.for_each([&](int value) {
-          const Placement& p = object.placement(value);
-          const ShapeFootprint& shape = object.footprint_of(value);
-          if (first) {
-            part.or_shifted(shape.mask(), p.y, p.x);
-            box = object.bbox_of(value);
-            first = false;
-          } else {
-            BitMatrix this_one(height_, width_);
-            this_one.or_shifted(shape.mask(), p.y, p.x);
-            part.and_with(this_one);
-            box = box.intersection(object.bbox_of(value));
-          }
-        });
-        if (part.popcount() > 0)
-          soft.push_back(Soft{j, std::move(part), box});
-      }
-    }
-
-    if (assigned == static_cast<int>(objects_.size()))
-      return cp::PropStatus::kSubsumed;  // all placed, overlap-free
-
-    // Prune every open object against occupancy and others' compulsory
-    // parts. Removals are collected per object (domain values ascend, so
-    // the batch is already sorted).
-    std::vector<int> removals;
-    for (std::size_t j = 0; j < objects_.size(); ++j) {
-      const GeostObject& object = objects_[j];
-      if (space.assigned(object.var())) continue;
-      removals.clear();
-      space.dom(object.var()).for_each([&](int value) {
-        const Rect box = object.bbox_of(value);
-        const Placement& p = object.placement(value);
-        const ShapeFootprint& shape = object.footprint_of(value);
-        if (box.intersects(occupied_box) &&
-            occupancy.intersects_shifted(shape.mask(), p.y, p.x)) {
-          removals.push_back(value);
-          return;
-        }
-        for (const Soft& s : soft) {
-          if (s.owner == j || !box.intersects(s.box)) continue;
-          if (s.mask.intersects_shifted(shape.mask(), p.y, p.x)) {
-            removals.push_back(value);
-            return;
-          }
-        }
-      });
-      if (!removals.empty()) {
-        if (space.remove_values_sorted(object.var(), removals) ==
-            cp::ModEvent::kFail)
-          return cp::PropStatus::kFail;
-      }
-    }
-    return cp::PropStatus::kFix;
+    return options_.incremental ? propagate_incremental(space)
+                                : propagate_scratch(space);
   }
 
  private:
+  /// Cached compulsory part of one open object. `has_content` means other
+  /// objects were already pruned against the stored part at a still-live
+  /// decision level, so a recompute needs to prune only against the cells
+  /// the part *gained*; level_popped clears the flag for caches filled at
+  /// dead levels (the prunings they justified were rolled back too).
+  struct SoftCache {
+    BitMatrix part;
+    bool has_content = false;
+  };
+
+  struct SoftDelta {
+    std::size_t owner;
+    BitMatrix grown;  // newly-compulsory cells, not yet pruned against
+    Rect box;         // bounding box of the full (current) part
+  };
+
+  cp::PropStatus propagate_incremental(cp::Space& space);
+  cp::PropStatus propagate_scratch(cp::Space& space);
+
   std::vector<GeostObject> objects_;
   int width_;
   int height_;
   NonOverlapOptions options_;
+
+  // --- Incremental engine state (untouched in from-scratch mode) ---------
+  BitMatrix occupancy_;         // union footprint of committed objects
+  std::vector<int> committed_;  // committed placement value, -1 when open
+  std::vector<std::size_t> commit_trail_;
+  std::vector<std::size_t> commit_marks_;
+  std::vector<SoftCache> caches_;
+  std::vector<std::size_t> cache_trail_;  // caches filled at a live level
+  std::vector<std::size_t> cache_marks_;
+  std::vector<int> dirty_;  // objects modified since the last run, deduped
+  std::vector<unsigned char> in_dirty_;
+  std::vector<Rect> table_boxes_;
+  // Per-run scratch, kept as members to avoid reallocation.
+  BitMatrix delta_occupancy_;
+  std::vector<int> drained_;
+  std::vector<SoftDelta> soft_deltas_;
+  std::vector<int> removals_;
 };
+
+cp::PropStatus NonOverlap::propagate_incremental(cp::Space& space) {
+  const std::size_t n = objects_.size();
+
+  // Drain the dirty set: everything modified since the previous run.
+  drained_.clear();
+  drained_.swap(dirty_);
+  for (int j : drained_) in_dirty_[static_cast<std::size_t>(j)] = 0;
+
+  // Phase 1: commit newly assigned objects into the occupancy bitmap.
+  // Committed footprints stay pairwise disjoint (a conflicting commit fails
+  // before OR-ing), which is what makes the clear_shifted rollback in
+  // level_popped exact.
+  const bool trail = space.decision_level() > 0;
+  delta_occupancy_.clear();
+  Rect delta_box{};
+  bool occupancy_grew = false;
+  for (int j : drained_) {
+    const std::size_t idx = static_cast<std::size_t>(j);
+    const GeostObject& object = objects_[idx];
+    if (!space.assigned(object.var()) || committed_[idx] >= 0) continue;
+    const int value = space.value(object.var());
+    const Placement& p = object.placement(value);
+    const BitMatrix& mask = object.footprint_of(value).mask();
+    if (occupancy_.intersects_shifted(mask, p.y, p.x))
+      return cp::PropStatus::kFail;
+    if (trail) commit_trail_.push_back(idx);
+    occupancy_.or_shifted(mask, p.y, p.x);
+    committed_[idx] = value;
+    delta_occupancy_.or_shifted(mask, p.y, p.x);
+    delta_box = delta_box.bounding_union(object.bbox_of(value));
+    occupancy_grew = true;
+  }
+
+  std::size_t committed_count = 0;
+  for (std::size_t j = 0; j < n; ++j) committed_count += committed_[j] >= 0;
+  if (committed_count == n)
+    return cp::PropStatus::kSubsumed;  // all placed, overlap-free
+
+  // Phase 2: recompute compulsory parts of open objects whose domains
+  // changed, collecting the cells each part gained.
+  soft_deltas_.clear();
+  if (options_.use_compulsory_parts) {
+    for (int j : drained_) {
+      const std::size_t idx = static_cast<std::size_t>(j);
+      const GeostObject& object = objects_[idx];
+      if (committed_[idx] >= 0) continue;  // the footprint covers it now
+      const cp::Domain& dom = space.dom(object.var());
+      if (dom.size() > options_.compulsory_threshold) continue;
+      BitMatrix part(height_, width_);
+      bool first = true;
+      Rect box{};
+      dom.for_each([&](int value) {
+        const Placement& p = object.placement(value);
+        const ShapeFootprint& shape = object.footprint_of(value);
+        if (first) {
+          part.or_shifted(shape.mask(), p.y, p.x);
+          box = object.bbox_of(value);
+          first = false;
+        } else {
+          BitMatrix this_one(height_, width_);
+          this_one.or_shifted(shape.mask(), p.y, p.x);
+          part.and_with(this_one);
+          box = box.intersection(object.bbox_of(value));
+        }
+      });
+      SoftCache& cache = caches_[idx];
+      SoftDelta delta;
+      delta.owner = idx;
+      delta.grown = part;
+      if (cache.has_content) delta.grown.clear_shifted(cache.part, 0, 0);
+      delta.box = box;
+      cache.part = std::move(part);
+      cache.has_content = true;
+      if (trail) cache_trail_.push_back(idx);
+      if (delta.grown.popcount() > 0)
+        soft_deltas_.push_back(std::move(delta));
+    }
+  }
+
+  if (!occupancy_grew && soft_deltas_.empty()) return cp::PropStatus::kFix;
+
+  // Phase 3: prune open objects against the delta regions only. Values that
+  // survived earlier runs are still consistent with the old occupancy and
+  // parts; only the grown cells can invalidate them. Removals re-enter the
+  // dirty set via modified(), so compulsory-part growth cascades to the
+  // same fixpoint the from-scratch engine reaches.
+  for (std::size_t j = 0; j < n; ++j) {
+    const GeostObject& object = objects_[j];
+    if (committed_[j] >= 0) continue;
+    const Rect& table_box = table_boxes_[j];
+    bool relevant = occupancy_grew && table_box.intersects(delta_box);
+    for (std::size_t s = 0; !relevant && s < soft_deltas_.size(); ++s) {
+      relevant = soft_deltas_[s].owner != j &&
+                 table_box.intersects(soft_deltas_[s].box);
+    }
+    if (!relevant) continue;
+    removals_.clear();
+    space.dom(object.var()).for_each([&](int value) {
+      const Rect box = object.bbox_of(value);
+      const Placement& p = object.placement(value);
+      const BitMatrix& mask = object.footprint_of(value).mask();
+      if (occupancy_grew && box.intersects(delta_box) &&
+          delta_occupancy_.intersects_shifted(mask, p.y, p.x)) {
+        removals_.push_back(value);
+        return;
+      }
+      for (const SoftDelta& s : soft_deltas_) {
+        if (s.owner == j || !box.intersects(s.box)) continue;
+        if (s.grown.intersects_shifted(mask, p.y, p.x)) {
+          removals_.push_back(value);
+          return;
+        }
+      }
+    });
+    if (!removals_.empty()) {
+      if (space.remove_values_sorted(object.var(), removals_) ==
+          cp::ModEvent::kFail)
+        return cp::PropStatus::kFail;
+    }
+  }
+  return cp::PropStatus::kFix;
+}
+
+cp::PropStatus NonOverlap::propagate_scratch(cp::Space& space) {
+  // Definite occupancy from assigned objects. Rebuilt every call; this
+  // engine keeps no search-dependent state, which keeps it trivially
+  // backtrack-safe — the differential-testing oracle for the incremental
+  // engine above.
+  BitMatrix occupancy(height_, width_);
+  Rect occupied_box{};  // union bbox, cheap prefilter
+  int assigned = 0;
+  for (const GeostObject& object : objects_) {
+    if (!space.assigned(object.var())) continue;
+    ++assigned;
+    const int value = space.value(object.var());
+    const Placement& p = object.placement(value);
+    const ShapeFootprint& shape = object.footprint_of(value);
+    if (occupancy.intersects_shifted(shape.mask(), p.y, p.x))
+      return cp::PropStatus::kFail;
+    occupancy.or_shifted(shape.mask(), p.y, p.x);
+    occupied_box = occupied_box.bounding_union(object.bbox_of(value));
+  }
+
+  // All placed and overlap-free: subsumed. Checked before compulsory-part
+  // construction so the final call does not build soft parts it would
+  // immediately discard.
+  if (assigned == static_cast<int>(objects_.size()))
+    return cp::PropStatus::kSubsumed;
+
+  // Compulsory parts of nearly-decided, still-open objects.
+  struct Soft {
+    std::size_t owner;
+    BitMatrix mask;
+    Rect box;
+  };
+  std::vector<Soft> soft;
+  if (options_.use_compulsory_parts) {
+    for (std::size_t j = 0; j < objects_.size(); ++j) {
+      const GeostObject& object = objects_[j];
+      const cp::Domain& dom = space.dom(object.var());
+      if (dom.assigned() || dom.size() > options_.compulsory_threshold)
+        continue;
+      BitMatrix part(height_, width_);
+      bool first = true;
+      Rect box{};
+      dom.for_each([&](int value) {
+        const Placement& p = object.placement(value);
+        const ShapeFootprint& shape = object.footprint_of(value);
+        if (first) {
+          part.or_shifted(shape.mask(), p.y, p.x);
+          box = object.bbox_of(value);
+          first = false;
+        } else {
+          BitMatrix this_one(height_, width_);
+          this_one.or_shifted(shape.mask(), p.y, p.x);
+          part.and_with(this_one);
+          box = box.intersection(object.bbox_of(value));
+        }
+      });
+      if (part.popcount() > 0)
+        soft.push_back(Soft{j, std::move(part), box});
+    }
+  }
+
+  // Prune every open object against occupancy and others' compulsory
+  // parts. Removals are collected per object (domain values ascend, so
+  // the batch is already sorted).
+  std::vector<int> removals;
+  for (std::size_t j = 0; j < objects_.size(); ++j) {
+    const GeostObject& object = objects_[j];
+    if (space.assigned(object.var())) continue;
+    removals.clear();
+    space.dom(object.var()).for_each([&](int value) {
+      const Rect box = object.bbox_of(value);
+      const Placement& p = object.placement(value);
+      const ShapeFootprint& shape = object.footprint_of(value);
+      if (box.intersects(occupied_box) &&
+          occupancy.intersects_shifted(shape.mask(), p.y, p.x)) {
+        removals.push_back(value);
+        return;
+      }
+      for (const Soft& s : soft) {
+        if (s.owner == j || !box.intersects(s.box)) continue;
+        if (s.mask.intersects_shifted(shape.mask(), p.y, p.x)) {
+          removals.push_back(value);
+          return;
+        }
+      }
+    });
+    if (!removals.empty()) {
+      if (space.remove_values_sorted(object.var(), removals) ==
+          cp::ModEvent::kFail)
+        return cp::PropStatus::kFail;
+    }
+  }
+  return cp::PropStatus::kFix;
+}
 
 }  // namespace
 

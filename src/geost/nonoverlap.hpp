@@ -8,6 +8,17 @@
 //       occupied by every placement still in an object's domain.
 // (b) is what makes this a sweep/forbidden-region kernel rather than plain
 // forward checking, and is the lever the ablation bench A3 toggles.
+//
+// Two propagation engines share the same pruning semantics:
+//   - incremental (default): an advised propagator that keeps the union
+//     occupancy bitmap and per-object compulsory parts as trailed state.
+//     An assignment ORs one footprint in, a backtrack rolls the propagator's
+//     own trail back alongside the Space's, and each run only re-examines
+//     placements against the *delta* occupancy and *grown* compulsory-part
+//     cells since the previous run.
+//   - from-scratch: rebuilds occupancy and all compulsory parts on every
+//     propagate() call. Kept as the differential-testing oracle and as the
+//     fallback when incrementality is disabled.
 #pragma once
 
 #include <vector>
@@ -24,6 +35,9 @@ struct NonOverlapOptions {
   /// Compulsory parts are computed only for domains at most this large —
   /// larger domains essentially never have a non-empty compulsory part.
   int compulsory_threshold = 24;
+  /// Event-driven incremental kernel (see header comment). Both engines
+  /// reach the same fixpoints; false selects the from-scratch oracle.
+  bool incremental = true;
 };
 
 /// Post the non-overlap constraint over `objects` on a region of

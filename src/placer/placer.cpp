@@ -41,6 +41,9 @@ Placer::Placer(const fpga::PartialRegion& region,
     : region_(region), modules_(modules), options_(std::move(options)) {
   RR_REQUIRE(!modules_.empty(), "nothing to place: module list is empty");
   RR_REQUIRE(options_.workers >= 1, "placer needs at least one worker");
+  RR_REQUIRE(options_.mode != PlacerMode::kRestarts || options_.workers == 1,
+             "restarts mode has no portfolio variant: use workers == 1 or "
+             "another mode");
 }
 
 PlacementOutcome Placer::place() const {
@@ -55,12 +58,19 @@ PlacementOutcome Placer::place() const {
     RR_METRIC_ADD("placer.modules", modules_.size());
     RR_METRIC_ADD("placer.alternatives_considered", alternatives);
   }
-  if (options_.workers > 1) return place_portfolio();
+  // The mode is honored for any worker count: workers > 1 swaps the exact
+  // phase for a parallel portfolio, it does not silently force pure B&B.
+  const bool parallel = options_.workers > 1;
   switch (options_.mode) {
-    case PlacerMode::kBranchAndBound: return place_single();
-    case PlacerMode::kLns: return place_lns_mode(/*exact_first=*/false);
-    case PlacerMode::kAuto: return place_lns_mode(/*exact_first=*/true);
-    case PlacerMode::kRestarts: return place_restarts();
+    case PlacerMode::kBranchAndBound:
+      return parallel ? place_portfolio() : place_single();
+    case PlacerMode::kLns:
+      return parallel ? place_portfolio_lns(/*exact_first=*/false)
+                      : place_lns_mode(/*exact_first=*/false);
+    case PlacerMode::kAuto:
+      return parallel ? place_portfolio_lns(/*exact_first=*/true)
+                      : place_lns_mode(/*exact_first=*/true);
+    case PlacerMode::kRestarts: return place_restarts();  // workers == 1
   }
   return place_single();
 }
@@ -167,6 +177,79 @@ PlacementOutcome Placer::place_lns_mode(bool exact_first) const {
   outcome.space_stats.merge(lns.space_stats);
   outcome.optimal = lns.optimal;
   outcome.solution = extract_solution(model, lns.placement_values);
+  outcome.seconds = watch.seconds();
+  return outcome;
+}
+
+PlacementOutcome Placer::place_portfolio_lns(bool exact_first) const {
+  Stopwatch watch;
+  const Deadline deadline(options_.time_limit_seconds);
+  PlacementOutcome outcome;
+
+  const BuildOptions build_options = to_build_options(options_);
+  const std::vector<ModuleTables> tables =
+      prepare_tables(region_, modules_, options_.use_alternatives);
+  BuiltModel reference =
+      build_model_from_tables(region_, tables, build_options);
+  if (reference.infeasible) {
+    outcome.optimal = true;  // proven: some module cannot be placed at all
+    outcome.seconds = watch.seconds();
+    return outcome;
+  }
+
+  // Phase 1: portfolio exact search under a slice of the budget. kAuto
+  // gives it a real chance to finish (quarter deadline plus the exact fail
+  // budget per worker); kLns only hunts for an incumbent, so each worker
+  // gets one LNS iteration's worth of fails.
+  cp::SearchLimits exact_limits;
+  if (options_.time_limit_seconds > 0)
+    exact_limits.deadline = Deadline(options_.time_limit_seconds * 0.25);
+  exact_limits.max_fails = exact_first ? options_.auto_exact_fails
+                                       : options_.lns_fails_per_iteration;
+  if (options_.max_fails != 0)
+    exact_limits.max_fails =
+        std::min(exact_limits.max_fails, options_.max_fails);
+
+  // Sequential factory calls (see place_portfolio), so sharing `tables` and
+  // `this` members is safe.
+  cp::PortfolioFactory factory = [&](int worker) {
+    BuiltModel model = build_model_from_tables(region_, tables, build_options);
+    cp::PortfolioModel instance;
+    instance.objective = model.objective;
+    instance.report = model.placement_vars;
+    instance.brancher = make_placement_brancher(
+        model, worker_strategy(options_, worker),
+        options_.seed + static_cast<std::uint64_t>(worker) * 0x9e37U);
+    instance.space = std::move(model.space);
+    return instance;
+  };
+  const cp::PortfolioResult exact =
+      cp::minimize_portfolio(factory, options_.workers, exact_limits);
+  outcome.stats = exact.total;
+  outcome.stats.complete = exact.complete;
+  outcome.space_stats = exact.space;
+  outcome.incumbents = exact.incumbents;
+  if (!exact.found || exact.complete) {
+    // No incumbent to improve, or optimality already proven.
+    outcome.optimal = exact.complete;
+    if (exact.found)
+      outcome.solution = extract_solution(reference, exact.assignment);
+    outcome.seconds = watch.seconds();
+    return outcome;
+  }
+
+  // Phase 2: LNS from the portfolio's best incumbent until the deadline.
+  LnsOptions lns_options;
+  lns_options.relax_min = options_.lns_relax_min;
+  lns_options.relax_max = options_.lns_relax_max;
+  lns_options.fails_per_iteration = options_.lns_fails_per_iteration;
+  lns_options.seed = options_.seed ^ 0xC0FFEEULL;
+  const LnsResult lns = improve_lns(region_, tables, exact.assignment,
+                                    build_options, lns_options, deadline);
+  outcome.stats.merge(lns.stats);
+  outcome.space_stats.merge(lns.space_stats);
+  outcome.optimal = lns.optimal;
+  outcome.solution = extract_solution(reference, lns.placement_values);
   outcome.seconds = watch.seconds();
   return outcome;
 }

@@ -26,7 +26,9 @@ enum class PlacerMode {
   /// LNS with the remaining time. The default.
   kAuto,
   /// Restarting B&B with randomized bottom-left descents under a geometric
-  /// fail schedule — complete like kBranchAndBound, but diversified.
+  /// fail schedule — complete like kBranchAndBound, but diversified. The
+  /// one mode without a portfolio variant: the Placer constructor rejects
+  /// kRestarts with workers > 1 (the portfolio *is* the diversification).
   kRestarts,
 };
 
@@ -70,6 +72,7 @@ class Placer {
  private:
   [[nodiscard]] PlacementOutcome place_single() const;
   [[nodiscard]] PlacementOutcome place_portfolio() const;
+  [[nodiscard]] PlacementOutcome place_portfolio_lns(bool exact_first) const;
   [[nodiscard]] PlacementOutcome place_lns_mode(bool exact_first) const;
   [[nodiscard]] PlacementOutcome place_restarts() const;
 

@@ -268,6 +268,52 @@ TEST(RestartingSearch, TinyBudgetForcesManyRestarts) {
   }
 }
 
+TEST(RestartingSearch, GlobalFailBudgetIsNeverExceeded) {
+  // Regression: each restart used to receive min(max_fails, restart_fails)
+  // afresh, without subtracting fails already spent, so the total could
+  // overshoot the global budget by nearly a full restart — and Search
+  // itself overshot inside backtrack(), which counted failed right
+  // branches without consulting the limits. The global cap must bound the
+  // *recorded* total exactly, across every restart combined.
+  for (const std::uint64_t max_fails : {1u, 7u, 25u, 60u}) {
+    Space s;
+    const auto cols = queens(s, 8);
+    RestartOptions restart_options;
+    restart_options.base_fails = 50;  // restarts larger than some budgets
+    restart_options.growth = 1.5;
+    SearchLimits limits;
+    limits.max_fails = max_fails;
+    const MinimizeResult result = minimize_with_restarts(
+        s,
+        [&](int restart) {
+          return std::make_unique<BasicBrancher>(
+              cols, VarSelect::kInputOrder, ValSelect::kRandom,
+              static_cast<std::uint64_t>(restart) + 3);
+        },
+        cols[0], cols, limits, restart_options);
+    EXPECT_LE(result.stats.fails, max_fails) << "budget " << max_fails;
+  }
+}
+
+TEST(SearchTest, FailLimitIsExactInsideBacktrack) {
+  // A single Search must stop exactly at max_fails even when the limit is
+  // crossed while unwinding exhausted right branches.
+  for (const std::uint64_t max_fails : {1u, 3u, 10u, 33u}) {
+    Space s;
+    const auto cols = queens(s, 7);
+    BasicBrancher brancher(cols, VarSelect::kInputOrder, ValSelect::kMin);
+    Search::Options options;
+    options.limits.max_fails = max_fails;
+    Search search(s, brancher, options);
+    while (search.next()) {
+    }
+    EXPECT_LE(search.stats().fails, max_fails) << "budget " << max_fails;
+    // Enumerating all of 7-queens needs far more fails than any budget
+    // here, so the search must have stopped on the limit, not exhaustion.
+    EXPECT_FALSE(search.stats().complete) << "budget " << max_fails;
+  }
+}
+
 PortfolioModel make_bab_model(int /*worker*/) {
   PortfolioModel model;
   model.space = std::make_unique<Space>();

@@ -176,6 +176,40 @@ TEST(Fdf, RowsInAnyOrder) {
   EXPECT_EQ(f.at(0, 0), ResourceType::kClb);
 }
 
+TEST(Fdf, AcceptsCrlfLineEndings) {
+  const Fabric f = parse_fdf_string(
+      "# dos file\r\n"
+      "fabric tiny 3 2\r\n"
+      "row 0 CBC\r\n"
+      "row 1 CCS\r\n");
+  EXPECT_EQ(f.width(), 3);
+  EXPECT_EQ(f.at(1, 0), ResourceType::kBram);
+  EXPECT_EQ(f.at(2, 1), ResourceType::kStatic);
+}
+
+TEST(Fdf, EmptyInputReportsEmptyFabricFile) {
+  // Not the misleading "fdf:0: missing fabric header".
+  try {
+    static_cast<void>(parse_fdf_string(""));
+    FAIL() << "empty input must throw";
+  } catch (const InvalidInput& e) {
+    EXPECT_NE(std::string(e.what()).find("empty fabric file"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Fdf, UnknownResourceCharacterReportsColumn) {
+  try {
+    static_cast<void>(parse_fdf_string("fabric t 4 1\nrow 0 CCXC\n"));
+    FAIL() << "bad character must throw";
+  } catch (const InvalidInput& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("'X'"), std::string::npos) << what;
+    EXPECT_NE(what.find("column 3"), std::string::npos) << what;  // 1-based
+  }
+}
+
 class FdfErrorTest : public ::testing::TestWithParam<const char*> {};
 
 TEST_P(FdfErrorTest, RejectsMalformedInput) {

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <memory>
+#include <random>
 
 #include "cp/search.hpp"
 #include "cp_test_utils.hpp"
@@ -312,6 +314,131 @@ INSTANTIATE_TEST_SUITE_P(
       return std::to_string(info.param.first) + "x" +
              std::to_string(info.param.second);
     });
+
+// --- Differential test: incremental engine vs from-scratch oracle ------------
+
+struct DiffSetup {
+  cp::Space space;
+  std::vector<GeostObject> objects;
+};
+
+/// Four polymorphic objects (square / bar / mixed CLB+BRAM) on an 8x5
+/// region with a BRAM column, under the given engine options.
+std::unique_ptr<DiffSetup> diff_setup(const NonOverlapOptions& options) {
+  constexpr int kWidth = 8, kHeight = 5;
+  auto setup = std::make_unique<DiffSetup>();
+  const auto masks = region_masks(kWidth, kHeight, {3});
+  auto shapes = std::make_shared<std::vector<ShapeFootprint>>();
+  shapes->push_back(rect_shape(2, 2));
+  shapes->push_back(rect_shape(3, 1));
+  shapes->push_back(mixed_shape());
+  std::vector<std::vector<Point>> anchors;
+  for (const ShapeFootprint& shape : *shapes)
+    anchors.push_back(compute_valid_anchors(masks, shape));
+  for (int i = 0; i < 4; ++i)
+    setup->objects.push_back(make_object(setup->space, shapes, anchors));
+  post_non_overlap(setup->space, setup->objects, kWidth, kHeight, options);
+  return setup;
+}
+
+// Random push/assign/remove/pop walks through both engines side by side:
+// at every step the fail verdicts must agree, and whenever neither space
+// failed, every domain must be identical. This is the soundness *and*
+// completeness check for the incremental kernel — a missed pruning or an
+// over-pruning after backtracking both show up as a domain divergence.
+TEST(NonOverlapDifferential, RandomWalksMatchFromScratchOracle) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    NonOverlapOptions incremental_options;
+    incremental_options.incremental = true;
+    incremental_options.compulsory_threshold = 64;  // soft parts everywhere
+    NonOverlapOptions scratch_options = incremental_options;
+    scratch_options.incremental = false;
+
+    auto incr = diff_setup(incremental_options);
+    auto scratch = diff_setup(scratch_options);
+    std::mt19937 rng(static_cast<unsigned>(seed * 7919 + 1));
+
+    const auto domains_match = [&]() {
+      for (std::size_t i = 0; i < incr->objects.size(); ++i) {
+        const cp::Domain& da = incr->space.dom(incr->objects[i].var());
+        const cp::Domain& db = scratch->space.dom(scratch->objects[i].var());
+        if (!(da == db)) return false;
+      }
+      return true;
+    };
+    const auto random_value = [&](const cp::Domain& dom) {
+      std::vector<int> values;
+      dom.for_each([&](int v) { values.push_back(v); });
+      return values[rng() % values.size()];
+    };
+
+    ASSERT_EQ(incr->space.propagate(), scratch->space.propagate());
+    ASSERT_TRUE(domains_match()) << "seed " << seed << " at root";
+
+    int depth = 0;
+    for (int step = 0; step < 150; ++step) {
+      const unsigned op = rng() % 4;
+      if (op == 3) {  // pop
+        if (depth == 0) continue;
+        incr->space.pop();
+        scratch->space.pop();
+        --depth;
+        ASSERT_TRUE(domains_match())
+            << "seed " << seed << " step " << step << " after pop";
+        continue;
+      }
+      // Pick a still-open object (walk ends when everything is assigned).
+      std::vector<std::size_t> open;
+      for (std::size_t i = 0; i < incr->objects.size(); ++i)
+        if (!incr->space.assigned(incr->objects[i].var())) open.push_back(i);
+      if (open.empty()) break;
+      const std::size_t obj = open[rng() % open.size()];
+      const cp::VarId va = incr->objects[obj].var();
+      const cp::VarId vb = scratch->objects[obj].var();
+      const int value = random_value(incr->space.dom(va));
+
+      incr->space.push();
+      scratch->space.push();
+      ++depth;
+      if (op == 0) {  // assign
+        incr->space.assign(va, value);
+        scratch->space.assign(vb, value);
+      } else {  // remove one value (op 1 and 2: removals twice as likely)
+        incr->space.remove(va, value);
+        scratch->space.remove(vb, value);
+      }
+      const bool ok_a = incr->space.propagate();
+      const bool ok_b = scratch->space.propagate();
+      ASSERT_EQ(ok_a, ok_b)
+          << "seed " << seed << " step " << step << " op " << op << " obj "
+          << obj << " value " << value;
+      if (!ok_a) {
+        incr->space.pop();
+        scratch->space.pop();
+        --depth;
+        continue;
+      }
+      ASSERT_TRUE(domains_match())
+          << "seed " << seed << " step " << step << " op " << op << " obj "
+          << obj << " value " << value;
+    }
+  }
+}
+
+// Both engines must enumerate the identical solution set under real search.
+TEST(NonOverlapDifferential, SearchFindsIdenticalSolutionSets) {
+  NonOverlapOptions incremental_options;
+  incremental_options.incremental = true;
+  NonOverlapOptions scratch_options;
+  scratch_options.incremental = false;
+  auto incr = diff_setup(incremental_options);
+  auto scratch = diff_setup(scratch_options);
+  std::vector<cp::VarId> vars_a, vars_b;
+  for (const GeostObject& o : incr->objects) vars_a.push_back(o.var());
+  for (const GeostObject& o : scratch->objects) vars_b.push_back(o.var());
+  EXPECT_EQ(cp::testing::solve_all(incr->space, vars_a),
+            cp::testing::solve_all(scratch->space, vars_b));
+}
 
 TEST(NonOverlap, SubsumedWhenAllPlaced) {
   auto setup = two_squares(6, 2);

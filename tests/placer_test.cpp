@@ -209,6 +209,39 @@ TEST(Placer, PortfolioMatchesSequentialOptimum) {
   EXPECT_TRUE(validate(*region, modules, p.solution).ok());
 }
 
+TEST(Placer, ParallelWorkersHonorLnsModes) {
+  // Regression: workers > 1 used to silently force a pure-B&B portfolio,
+  // discarding the requested mode. kLns and kAuto must now run the
+  // portfolio exact phase followed by LNS and still reach the optimum on a
+  // small instance.
+  const auto region = homogeneous_region(6, 4);
+  const std::vector<Module> modules{rect_module("a", 2, 2),
+                                    rect_module("b", 2, 2),
+                                    rect_module("c", 2, 4)};
+  for (const PlacerMode mode : {PlacerMode::kLns, PlacerMode::kAuto}) {
+    PlacerOptions options;
+    options.mode = mode;
+    options.workers = 2;
+    options.time_limit_seconds = 5.0;
+    const PlacementOutcome outcome =
+        Placer(*region, modules, options).place();
+    ASSERT_TRUE(outcome.solution.feasible);
+    EXPECT_TRUE(validate(*region, modules, outcome.solution).ok());
+    EXPECT_EQ(outcome.solution.extent, 4);  // area bound, see ModesAgree
+  }
+}
+
+TEST(Placer, RestartsModeRejectsMultipleWorkers) {
+  // kRestarts has no portfolio variant; asking for one must fail loudly at
+  // construction instead of silently running something else.
+  const auto region = homogeneous_region(6, 4);
+  const std::vector<Module> modules{rect_module("a", 2, 2)};
+  PlacerOptions options;
+  options.mode = PlacerMode::kRestarts;
+  options.workers = 2;
+  EXPECT_THROW(Placer(*region, modules, options), InvalidInput);
+}
+
 TEST(Lns, ImprovesAGreedyIncumbent) {
   // A workload where bottom-left greedy is suboptimal and LNS must close
   // the gap to the area bound: 8 modules on a tight region.

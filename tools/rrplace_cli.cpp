@@ -7,8 +7,10 @@
 // Options:
 //   --no-alternatives         place base layouts only
 //   --time-limit <seconds>    solver budget (default 5)
-//   --mode bnb|lns|auto       search mode (default auto)
+//   --mode bnb|lns|auto|restarts
+//                             search mode (default auto)
 //   --workers <n>             portfolio width (default 1)
+//   --no-incremental          from-scratch geost kernel (oracle engine)
 //   --seed <n>                random seed (default 1)
 //   --svg <path>              also write an SVG floorplan
 //   --stats-json <path>       write solver statistics (rrplace-stats-v1
@@ -34,6 +36,7 @@ struct CliOptions {
   double time_limit = 5.0;
   rr::placer::PlacerMode mode = rr::placer::PlacerMode::kAuto;
   int workers = 1;
+  bool incremental = true;
   std::uint64_t seed = 1;
   std::string svg_path;
   std::string stats_json_path;
@@ -45,9 +48,9 @@ struct CliOptions {
   if (error != nullptr) std::cerr << "error: " << error << "\n\n";
   std::cerr <<
       "usage: rrplace_cli --fabric F.fdf --modules M.mlf [options]\n"
-      "  --no-alternatives, --time-limit S, --mode bnb|lns|auto,\n"
-      "  --workers N, --seed N, --svg PATH, --stats-json PATH|-,\n"
-      "  --anchors MODULE, --quiet\n";
+      "  --no-alternatives, --time-limit S, --mode bnb|lns|auto|restarts,\n"
+      "  --workers N, --no-incremental, --seed N, --svg PATH,\n"
+      "  --stats-json PATH|-, --anchors MODULE, --quiet\n";
   std::exit(error == nullptr ? 0 : 2);
 }
 
@@ -62,6 +65,7 @@ CliOptions parse_args(int argc, char** argv) {
     if (arg == "--fabric") options.fabric_path = need_value(i);
     else if (arg == "--modules") options.modules_path = need_value(i);
     else if (arg == "--no-alternatives") options.alternatives = false;
+    else if (arg == "--no-incremental") options.incremental = false;
     else if (arg == "--time-limit") options.time_limit = std::atof(need_value(i));
     else if (arg == "--workers") options.workers = std::atoi(need_value(i));
     else if (arg == "--seed")
@@ -75,6 +79,8 @@ CliOptions parse_args(int argc, char** argv) {
       if (mode == "bnb") options.mode = rr::placer::PlacerMode::kBranchAndBound;
       else if (mode == "lns") options.mode = rr::placer::PlacerMode::kLns;
       else if (mode == "auto") options.mode = rr::placer::PlacerMode::kAuto;
+      else if (mode == "restarts")
+        options.mode = rr::placer::PlacerMode::kRestarts;
       else usage("unknown mode");
     } else if (arg == "--help" || arg == "-h") usage();
     else usage(("unknown option: " + arg).c_str());
@@ -115,6 +121,7 @@ int main(int argc, char** argv) {
     options.time_limit_seconds = cli.time_limit;
     options.mode = cli.mode;
     options.workers = cli.workers;
+    options.nonoverlap.incremental = cli.incremental;
     options.seed = cli.seed;
     // Collection must be on before the Placer builds its Spaces: each Space
     // snapshots the flag at construction.
@@ -129,6 +136,7 @@ int main(int argc, char** argv) {
       config.set("alternatives", rr::json::Value(cli.alternatives));
       config.set("time_limit", rr::json::Value(cli.time_limit));
       config.set("workers", rr::json::Value(cli.workers));
+      config.set("incremental", rr::json::Value(cli.incremental));
       config.set("seed", rr::json::Value(cli.seed));
       const rr::json::Value stats = rr::placer::solve_stats_json(
           region, modules, outcome, "rrplace_cli", std::move(config));
