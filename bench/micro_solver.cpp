@@ -40,6 +40,92 @@ void BM_DomainIntersect(benchmark::State& state) {
 }
 BENCHMARK(BM_DomainIntersect)->Arg(1024)->Arg(16384);
 
+void BM_DomainKeepMasked(benchmark::State& state) {
+  const long n = state.range(0);
+  const std::size_t words = static_cast<std::size_t>((n + 63) / 64);
+  std::vector<std::uint64_t> mask(words, 0xAAAAAAAAAAAAAAAAULL);
+  for (auto _ : state) {
+    cp::Domain d(0, static_cast<int>(n - 1));
+    benchmark::DoNotOptimize(d.keep_masked(0, mask));
+    // Second call hits the word-block representation.
+    benchmark::DoNotOptimize(d.keep_masked(0, mask));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_DomainKeepMasked)->Arg(256)->Arg(4096)->Arg(65536);
+
+/// One re-propagation of a positive table constraint after removing a
+/// value from the middle variable. range(1) selects the engine: 0 =
+/// scanning oracle, 1 = compact-table.
+void BM_TablePropagation(benchmark::State& state) {
+  const int tuples_n = static_cast<int>(state.range(0));
+  const bool compact = state.range(1) != 0;
+  constexpr int kArity = 3;
+  constexpr int kDomainSize = 64;
+  Rng rng(11);
+  std::vector<std::vector<int>> tuples;
+  for (int t = 0; t < tuples_n; ++t) {
+    std::vector<int> tuple(kArity);
+    for (int i = 0; i < kArity; ++i)
+      tuple[i] = rng.uniform_int(0, kDomainSize - 1);
+    tuples.push_back(std::move(tuple));
+  }
+  for (auto _ : state) {
+    state.PauseTiming();
+    cp::Space space;
+    std::vector<cp::VarId> vars;
+    for (int i = 0; i < kArity; ++i)
+      vars.push_back(space.new_var(0, kDomainSize - 1));
+    cp::post_table(space, vars, tuples, cp::TableOptions{compact});
+    space.propagate();
+    space.push();
+    space.remove(vars[1], kDomainSize / 2);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(space.propagate());
+    state.PauseTiming();
+    space.pop();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * tuples_n);
+}
+BENCHMARK(BM_TablePropagation)
+    ->Args({512, 0})
+    ->Args({512, 1})
+    ->Args({4096, 0})
+    ->Args({4096, 1});
+
+/// One re-propagation of an element constraint after a B&B-style cut on
+/// the result variable. range(1): 0 = scanning oracle, 1 = compact-table.
+void BM_ElementPropagation(benchmark::State& state) {
+  const int table_n = static_cast<int>(state.range(0));
+  const bool compact = state.range(1) != 0;
+  Rng rng(13);
+  std::vector<int> table(static_cast<std::size_t>(table_n));
+  for (int& v : table) v = rng.uniform_int(4, 40);
+  for (auto _ : state) {
+    state.PauseTiming();
+    cp::Space space;
+    const cp::VarId index = space.new_var(0, table_n - 1);
+    const cp::VarId result = space.new_var(0, 64);
+    cp::post_element(space, table, index, result,
+                     cp::ElementOptions{compact});
+    space.propagate();
+    space.push();
+    space.set_max(result, 20);  // the objective cut
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(space.propagate());
+    state.PauseTiming();
+    space.pop();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * table_n);
+}
+BENCHMARK(BM_ElementPropagation)
+    ->Args({1024, 0})
+    ->Args({1024, 1})
+    ->Args({16384, 0})
+    ->Args({16384, 1});
+
 void BM_BitMatrixIntersects(benchmark::State& state) {
   const int dim = static_cast<int>(state.range(0));
   BitMatrix grid(dim, dim);

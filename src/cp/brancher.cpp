@@ -50,20 +50,11 @@ std::optional<Choice> BasicBrancher::choose(const Space& space) {
   switch (val_select_) {
     case ValSelect::kMin: value = dom.min(); break;
     case ValSelect::kMax: value = dom.max(); break;
-    case ValSelect::kRandom: {
+    case ValSelect::kRandom:
       // Pick the k-th domain value without materializing the domain.
-      long k = static_cast<long>(rng_.bounded(
-          static_cast<std::uint64_t>(dom.size())));
-      for (const auto& range : dom.ranges()) {
-        const long len = static_cast<long>(range.hi) - range.lo + 1;
-        if (k < len) {
-          value = range.lo + static_cast<int>(k);
-          break;
-        }
-        k -= len;
-      }
+      value = dom.nth_value(static_cast<long>(
+          rng_.bounded(static_cast<std::uint64_t>(dom.size()))));
       break;
-    }
   }
   return Choice{chosen, value};
 }

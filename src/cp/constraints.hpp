@@ -31,10 +31,18 @@ void post_max(Space& space, VarId z, std::span<const VarId> xs);
 /// z == min(xs) — bounds consistency. xs must be non-empty.
 void post_min(Space& space, VarId z, std::span<const VarId> xs);
 
+/// Options for post_element. `compact = false` selects the original
+/// scanning propagator, kept as a differential-testing oracle (same
+/// pattern as geost::NonOverlapOptions::incremental).
+struct ElementOptions {
+  bool compact = true;
+};
+
 /// result == table[index] — domain-consistent element constraint.
 /// Index values outside [0, table.size()) are pruned immediately.
-void post_element(Space& space, std::span<const int> table, VarId index,
-                  VarId result);
+/// Returns the propagator id (usable with Space::schedule).
+int post_element(Space& space, std::span<const int> table, VarId index,
+                 VarId result, ElementOptions options = {});
 
 /// All variables take pairwise distinct values (forward-checking strength).
 void post_all_different(Space& space, std::span<const VarId> vars);
@@ -47,10 +55,18 @@ void post_count(Space& space, std::span<const VarId> vars, int value,
 /// b is clipped into [0, 1] at post time.
 void post_rel_reified(Space& space, VarId x, RelOp op, int c, VarId b);
 
+/// Options for post_table. `compact = false` selects the original
+/// scanning propagator, kept as a differential-testing oracle.
+struct TableOptions {
+  bool compact = true;
+};
+
 /// Positive table constraint: the tuple (vars[0], ..., vars[n-1]) must
 /// equal one of `tuples` (each of arity vars.size()). Generalized arc
-/// consistency by support counting — intended for small tables.
-void post_table(Space& space, std::span<const VarId> vars,
-                std::vector<std::vector<int>> tuples);
+/// consistency; the default compact-table propagator keeps the live-tuple
+/// set in a reversible sparse bitset and updates it from domain deltas.
+/// Returns the propagator id (usable with Space::schedule).
+int post_table(Space& space, std::span<const VarId> vars,
+               std::vector<std::vector<int>> tuples, TableOptions options = {});
 
 }  // namespace rr::cp

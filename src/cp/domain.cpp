@@ -4,6 +4,77 @@
 #include <sstream>
 
 namespace rr::cp {
+namespace {
+
+// Fragmentation heuristic: pack into word blocks when the bitset needs no
+// more words than twice the range count (a word is half the size of a
+// Range, so this is the memory break-even point — fewer bytes to copy onto
+// the trail) and the span stays under a hard cap, so huge dense coordinate
+// intervals never pack.
+constexpr std::size_t kPackMinRanges = 16;
+constexpr long kPackMaxWords = 4096;  // 256k-value span cap
+
+long words_for(long span) noexcept { return (span + 63) / 64; }
+
+/// Bits of `mask` (anchored at `base`) covering values [start, start+64).
+std::uint64_t gather_window(int base, std::span<const std::uint64_t> mask,
+                            long start) noexcept {
+  const long off = start - base;  // signed bit offset into mask
+  const long total = static_cast<long>(mask.size()) * 64;
+  if (off <= -64 || off >= total) return 0;
+  const long w = off >= 0 ? off / 64 : -((63 - off) / 64);  // floor(off/64)
+  const int s = static_cast<int>(off - w * 64);
+  const auto word_at = [&](long i) -> std::uint64_t {
+    return i >= 0 && i < static_cast<long>(mask.size())
+               ? mask[static_cast<std::size_t>(i)]
+               : 0;
+  };
+  if (s == 0) return word_at(w);
+  return (word_at(w) >> s) | (word_at(w + 1) << (64 - s));
+}
+
+/// Set bits [b0, b1] (inclusive) in `out`.
+void set_bit_run(std::span<std::uint64_t> out, long b0, long b1) noexcept {
+  const std::size_t w0 = static_cast<std::size_t>(b0 >> 6);
+  const std::size_t w1 = static_cast<std::size_t>(b1 >> 6);
+  const std::uint64_t lo_mask = ~std::uint64_t{0} << (b0 & 63);
+  const std::uint64_t hi_mask = ~std::uint64_t{0} >> (63 - (b1 & 63));
+  if (w0 == w1) {
+    out[w0] |= lo_mask & hi_mask;
+    return;
+  }
+  out[w0] |= lo_mask;
+  for (std::size_t w = w0 + 1; w < w1; ++w) out[w] = ~std::uint64_t{0};
+  out[w1] |= hi_mask;
+}
+
+/// Smallest set-bit index >= b in `mask`, or -1.
+long next_set_bit(std::span<const std::uint64_t> mask, long b) noexcept {
+  const long total = static_cast<long>(mask.size()) * 64;
+  while (b < total) {
+    const std::size_t w = static_cast<std::size_t>(b >> 6);
+    const std::uint64_t word = mask[w] & (~std::uint64_t{0} << (b & 63));
+    if (word != 0)
+      return static_cast<long>(w) * 64 + std::countr_zero(word);
+    b = (static_cast<long>(w) + 1) * 64;
+  }
+  return -1;
+}
+
+/// Smallest clear-bit index >= b in `mask` (mask.size()*64 if none).
+long next_clear_bit(std::span<const std::uint64_t> mask, long b) noexcept {
+  const long total = static_cast<long>(mask.size()) * 64;
+  while (b < total) {
+    const std::size_t w = static_cast<std::size_t>(b >> 6);
+    const std::uint64_t word = ~mask[w] & (~std::uint64_t{0} << (b & 63));
+    if (word != 0)
+      return static_cast<long>(w) * 64 + std::countr_zero(word);
+    b = (static_cast<long>(w) + 1) * 64;
+  }
+  return total;
+}
+
+}  // namespace
 
 Domain::Domain(int lo, int hi) {
   if (lo <= hi) {
@@ -24,6 +95,7 @@ Domain Domain::from_values(std::vector<int> values) {
     }
   }
   d.size_ = static_cast<long>(values.size());
+  d.maybe_pack();
   return d;
 }
 
@@ -32,7 +104,84 @@ void Domain::recount() noexcept {
   for (const Range& r : ranges_) size_ += static_cast<long>(r.hi) - r.lo + 1;
 }
 
+void Domain::clear_all() noexcept {
+  ranges_.clear();
+  words_.clear();
+  size_ = 0;
+}
+
+void Domain::maybe_pack() {
+  if (is_words() || ranges_.size() < kPackMinRanges) return;
+  const long span =
+      static_cast<long>(ranges_.back().hi) - ranges_.front().lo + 1;
+  const long nw = words_for(span);
+  if (nw > kPackMaxWords || nw > 2 * static_cast<long>(ranges_.size()))
+    return;
+  pack_to_words();
+}
+
+void Domain::pack_to_words() {
+  base_ = ranges_.front().lo;
+  min_ = base_;
+  max_ = ranges_.back().hi;
+  words_.assign(
+      static_cast<std::size_t>(words_for(static_cast<long>(max_) - base_ + 1)),
+      0);
+  for (const Range& r : ranges_)
+    set_bit_run(words_, r.lo - static_cast<long>(base_),
+                r.hi - static_cast<long>(base_));
+  ranges_.clear();
+  // size_ is unchanged by a representation switch.
+}
+
+void Domain::rescan_words() noexcept {
+  long count = 0;
+  long first = -1;
+  long last = -1;
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    const std::uint64_t word = words_[w];
+    if (word == 0) continue;
+    count += std::popcount(word);
+    if (first < 0)
+      first = static_cast<long>(w) * 64 + std::countr_zero(word);
+    last = static_cast<long>(w) * 64 + 63 - std::countl_zero(word);
+  }
+  if (count == 0) {
+    clear_all();
+    return;
+  }
+  size_ = count;
+  min_ = base_ + static_cast<int>(first);
+  max_ = base_ + static_cast<int>(last);
+}
+
+long Domain::clear_bits(int lo, int hi) noexcept {
+  const long total = static_cast<long>(words_.size()) * 64;
+  const long b0 = std::max<long>(static_cast<long>(lo) - base_, 0);
+  const long b1 = std::min<long>(static_cast<long>(hi) - base_, total - 1);
+  if (b0 > b1) return 0;
+  const std::size_t w0 = static_cast<std::size_t>(b0 >> 6);
+  const std::size_t w1 = static_cast<std::size_t>(b1 >> 6);
+  long cleared = 0;
+  for (std::size_t w = w0; w <= w1; ++w) {
+    std::uint64_t mask = ~std::uint64_t{0};
+    if (w == w0) mask &= ~std::uint64_t{0} << (b0 & 63);
+    if (w == w1) mask &= ~std::uint64_t{0} >> (63 - (b1 & 63));
+    cleared += std::popcount(words_[w] & mask);
+    words_[w] &= ~mask;
+  }
+  return cleared;
+}
+
 bool Domain::contains(int v) const noexcept {
+  if (empty()) return false;
+  if (is_words()) {
+    if (v < min_ || v > max_) return false;
+    const long b = static_cast<long>(v) - base_;
+    return (words_[static_cast<std::size_t>(b >> 6)] >>
+            (static_cast<unsigned>(b) & 63u)) &
+           1u;
+  }
   // Binary search for the first range with hi >= v.
   auto it = std::lower_bound(
       ranges_.begin(), ranges_.end(), v,
@@ -41,12 +190,68 @@ bool Domain::contains(int v) const noexcept {
 }
 
 bool Domain::next_geq(int v, int& out) const noexcept {
+  if (empty()) return false;
+  if (is_words()) {
+    if (v <= min_) {
+      out = min_;
+      return true;
+    }
+    if (v > max_) return false;
+    const long b = next_set_bit(words_, static_cast<long>(v) - base_);
+    RR_ASSERT(b >= 0);  // max_ >= v guarantees a set bit
+    out = base_ + static_cast<int>(b);
+    return true;
+  }
   auto it = std::lower_bound(
       ranges_.begin(), ranges_.end(), v,
       [](const Range& r, int value) { return r.hi < value; });
   if (it == ranges_.end()) return false;
   out = std::max(v, it->lo);
   return true;
+}
+
+int Domain::nth_value(long k) const noexcept {
+  RR_ASSERT(k >= 0 && k < size_);
+  if (is_words()) {
+    for (std::size_t w = 0;; ++w) {
+      std::uint64_t word = words_[w];
+      const int pc = std::popcount(word);
+      if (k >= pc) {
+        k -= pc;
+        continue;
+      }
+      while (k-- > 0) word &= word - 1;  // drop the k lowest set bits
+      return base_ + static_cast<int>(w) * 64 + std::countr_zero(word);
+    }
+  }
+  for (const Range& r : ranges_) {
+    const long len = static_cast<long>(r.hi) - r.lo + 1;
+    if (k < len) return r.lo + static_cast<int>(k);
+    k -= len;
+  }
+  RR_ASSERT(false);
+  return min();
+}
+
+void Domain::fill_words(int base,
+                        std::span<std::uint64_t> out) const noexcept {
+  std::fill(out.begin(), out.end(), 0);
+  if (empty()) return;
+  if (is_words()) {
+    for (std::size_t i = 0; i < out.size(); ++i)
+      out[i] = gather_window(base_, words_,
+                             static_cast<long>(base) +
+                                 static_cast<long>(i) * 64);
+    return;
+  }
+  const long window_hi =
+      static_cast<long>(base) + static_cast<long>(out.size()) * 64 - 1;
+  for (const Range& r : ranges_) {
+    const long lo = std::max<long>(r.lo, base);
+    const long hi = std::min<long>(r.hi, window_hi);
+    if (lo > hi) continue;
+    set_bit_run(out, lo - base, hi - base);
+  }
 }
 
 std::vector<int> Domain::values() const {
@@ -58,6 +263,11 @@ std::vector<int> Domain::values() const {
 
 bool Domain::remove_below(int v) {
   if (empty() || v <= min()) return false;
+  if (is_words()) {
+    if (clear_bits(min_, v - 1) == 0) return false;
+    rescan_words();
+    return true;
+  }
   auto it = ranges_.begin();
   while (it != ranges_.end() && it->hi < v) ++it;
   ranges_.erase(ranges_.begin(), it);
@@ -68,6 +278,11 @@ bool Domain::remove_below(int v) {
 
 bool Domain::remove_above(int v) {
   if (empty() || v >= max()) return false;
+  if (is_words()) {
+    if (clear_bits(v + 1, max_) == 0) return false;
+    rescan_words();
+    return true;
+  }
   auto it = ranges_.end();
   while (it != ranges_.begin() && std::prev(it)->lo > v) --it;
   ranges_.erase(it, ranges_.end());
@@ -80,6 +295,11 @@ bool Domain::remove(int v) { return remove_range(v, v); }
 
 bool Domain::remove_range(int lo, int hi) {
   if (empty() || lo > hi || hi < min() || lo > max()) return false;
+  if (is_words()) {
+    if (clear_bits(lo, hi) == 0) return false;
+    rescan_words();
+    return true;
+  }
   std::vector<Range> out;
   out.reserve(ranges_.size() + 1);
   bool changed = false;
@@ -95,11 +315,30 @@ bool Domain::remove_range(int lo, int hi) {
   if (!changed) return false;
   ranges_ = std::move(out);
   recount();
+  maybe_pack();
   return true;
 }
 
 bool Domain::remove_values_sorted(std::span<const int> values) {
   if (empty() || values.empty()) return false;
+  if (is_words()) {
+    long cleared = 0;
+    for (int v : values) {
+      if (v < min_) continue;
+      if (v > max_) break;
+      const long b = static_cast<long>(v) - base_;
+      std::uint64_t& word = words_[static_cast<std::size_t>(b >> 6)];
+      const std::uint64_t mask = std::uint64_t{1}
+                                 << (static_cast<unsigned>(b) & 63u);
+      if ((word & mask) != 0) {
+        word &= ~mask;
+        ++cleared;
+      }
+    }
+    if (cleared == 0) return false;
+    rescan_words();
+    return true;
+  }
   std::vector<Range> out;
   out.reserve(ranges_.size() + values.size());
   std::size_t vi = 0;
@@ -121,49 +360,189 @@ bool Domain::remove_values_sorted(std::span<const int> values) {
   if (!changed) return false;
   ranges_ = std::move(out);
   recount();
+  maybe_pack();
   return true;
 }
 
 bool Domain::intersect(const Domain& other) {
   if (empty()) return false;
-  std::vector<Range> out;
-  out.reserve(std::max(ranges_.size(), other.ranges_.size()));
-  std::size_t i = 0, j = 0;
-  while (i < ranges_.size() && j < other.ranges_.size()) {
-    const Range& a = ranges_[i];
-    const Range& b = other.ranges_[j];
-    const int lo = std::max(a.lo, b.lo);
-    const int hi = std::min(a.hi, b.hi);
-    if (lo <= hi) out.push_back(Range{lo, hi});
-    if (a.hi < b.hi) ++i;
-    else ++j;
+  if (other.empty()) {
+    clear_all();
+    return true;
   }
-  if (out == ranges_) return false;
+  if (!is_words() && !other.is_words()) {
+    std::vector<Range> out;
+    out.reserve(std::max(ranges_.size(), other.ranges_.size()));
+    std::size_t i = 0, j = 0;
+    while (i < ranges_.size() && j < other.ranges_.size()) {
+      const Range& a = ranges_[i];
+      const Range& b = other.ranges_[j];
+      const int lo = std::max(a.lo, b.lo);
+      const int hi = std::min(a.hi, b.hi);
+      if (lo <= hi) out.push_back(Range{lo, hi});
+      if (a.hi < b.hi) ++i;
+      else ++j;
+    }
+    if (out == ranges_) return false;
+    ranges_ = std::move(out);
+    recount();
+    maybe_pack();
+    return true;
+  }
+  // Word path: at least one side is word-represented, so the intersection
+  // window is bounded by the pack cap. Build both sides as word blocks over
+  // the window and AND them; an unchanged cardinality means an unchanged
+  // set (intersection only removes values).
+  const int lo = std::max(min(), other.min());
+  const int hi = std::min(max(), other.max());
+  if (lo > hi) {
+    clear_all();
+    return true;
+  }
+  const std::size_t nw = static_cast<std::size_t>(
+      words_for(static_cast<long>(hi) - lo + 1));
+  thread_local std::vector<std::uint64_t> mine;
+  thread_local std::vector<std::uint64_t> theirs;
+  mine.resize(nw);
+  theirs.resize(nw);
+  fill_words(lo, mine);
+  other.fill_words(lo, theirs);
+  long new_size = 0;
+  for (std::size_t w = 0; w < nw; ++w) {
+    mine[w] &= theirs[w];
+    new_size += std::popcount(mine[w]);
+  }
+  if (new_size == size_) return false;
+  if (new_size == 0) {
+    clear_all();
+    return true;
+  }
+  ranges_.clear();
+  words_.assign(mine.begin(), mine.end());
+  base_ = lo;
+  rescan_words();
+  return true;
+}
+
+bool Domain::keep_masked(int base, std::span<const std::uint64_t> mask) {
+  if (empty()) return false;
+  if (mask.empty()) {
+    clear_all();
+    return true;
+  }
+  if (is_words()) {
+    long new_size = 0;
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      words_[w] &= gather_window(base, mask,
+                                 static_cast<long>(base_) +
+                                     static_cast<long>(w) * 64);
+      new_size += std::popcount(words_[w]);
+    }
+    if (new_size == size_) return false;  // removal-only: count pins the set
+    rescan_words();
+    return true;
+  }
+  std::vector<Range> out;
+  out.reserve(ranges_.size());
+  long new_size = 0;
+  const long window_hi =
+      static_cast<long>(base) + static_cast<long>(mask.size()) * 64 - 1;
+  for (const Range& r : ranges_) {
+    const long lo = std::max<long>(r.lo, base);
+    const long hi = std::min<long>(r.hi, window_hi);
+    long b = lo - base;
+    const long b_hi = hi - base;
+    while (b <= b_hi) {
+      const long s = next_set_bit(mask, b);
+      if (s < 0 || s > b_hi) break;
+      const long e = std::min(next_clear_bit(mask, s) - 1, b_hi);
+      out.push_back(Range{static_cast<int>(base + s),
+                          static_cast<int>(base + e)});
+      new_size += e - s + 1;
+      b = e + 2;  // bit e+1 is clear (or past the range): skip it
+    }
+  }
+  if (new_size == size_) return false;
   ranges_ = std::move(out);
-  recount();
+  size_ = new_size;
+  maybe_pack();
   return true;
 }
 
 bool Domain::assign_value(int v) {
   if (assigned() && value() == v) return false;
   if (!contains(v)) {
-    ranges_.clear();
-    size_ = 0;
+    clear_all();
     return true;
   }
+  clear_all();
   ranges_.assign(1, Range{v, v});
   size_ = 1;
   return true;
 }
 
+bool Domain::operator==(const Domain& other) const noexcept {
+  if (size_ != other.size_) return false;
+  if (size_ == 0) return true;
+  if (!is_words() && !other.is_words()) return ranges_ == other.ranges_;
+  if (min() != other.min() || max() != other.max()) return false;
+  // Mixed or word representations: compare maximal value runs.
+  struct Cursor {
+    const Domain& d;
+    std::size_t ri = 0;
+    long bit = 0;
+    bool next(Range& out) {
+      if (!d.is_words()) {
+        if (ri >= d.ranges_.size()) return false;
+        out = d.ranges_[ri++];
+        return true;
+      }
+      const long start = next_set_bit(d.words_, bit);
+      if (start < 0) return false;
+      const long end = next_clear_bit(d.words_, start) - 1;
+      out = Range{d.base_ + static_cast<int>(start),
+                  d.base_ + static_cast<int>(end)};
+      bit = end + 1;
+      return true;
+    }
+  };
+  Cursor a{*this};
+  Cursor b{other};
+  Range ra{};
+  Range rb{};
+  while (true) {
+    const bool has_a = a.next(ra);
+    const bool has_b = b.next(rb);
+    if (has_a != has_b) return false;
+    if (!has_a) return true;
+    if (!(ra == rb)) return false;
+  }
+}
+
 std::string Domain::to_string() const {
   std::ostringstream os;
   os << '{';
-  for (std::size_t i = 0; i < ranges_.size(); ++i) {
-    if (i) os << ", ";
-    if (ranges_[i].lo == ranges_[i].hi) os << ranges_[i].lo;
-    else os << ranges_[i].lo << ".." << ranges_[i].hi;
-  }
+  bool open = false;
+  bool first = true;
+  int run_lo = 0, run_hi = 0;
+  const auto emit = [&] {
+    if (!first) os << ", ";
+    first = false;
+    if (run_lo == run_hi) os << run_lo;
+    else os << run_lo << ".." << run_hi;
+  };
+  for_each([&](int v) {
+    if (!open) {
+      run_lo = run_hi = v;
+      open = true;
+    } else if (v == run_hi + 1) {
+      run_hi = v;
+    } else {
+      emit();
+      run_lo = run_hi = v;
+    }
+  });
+  if (open) emit();
   os << '}';
   return os.str();
 }

@@ -1,9 +1,23 @@
-// Finite integer domain stored as a sorted list of disjoint, non-adjacent
-// closed ranges. Range lists degrade gracefully for the two domain shapes
-// the placer produces: dense intervals (coordinates) and moderately
-// fragmented anchor index sets after pruning.
+// Finite integer domain with two storage representations:
+//
+//   - a sorted list of disjoint, non-adjacent closed ranges — the right
+//     shape for the dense intervals the placer's coordinate and objective
+//     variables keep (O(1) bounds, O(#ranges) mutation);
+//   - a word-block bitset (base value + 64-bit words, popcount-based size,
+//     cached bounds) — the fast path for large *fragmented* domains such as
+//     placement-index sets after non-overlap pruning, where range lists
+//     degrade to one entry per value. Word-block mutators (`keep_masked`,
+//     `remove_values_sorted`, `intersect`) run word-parallel.
+//
+// Mutators that fragment the domain switch representation automatically
+// when the range list outgrows the equivalent bitset (see should_pack());
+// assignment collapses back to a single range. Both representations expose
+// the same observable behavior — cp_domain_fuzz_test cross-checks every
+// mutator against a std::set reference model across the switch boundary.
 #pragma once
 
+#include <bit>
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
@@ -30,20 +44,20 @@ class Domain {
   /// Arbitrary value set (deduplicated, need not be sorted).
   static Domain from_values(std::vector<int> values);
 
-  [[nodiscard]] bool empty() const noexcept { return ranges_.empty(); }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
   [[nodiscard]] long size() const noexcept { return size_; }
   [[nodiscard]] int min() const noexcept {
     RR_ASSERT(!empty());
-    return ranges_.front().lo;
+    return is_words() ? min_ : ranges_.front().lo;
   }
   [[nodiscard]] int max() const noexcept {
     RR_ASSERT(!empty());
-    return ranges_.back().hi;
+    return is_words() ? max_ : ranges_.back().hi;
   }
   [[nodiscard]] bool assigned() const noexcept { return size_ == 1; }
   [[nodiscard]] int value() const noexcept {
     RR_ASSERT(assigned());
-    return ranges_.front().lo;
+    return min();
   }
 
   [[nodiscard]] bool contains(int v) const noexcept;
@@ -52,13 +66,38 @@ class Domain {
   /// writes `out` when such a value exists.
   [[nodiscard]] bool next_geq(int v, int& out) const noexcept;
 
+  /// k-th smallest value, k in [0, size()). O(#ranges) / O(#words).
+  [[nodiscard]] int nth_value(long k) const noexcept;
+
+  /// Range-list view. Only valid while the domain is range-represented
+  /// (never after a mutator packed it into word blocks) — use for_each /
+  /// nth_value / fill_words for representation-agnostic access.
   [[nodiscard]] std::span<const Range> ranges() const noexcept {
+    RR_ASSERT(!is_words());
     return ranges_;
   }
+
+  /// True while the word-block representation is active (observability /
+  /// tests; behavior is representation-independent).
+  [[nodiscard]] bool is_words() const noexcept { return !words_.empty(); }
+
+  /// Word-block export: bit k of `out` = contains(base + k). `out` is
+  /// zeroed first; values outside the window are simply not reported.
+  void fill_words(int base, std::span<std::uint64_t> out) const noexcept;
 
   /// Visit every value in increasing order.
   template <typename F>
   void for_each(F&& fn) const {
+    if (is_words()) {
+      for (std::size_t w = 0; w < words_.size(); ++w) {
+        std::uint64_t word = words_[w];
+        while (word != 0) {
+          fn(base_ + static_cast<int>(w) * 64 + std::countr_zero(word));
+          word &= word - 1;
+        }
+      }
+      return;
+    }
     for (const Range& r : ranges_)
       for (int v = r.lo; v <= r.hi; ++v) fn(v);
   }
@@ -75,19 +114,39 @@ class Domain {
   bool remove_values_sorted(std::span<const int> values);
   /// Keep only values also present in `other`.
   bool intersect(const Domain& other);
+  /// Keep only values v in [base, base + 64 * mask.size()) whose mask bit
+  /// (v - base) is set; everything outside the window is removed. This is
+  /// the word-parallel pruning entry point of the compact-table
+  /// propagators: live-set words go in directly, no per-value probes.
+  bool keep_masked(int base, std::span<const std::uint64_t> mask);
   /// Collapse to {v}; collapses to empty when v is not present.
   bool assign_value(int v);
 
-  bool operator==(const Domain& other) const noexcept {
-    return ranges_ == other.ranges_;
-  }
+  bool operator==(const Domain& other) const noexcept;
 
   [[nodiscard]] std::string to_string() const;
 
  private:
   void recount() noexcept;
+  /// Pack the range list into word blocks when fragmentation makes the
+  /// bitset the smaller (and faster-to-trail) representation.
+  void maybe_pack();
+  void pack_to_words();
+  /// Words mode: recompute min_/max_/size_ after bit clears; collapses to
+  /// the canonical empty state when no bit is left.
+  void rescan_words() noexcept;
+  void clear_all() noexcept;
+  /// Words mode: clear bits [lo, hi] (value coordinates, clipped). Returns
+  /// number of bits cleared; does not rescan.
+  long clear_bits(int lo, int hi) noexcept;
 
+  // Exactly one representation is active for a non-empty domain; empty
+  // domains keep both containers empty.
   std::vector<Range> ranges_;
+  std::vector<std::uint64_t> words_;
+  int base_ = 0;  // value of words_ bit 0
+  int min_ = 0;   // cached bounds, valid in words mode
+  int max_ = 0;
   long size_ = 0;
 };
 

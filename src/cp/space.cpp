@@ -90,6 +90,10 @@ ModEvent Space::remove_values_sorted(VarId v, std::span<const int> values) {
 ModEvent Space::intersect(VarId v, const Domain& with) {
   RR_SPACE_MUTATE(v, d.intersect(with));
 }
+ModEvent Space::keep_masked(VarId v, int base,
+                            std::span<const std::uint64_t> mask) {
+  RR_SPACE_MUTATE(v, d.keep_masked(base, mask));
+}
 
 #undef RR_SPACE_MUTATE
 

@@ -89,6 +89,10 @@ class Space {
   ModEvent remove_range(VarId v, int lo, int hi);
   ModEvent remove_values_sorted(VarId v, std::span<const int> values);
   ModEvent intersect(VarId v, const Domain& with);
+  /// Keep only values v with mask bit (v - base) set (word-parallel); see
+  /// Domain::keep_masked. Compact-table propagators hand the live-set words
+  /// in here directly.
+  ModEvent keep_masked(VarId v, int base, std::span<const std::uint64_t> mask);
 
   [[nodiscard]] bool failed() const noexcept { return failed_; }
   /// Mark the space failed without touching a domain (global propagators).

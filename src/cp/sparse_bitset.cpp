@@ -1,0 +1,137 @@
+#include "cp/sparse_bitset.hpp"
+
+namespace rr::cp {
+
+void ReversibleSparseBitSet::reset_trail() {
+  trail_.clear();
+  marks_.clear();
+  saved_at_.assign(words_.size(), -1);
+}
+
+void ReversibleSparseBitSet::init_full(long bits) {
+  RR_ASSERT(bits >= 0);
+  bits_ = bits;
+  const int n = words_for(bits);
+  words_.assign(static_cast<std::size_t>(n), ~std::uint64_t{0});
+  if (bits % 64 != 0 && n > 0)
+    words_.back() = (std::uint64_t{1} << (bits % 64)) - 1;
+  active_.resize(static_cast<std::size_t>(n));
+  where_.resize(static_cast<std::size_t>(n));
+  // Every word of an all-set init is nonzero (bits == 0 gives no words).
+  limit_ = n;
+  for (int w = 0; w < n; ++w) {
+    active_[static_cast<std::size_t>(w)] = w;
+    where_[static_cast<std::size_t>(w)] = w;
+  }
+  ++version_;
+  reset_trail();
+}
+
+void ReversibleSparseBitSet::init_from_mask(
+    std::span<const std::uint64_t> mask, long bits) {
+  init_full(bits);
+  if (bits == 0) return;
+  RR_ASSERT(mask.size() == words_.size());
+  and_mask(mask);
+  reset_trail();  // init is a root operation; drop any recorded changes
+}
+
+long ReversibleSparseBitSet::count() const noexcept {
+  long total = 0;
+  for (int i = 0; i < limit_; ++i)
+    total += std::popcount(
+        words_[static_cast<std::size_t>(active_[static_cast<std::size_t>(i)])]);
+  return total;
+}
+
+void ReversibleSparseBitSet::deactivate(int pos) {
+  RR_ASSERT(pos >= 0 && pos < limit_);
+  const int w = active_[static_cast<std::size_t>(pos)];
+  const int last = limit_ - 1;
+  const int other = active_[static_cast<std::size_t>(last)];
+  active_[static_cast<std::size_t>(pos)] = other;
+  active_[static_cast<std::size_t>(last)] = w;
+  where_[static_cast<std::size_t>(other)] = pos;
+  where_[static_cast<std::size_t>(w)] = last;
+  limit_ = last;
+}
+
+void ReversibleSparseBitSet::and_mask(std::span<const std::uint64_t> mask) {
+  RR_ASSERT(mask.size() >= words_.size());
+  for (int i = limit_ - 1; i >= 0; --i) {
+    const int w = active_[static_cast<std::size_t>(i)];
+    const std::uint64_t old = words_[static_cast<std::size_t>(w)];
+    const std::uint64_t neu = old & mask[static_cast<std::size_t>(w)];
+    if (neu == old) continue;
+    save_word(w);
+    words_[static_cast<std::size_t>(w)] = neu;
+    ++version_;
+    if (neu == 0) deactivate(i);
+  }
+}
+
+void ReversibleSparseBitSet::and_not_mask(
+    std::span<const std::uint64_t> mask) {
+  RR_ASSERT(mask.size() >= words_.size());
+  for (int i = limit_ - 1; i >= 0; --i) {
+    const int w = active_[static_cast<std::size_t>(i)];
+    const std::uint64_t old = words_[static_cast<std::size_t>(w)];
+    const std::uint64_t neu = old & ~mask[static_cast<std::size_t>(w)];
+    if (neu == old) continue;
+    save_word(w);
+    words_[static_cast<std::size_t>(w)] = neu;
+    ++version_;
+    if (neu == 0) deactivate(i);
+  }
+}
+
+void ReversibleSparseBitSet::clear_bit(long bit) {
+  RR_ASSERT(bit >= 0 && bit < bits_);
+  const int w = static_cast<int>(bit >> 6);
+  const std::uint64_t mask = std::uint64_t{1}
+                             << (static_cast<unsigned>(bit) & 63u);
+  std::uint64_t& word = words_[static_cast<std::size_t>(w)];
+  if ((word & mask) == 0) return;
+  save_word(w);
+  word &= ~mask;
+  ++version_;
+  if (word == 0) deactivate(where_[static_cast<std::size_t>(w)]);
+}
+
+bool ReversibleSparseBitSet::intersects(std::span<const std::uint64_t> mask,
+                                        int& residue) const noexcept {
+  RR_ASSERT(mask.size() >= words_.size());
+  if (residue >= 0 && residue < num_words() &&
+      (words_[static_cast<std::size_t>(residue)] &
+       mask[static_cast<std::size_t>(residue)]) != 0)
+    return true;
+  for (int i = 0; i < limit_; ++i) {
+    const int w = active_[static_cast<std::size_t>(i)];
+    if ((words_[static_cast<std::size_t>(w)] &
+         mask[static_cast<std::size_t>(w)]) != 0) {
+      residue = w;
+      return true;
+    }
+  }
+  return false;
+}
+
+void ReversibleSparseBitSet::push_level() {
+  marks_.push_back(LevelMark{trail_.size(), limit_});
+}
+
+void ReversibleSparseBitSet::pop_level() {
+  RR_ASSERT(!marks_.empty());
+  const LevelMark mark = marks_.back();
+  marks_.pop_back();
+  while (trail_.size() > mark.trail_size) {
+    const TrailEntry& entry = trail_.back();
+    words_[static_cast<std::size_t>(entry.word)] = entry.value;
+    saved_at_[static_cast<std::size_t>(entry.word)] = -1;
+    trail_.pop_back();
+    ++version_;
+  }
+  limit_ = mark.limit;
+}
+
+}  // namespace rr::cp

@@ -1,0 +1,142 @@
+// Reversible sparse bitset — the backbone of compact-table propagation.
+//
+// A fixed-capacity bitset (one bit per tuple / placement index) whose words
+// are restored on backtracking through the same advisor trail contract the
+// incremental geost kernel uses: the owning propagator forwards
+// level_pushed()/level_popped() to push_level()/pop_level(), so the bitset
+// rolls back exactly where the Space restores domains.
+//
+// Two ideas make intersection tests cheap at depth:
+//   - sparsity: word indices with a (possibly) nonzero value live in the
+//     prefix active_[0..limit_); a word that becomes zero is swapped out of
+//     the prefix. All word-parallel operations and emptiness tests touch
+//     only active words, so work shrinks with the live set.
+//   - trailing: the first time a word changes at a decision level its old
+//     value is recorded once (per-word level stamps); pop_level() replays
+//     the records and restores limit_. Deactivations are LIFO per level, so
+//     restoring limit_ reactivates exactly the words zeroed at that level.
+//
+// Changes made at the root (before any push_level) are permanent, matching
+// Space's root-change semantics.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace rr::cp {
+
+class ReversibleSparseBitSet {
+ public:
+  ReversibleSparseBitSet() = default;
+
+  /// Capacity in words for `bits` bits.
+  [[nodiscard]] static int words_for(long bits) noexcept {
+    return static_cast<int>((bits + 63) / 64);
+  }
+
+  /// (Re)initialize with `bits` bits, all set. Clears any trail.
+  void init_full(long bits);
+
+  /// (Re)initialize from a mask of ceil(bits/64) words. Clears any trail.
+  void init_from_mask(std::span<const std::uint64_t> mask, long bits);
+
+  [[nodiscard]] bool empty() const noexcept { return limit_ == 0; }
+  [[nodiscard]] long num_bits() const noexcept { return bits_; }
+  [[nodiscard]] int num_words() const noexcept {
+    return static_cast<int>(words_.size());
+  }
+  /// Number of set bits (popcount over active words).
+  [[nodiscard]] long count() const noexcept;
+
+  [[nodiscard]] bool test(long bit) const noexcept {
+    RR_ASSERT(bit >= 0 && bit < bits_);
+    return (words_[static_cast<std::size_t>(bit >> 6)] >>
+            (static_cast<unsigned>(bit) & 63u)) &
+           1u;
+  }
+
+  /// The full word array. Deactivated words hold zero, so this span *is*
+  /// the current set — callers may hand it to Domain::keep_masked or AND it
+  /// against support masks directly.
+  [[nodiscard]] std::span<const std::uint64_t> words() const noexcept {
+    return words_;
+  }
+
+  /// Monotonically increasing stamp, bumped whenever any word changes
+  /// (including restores). Lets propagators skip their check phase when a
+  /// run's delta turned out to be a no-op.
+  [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
+
+  // --- Word-parallel mutators (touch active words only) -------------------
+  /// this &= mask.
+  void and_mask(std::span<const std::uint64_t> mask);
+  /// this &= ~mask.
+  void and_not_mask(std::span<const std::uint64_t> mask);
+  void clear_bit(long bit);
+
+  // --- Queries -------------------------------------------------------------
+  /// True iff (this & mask) is nonempty. `residue` caches the witness word
+  /// index across calls (last-support residue): it is probed first and
+  /// updated on success, turning steady-state support checks into one AND.
+  [[nodiscard]] bool intersects(std::span<const std::uint64_t> mask,
+                                int& residue) const noexcept;
+
+  /// Visit every set bit in increasing order (diagnostics / extraction).
+  template <typename F>
+  void for_each_bit(F&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t word = words_[w];
+      while (word != 0) {
+        const int b = std::countr_zero(word);
+        fn(static_cast<long>(w) * 64 + b);
+        word &= word - 1;
+      }
+    }
+  }
+
+  // --- Trail integration (advisor contract) --------------------------------
+  /// Call from the owning propagator's level_pushed().
+  void push_level();
+  /// Call from the owning propagator's level_popped(). Restores all words
+  /// changed at the dying level and the active-word limit.
+  void pop_level();
+
+ private:
+  void reset_trail();
+  /// Trail word w's old value once per level; root changes are permanent.
+  void save_word(int w) {
+    const int level = static_cast<int>(marks_.size());
+    if (level == 0) return;
+    auto& stamp = saved_at_[static_cast<std::size_t>(w)];
+    if (stamp == level) return;
+    trail_.push_back(TrailEntry{w, words_[static_cast<std::size_t>(w)]});
+    stamp = level;
+  }
+  void deactivate(int pos);
+
+  struct TrailEntry {
+    int word;
+    std::uint64_t value;
+  };
+  struct LevelMark {
+    std::size_t trail_size;
+    int limit;
+  };
+
+  std::vector<std::uint64_t> words_;
+  std::vector<int> active_;    // word indices; nonzero words in [0, limit_)
+  std::vector<int> where_;     // position of word w in active_
+  std::vector<int> saved_at_;  // level at which word w was last trailed
+  int limit_ = 0;
+  long bits_ = 0;
+  std::uint64_t version_ = 0;
+
+  std::vector<TrailEntry> trail_;
+  std::vector<LevelMark> marks_;
+};
+
+}  // namespace rr::cp

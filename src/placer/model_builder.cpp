@@ -83,7 +83,8 @@ BuiltModel build_model_from_tables(const fpga::PartialRegion& region,
     const int min_extent = *std::min_element(extents.begin(), extents.end());
     const int max_extent = *std::max_element(extents.begin(), extents.end());
     const cp::VarId extent_var = space.new_var(min_extent, max_extent);
-    cp::post_element(space, extents, built.placement_vars[i], extent_var);
+    cp::post_element(space, extents, built.placement_vars[i], extent_var,
+                     options.element);
     built.extent_vars.push_back(extent_var);
   }
 

@@ -21,6 +21,9 @@ struct BuildOptions {
   /// "no design alternatives" configuration).
   bool use_alternatives = true;
   geost::NonOverlapOptions nonoverlap{};
+  /// Element propagator selection for the placement->extent coupling
+  /// (compact-table by default; scanning kept for differential testing).
+  cp::ElementOptions element{};
   /// Add the root-level area lower bound on the extent (redundant but
   /// effective pruning: the spanned columns must offer enough tiles).
   bool area_bound = true;

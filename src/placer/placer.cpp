@@ -12,6 +12,7 @@ BuildOptions to_build_options(const PlacerOptions& options) {
   BuildOptions build;
   build.use_alternatives = options.use_alternatives;
   build.nonoverlap = options.nonoverlap;
+  build.element = options.element;
   build.area_bound = options.area_bound;
   return build;
 }

@@ -46,6 +46,7 @@ struct PlacerOptions {
   int workers = 1;
   SearchStrategy strategy = SearchStrategy::kAreaOrderBottomLeft;
   geost::NonOverlapOptions nonoverlap{};
+  cp::ElementOptions element{};
   bool area_bound = true;
   std::uint64_t seed = 1;
   /// kAuto only: fail budget for the exact phase before switching to LNS.

@@ -4,6 +4,8 @@
 // survives a parse round trip.
 #include <gtest/gtest.h>
 
+#include "cp/constraints.hpp"
+#include "cp/space.hpp"
 #include "fpga/builders.hpp"
 #include "model/generator.hpp"
 #include "placer/placer.hpp"
@@ -89,10 +91,14 @@ TEST(StatsJson, DocumentHasAllDocumentedKeys) {
       EXPECT_TRUE(bucket.at(key).is_number()) << name << "." << key;
     }
   }
-  // The placement model always posts the geost non-overlap propagator, and
-  // with metrics enabled its runs must have been attributed.
+  // The placement model always posts the geost non-overlap propagator and
+  // one element constraint per module; with metrics enabled their runs and
+  // time must have been attributed to the right buckets — a propagation
+  // engine swap must never make a kind's bucket vanish.
 #ifndef RRPLACE_DISABLE_METRICS
   EXPECT_GT(propagators.at("geost-nonoverlap").at("runs").as_number(), 0.0);
+  EXPECT_GT(propagators.at("element").at("runs").as_number(), 0.0);
+  EXPECT_GT(propagators.at("element").at("seconds").as_number(), 0.0);
 #endif
 
   EXPECT_TRUE(doc.at("incumbents").is_array());
@@ -145,6 +151,48 @@ TEST(StatsJson, DisabledMetricsStillProducesValidDocument) {
             0.0);
   EXPECT_GT(doc.at("search").at("nodes").as_number(), 0.0);
   EXPECT_GT(doc.at("space").at("propagations").as_number(), 0.0);
+}
+
+// Both the compact and the scanning engines must attribute their work to
+// the same kTable / kElement buckets: the engine toggle is a performance
+// switch, never a metrics schema change.
+TEST(StatsJson, TableAndElementBucketsAttributedByBothEngines) {
+#ifndef RRPLACE_DISABLE_METRICS
+  MetricsSwitchGuard guard;
+  metrics::set_enabled(true);
+  for (const bool compact : {false, true}) {
+    cp::Space space;
+    const cp::VarId x = space.new_var(0, 15);
+    const cp::VarId y = space.new_var(0, 15);
+    std::vector<std::vector<int>> tuples;
+    for (int a = 0; a < 16; ++a)
+      for (int b = 0; b < 16; ++b)
+        if ((a + b) % 3 == 0) tuples.push_back({a, b});
+    const std::vector<cp::VarId> scope{x, y};
+    cp::post_table(space, scope, std::move(tuples),
+                   cp::TableOptions{compact});
+    std::vector<int> table(16);
+    for (int i = 0; i < 16; ++i) table[i] = (i * 7) % 11;
+    const cp::VarId index = space.new_var(0, 15);
+    const cp::VarId result = space.new_var(0, 15);
+    cp::post_element(space, table, index, result,
+                     cp::ElementOptions{compact});
+    ASSERT_TRUE(space.propagate());
+    space.push();
+    space.remove(x, 3);
+    space.set_max(result, 5);
+    ASSERT_TRUE(space.propagate());
+
+    const json::Value doc = space_stats_json(space.stats());
+    const json::Value& propagators = doc.at("propagators");
+    for (const char* kind : {"table", "element"}) {
+      EXPECT_GT(propagators.at(kind).at("runs").as_number(), 0.0)
+          << kind << " compact=" << compact;
+      EXPECT_GT(propagators.at(kind).at("seconds").as_number(), 0.0)
+          << kind << " compact=" << compact;
+    }
+  }
+#endif
 }
 
 TEST(StatsJson, SearchStatsJsonMatchesInputs) {

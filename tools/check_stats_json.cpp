@@ -71,6 +71,20 @@ void check_stats_v1(const Value& doc) {
           "metrics.timers must be an object");
 }
 
+// A bench result is either a plain number or a {count,mean,min,max}
+// RunningStats summary with a numeric mean.
+void check_result_metric(const Value& results, const char* key) {
+  require(results.contains(key),
+          std::string("results missing key \"") + key + "\"");
+  const Value& v = results.at(key);
+  if (v.is_object()) {
+    check_number(v, "mean");
+  } else {
+    require(v.is_number(), std::string("results.") + key +
+                               " must be a number or summary object");
+  }
+}
+
 void check_bench_v1(const Value& doc) {
   require(doc.contains("bench") && doc.at("bench").is_string(),
           "missing string key \"bench\"");
@@ -81,6 +95,18 @@ void check_bench_v1(const Value& doc) {
           "metrics.counters must be an object");
   require(metrics.at("timers").is_object(),
           "metrics.timers must be an object");
+  // Per-bench contracts: the metrics that CI pins via bench_diff must be
+  // present, so a refactor cannot silently drop them from the record.
+  const std::string& bench = doc.at("bench").as_string();
+  const Value& results = doc.at("results");
+  if (bench == "table_kernel") {
+    for (const char* key : {"element_speedup", "table_speedup",
+                            "combined_speedup", "mismatches"})
+      check_result_metric(results, key);
+  } else if (bench == "nonoverlap_kernel") {
+    for (const char* key : {"speedup", "mismatches"})
+      check_result_metric(results, key);
+  }
 }
 
 void check_file(const std::string& path) {

@@ -11,6 +11,7 @@
 //                             search mode (default auto)
 //   --workers <n>             portfolio width (default 1)
 //   --no-incremental          from-scratch geost kernel (oracle engine)
+//   --no-compact-element      scanning element propagator (oracle engine)
 //   --seed <n>                random seed (default 1)
 //   --svg <path>              also write an SVG floorplan
 //   --stats-json <path>       write solver statistics (rrplace-stats-v1
@@ -37,6 +38,7 @@ struct CliOptions {
   rr::placer::PlacerMode mode = rr::placer::PlacerMode::kAuto;
   int workers = 1;
   bool incremental = true;
+  bool compact_element = true;
   std::uint64_t seed = 1;
   std::string svg_path;
   std::string stats_json_path;
@@ -49,7 +51,8 @@ struct CliOptions {
   std::cerr <<
       "usage: rrplace_cli --fabric F.fdf --modules M.mlf [options]\n"
       "  --no-alternatives, --time-limit S, --mode bnb|lns|auto|restarts,\n"
-      "  --workers N, --no-incremental, --seed N, --svg PATH,\n"
+      "  --workers N, --no-incremental, --no-compact-element, --seed N,\n"
+      "  --svg PATH,\n"
       "  --stats-json PATH|-, --anchors MODULE, --quiet\n";
   std::exit(error == nullptr ? 0 : 2);
 }
@@ -66,6 +69,7 @@ CliOptions parse_args(int argc, char** argv) {
     else if (arg == "--modules") options.modules_path = need_value(i);
     else if (arg == "--no-alternatives") options.alternatives = false;
     else if (arg == "--no-incremental") options.incremental = false;
+    else if (arg == "--no-compact-element") options.compact_element = false;
     else if (arg == "--time-limit") options.time_limit = std::atof(need_value(i));
     else if (arg == "--workers") options.workers = std::atoi(need_value(i));
     else if (arg == "--seed")
@@ -122,6 +126,7 @@ int main(int argc, char** argv) {
     options.mode = cli.mode;
     options.workers = cli.workers;
     options.nonoverlap.incremental = cli.incremental;
+    options.element.compact = cli.compact_element;
     options.seed = cli.seed;
     // Collection must be on before the Placer builds its Spaces: each Space
     // snapshots the flag at construction.
@@ -137,6 +142,7 @@ int main(int argc, char** argv) {
       config.set("time_limit", rr::json::Value(cli.time_limit));
       config.set("workers", rr::json::Value(cli.workers));
       config.set("incremental", rr::json::Value(cli.incremental));
+      config.set("compact_element", rr::json::Value(cli.compact_element));
       config.set("seed", rr::json::Value(cli.seed));
       const rr::json::Value stats = rr::placer::solve_stats_json(
           region, modules, outcome, "rrplace_cli", std::move(config));
