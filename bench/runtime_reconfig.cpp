@@ -48,8 +48,8 @@ int main() {
       if (incremental) {
         for (const auto& p : result.phases) fallbacks += p.fell_back;
       }
-      (incremental ? util_incremental : util_replace)
-          .add(result.mean_utilization());
+      if (const auto util = result.mean_utilization())
+        (incremental ? util_incremental : util_replace).add(*util);
       (incremental ? tiles_incremental : tiles_replace)
           .add(static_cast<double>(result.total_tiles_written()));
       (incremental ? kept_incremental : kept_replace)

@@ -71,9 +71,10 @@ int main(int argc, char** argv) {
                 << (phase.fell_back ? " [fell back to re-place]" : "")
                 << '\n';
     }
+    const auto mean_util = result.mean_utilization();
     std::cout << "  total tiles written: " << result.total_tiles_written()
               << ", mean utilization: "
-              << TextTable::pct(result.mean_utilization()) << '\n';
+              << (mean_util ? TextTable::pct(*mean_util) : "n/a") << '\n';
   }
   std::cout << "\nreplace-all packs each phase tighter; incremental keeps "
                "running modules untouched and rewrites far less.\n";

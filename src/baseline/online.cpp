@@ -1,7 +1,12 @@
 #include "baseline/online.hpp"
 
+#include <algorithm>
+
 #include "geost/object.hpp"
+#include "placer/brancher.hpp"
+#include "placer/model_builder.hpp"
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 
 namespace rr::baseline {
 
@@ -18,6 +23,41 @@ double OnlinePlacer::occupancy() const noexcept {
                    : 0.0;
 }
 
+std::vector<placer::ModulePlacement> OnlinePlacer::live_placements() const {
+  std::vector<placer::ModulePlacement> out;
+  out.reserve(live_.size());
+  for (const auto& [id, instance] : live_)
+    out.push_back(placer::ModulePlacement{id, instance.shape, instance.x,
+                                          instance.y});
+  std::sort(out.begin(), out.end(),
+            [](const placer::ModulePlacement& a,
+               const placer::ModulePlacement& b) {
+              return a.module < b.module;
+            });
+  return out;
+}
+
+std::vector<geost::ShapeFootprint> OnlinePlacer::shapes_of(
+    const model::Module& module) const {
+  std::vector<geost::ShapeFootprint> shapes;
+  if (options_.use_alternatives) shapes = module.shapes();
+  else shapes.push_back(module.shapes().front());
+  return shapes;
+}
+
+std::optional<geost::Placement> OnlinePlacer::first_fit(
+    const BitMatrix& occupancy,
+    const std::vector<geost::ShapeFootprint>& shapes,
+    const std::vector<geost::Placement>& table) const {
+  for (const geost::Placement& p : table) {
+    const geost::ShapeFootprint& shape =
+        shapes[static_cast<std::size_t>(p.shape)];
+    if (occupancy.intersects_shifted(shape.mask(), p.y, p.x)) continue;
+    return p;
+  }
+  return std::nullopt;
+}
+
 std::optional<placer::ModulePlacement> OnlinePlacer::place(
     int instance_id, const model::Module& module) {
   RR_REQUIRE(!live_.contains(instance_id),
@@ -25,25 +65,299 @@ std::optional<placer::ModulePlacement> OnlinePlacer::place(
   // Anchor tables are computed per request: the online setting has no
   // design-time module list. (Callers placing the same module repeatedly
   // can cache at their level.)
-  std::vector<geost::ShapeFootprint> shapes;
-  if (options_.use_alternatives) shapes = module.shapes();
-  else shapes.push_back(module.shapes().front());
+  const std::vector<geost::ShapeFootprint> shapes = shapes_of(module);
   std::vector<std::vector<Point>> anchors;
   anchors.reserve(shapes.size());
   for (const geost::ShapeFootprint& shape : shapes)
     anchors.push_back(geost::compute_valid_anchors(region_.masks(), shape));
   const auto table = geost::sorted_placement_table(shapes, anchors);
 
-  for (const geost::Placement& p : table) {
+  if (const auto p = first_fit(occupied_, shapes, table)) {
+    const geost::ShapeFootprint& shape =
+        shapes[static_cast<std::size_t>(p->shape)];
+    occupied_.or_shifted(shape.mask(), p->y, p->x);
+    occupied_tiles_ += shape.area();
+    live_.emplace(instance_id,
+                  LiveInstance{module, p->shape, p->x, p->y});
+    ++epoch_;
+    return placer::ModulePlacement{instance_id, p->shape, p->x, p->y};
+  }
+
+  // First-fit failed: defragment, unless disabled or gated off.
+  if (options_.defrag.deadline_seconds <= 0.0) return std::nullopt;
+  if (table.empty() || live_.empty()) return std::nullopt;
+  if (options_.defrag.relocation_budget_tiles >= 0 &&
+      static_cast<long>(defrag_stats_.relocated_tiles) >=
+          options_.defrag.relocation_budget_tiles) {
+    ++defrag_stats_.budget_skips;
+    RR_METRIC_COUNT("online.defrag.budget_skips");
+    return std::nullopt;
+  }
+  if (have_failed_defrag_ && epoch_ == failed_defrag_epoch_ &&
+      module.min_area() >= failed_defrag_min_area_) {
+    // Nothing changed since a pass failed for a no-larger request: retrying
+    // would burn the deadline on a provably identical sub-problem.
+    ++defrag_stats_.retry_skips;
+    RR_METRIC_COUNT("online.defrag.retry_skips");
+    return std::nullopt;
+  }
+  return defrag_place(instance_id, module, shapes, table);
+}
+
+std::optional<placer::ModulePlacement> OnlinePlacer::defrag_place(
+    int instance_id, const model::Module& module,
+    const std::vector<geost::ShapeFootprint>& shapes,
+    const std::vector<geost::Placement>& table) {
+  ++defrag_stats_.attempts;
+  RR_METRIC_COUNT("online.defrag.attempts");
+  const Deadline deadline(options_.defrag.deadline_seconds);
+
+  // --- Blocking-cell heuristic: rank relocation sets by how cheap their
+  // conflict is to clear. For each candidate anchor of the request
+  // (bottom-left order), find the live instances its footprint overlaps;
+  // the distinct blocker sets, ordered by (fewest blockers, fewest blocked
+  // tiles), are the relocation sets the exact tier will try. A single
+  // "best" set is not enough: when the free space is fragmented, the
+  // cheapest set's modules often have nowhere else to go, while a slightly
+  // larger set frees a workable hole.
+  struct Candidate {
+    std::vector<int> blockers;  // sorted instance ids
+    std::size_t blocked_tiles = 0;
+  };
+  std::vector<Candidate> candidates;
+  const std::vector<placer::ModulePlacement> live = live_placements();
+  BitMatrix scratch(region_.height(), region_.width());
+  const int scan_limit =
+      std::min<int>(options_.defrag.max_anchor_scan,
+                    static_cast<int>(table.size()));
+  for (int t = 0; t < scan_limit; ++t) {
+    if ((t & 31) == 0 && deadline.expired()) break;
+    const geost::Placement& p = table[static_cast<std::size_t>(t)];
     const geost::ShapeFootprint& shape =
         shapes[static_cast<std::size_t>(p.shape)];
-    if (occupied_.intersects_shifted(shape.mask(), p.y, p.x)) continue;
-    occupied_.or_shifted(shape.mask(), p.y, p.x);
-    occupied_tiles_ += shape.area();
-    live_.emplace(instance_id, LiveInstance{shape, p.x, p.y});
-    return placer::ModulePlacement{instance_id, p.shape, p.x, p.y};
+    scratch.clear();
+    scratch.or_shifted(shape.mask(), p.y, p.x);
+    Candidate candidate;
+    for (const placer::ModulePlacement& inst : live) {
+      const LiveInstance& li = live_.at(inst.module);
+      const std::size_t overlap = scratch.overlap_popcount_shifted(
+          li.footprint().mask(), li.y, li.x);
+      if (overlap == 0) continue;
+      candidate.blockers.push_back(inst.module);
+      candidate.blocked_tiles += overlap;
+      if (static_cast<int>(candidate.blockers.size()) >
+          options_.defrag.max_relocations)
+        break;
+    }
+    if (static_cast<int>(candidate.blockers.size()) >
+        options_.defrag.max_relocations)
+      continue;
+    candidates.push_back(std::move(candidate));
   }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.blockers.size() != b.blockers.size())
+                return a.blockers.size() < b.blockers.size();
+              if (a.blocked_tiles != b.blocked_tiles)
+                return a.blocked_tiles < b.blocked_tiles;
+              return a.blockers < b.blockers;
+            });
+  candidates.erase(std::unique(candidates.begin(), candidates.end(),
+                               [](const Candidate& a, const Candidate& b) {
+                                 return a.blockers == b.blockers;
+                               }),
+                   candidates.end());
+  if (candidates.empty()) {
+    ++defrag_stats_.rejects;
+    RR_METRIC_COUNT("online.defrag.rejects");
+    note_defrag_failure(module);
+    return std::nullopt;
+  }
+
+  // --- Tier 1: exact re-place of a relocation set plus the request via the
+  // CP machinery (satisfaction search, bottom-left descent). Candidate sets
+  // are tried cheapest-first until one admits the request, a completed
+  // search has refuted every set, or the deadline expires.
+  bool deadline_cut = false;
+  for (const Candidate& candidate : candidates) {
+    if (deadline.expired()) {
+      deadline_cut = true;
+      break;
+    }
+    // The sub-problem region: everything occupied except the relocation set.
+    fpga::PartialRegion sub_region = region_;
+    BitMatrix others = occupied_;
+    for (const int id : candidate.blockers) {
+      const LiveInstance& li = live_.at(id);
+      others.clear_shifted(li.footprint().mask(), li.y, li.x);
+    }
+    sub_region.block_mask(others);
+
+    std::vector<model::Module> sub_modules;
+    sub_modules.reserve(candidate.blockers.size() + 1);
+    for (const int id : candidate.blockers)
+      sub_modules.push_back(live_.at(id).module);
+    sub_modules.push_back(module);
+
+    const auto sub_tables = placer::prepare_tables(
+        sub_region, sub_modules, options_.use_alternatives);
+    placer::BuildOptions build_options;
+    build_options.use_alternatives = options_.use_alternatives;
+    placer::BuiltModel model =
+        placer::build_model_from_tables(sub_region, sub_tables, build_options);
+    if (model.infeasible) continue;
+    const auto brancher = placer::make_placement_brancher(
+        model, placer::SearchStrategy::kAreaOrderBottomLeft,
+        options_.defrag.seed);
+    cp::Search::Options search_options;
+    search_options.limits.deadline = deadline;
+    cp::Search search(*model.space, *brancher, search_options);
+    if (search.next()) {
+      std::vector<Move> moves;
+      for (std::size_t i = 0; i < candidate.blockers.size(); ++i) {
+        const int value = model.space->min(model.placement_vars[i]);
+        const geost::Placement& p =
+            sub_tables[i].table[static_cast<std::size_t>(value)];
+        moves.push_back(Move{candidate.blockers[i], p.shape, p.x, p.y});
+      }
+      const std::size_t last = candidate.blockers.size();
+      const int value = model.space->min(model.placement_vars[last]);
+      const geost::Placement& request =
+          sub_tables[last].table[static_cast<std::size_t>(value)];
+      ++defrag_stats_.exact_successes;
+      RR_METRIC_COUNT("online.defrag.exact_successes");
+      return commit_plan(instance_id, module, moves, request);
+    }
+    if (!search.stats().complete) {
+      // The deadline (not exhaustion) stopped the search: degrade.
+      deadline_cut = true;
+      break;
+    }
+    // A completed search proved this relocation set infeasible; the greedy
+    // shake explores a subset of the same space, so move on to the next set.
+  }
+  if (deadline_cut) {
+    ++defrag_stats_.deadline_expiries;
+    RR_METRIC_COUNT("online.defrag.deadline_expiries");
+  }
+
+  // --- Tier 2: greedy bottom-left shake. Lift the cheapest relocation set
+  // out of the occupancy, then first-fit the request and the lifted modules
+  // (by decreasing area) back in. One linear pass — the degraded mode when
+  // the exact tier ran out of time (after a refutation of every candidate
+  // set it would be pointless: the shake explores a subset of that space).
+  if (deadline_cut) {
+    const std::vector<int>& shake_set = candidates.front().blockers;
+    BitMatrix shaken = occupied_;
+    for (const int id : shake_set) {
+      const LiveInstance& li = live_.at(id);
+      shaken.clear_shifted(li.footprint().mask(), li.y, li.x);
+    }
+    const auto request = first_fit(shaken, shapes, table);
+    if (request.has_value()) {
+      const geost::ShapeFootprint& shape =
+          shapes[static_cast<std::size_t>(request->shape)];
+      shaken.or_shifted(shape.mask(), request->y, request->x);
+      std::vector<int> order = shake_set;
+      std::sort(order.begin(), order.end(), [&](int a, int b) {
+        const int area_a = live_.at(a).footprint().area();
+        const int area_b = live_.at(b).footprint().area();
+        return area_a != area_b ? area_a > area_b : a < b;
+      });
+      std::vector<Move> moves;
+      bool all_placed = true;
+      for (const int id : order) {
+        const LiveInstance& li = live_.at(id);
+        const std::vector<geost::ShapeFootprint> li_shapes =
+            shapes_of(li.module);
+        std::vector<std::vector<Point>> li_anchors;
+        li_anchors.reserve(li_shapes.size());
+        for (const geost::ShapeFootprint& s : li_shapes)
+          li_anchors.push_back(
+              geost::compute_valid_anchors(region_.masks(), s));
+        const auto li_table =
+            geost::sorted_placement_table(li_shapes, li_anchors);
+        const auto spot = first_fit(shaken, li_shapes, li_table);
+        if (!spot.has_value()) {
+          all_placed = false;
+          break;
+        }
+        shaken.or_shifted(
+            li_shapes[static_cast<std::size_t>(spot->shape)].mask(), spot->y,
+            spot->x);
+        moves.push_back(Move{id, spot->shape, spot->x, spot->y});
+      }
+      if (all_placed) {
+        ++defrag_stats_.greedy_successes;
+        RR_METRIC_COUNT("online.defrag.greedy_successes");
+        return commit_plan(instance_id, module, moves, *request);
+      }
+    }
+  }
+
+  ++defrag_stats_.rejects;
+  RR_METRIC_COUNT("online.defrag.rejects");
+  note_defrag_failure(module);
   return std::nullopt;
+}
+
+placer::ModulePlacement OnlinePlacer::commit_plan(
+    int instance_id, const model::Module& module,
+    const std::vector<Move>& moves, const geost::Placement& request) {
+  // Two passes: a moved instance's new footprint may cover another moved
+  // instance's old position, so every old footprint must be lifted out of
+  // the occupancy before any new one is written.
+  std::vector<const Move*> applied;
+  applied.reserve(moves.size());
+  for (const Move& move : moves) {
+    LiveInstance& li = live_.at(move.instance_id);
+    if (li.shape == move.shape && li.x == move.x && li.y == move.y)
+      continue;  // kept in place: no reconfiguration
+    occupied_.clear_shifted(li.footprint().mask(), li.y, li.x);
+    applied.push_back(&move);
+  }
+  for (const Move* move : applied) {
+    LiveInstance& li = live_.at(move->instance_id);
+    const long old_area = li.footprint().area();
+    li.shape = move->shape;
+    li.x = move->x;
+    li.y = move->y;
+    const geost::ShapeFootprint& new_shape = li.footprint();
+    const long new_area = new_shape.area();
+    RR_ASSERT(!occupied_.intersects_shifted(new_shape.mask(), li.y, li.x));
+    occupied_.or_shifted(new_shape.mask(), li.y, li.x);
+    occupied_tiles_ += new_area - old_area;
+    ++defrag_stats_.relocated_modules;
+    defrag_stats_.relocated_tiles +=
+        static_cast<std::uint64_t>(old_area + new_area);
+    relocation_cost_.tiles_cleared += old_area;
+    relocation_cost_.tiles_written += new_area;
+    ++relocation_cost_.modules_loaded;
+    RR_METRIC_COUNT("online.defrag.relocated_modules");
+    RR_METRIC_ADD("online.defrag.relocated_tiles",
+                  static_cast<std::uint64_t>(old_area + new_area));
+  }
+
+  const geost::ShapeFootprint& shape =
+      (options_.use_alternatives
+           ? module.shapes()[static_cast<std::size_t>(request.shape)]
+           : module.shapes().front());
+  RR_ASSERT(!occupied_.intersects_shifted(shape.mask(), request.y, request.x));
+  occupied_.or_shifted(shape.mask(), request.y, request.x);
+  occupied_tiles_ += shape.area();
+  live_.emplace(instance_id,
+                LiveInstance{module, request.shape, request.x, request.y});
+  ++epoch_;
+  ++defrag_stats_.successes;
+  RR_METRIC_COUNT("online.defrag.successes");
+  return placer::ModulePlacement{instance_id, request.shape, request.x,
+                                 request.y};
+}
+
+void OnlinePlacer::note_defrag_failure(const model::Module& module) {
+  have_failed_defrag_ = true;
+  failed_defrag_epoch_ = epoch_;
+  failed_defrag_min_area_ = module.min_area();
 }
 
 void OnlinePlacer::remove(int instance_id) {
@@ -51,9 +365,10 @@ void OnlinePlacer::remove(int instance_id) {
   RR_REQUIRE(it != live_.end(),
              "instance id " + std::to_string(instance_id) + " is not placed");
   const LiveInstance& instance = it->second;
-  occupied_.clear_shifted(instance.shape.mask(), instance.y, instance.x);
-  occupied_tiles_ -= instance.shape.area();
+  occupied_.clear_shifted(instance.footprint().mask(), instance.y, instance.x);
+  occupied_tiles_ -= instance.footprint().area();
   live_.erase(it);
+  ++epoch_;
 }
 
 }  // namespace rr::baseline

@@ -7,6 +7,19 @@
 // tables. It is the comparison point for the paper's offline in-advance
 // placement, and demonstrates how design alternatives raise the request
 // acceptance ratio (service level) under fragmentation.
+//
+// When a defrag deadline is configured, a rejected request additionally
+// triggers an online defragmentation pass in the spirit of van der Veen et
+// al. ("Defragmenting the Module Layout of a Partially Reconfigurable
+// Device") and Fekete et al.'s no-break model: a bounded set of live
+// modules — chosen by a blocking-cell heuristic over the occupancy bitmap
+// — is re-placed together with the new request, and the result is
+// committed only if the request then fits. Degradation is graceful: an
+// exact CP re-place first, a greedy bottom-left shake when the deadline
+// expires mid-search, and finally a plain reject. Relocations are paid
+// for in the no-break copy model: a moved module costs its old footprint
+// (cleared) plus its new footprint (written), accounted as a
+// runtime::TransitionCost.
 #pragma once
 
 #include <optional>
@@ -15,11 +28,48 @@
 #include "fpga/region.hpp"
 #include "model/module.hpp"
 #include "placer/placement.hpp"
+#include "runtime/manager.hpp"
 
 namespace rr::baseline {
 
+/// Tuning for the on-reject defragmentation pass. Defrag is off by default
+/// (deadline_seconds <= 0), in which case place() behaves exactly like the
+/// plain first-fit placer — bit-identical outcomes on any trace.
+struct OnlineDefragOptions {
+  /// Wall-clock budget per defrag pass; <= 0 disables defragmentation.
+  double deadline_seconds = 0.0;
+  /// Largest relocation set considered (live modules moved per pass).
+  int max_relocations = 4;
+  /// Blocking-cell heuristic scan bound: candidate anchors examined when
+  /// choosing the relocation set.
+  int max_anchor_scan = 256;
+  /// Lifetime cap on relocated tiles (cleared + written); < 0 = unlimited.
+  /// Once exhausted, defrag passes are skipped and requests fall back to
+  /// plain first-fit accept/reject.
+  long relocation_budget_tiles = -1;
+  /// Seed for the exact tier's search.
+  std::uint64_t seed = 1;
+};
+
+/// Defragmentation telemetry; also mirrored into rr::metrics under
+/// "online.defrag.*" while collection is enabled.
+struct OnlineDefragStats {
+  std::uint64_t attempts = 0;           // defrag passes started
+  std::uint64_t successes = 0;          // request admitted by a pass
+  std::uint64_t exact_successes = 0;    // ... via the exact CP tier
+  std::uint64_t greedy_successes = 0;   // ... via the greedy shake tier
+  std::uint64_t relocated_modules = 0;  // live modules actually moved
+  std::uint64_t relocated_tiles = 0;    // tiles cleared + written by moves
+  std::uint64_t deadline_expiries = 0;  // exact tier cut off by deadline
+  std::uint64_t rejects = 0;            // pass ran, request still rejected
+  std::uint64_t retry_skips = 0;        // skipped: state unchanged since a
+                                        // failed pass for a no-larger module
+  std::uint64_t budget_skips = 0;       // skipped: relocation budget spent
+};
+
 struct OnlineOptions {
   bool use_alternatives = true;
+  OnlineDefragOptions defrag{};
 };
 
 class OnlinePlacer {
@@ -30,8 +80,10 @@ class OnlinePlacer {
 
   /// Try to place an instance of `module`; returns the placement (region
   /// coordinates and chosen shape) or nullopt when no conflict-free anchor
-  /// exists. `instance_id` names the instance for later removal and must be
-  /// fresh.
+  /// exists and defragmentation (if enabled) cannot make room.
+  /// `instance_id` names the instance for later removal and must be fresh.
+  /// A successful defrag pass may relocate other live instances; their new
+  /// positions are visible through live_placements().
   std::optional<placer::ModulePlacement> place(int instance_id,
                                                const model::Module& module);
 
@@ -49,18 +101,92 @@ class OnlinePlacer {
   /// Fraction of the region's available tiles currently occupied.
   [[nodiscard]] double occupancy() const noexcept;
 
+  /// Current placement of every live instance (ModulePlacement::module is
+  /// the instance id), sorted by id. The oracle view for cross-checking
+  /// the incremental occupancy state.
+  [[nodiscard]] std::vector<placer::ModulePlacement> live_placements() const;
+
+  /// The incremental occupancy bitmap (rows by y, columns by x).
+  [[nodiscard]] const BitMatrix& occupied_matrix() const noexcept {
+    return occupied_;
+  }
+
+  [[nodiscard]] const OnlineDefragStats& defrag_stats() const noexcept {
+    return defrag_stats_;
+  }
+
+  /// Accumulated reconfiguration cost of defrag relocations: every moved
+  /// module contributes tiles_cleared (old footprint) + tiles_written (new
+  /// footprint), mirroring the no-break copy-cost model. The new request's
+  /// own configuration write is not included — that cost exists with or
+  /// without defragmentation.
+  [[nodiscard]] const runtime::TransitionCost& relocation_cost()
+      const noexcept {
+    return relocation_cost_;
+  }
+
  private:
   struct LiveInstance {
-    geost::ShapeFootprint shape;  // the chosen alternative (owned copy)
+    model::Module module;  // owned copy: defrag re-places alternatives
+    int shape = 0;         // index into module.shapes()
+    int x = 0;
+    int y = 0;
+
+    [[nodiscard]] const geost::ShapeFootprint& footprint() const noexcept {
+      return module.shapes()[static_cast<std::size_t>(shape)];
+    }
+  };
+
+  /// One pending move of a committed defrag plan.
+  struct Move {
+    int instance_id = 0;
+    int shape = 0;
     int x = 0;
     int y = 0;
   };
+
+  [[nodiscard]] std::vector<geost::ShapeFootprint> shapes_of(
+      const model::Module& module) const;
+
+  /// Bottom-left first-fit of `shapes` against `occupancy`; nullopt when no
+  /// table entry is conflict-free.
+  [[nodiscard]] std::optional<geost::Placement> first_fit(
+      const BitMatrix& occupancy,
+      const std::vector<geost::ShapeFootprint>& shapes,
+      const std::vector<geost::Placement>& table) const;
+
+  /// The defrag pass (gates already passed). Commits and returns the new
+  /// request's placement on success.
+  std::optional<placer::ModulePlacement> defrag_place(
+      int instance_id, const model::Module& module,
+      const std::vector<geost::ShapeFootprint>& shapes,
+      const std::vector<geost::Placement>& table);
+
+  /// Apply a defrag plan: relocate `moves` (entries whose placement is
+  /// unchanged are kept for free) and admit the new request.
+  placer::ModulePlacement commit_plan(int instance_id,
+                                      const model::Module& module,
+                                      const std::vector<Move>& moves,
+                                      const geost::Placement& request);
+
+  void note_defrag_failure(const model::Module& module);
 
   const fpga::PartialRegion& region_;
   OnlineOptions options_;
   BitMatrix occupied_;
   long occupied_tiles_ = 0;
   std::unordered_map<int, LiveInstance> live_;
+
+  OnlineDefragStats defrag_stats_{};
+  runtime::TransitionCost relocation_cost_{};
+  /// Bumped on every state change (place/remove/defrag commit); the retry
+  /// gate compares it against the epoch of the last failed pass so a
+  /// pathological trace of identical doomed requests cannot livelock the
+  /// service re-running defrag against an unchanged region.
+  std::uint64_t epoch_ = 0;
+  bool have_failed_defrag_ = false;
+  std::uint64_t failed_defrag_epoch_ = 0;
+  int failed_defrag_min_area_ = 0;
 };
 
 }  // namespace rr::baseline

@@ -24,6 +24,13 @@ void PartialRegion::block(const Rect& local_rect) {
   rebuild_masks();
 }
 
+void PartialRegion::block_mask(const BitMatrix& mask) {
+  RR_REQUIRE(mask.rows() == window_.height && mask.cols() == window_.width,
+             "block_mask needs a region-shaped bitmap");
+  blocked_.or_with(mask);
+  rebuild_masks();
+}
+
 bool PartialRegion::available(int x, int y) const noexcept {
   if (x < 0 || x >= window_.width || y < 0 || y >= window_.height) return false;
   if (blocked_.get(y, x)) return false;

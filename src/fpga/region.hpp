@@ -36,6 +36,11 @@ class PartialRegion {
   /// second static island. Clipped to the region.
   void block(const Rect& local_rect);
 
+  /// Block every set cell of a region-shaped bitmap (rows by y, columns by
+  /// x). This is how the online defragmenter carves live-module occupancy
+  /// out of a region copy before re-placing a relocation set.
+  void block_mask(const BitMatrix& mask);
+
   /// Resource type at region-local (x, y).
   [[nodiscard]] ResourceType at(int x, int y) const noexcept {
     return fabric_->at(x + window_.x, y + window_.y);

@@ -24,7 +24,7 @@ long RunResult::total_tiles_written() const {
   return total;
 }
 
-double RunResult::mean_utilization() const {
+std::optional<double> RunResult::mean_utilization() const {
   double sum = 0.0;
   int feasible = 0;
   for (const PhaseOutcome& p : phases) {
@@ -32,7 +32,8 @@ double RunResult::mean_utilization() const {
     sum += p.utilization;
     ++feasible;
   }
-  return feasible > 0 ? sum / feasible : 0.0;
+  if (feasible == 0) return std::nullopt;
+  return sum / feasible;
 }
 
 int RunResult::infeasible_phases() const {
@@ -75,7 +76,8 @@ ReconfigurationManager::ReconfigurationManager(
 }
 
 PhaseOutcome ReconfigurationManager::place_phase(
-    const Phase& phase, const std::vector<PlacedModule>& frozen) const {
+    const Phase& phase, const std::vector<PlacedModule>& frozen,
+    bool defrag) const {
   Stopwatch watch;
   PhaseOutcome outcome;
   if (phase.active_modules.empty()) {
@@ -116,24 +118,56 @@ PhaseOutcome ReconfigurationManager::place_phase(
   build_options.nonoverlap = options_.nonoverlap;
   build_options.area_bound = options_.area_bound;
 
-  // First descent with the frozen placements pinned; on failure, fall back
-  // to a free re-place of the whole phase.
-  std::vector<int> incumbent;
-  bool used_freeze = false;
-  for (const bool pin : {true, false}) {
-    if (!pin) {
-      const bool any_frozen =
-          std::any_of(frozen_mask.begin(), frozen_mask.end(),
-                      [](bool f) { return f; });
-      if (!any_frozen && used_freeze) break;  // nothing differed
+  // Pin tiers: first the frozen placements as-is; for kDefrag, then each
+  // single unpin (cheapest relocation first); finally a free re-place of
+  // the whole phase.
+  const bool any_frozen = std::any_of(
+      frozen_mask.begin(), frozen_mask.end(), [](bool f) { return f; });
+  // Symmetry breaking orders the placement rows of identical modules, but
+  // a frozen placement carried over from the previous phase need not obey
+  // that order — composing the two wrongly refutes feasible pin attempts
+  // (and LNS neighborhoods around them).
+  if (any_frozen) build_options.break_symmetries = false;
+  struct Attempt {
+    std::vector<bool> pins;
+    bool free_replace = false;
+    int unpinned = 0;
+  };
+  std::vector<Attempt> attempts;
+  attempts.push_back(Attempt{frozen_mask, false, 0});
+  if (any_frozen && defrag) {
+    // Unpin candidates in increasing footprint area: relocating a small
+    // module costs the fewest tiles in the no-break copy model.
+    std::vector<std::size_t> candidates;
+    for (std::size_t i = 0; i < modules.size(); ++i)
+      if (frozen_mask[i]) candidates.push_back(i);
+    const auto frozen_area = [&](std::size_t i) {
+      const geost::Placement& p =
+          tables[i].table[static_cast<std::size_t>(frozen_value[i])];
+      return (*tables[i].shapes)[static_cast<std::size_t>(p.shape)].area();
+    };
+    std::sort(candidates.begin(), candidates.end(),
+              [&](std::size_t a, std::size_t b) {
+                const int area_a = frozen_area(a);
+                const int area_b = frozen_area(b);
+                return area_a != area_b ? area_a < area_b : a < b;
+              });
+    for (const std::size_t i : candidates) {
+      Attempt attempt{frozen_mask, false, 1};
+      attempt.pins[i] = false;
+      attempts.push_back(std::move(attempt));
     }
+  }
+  if (any_frozen) attempts.push_back(Attempt{{}, true, 0});
+
+  std::vector<int> incumbent;
+  for (const Attempt& attempt : attempts) {
     placer::BuiltModel model =
         placer::build_model_from_tables(region_, tables, build_options);
     if (model.infeasible) break;
-    if (pin) {
-      used_freeze = true;
+    if (!attempt.free_replace) {
       for (std::size_t i = 0; i < modules.size(); ++i) {
-        if (frozen_mask[i])
+        if (attempt.pins[i])
           model.space->assign(model.placement_vars[i], frozen_value[i]);
       }
     }
@@ -147,13 +181,15 @@ PhaseOutcome ReconfigurationManager::place_phase(
       incumbent.clear();
       for (cp::VarId v : model.placement_vars)
         incumbent.push_back(model.space->min(v));
-      if (!pin) {
+      if (attempt.free_replace) {
         outcome.fell_back = true;
         std::fill(frozen_mask.begin(), frozen_mask.end(), false);
+      } else {
+        outcome.defrag_unpinned = attempt.unpinned;
+        frozen_mask = attempt.pins;
       }
       break;
     }
-    if (!pin) break;  // even the free re-place failed: infeasible phase
   }
   if (incumbent.empty()) {
     outcome.seconds = watch.seconds();
@@ -196,10 +232,10 @@ RunResult ReconfigurationManager::run(const Schedule& schedule,
   std::vector<PlacedModule> previous;
   for (const Phase& phase : schedule.phases) {
     const std::vector<PlacedModule> frozen =
-        policy == PlacementPolicy::kIncremental
-            ? previous
-            : std::vector<PlacedModule>{};
-    PhaseOutcome outcome = place_phase(phase, frozen);
+        policy == PlacementPolicy::kReplaceAll ? std::vector<PlacedModule>{}
+                                               : previous;
+    PhaseOutcome outcome =
+        place_phase(phase, frozen, policy == PlacementPolicy::kDefrag);
     result.transitions.push_back(
         transition_cost(pool_, previous, outcome.placements));
     previous = outcome.placements;

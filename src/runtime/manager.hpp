@@ -10,8 +10,13 @@
 //     persistent modules may move and must then be reconfigured anyway.
 //   - kIncremental: modules surviving a transition keep their placement, so
 //     they cost nothing to keep running — at a possible utilization loss.
+//   - kDefrag: kIncremental, but a frozen layout that admits no solution
+//     first tries relocating a bounded subset of the surviving modules
+//     (cheapest-first single unpins) before degrading to a full re-place —
+//     the offline counterpart of the online defragmentation pass.
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "fpga/region.hpp"
@@ -21,7 +26,7 @@
 
 namespace rr::runtime {
 
-enum class PlacementPolicy { kReplaceAll, kIncremental };
+enum class PlacementPolicy { kReplaceAll, kIncremental, kDefrag };
 
 /// One placed module of a phase; `module` is the *pool* index.
 struct PlacedModule {
@@ -39,9 +44,13 @@ struct PhaseOutcome {
   int extent = 0;
   double utilization = 0.0;  // spanned-area utilization
   double seconds = 0.0;
-  /// kIncremental only: the frozen placements admitted no solution and the
-  /// phase fell back to a full re-place.
+  /// kIncremental/kDefrag only: the frozen placements admitted no solution
+  /// and the phase fell back to a full re-place.
   bool fell_back = false;
+  /// kDefrag only: number of surviving modules the defrag tier released
+  /// from their frozen placement to make the phase feasible (0 when the
+  /// fully frozen layout worked or the phase fell back entirely).
+  int defrag_unpinned = 0;
 };
 
 struct TransitionCost {
@@ -57,7 +66,10 @@ struct RunResult {
   std::vector<TransitionCost> transitions;
 
   [[nodiscard]] long total_tiles_written() const;
-  [[nodiscard]] double mean_utilization() const;  // over feasible phases
+  /// Mean utilization over the feasible phases; nullopt when *no* phase was
+  /// feasible — an explicit no-data signal, distinguishable from a genuine
+  /// 0% run (printers render it as "n/a").
+  [[nodiscard]] std::optional<double> mean_utilization() const;
   [[nodiscard]] int infeasible_phases() const;
 };
 
@@ -72,8 +84,9 @@ class ReconfigurationManager {
                               PlacementPolicy policy) const;
 
  private:
-  [[nodiscard]] PhaseOutcome place_phase(
-      const Phase& phase, const std::vector<PlacedModule>& frozen) const;
+  [[nodiscard]] PhaseOutcome place_phase(const Phase& phase,
+                                         const std::vector<PlacedModule>& frozen,
+                                         bool defrag) const;
 
   const fpga::PartialRegion& region_;
   std::span<const model::Module> pool_;

@@ -81,6 +81,25 @@ bool BitMatrix::intersects_shifted(const BitMatrix& other, int dr,
   return false;
 }
 
+std::size_t BitMatrix::overlap_popcount_shifted(const BitMatrix& other,
+                                                int dr, int dc) const noexcept {
+  std::size_t total = 0;
+  for (int r = 0; r < other.rows_; ++r) {
+    const int tr = r + dr;
+    if (tr < 0 || tr >= rows_) continue;
+    const std::size_t obase =
+        static_cast<std::size_t>(r) * other.words_per_row_;
+    for (std::size_t wi = 0; wi < other.words_per_row_; ++wi) {
+      const std::uint64_t ow = other.words_[obase + wi];
+      if (ow == 0) continue;
+      const int col = static_cast<int>(wi) * 64 + dc;
+      total += static_cast<std::size_t>(
+          std::popcount(ow & row_window(tr, col)));
+    }
+  }
+  return total;
+}
+
 bool BitMatrix::covers_shifted(const BitMatrix& other, int dr,
                                int dc) const noexcept {
   for (int r = 0; r < other.rows_; ++r) {

@@ -51,6 +51,13 @@ class BitMatrix {
   [[nodiscard]] bool intersects_shifted(const BitMatrix& other, int dr,
                                         int dc) const noexcept;
 
+  /// Number of set bits shared by *this and `other` translated by (dr, dc)
+  /// — the overlap area behind intersects_shifted. Bits of `other` falling
+  /// outside *this count as non-overlapping.
+  [[nodiscard]] std::size_t overlap_popcount_shifted(const BitMatrix& other,
+                                                     int dr,
+                                                     int dc) const noexcept;
+
   /// OR `other` into *this translated by (dr, dc); out-of-range bits of
   /// `other` must be zero or an assertion fires.
   void or_shifted(const BitMatrix& other, int dr, int dc) noexcept;

@@ -180,7 +180,98 @@ TEST(Manager, IncrementalWritesNoMoreTilesThanReplaceAll) {
   // moved, so it can never write less.
   EXPECT_LE(incremental.total_tiles_written(),
             replace.total_tiles_written());
-  EXPECT_GT(replace.mean_utilization(), 0.3);
+  EXPECT_GT(replace.mean_utilization().value_or(0.0), 0.3);
+}
+
+// A 1-row strip module: `w` tiles wide, one tall.
+Module strip(const std::string& name, int w) {
+  return Module(name, {ModuleGenerator::make_column_shape(w, 0, 1, 1, 0)});
+}
+
+TEST(Manager, IncrementalFallBackReplacesFreelyAndAccountsTransition) {
+  // 12x1 strip with column 5 blocked: free runs [0..4] and [6..11].
+  // Phase 0 {A=3, C=5}: the extent-9 optimum is unique — C fills [0..4],
+  // A sits at [6..8]. Phase 1 {A, B=6}: B only fits at [6..11], so the
+  // frozen copy of A blocks it; kIncremental must fall back to a free
+  // re-place (fell_back == true) and the transition must charge A as a
+  // move, not a keep.
+  auto fabric =
+      std::make_shared<const fpga::Fabric>(fpga::make_homogeneous(12, 1));
+  fpga::PartialRegion region(fabric);
+  region.block(Rect{5, 0, 1, 1});
+  const std::vector<Module> pool{strip("A", 3), strip("C", 5), strip("B", 6)};
+  placer::PlacerOptions options;
+  options.time_limit_seconds = 2.0;
+  const ReconfigurationManager manager(region, pool, options);
+
+  Schedule schedule;
+  schedule.phases.push_back(Phase{"p0", {0, 1}});
+  schedule.phases.push_back(Phase{"p1", {0, 2}});
+  const RunResult result =
+      manager.run(schedule, PlacementPolicy::kIncremental);
+  ASSERT_EQ(result.infeasible_phases(), 0);
+  EXPECT_EQ(result.phases[0].extent, 9);
+  EXPECT_FALSE(result.phases[0].fell_back);
+  EXPECT_TRUE(result.phases[1].fell_back);
+  EXPECT_EQ(result.phases[1].defrag_unpinned, 0);
+
+  // A moved (3 written + 3 cleared), B loaded (6 written), C departed
+  // (5 cleared); nothing stayed in place.
+  const TransitionCost& cost = result.transitions[1];
+  EXPECT_EQ(cost.modules_kept, 0);
+  EXPECT_EQ(cost.modules_loaded, 2);
+  EXPECT_EQ(cost.tiles_written, 3 + 6);
+  EXPECT_EQ(cost.tiles_cleared, 3 + 5);
+}
+
+TEST(Manager, DefragPolicyUnpinsMinimalSetAndKeepsSurvivors) {
+  // 18x1 strip with column 5 blocked: free runs [0..4] and [6..17].
+  // Phase 0 {C=5, S1=3, S2=3}: extent-12 optimum puts C at [0..4] and the
+  // two S modules at [6..8] and [9..11]. Phase 1 {S1, S2, B=7}: with both
+  // S frozen the longest free run is 6 < 7, so a full freeze is
+  // infeasible — but unpinning exactly one S opens [9..17] (or keeps it
+  // closed, depending on which S sat where; the manager must find the
+  // unpin that works). kDefrag keeps one survivor in place where
+  // kIncremental's free-re-place fallback keeps none.
+  auto fabric =
+      std::make_shared<const fpga::Fabric>(fpga::make_homogeneous(18, 1));
+  fpga::PartialRegion region(fabric);
+  region.block(Rect{5, 0, 1, 1});
+  const std::vector<Module> pool{strip("C", 5), strip("S1", 3),
+                                 strip("S2", 3), strip("B", 7)};
+  placer::PlacerOptions options;
+  options.time_limit_seconds = 2.0;
+  const ReconfigurationManager manager(region, pool, options);
+
+  Schedule schedule;
+  schedule.phases.push_back(Phase{"p0", {0, 1, 2}});
+  schedule.phases.push_back(Phase{"p1", {1, 2, 3}});
+
+  const RunResult defrag = manager.run(schedule, PlacementPolicy::kDefrag);
+  ASSERT_EQ(defrag.infeasible_phases(), 0);
+  EXPECT_EQ(defrag.phases[0].extent, 12);
+  EXPECT_FALSE(defrag.phases[1].fell_back);
+  EXPECT_EQ(defrag.phases[1].defrag_unpinned, 1);
+  // Exactly one of S1/S2 retains its phase-0 placement.
+  int kept_in_place = 0;
+  for (const int id : {1, 2}) {
+    PlacedModule first{}, second{};
+    for (const PlacedModule& p : defrag.phases[0].placements)
+      if (p.module == id) first = p;
+    for (const PlacedModule& p : defrag.phases[1].placements)
+      if (p.module == id) second = p;
+    if (first == second) ++kept_in_place;
+  }
+  EXPECT_EQ(kept_in_place, 1);
+  EXPECT_EQ(defrag.transitions[1].modules_kept, 1);
+
+  // The same schedule under kIncremental can only fall back to a free
+  // re-place, which keeps nothing in place.
+  const RunResult incremental =
+      manager.run(schedule, PlacementPolicy::kIncremental);
+  ASSERT_EQ(incremental.infeasible_phases(), 0);
+  EXPECT_TRUE(incremental.phases[1].fell_back);
+  EXPECT_EQ(incremental.transitions[1].modules_kept, 0);
 }
 
 TEST(Manager, EmptyPhaseIsFeasibleAndFree) {

@@ -106,6 +106,14 @@ void check_bench_v1(const Value& doc) {
   } else if (bench == "nonoverlap_kernel") {
     for (const char* key : {"speedup", "mismatches"})
       check_result_metric(results, key);
+  } else if (bench == "online_service") {
+    for (const char* key :
+         {"acceptance_without", "acceptance_with", "acceptance_defrag",
+          "acceptance_gain", "defrag_attempts", "defrag_successes",
+          "defrag_exact_successes", "defrag_greedy_successes",
+          "defrag_relocated_modules", "defrag_relocated_tiles",
+          "defrag_deadline_expiries", "defrag_rejects"})
+      check_result_metric(results, key);
   }
 }
 

@@ -19,11 +19,19 @@
 //                             stats, placer metrics); "-" for stdout
 //   --anchors <module>        print the valid-anchor mask of a module's
 //                             base shape instead of solving (Fig. 4b view)
-//   --quiet                   suppress the ASCII floorplan
+//   --online-trace <path>     replay an online place/remove trace through
+//                             the OnlinePlacer instead of solving offline;
+//                             lines: "place <id> <module>", "remove <id>",
+//                             "#" comments
+//   --defrag <seconds>        per-request defragmentation deadline for
+//                             --online-trace (0 = off, plain first-fit)
+//   --quiet                   suppress the ASCII floorplan / trace log
+#include <charconv>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
 
 #include "rrplace.hpp"
@@ -43,6 +51,8 @@ struct CliOptions {
   std::string svg_path;
   std::string stats_json_path;
   std::string anchors_module;
+  std::string online_trace_path;
+  double defrag_seconds = 0.0;
   bool quiet = false;
 };
 
@@ -53,8 +63,25 @@ struct CliOptions {
       "  --no-alternatives, --time-limit S, --mode bnb|lns|auto|restarts,\n"
       "  --workers N, --no-incremental, --no-compact-element, --seed N,\n"
       "  --svg PATH,\n"
-      "  --stats-json PATH|-, --anchors MODULE, --quiet\n";
+      "  --stats-json PATH|-, --anchors MODULE,\n"
+      "  --online-trace PATH, --defrag S, --quiet\n";
   std::exit(error == nullptr ? 0 : 2);
+}
+
+// Checked numeric parsing: the whole token must parse and satisfy the
+// bound, otherwise the program exits through usage() instead of silently
+// running with a garbage (atoi/atof would yield 0) value.
+template <typename T>
+T parse_number(const char* text, const char* what, T min_value) {
+  T value{};
+  const char* const end = text + std::strlen(text);
+  const auto [ptr, ec] = std::from_chars(text, end, value);
+  if (ec != std::errc() || ptr != end)
+    usage((std::string(what) + ": invalid number '" + text + "'").c_str());
+  if (value < min_value)
+    usage((std::string(what) + ": value " + text + " is below the minimum")
+              .c_str());
+  return value;
 }
 
 CliOptions parse_args(int argc, char** argv) {
@@ -70,13 +97,20 @@ CliOptions parse_args(int argc, char** argv) {
     else if (arg == "--no-alternatives") options.alternatives = false;
     else if (arg == "--no-incremental") options.incremental = false;
     else if (arg == "--no-compact-element") options.compact_element = false;
-    else if (arg == "--time-limit") options.time_limit = std::atof(need_value(i));
-    else if (arg == "--workers") options.workers = std::atoi(need_value(i));
+    else if (arg == "--time-limit")
+      options.time_limit =
+          parse_number<double>(need_value(i), "--time-limit", 0.0);
+    else if (arg == "--workers")
+      options.workers = parse_number<int>(need_value(i), "--workers", 1);
     else if (arg == "--seed")
-      options.seed = std::strtoull(need_value(i), nullptr, 10);
+      options.seed = parse_number<std::uint64_t>(need_value(i), "--seed", 0);
     else if (arg == "--svg") options.svg_path = need_value(i);
     else if (arg == "--stats-json") options.stats_json_path = need_value(i);
     else if (arg == "--anchors") options.anchors_module = need_value(i);
+    else if (arg == "--online-trace") options.online_trace_path = need_value(i);
+    else if (arg == "--defrag")
+      options.defrag_seconds =
+          parse_number<double>(need_value(i), "--defrag", 0.0);
     else if (arg == "--quiet") options.quiet = true;
     else if (arg == "--mode") {
       const std::string mode = need_value(i);
@@ -92,6 +126,164 @@ CliOptions parse_args(int argc, char** argv) {
   if (options.fabric_path.empty() || options.modules_path.empty())
     usage("--fabric and --modules are required");
   return options;
+}
+
+// Replay an online place/remove trace through the OnlinePlacer and report
+// the service level (acceptance ratio) plus defragmentation telemetry.
+int run_online_trace(const CliOptions& cli,
+                     const rr::fpga::PartialRegion& region,
+                     const std::vector<rr::model::Module>& modules) {
+  std::ifstream in(cli.online_trace_path);
+  if (!in) {
+    std::cerr << "error: cannot read trace " << cli.online_trace_path << '\n';
+    return 2;
+  }
+  auto find_module = [&](const std::string& name) -> const rr::model::Module* {
+    for (const auto& m : modules)
+      if (m.name() == name) return &m;
+    return nullptr;
+  };
+  auto trace_error = [&](long line_no, const std::string& what) {
+    std::cerr << "error: " << cli.online_trace_path << ':' << line_no << ": "
+              << what << '\n';
+    return 2;
+  };
+
+  rr::baseline::OnlineOptions online;
+  online.use_alternatives = cli.alternatives;
+  online.defrag.deadline_seconds = cli.defrag_seconds;
+  online.defrag.seed = cli.seed;
+  rr::baseline::OnlinePlacer placer(region, online);
+
+  std::ostream& human = cli.stats_json_path == "-" ? std::cerr : std::cout;
+  rr::Stopwatch watch;
+  long line_no = 0, places = 0, removes = 0, accepted = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream tokens(line);
+    std::string op;
+    if (!(tokens >> op) || op.front() == '#') continue;
+    if (op == "place") {
+      int id = 0;
+      std::string name;
+      if (!(tokens >> id >> name))
+        return trace_error(line_no, "expected: place <id> <module>");
+      if (placer.is_placed(id))
+        return trace_error(line_no,
+                           "instance " + std::to_string(id) + " already live");
+      const rr::model::Module* module = find_module(name);
+      if (module == nullptr)
+        return trace_error(line_no, "no module named '" + name + "'");
+      ++places;
+      const auto placement = placer.place(id, *module);
+      if (placement) ++accepted;
+      if (!cli.quiet) {
+        human << "  place " << id << ' ' << name << ": ";
+        if (placement) {
+          human << "accepted shape=" << placement->shape << " at ("
+                << placement->x << ',' << placement->y << ")\n";
+        } else {
+          human << "rejected\n";
+        }
+      }
+    } else if (op == "remove") {
+      int id = 0;
+      if (!(tokens >> id)) return trace_error(line_no, "expected: remove <id>");
+      if (!placer.is_placed(id))
+        return trace_error(line_no,
+                           "instance " + std::to_string(id) + " is not live");
+      ++removes;
+      placer.remove(id);
+      if (!cli.quiet) human << "  remove " << id << '\n';
+    } else {
+      return trace_error(line_no, "unknown trace op '" + op + "'");
+    }
+  }
+  const double seconds = watch.seconds();
+  const long rejected = places - accepted;
+  const auto& defrag = placer.defrag_stats();
+  const auto& relocation = placer.relocation_cost();
+
+  human << "trace: " << (places + removes) << " events (" << places
+        << " place, " << removes << " remove)  accepted: " << accepted << '/'
+        << places << " ("
+        << rr::TextTable::pct(places > 0
+                                  ? static_cast<double>(accepted) / places
+                                  : 1.0)
+        << ")\n";
+  human << "defrag: deadline " << cli.defrag_seconds << "s, "
+        << defrag.attempts << " passes, " << defrag.successes
+        << " admitted (" << defrag.exact_successes << " exact, "
+        << defrag.greedy_successes << " greedy), " << defrag.relocated_modules
+        << " modules / " << defrag.relocated_tiles << " tiles relocated\n";
+  human << "final: " << placer.live_count() << " live, occupancy "
+        << rr::TextTable::pct(placer.occupancy()) << "  time: "
+        << rr::TextTable::num(seconds, 3) << "s\n";
+
+  if (!cli.stats_json_path.empty()) {
+    rr::json::Value config = rr::json::Value::object();
+    config.set("fabric", rr::json::Value(cli.fabric_path));
+    config.set("modules", rr::json::Value(cli.modules_path));
+    config.set("alternatives", rr::json::Value(cli.alternatives));
+    config.set("trace", rr::json::Value(cli.online_trace_path));
+    config.set("defrag_deadline_seconds",
+               rr::json::Value(cli.defrag_seconds));
+    config.set("seed", rr::json::Value(cli.seed));
+    // The search/space/result sections describe one offline solve; a trace
+    // replay has none, so a default (empty) outcome keeps the schema
+    // intact and the replay data lives in the "online" section.
+    rr::placer::PlacementOutcome outcome;
+    outcome.seconds = seconds;
+    rr::json::Value stats = rr::placer::solve_stats_json(
+        region, modules, outcome, "rrplace_cli-online", std::move(config));
+    rr::json::Value online_doc = rr::json::Value::object();
+    online_doc.set("places", rr::json::Value(places));
+    online_doc.set("removes", rr::json::Value(removes));
+    online_doc.set("accepted", rr::json::Value(accepted));
+    online_doc.set("rejected", rr::json::Value(rejected));
+    online_doc.set(
+        "acceptance_ratio",
+        rr::json::Value(places > 0 ? static_cast<double>(accepted) / places
+                                   : 1.0));
+    rr::json::Value defrag_doc = rr::json::Value::object();
+    defrag_doc.set("attempts", rr::json::Value(defrag.attempts));
+    defrag_doc.set("successes", rr::json::Value(defrag.successes));
+    defrag_doc.set("exact_successes", rr::json::Value(defrag.exact_successes));
+    defrag_doc.set("greedy_successes",
+                   rr::json::Value(defrag.greedy_successes));
+    defrag_doc.set("relocated_modules",
+                   rr::json::Value(defrag.relocated_modules));
+    defrag_doc.set("relocated_tiles", rr::json::Value(defrag.relocated_tiles));
+    defrag_doc.set("deadline_expiries",
+                   rr::json::Value(defrag.deadline_expiries));
+    defrag_doc.set("rejects", rr::json::Value(defrag.rejects));
+    defrag_doc.set("retry_skips", rr::json::Value(defrag.retry_skips));
+    defrag_doc.set("budget_skips", rr::json::Value(defrag.budget_skips));
+    online_doc.set("defrag", std::move(defrag_doc));
+    rr::json::Value relocation_doc = rr::json::Value::object();
+    relocation_doc.set("tiles_cleared",
+                       rr::json::Value(relocation.tiles_cleared));
+    relocation_doc.set("tiles_written",
+                       rr::json::Value(relocation.tiles_written));
+    relocation_doc.set("modules_moved",
+                       rr::json::Value(relocation.modules_loaded));
+    online_doc.set("relocation", std::move(relocation_doc));
+    online_doc.set("final_live", rr::json::Value(placer.live_count()));
+    online_doc.set("final_occupancy", rr::json::Value(placer.occupancy()));
+    stats.set("online", std::move(online_doc));
+    if (cli.stats_json_path == "-") {
+      std::cout << stats.dump(2) << '\n';
+    } else {
+      std::ofstream out(cli.stats_json_path);
+      if (!out) {
+        std::cerr << "error: cannot write " << cli.stats_json_path << '\n';
+        return 2;
+      }
+      out << stats.dump(2) << '\n';
+    }
+  }
+  return 0;
 }
 
 }  // namespace
@@ -118,6 +310,13 @@ int main(int argc, char** argv) {
       }
       std::cerr << "error: no module named '" << cli.anchors_module << "'\n";
       return 2;
+    }
+
+    if (!cli.online_trace_path.empty()) {
+      // Collection must be on before the replay so the "online.defrag.*"
+      // counters reach the stats document's metrics section.
+      if (!cli.stats_json_path.empty()) rr::metrics::set_enabled(true);
+      return run_online_trace(cli, region, modules);
     }
 
     rr::placer::PlacerOptions options;
