@@ -5,17 +5,20 @@ namespace rr::fpga {
 Fabric::Fabric(int width, int height, ResourceType fill, std::string name)
     : width_(width), height_(height), name_(std::move(name)) {
   RR_REQUIRE(width > 0 && height > 0, "fabric dimensions must be positive");
-  tiles_.assign(static_cast<std::size_t>(width) * static_cast<std::size_t>(height),
-                fill);
+  tiles_.assign(
+      static_cast<std::size_t>(width) * static_cast<std::size_t>(height),
+      fill);
 }
 
-void Fabric::set_column(int x, ResourceType t) noexcept {
+void Fabric::set_column(int x, ResourceType t) {
   RR_ASSERT(x >= 0 && x < width_);
   for (int y = 0; y < height_; ++y) set(x, y, t);
 }
 
-void Fabric::set_rect(const Rect& r, ResourceType t) noexcept {
+void Fabric::set_rect(const Rect& r, ResourceType t) {
+  RR_ASSERT(!r.empty());
   const Rect clipped = r.intersection(bounds());
+  RR_ASSERT(!clipped.empty());  // fully out of bounds: nothing would change
   for (int y = clipped.y; y < clipped.top(); ++y)
     for (int x = clipped.x; x < clipped.right(); ++x) set(x, y, t);
 }

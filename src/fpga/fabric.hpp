@@ -38,11 +38,18 @@ class Fabric {
     tiles_[index(x, y)] = t;
   }
 
-  /// Overwrite a whole column with one resource type.
-  void set_column(int x, ResourceType t) noexcept;
+  /// Overwrite a whole column with one resource type. The column index must
+  /// be in bounds (RR_ASSERT).
+  void set_column(int x, ResourceType t);
 
-  /// Overwrite a rectangle (clipped to the fabric) with one resource type.
-  void set_rect(const Rect& r, ResourceType t) noexcept;
+  /// Overwrite a rectangle with one resource type.
+  ///
+  /// Clipping contract: a rectangle partially outside the fabric is clipped
+  /// to the fabric bounds — only the in-bounds tiles are written. An empty
+  /// rectangle or one lying fully outside the fabric is a caller bug (there
+  /// is nothing to write, which has always silently masked bad coordinates)
+  /// and fails an RR_ASSERT.
+  void set_rect(const Rect& r, ResourceType t);
 
   [[nodiscard]] bool in_bounds(int x, int y) const noexcept {
     return x >= 0 && x < width_ && y >= 0 && y < height_;

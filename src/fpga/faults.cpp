@@ -1,0 +1,277 @@
+#include "fpga/faults.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace rr::fpga {
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  throw InvalidInput("fft:" + std::to_string(line) + ": " + message);
+}
+
+const char* kind_word(FaultKind kind) {
+  return kind == FaultKind::kPermanent ? "permanent" : "transient";
+}
+
+}  // namespace
+
+FaultMap::FaultMap(int width, int height) : width_(width), height_(height) {
+  RR_REQUIRE(width > 0 && height > 0, "fault map dimensions must be positive");
+  state_.assign(
+      static_cast<std::size_t>(width) * static_cast<std::size_t>(height),
+      kHealthy);
+}
+
+FaultMap::FaultMap(const Fabric& fabric)
+    : FaultMap(fabric.width(), fabric.height()) {}
+
+void FaultMap::inject(int x, int y, FaultKind kind) {
+  std::uint8_t& tile = state_[index(x, y)];
+  const std::uint8_t next =
+      kind == FaultKind::kPermanent ? kPermanentState : kTransientState;
+  if (next > tile) tile = next;  // a permanent fault never downgrades
+}
+
+void FaultMap::inject_column(int x, FaultKind kind) {
+  RR_REQUIRE(x >= 0 && x < width_, "fault column out of bounds");
+  for (int y = 0; y < height_; ++y) inject(x, y, kind);
+}
+
+void FaultMap::inject_rect(const Rect& rect, FaultKind kind) {
+  RR_REQUIRE(!rect.empty() && (Rect{0, 0, width_, height_}.contains(rect)),
+             "fault rectangle out of bounds");
+  for (int y = rect.y; y < rect.top(); ++y)
+    for (int x = rect.x; x < rect.right(); ++x) inject(x, y, kind);
+}
+
+void FaultMap::repair(int x, int y) {
+  std::uint8_t& tile = state_[index(x, y)];
+  if (tile == kTransientState) tile = kHealthy;
+}
+
+void FaultMap::repair_transient() {
+  for (std::uint8_t& tile : state_)
+    if (tile == kTransientState) tile = kHealthy;
+}
+
+void FaultMap::apply(const FaultEvent& event) {
+  switch (event.op) {
+    case FaultEvent::Op::kTile:
+      inject_rect(event.rect, event.kind);
+      break;
+    case FaultEvent::Op::kColumn:
+      inject_column(event.rect.x, event.kind);
+      break;
+    case FaultEvent::Op::kRect:
+      inject_rect(event.rect, event.kind);
+      break;
+    case FaultEvent::Op::kRepairTile:
+      RR_REQUIRE(
+          !event.rect.empty() &&
+              (Rect{0, 0, width_, height_}.contains(event.rect)),
+          "repair coordinates out of bounds");
+      repair(event.rect.x, event.rect.y);
+      break;
+    case FaultEvent::Op::kRepairTransient:
+      repair_transient();
+      break;
+  }
+}
+
+long FaultMap::faulty_count() const noexcept {
+  long count = 0;
+  for (const std::uint8_t tile : state_) count += tile != kHealthy;
+  return count;
+}
+
+long FaultMap::permanent_count() const noexcept {
+  long count = 0;
+  for (const std::uint8_t tile : state_) count += tile == kPermanentState;
+  return count;
+}
+
+long FaultMap::transient_count() const noexcept {
+  long count = 0;
+  for (const std::uint8_t tile : state_) count += tile == kTransientState;
+  return count;
+}
+
+BitMatrix FaultMap::mask() const {
+  BitMatrix out(height_, width_);
+  for (int y = 0; y < height_; ++y)
+    for (int x = 0; x < width_; ++x)
+      if (faulty(x, y)) out.set(y, x, true);
+  return out;
+}
+
+std::vector<FaultEvent> FaultMap::to_events() const {
+  std::vector<FaultEvent> events;
+  for (const FaultKind kind : {FaultKind::kPermanent, FaultKind::kTransient}) {
+    for (int y = 0; y < height_; ++y) {
+      for (int x = 0; x < width_; ++x) {
+        if (!faulty(x, y)) continue;
+        if ((kind == FaultKind::kPermanent) != permanent(x, y)) continue;
+        events.push_back(FaultEvent{FaultEvent::Op::kTile, kind,
+                                    Rect{x, y, 1, 1}});
+      }
+    }
+  }
+  return events;
+}
+
+FaultTrace parse_fault_trace(std::istream& in) {
+  FaultTrace trace;
+  std::string line;
+  int line_no = 0;
+  bool have_header = false;
+  const auto bounds = [&] { return Rect{0, 0, trace.width, trace.height}; };
+
+  auto parse_kind = [&](const std::vector<std::string_view>& fields,
+                        std::size_t at) -> FaultKind {
+    if (fields.size() <= at) return FaultKind::kPermanent;
+    if (fields[at] == "permanent") return FaultKind::kPermanent;
+    if (fields[at] == "transient") return FaultKind::kTransient;
+    fail(line_no, "fault kind must be 'permanent' or 'transient', got '" +
+                      std::string(fields[at]) + "'");
+  };
+  auto parse_coord = [&](std::string_view field, const char* what) -> int {
+    const auto value = parse_int(field);
+    if (!value) fail(line_no, std::string(what) + " must be an integer");
+    return static_cast<int>(*value);
+  };
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const std::string_view text = trim(line);
+    if (text.empty() || text.front() == '#') continue;
+    const auto fields = split_ws(text);
+    if (fields[0] == "faults") {
+      if (have_header) fail(line_no, "duplicate faults header");
+      if (fields.size() != 3) fail(line_no, "expected: faults <w> <h>");
+      const auto w = parse_int(fields[1]);
+      const auto h = parse_int(fields[2]);
+      if (!w || !h || *w <= 0 || *h <= 0)
+        fail(line_no, "fault trace dimensions must be positive integers");
+      trace.width = static_cast<int>(*w);
+      trace.height = static_cast<int>(*h);
+      have_header = true;
+      continue;
+    }
+    if (!have_header) fail(line_no, "event before faults header");
+    FaultEvent event;
+    if (fields[0] == "tile") {
+      if (fields.size() != 3 && fields.size() != 4)
+        fail(line_no, "expected: tile <x> <y> [permanent|transient]");
+      event.op = FaultEvent::Op::kTile;
+      event.rect = Rect{parse_coord(fields[1], "x"),
+                        parse_coord(fields[2], "y"), 1, 1};
+      event.kind = parse_kind(fields, 3);
+      if (!bounds().contains(event.rect))
+        fail(line_no, "tile coordinates out of bounds");
+    } else if (fields[0] == "column") {
+      if (fields.size() != 2 && fields.size() != 3)
+        fail(line_no, "expected: column <x> [permanent|transient]");
+      event.op = FaultEvent::Op::kColumn;
+      const int x = parse_coord(fields[1], "x");
+      event.rect = Rect{x, 0, 1, trace.height};
+      event.kind = parse_kind(fields, 2);
+      if (x < 0 || x >= trace.width)
+        fail(line_no, "column index out of bounds");
+    } else if (fields[0] == "rect") {
+      if (fields.size() != 5 && fields.size() != 6)
+        fail(line_no, "expected: rect <x> <y> <w> <h> [permanent|transient]");
+      event.op = FaultEvent::Op::kRect;
+      event.rect = Rect{parse_coord(fields[1], "x"),
+                        parse_coord(fields[2], "y"),
+                        parse_coord(fields[3], "w"),
+                        parse_coord(fields[4], "h")};
+      event.kind = parse_kind(fields, 5);
+      if (event.rect.empty()) fail(line_no, "rect must be non-empty");
+      if (!bounds().contains(event.rect))
+        fail(line_no, "rect out of bounds");
+    } else if (fields[0] == "repair") {
+      if (fields.size() != 3) fail(line_no, "expected: repair <x> <y>");
+      event.op = FaultEvent::Op::kRepairTile;
+      event.rect = Rect{parse_coord(fields[1], "x"),
+                        parse_coord(fields[2], "y"), 1, 1};
+      if (!bounds().contains(event.rect))
+        fail(line_no, "repair coordinates out of bounds");
+    } else if (fields[0] == "repair-transient") {
+      if (fields.size() != 1) fail(line_no, "expected: repair-transient");
+      event.op = FaultEvent::Op::kRepairTransient;
+    } else {
+      fail(line_no, "unknown directive '" + std::string(fields[0]) + "'");
+    }
+    trace.events.push_back(event);
+  }
+  if (!have_header) {
+    if (line_no == 0) throw InvalidInput("fft: empty fault trace");
+    fail(line_no, "missing faults header");
+  }
+  return trace;
+}
+
+FaultTrace parse_fault_trace_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_fault_trace(in);
+}
+
+FaultTrace load_fault_trace(const std::string& path) {
+  std::ifstream in(path);
+  RR_REQUIRE(in.good(), "cannot open fault trace: " + path);
+  return parse_fault_trace(in);
+}
+
+void write_fault_trace(std::ostream& out, const FaultTrace& trace) {
+  out << "# rrplace fault trace\n";
+  out << "faults " << trace.width << ' ' << trace.height << '\n';
+  for (const FaultEvent& event : trace.events) {
+    switch (event.op) {
+      case FaultEvent::Op::kTile:
+        out << "tile " << event.rect.x << ' ' << event.rect.y << ' '
+            << kind_word(event.kind) << '\n';
+        break;
+      case FaultEvent::Op::kColumn:
+        out << "column " << event.rect.x << ' ' << kind_word(event.kind)
+            << '\n';
+        break;
+      case FaultEvent::Op::kRect:
+        out << "rect " << event.rect.x << ' ' << event.rect.y << ' '
+            << event.rect.width << ' ' << event.rect.height << ' '
+            << kind_word(event.kind) << '\n';
+        break;
+      case FaultEvent::Op::kRepairTile:
+        out << "repair " << event.rect.x << ' ' << event.rect.y << '\n';
+        break;
+      case FaultEvent::Op::kRepairTransient:
+        out << "repair-transient\n";
+        break;
+    }
+  }
+}
+
+std::string write_fault_trace_string(const FaultTrace& trace) {
+  std::ostringstream out;
+  write_fault_trace(out, trace);
+  return out.str();
+}
+
+FaultMap fault_map_from_trace(const FaultTrace& trace) {
+  FaultMap map(trace.width, trace.height);
+  for (const FaultEvent& event : trace.events) map.apply(event);
+  return map;
+}
+
+FaultTrace fault_trace_from_map(const FaultMap& map) {
+  FaultTrace trace;
+  trace.width = map.width();
+  trace.height = map.height();
+  trace.events = map.to_events();
+  return trace;
+}
+
+}  // namespace rr::fpga

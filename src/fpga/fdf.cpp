@@ -21,6 +21,7 @@ Fabric parse_fdf(std::istream& in) {
   Fabric fabric;
   bool have_header = false;
   std::vector<bool> row_seen;
+  std::vector<Rect> static_rects;
 
   while (std::getline(in, line)) {
     ++line_no;
@@ -59,6 +60,30 @@ Fabric parse_fdf(std::istream& in) {
                                   "' (column " + std::to_string(x + 1) + ")");
         fabric.set(x, static_cast<int>(*y), *t);
       }
+    } else if (fields[0] == "static") {
+      // Static-region rectangle: retypes the covered tiles to kStatic after
+      // all rows are painted. Out-of-bounds and mutually overlapping
+      // rectangles are rejected outright — silently clipping or
+      // double-claiming tiles hides floorplan errors.
+      if (!have_header) fail(line_no, "static before fabric header");
+      if (fields.size() != 5) fail(line_no, "expected: static <x> <y> <w> <h>");
+      const auto x = parse_int(fields[1]);
+      const auto y = parse_int(fields[2]);
+      const auto w = parse_int(fields[3]);
+      const auto h = parse_int(fields[4]);
+      if (!x || !y || !w || !h)
+        fail(line_no, "static rectangle fields must be integers");
+      if (*w <= 0 || *h <= 0)
+        fail(line_no, "static rectangle dimensions must be positive");
+      const Rect rect{static_cast<int>(*x), static_cast<int>(*y),
+                      static_cast<int>(*w), static_cast<int>(*h)};
+      if (!fabric.bounds().contains(rect))
+        fail(line_no, "static rectangle out of bounds");
+      for (const Rect& prior : static_rects) {
+        if (rect.intersects(prior))
+          fail(line_no, "static rectangle overlaps an earlier one");
+      }
+      static_rects.push_back(rect);
     } else {
       fail(line_no, "unknown directive '" + std::string(fields[0]) + "'");
     }
@@ -73,6 +98,8 @@ Fabric parse_fdf(std::istream& in) {
     if (!row_seen[y])
       fail(line_no, "missing row " + std::to_string(y));
   }
+  for (const Rect& rect : static_rects)
+    fabric.set_rect(rect, ResourceType::kStatic);
   return fabric;
 }
 

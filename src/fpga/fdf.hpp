@@ -4,10 +4,14 @@
 //   # comment
 //   fabric <name> <width> <height>
 //   row <y> <width characters, one resource char per tile>
+//   static <x> <y> <w> <h>
 //   ...
 //
 // Every row 0..height-1 must appear exactly once; resource characters are
-// those of resource_char(). Rows may appear in any order.
+// those of resource_char(). Rows may appear in any order. `static`
+// rectangles retype the covered tiles to kStatic after all rows are
+// painted; a rectangle reaching outside the fabric or overlapping another
+// static rectangle is rejected with a line-numbered error.
 #pragma once
 
 #include <iosfwd>

@@ -12,6 +12,7 @@ PartialRegion::PartialRegion(std::shared_ptr<const Fabric> fabric,
   RR_REQUIRE(!window_.empty() && fabric_->bounds().contains(window_),
              "region window must lie inside the fabric");
   blocked_ = BitMatrix(window_.height, window_.width);
+  faulty_ = BitMatrix(window_.height, window_.width);
   rebuild_masks();
 }
 
@@ -31,9 +32,26 @@ void PartialRegion::block_mask(const BitMatrix& mask) {
   rebuild_masks();
 }
 
+void PartialRegion::apply_faults(const FaultMap& faults) {
+  RR_REQUIRE(faults.width() == fabric_->width() &&
+                 faults.height() == fabric_->height(),
+             "fault map must match the fabric dimensions");
+  for (int y = 0; y < window_.height; ++y)
+    for (int x = 0; x < window_.width; ++x)
+      faulty_.set(y, x, faults.faulty(x + window_.x, y + window_.y));
+  rebuild_masks();
+}
+
+void PartialRegion::set_fault_mask(const BitMatrix& mask) {
+  RR_REQUIRE(mask.rows() == window_.height && mask.cols() == window_.width,
+             "fault mask must be region-shaped");
+  faulty_ = mask;
+  rebuild_masks();
+}
+
 bool PartialRegion::available(int x, int y) const noexcept {
   if (x < 0 || x >= window_.width || y < 0 || y >= window_.height) return false;
-  if (blocked_.get(y, x)) return false;
+  if (blocked_.get(y, x) || faulty_.get(y, x)) return false;
   return placeable(at(x, y));
 }
 

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "fpga/fabric.hpp"
+#include "fpga/faults.hpp"
 #include "util/bitmatrix.hpp"
 
 namespace rr::fpga {
@@ -28,7 +29,8 @@ class PartialRegion {
   [[nodiscard]] int height() const noexcept { return window_.height; }
   [[nodiscard]] const Rect& window() const noexcept { return window_; }
   [[nodiscard]] const Fabric& fabric() const noexcept { return *fabric_; }
-  [[nodiscard]] const std::shared_ptr<const Fabric>& fabric_ptr() const noexcept {
+  [[nodiscard]] const std::shared_ptr<const Fabric>& fabric_ptr()
+      const noexcept {
     return fabric_;
   }
 
@@ -40,6 +42,22 @@ class PartialRegion {
   /// x). This is how the online defragmenter carves live-module occupancy
   /// out of a region copy before re-placing a relocation set.
   void block_mask(const BitMatrix& mask);
+
+  /// Replace the fault overlay with the current state of `faults` (a
+  /// fabric-sized map; the region window is extracted). Faulty tiles drop
+  /// out of the availability masks exactly like blocked tiles, so every
+  /// placer layered on the region refuses them — but unlike block(), the
+  /// overlay is *replaced* on each call: repaired transient faults return
+  /// tiles to service. An all-healthy map restores pre-fault availability.
+  void apply_faults(const FaultMap& faults);
+
+  /// Replace the fault overlay with a region-shaped bitmap directly.
+  void set_fault_mask(const BitMatrix& mask);
+
+  /// Currently faulty tiles (region-local, rows by y, columns by x).
+  [[nodiscard]] const BitMatrix& fault_mask() const noexcept {
+    return faulty_;
+  }
 
   /// Resource type at region-local (x, y).
   [[nodiscard]] ResourceType at(int x, int y) const noexcept {
@@ -71,6 +89,7 @@ class PartialRegion {
   std::shared_ptr<const Fabric> fabric_;
   Rect window_{};
   BitMatrix blocked_;  // locally blocked tiles (beyond static fabric tiles)
+  BitMatrix faulty_;   // fault overlay (replaced, not accumulated)
   std::vector<BitMatrix> masks_;
 };
 

@@ -25,6 +25,7 @@
 #include "cp/portfolio.hpp"         // IWYU pragma: export
 #include "cp/search.hpp"            // IWYU pragma: export
 #include "fpga/builders.hpp"        // IWYU pragma: export
+#include "fpga/faults.hpp"          // IWYU pragma: export
 #include "fpga/fdf.hpp"             // IWYU pragma: export
 #include "fpga/region.hpp"          // IWYU pragma: export
 #include "geost/nonoverlap.hpp"     // IWYU pragma: export
@@ -37,6 +38,7 @@
 #include "placer/validator.hpp"     // IWYU pragma: export
 #include "render/ascii.hpp"         // IWYU pragma: export
 #include "runtime/manager.hpp"      // IWYU pragma: export
+#include "runtime/recovery.hpp"     // IWYU pragma: export
 #include "render/svg.hpp"           // IWYU pragma: export
 #include "util/json.hpp"            // IWYU pragma: export
 #include "util/metrics.hpp"         // IWYU pragma: export

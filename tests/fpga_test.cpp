@@ -1,6 +1,8 @@
 // Fabric, builders, partial region and the .fdf format.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "fpga/builders.hpp"
 #include "fpga/fdf.hpp"
 #include "fpga/region.hpp"
@@ -42,6 +44,32 @@ TEST(Fabric, ConstructionAndMutation) {
 TEST(Fabric, RejectsDegenerateDimensions) {
   EXPECT_THROW(Fabric(0, 5), InvalidInput);
   EXPECT_THROW(Fabric(5, -1), InvalidInput);
+}
+
+TEST(Fabric, SetRectRejectsEmptyAndFullyOutOfBoundsInputs) {
+  Fabric f(8, 4);
+  // Empty and fully out-of-bounds rectangles are caller bugs: the mutation
+  // would silently do nothing, so the contract asserts instead of clipping.
+  EXPECT_THROW(f.set_rect(Rect{0, 0, 0, 2}, ResourceType::kStatic),
+               std::logic_error);
+  EXPECT_THROW(f.set_rect(Rect{3, 1, 2, -1}, ResourceType::kStatic),
+               std::logic_error);
+  EXPECT_THROW(f.set_rect(Rect{20, 20, 2, 2}, ResourceType::kStatic),
+               std::logic_error);
+  EXPECT_THROW(f.set_rect(Rect{-5, 0, 3, 2}, ResourceType::kStatic),
+               std::logic_error);
+  // A partial overlap is still clipped to the fabric, not rejected.
+  f.set_rect(Rect{6, 2, 10, 10}, ResourceType::kBram);
+  EXPECT_EQ(f.at(7, 3), ResourceType::kBram);
+  EXPECT_EQ(f.at(5, 3), ResourceType::kClb);
+}
+
+TEST(Fabric, SetColumnRejectsOutOfBoundsIndex) {
+  Fabric f(8, 4);
+  EXPECT_THROW(f.set_column(-1, ResourceType::kBram), std::logic_error);
+  EXPECT_THROW(f.set_column(8, ResourceType::kBram), std::logic_error);
+  f.set_column(7, ResourceType::kBram);  // last valid column is fine
+  EXPECT_EQ(f.at(7, 0), ResourceType::kBram);
 }
 
 TEST(Fabric, ResourceCounts) {
@@ -136,6 +164,48 @@ TEST(PartialRegion, BlockRemovesTiles) {
   EXPECT_EQ(region.available_in_columns(4), 6);
 }
 
+TEST(PartialRegion, BlockMaskEmptyBitmapIsANoOp) {
+  auto fabric = std::make_shared<const Fabric>(make_homogeneous(6, 4));
+  PartialRegion region(fabric);
+  const long before = region.total_available();
+  region.block_mask(BitMatrix(4, 6));  // region-shaped, all zero
+  EXPECT_EQ(region.total_available(), before);
+  EXPECT_TRUE(region.available(0, 0));
+}
+
+TEST(PartialRegion, BlockMaskRejectsDimensionMismatch) {
+  auto fabric = std::make_shared<const Fabric>(make_homogeneous(6, 4));
+  PartialRegion region(fabric);
+  EXPECT_THROW(region.block_mask(BitMatrix(4, 7)), InvalidInput);
+  EXPECT_THROW(region.block_mask(BitMatrix(3, 6)), InvalidInput);
+  EXPECT_THROW(region.block_mask(BitMatrix(0, 0)), InvalidInput);
+  // Failed calls must not have blocked anything.
+  EXPECT_EQ(region.total_available(), 24);
+}
+
+TEST(PartialRegion, FullyBlockedMaskEmptiesTheRegion) {
+  auto fabric = std::make_shared<const Fabric>(make_homogeneous(5, 3));
+  PartialRegion region(fabric);
+  BitMatrix all(3, 5);
+  for (int y = 0; y < 3; ++y)
+    for (int x = 0; x < 5; ++x) all.set(y, x, true);
+  region.block_mask(all);
+  EXPECT_EQ(region.total_available(), 0);
+  for (int y = 0; y < 3; ++y)
+    for (int x = 0; x < 5; ++x) EXPECT_FALSE(region.available(x, y));
+  for (const auto& mask : region.masks()) EXPECT_EQ(mask.popcount(), 0);
+}
+
+TEST(PartialRegion, AvailableIsFalseOutsideTheWindow) {
+  auto fabric = std::make_shared<const Fabric>(make_homogeneous(5, 3));
+  const PartialRegion region(fabric, Rect{1, 1, 3, 2});
+  EXPECT_TRUE(region.available(0, 0));
+  EXPECT_FALSE(region.available(-1, 0));
+  EXPECT_FALSE(region.available(0, -1));
+  EXPECT_FALSE(region.available(3, 0));  // window is 3 wide
+  EXPECT_FALSE(region.available(0, 2));  // window is 2 tall
+}
+
 TEST(PartialRegion, MasksMatchAvailability) {
   auto fabric = std::make_shared<const Fabric>(make_evaluation_device());
   const PartialRegion region(fabric);
@@ -167,6 +237,51 @@ TEST(Fdf, ParsesMinimalFabric) {
   EXPECT_EQ(f.width(), 3);
   EXPECT_EQ(f.at(1, 0), ResourceType::kBram);
   EXPECT_EQ(f.at(2, 1), ResourceType::kStatic);
+}
+
+TEST(Fdf, StaticRectangleRetypesTiles) {
+  // The static directive is applied after all rows are painted, so it wins
+  // regardless of where it appears relative to the row lines.
+  const Fabric f = parse_fdf_string(
+      "fabric t 4 2\n"
+      "static 1 0 2 1\n"
+      "row 0 CCCC\n"
+      "row 1 BBBB\n"
+      "static 3 1 1 1\n");
+  EXPECT_EQ(f.at(0, 0), ResourceType::kClb);
+  EXPECT_EQ(f.at(1, 0), ResourceType::kStatic);
+  EXPECT_EQ(f.at(2, 0), ResourceType::kStatic);
+  EXPECT_EQ(f.at(3, 0), ResourceType::kClb);
+  EXPECT_EQ(f.at(3, 1), ResourceType::kStatic);
+  EXPECT_EQ(f.at(0, 1), ResourceType::kBram);
+}
+
+TEST(Fdf, StaticRectangleOutOfBoundsReportsLine) {
+  try {
+    static_cast<void>(parse_fdf_string(
+        "fabric t 4 2\nrow 0 CCCC\nrow 1 CCCC\nstatic 3 0 2 1\n"));
+    FAIL() << "out-of-bounds static rectangle must throw";
+  } catch (const InvalidInput& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("fdf:4:"), std::string::npos) << what;
+    EXPECT_NE(what.find("out of bounds"), std::string::npos) << what;
+  }
+}
+
+TEST(Fdf, OverlappingStaticRectanglesReportLine) {
+  try {
+    static_cast<void>(parse_fdf_string(
+        "fabric t 4 2\n"
+        "row 0 CCCC\n"
+        "row 1 CCCC\n"
+        "static 0 0 2 2\n"
+        "static 1 1 2 1\n"));
+    FAIL() << "overlapping static rectangles must throw";
+  } catch (const InvalidInput& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("fdf:5:"), std::string::npos) << what;
+    EXPECT_NE(what.find("overlaps"), std::string::npos) << what;
+  }
 }
 
 TEST(Fdf, RowsInAnyOrder) {
@@ -228,7 +343,13 @@ INSTANTIATE_TEST_SUITE_P(
         "fabric t 2 1\nrow 0 CX\n",                  // bad character
         "fabric t 2 1\nrow 5 CC\n",                  // row out of range
         "fabric t 2 1\nbogus\n",                     // unknown directive
-        "fabric t 2 1\nfabric t 2 1\nrow 0 CC\n"));  // duplicate header
+        "fabric t 2 1\nfabric t 2 1\nrow 0 CC\n",    // duplicate header
+        "static 0 0 1 1\nfabric t 2 1\nrow 0 CC\n",  // static before header
+        "fabric t 2 1\nrow 0 CC\nstatic 0 0\n",      // static field count
+        "fabric t 2 1\nrow 0 CC\nstatic 0 0 a 1\n",  // non-integer static
+        "fabric t 2 1\nrow 0 CC\nstatic 0 0 0 1\n",  // zero-width static
+        "fabric t 2 1\nrow 0 CC\nstatic 0 0 1 -1\n",  // negative static
+        "fabric t 2 1\nrow 0 CC\nstatic 0 0 3 1\n"));  // static oob
 
 TEST(Fdf, FileRoundTrip) {
   const Fabric original = make_columnar(12, 6);

@@ -69,6 +69,24 @@ void check_stats_v1(const Value& doc) {
           "metrics.counters must be an object");
   require(metrics.at("timers").is_object(),
           "metrics.timers must be an object");
+  // The fault section is optional (rrplace_cli --fault-trace only), but
+  // when present it must carry the availability-replay contract.
+  if (doc.contains("fault")) {
+    const Value& fault = doc.at("fault");
+    require(fault.is_object(), "\"fault\" must be an object");
+    for (const char* key :
+         {"events", "tiles_faulted", "modules_hit", "recovered",
+          "recovered_fraction", "inplace_swaps", "local_replaces",
+          "defrag_recoveries", "greedy_recoveries", "park_transitions",
+          "retries", "retry_recoveries", "abandoned", "deadline_expiries",
+          "relocated_modules", "relocated_tiles", "final_live",
+          "final_parked", "capacity_retained", "utilization"})
+      check_number(fault, key);
+    const Value& cost = fault.at("recovery_cost");
+    for (const char* key : {"tiles_cleared", "tiles_written",
+                            "modules_loaded"})
+      check_number(cost, key);
+  }
 }
 
 // A bench result is either a plain number or a {count,mean,min,max}
@@ -113,6 +131,16 @@ void check_bench_v1(const Value& doc) {
           "defrag_exact_successes", "defrag_greedy_successes",
           "defrag_relocated_modules", "defrag_relocated_tiles",
           "defrag_deadline_expiries", "defrag_rejects"})
+      check_result_metric(results, key);
+  } else if (bench == "fault_recovery") {
+    for (const char* key :
+         {"recovered_fraction", "recovered_fraction_base",
+          "utilization_retained", "utilization_retained_base",
+          "capacity_retained", "recovery_seconds", "modules_hit_mean",
+          "parked_mean", "events", "tiles_faulted", "inplace_swaps",
+          "local_replaces", "defrag_recoveries", "greedy_recoveries",
+          "parked", "retry_recoveries", "abandoned", "deadline_expiries",
+          "relocated_modules", "relocated_tiles"})
       check_result_metric(results, key);
   }
 }

@@ -25,6 +25,15 @@
 //                             "#" comments
 //   --defrag <seconds>        per-request defragmentation deadline for
 //                             --online-trace (0 = off, plain first-fit)
+//   --faults <path>           apply a fault trace's (.fft) resulting fault
+//                             map to the region before solving or replaying:
+//                             every placer refuses the faulty tiles
+//   --fault-trace <path>      availability replay: place the modules
+//                             offline, admit them into the fault-recovery
+//                             manager, then feed the .fft events through
+//                             tiered recovery (swap / re-place / defrag)
+//   --fault-deadline <s>      per-event recovery deadline for --fault-trace
+//                             (default 0.1; 0 = unlimited)
 //   --quiet                   suppress the ASCII floorplan / trace log
 #include <charconv>
 #include <cstring>
@@ -53,6 +62,9 @@ struct CliOptions {
   std::string anchors_module;
   std::string online_trace_path;
   double defrag_seconds = 0.0;
+  std::string faults_path;
+  std::string fault_trace_path;
+  double fault_deadline = 0.1;
   bool quiet = false;
 };
 
@@ -64,7 +76,8 @@ struct CliOptions {
       "  --workers N, --no-incremental, --no-compact-element, --seed N,\n"
       "  --svg PATH,\n"
       "  --stats-json PATH|-, --anchors MODULE,\n"
-      "  --online-trace PATH, --defrag S, --quiet\n";
+      "  --online-trace PATH, --defrag S,\n"
+      "  --faults PATH, --fault-trace PATH, --fault-deadline S, --quiet\n";
   std::exit(error == nullptr ? 0 : 2);
 }
 
@@ -111,6 +124,11 @@ CliOptions parse_args(int argc, char** argv) {
     else if (arg == "--defrag")
       options.defrag_seconds =
           parse_number<double>(need_value(i), "--defrag", 0.0);
+    else if (arg == "--faults") options.faults_path = need_value(i);
+    else if (arg == "--fault-trace") options.fault_trace_path = need_value(i);
+    else if (arg == "--fault-deadline")
+      options.fault_deadline =
+          parse_number<double>(need_value(i), "--fault-deadline", 0.0);
     else if (arg == "--quiet") options.quiet = true;
     else if (arg == "--mode") {
       const std::string mode = need_value(i);
@@ -286,6 +304,170 @@ int run_online_trace(const CliOptions& cli,
   return 0;
 }
 
+// Describe a fault event in one log token, e.g. "column 7 permanent".
+std::string fault_event_text(const rr::fpga::FaultEvent& event) {
+  using Op = rr::fpga::FaultEvent::Op;
+  const char* kind = event.kind == rr::fpga::FaultKind::kPermanent
+                         ? "permanent"
+                         : "transient";
+  std::ostringstream out;
+  switch (event.op) {
+    case Op::kTile:
+      out << "tile " << event.rect.x << ',' << event.rect.y << ' ' << kind;
+      break;
+    case Op::kColumn:
+      out << "column " << event.rect.x << ' ' << kind;
+      break;
+    case Op::kRect:
+      out << "rect " << event.rect.x << ',' << event.rect.y << '+'
+          << event.rect.width << 'x' << event.rect.height << ' ' << kind;
+      break;
+    case Op::kRepairTile:
+      out << "repair " << event.rect.x << ',' << event.rect.y;
+      break;
+    case Op::kRepairTransient:
+      out << "repair-transient";
+      break;
+  }
+  return out.str();
+}
+
+// Availability replay: offline placement, admit into the recovery manager,
+// then degrade the fabric event by event and report what survived.
+int run_fault_trace(const CliOptions& cli,
+                    const rr::fpga::PartialRegion& region,
+                    const std::vector<rr::model::Module>& modules) {
+  const rr::fpga::FaultTrace trace =
+      rr::fpga::load_fault_trace(cli.fault_trace_path);
+  if (trace.width != region.fabric().width() ||
+      trace.height != region.fabric().height()) {
+    std::cerr << "error: fault trace is " << trace.width << 'x' << trace.height
+              << " but the fabric is " << region.fabric().width() << 'x'
+              << region.fabric().height() << '\n';
+    return 2;
+  }
+
+  rr::placer::PlacerOptions options;
+  options.use_alternatives = cli.alternatives;
+  options.time_limit_seconds = cli.time_limit;
+  options.mode = cli.mode;
+  options.workers = cli.workers;
+  options.seed = cli.seed;
+  rr::placer::Placer placer(region, modules, options);
+  const auto outcome = placer.place();
+  std::ostream& human = cli.stats_json_path == "-" ? std::cerr : std::cout;
+  if (!outcome.solution.feasible) {
+    human << "infeasible: no initial placement to recover\n";
+    return 1;
+  }
+
+  rr::runtime::FaultRecoveryOptions recovery_options;
+  recovery_options.deadline_seconds = cli.fault_deadline;
+  recovery_options.use_alternatives = cli.alternatives;
+  recovery_options.seed = cli.seed;
+  rr::runtime::FaultRecoveryManager manager(region, recovery_options);
+  for (const auto& p : outcome.solution.placements)
+    manager.admit(p.module, modules[static_cast<std::size_t>(p.module)],
+                  p.shape, p.x, p.y);
+  const int admitted = manager.live_count();
+
+  rr::Stopwatch watch;
+  for (const rr::fpga::FaultEvent& event : trace.events) {
+    const auto result = manager.on_fault(event);
+    if (cli.quiet) continue;
+    human << "  " << fault_event_text(event) << ": ";
+    if (result.modules_hit == 0 && result.retry_recoveries == 0) {
+      human << "no module hit";
+    } else {
+      human << result.modules_hit << " hit, " << result.recovered
+            << " recovered, " << result.parked << " parked";
+      if (result.retry_recoveries > 0)
+        human << ", " << result.retry_recoveries << " revived";
+    }
+    human << "  (capacity "
+          << rr::TextTable::pct(manager.capacity_retained()) << ", live "
+          << manager.live_count() << ")\n";
+  }
+  const double seconds = watch.seconds();
+  const auto& stats = manager.stats();
+  const double recovered_fraction =
+      stats.modules_hit > 0 ? static_cast<double>(stats.recovered) /
+                                  static_cast<double>(stats.modules_hit)
+                            : 1.0;
+
+  human << "faults: " << stats.events << " events, " << stats.tiles_faulted
+        << " tiles faulted, " << stats.modules_hit << " modules hit\n";
+  human << "recovery: " << stats.recovered << '/' << stats.modules_hit
+        << " in place (" << stats.inplace_swaps << " swap, "
+        << stats.local_replaces << " local, " << stats.defrag_recoveries
+        << " defrag, " << stats.greedy_recoveries << " greedy), "
+        << stats.retry_recoveries << " revived, " << manager.parked_count()
+        << " parked\n";
+  human << "final: " << manager.live_count() << '/' << admitted
+        << " live, capacity "
+        << rr::TextTable::pct(manager.capacity_retained())
+        << ", utilization " << rr::TextTable::pct(manager.utilization())
+        << "  time: " << rr::TextTable::num(seconds, 3) << "s\n";
+
+  if (!cli.stats_json_path.empty()) {
+    rr::json::Value config = rr::json::Value::object();
+    config.set("fabric", rr::json::Value(cli.fabric_path));
+    config.set("modules", rr::json::Value(cli.modules_path));
+    config.set("alternatives", rr::json::Value(cli.alternatives));
+    config.set("fault_trace", rr::json::Value(cli.fault_trace_path));
+    config.set("fault_deadline_seconds", rr::json::Value(cli.fault_deadline));
+    config.set("seed", rr::json::Value(cli.seed));
+    rr::json::Value stats_doc = rr::placer::solve_stats_json(
+        region, modules, outcome, "rrplace_cli-faults", std::move(config));
+    rr::json::Value fault_doc = rr::json::Value::object();
+    fault_doc.set("events", rr::json::Value(stats.events));
+    fault_doc.set("tiles_faulted", rr::json::Value(stats.tiles_faulted));
+    fault_doc.set("modules_hit", rr::json::Value(stats.modules_hit));
+    fault_doc.set("recovered", rr::json::Value(stats.recovered));
+    fault_doc.set("recovered_fraction", rr::json::Value(recovered_fraction));
+    fault_doc.set("inplace_swaps", rr::json::Value(stats.inplace_swaps));
+    fault_doc.set("local_replaces", rr::json::Value(stats.local_replaces));
+    fault_doc.set("defrag_recoveries",
+                  rr::json::Value(stats.defrag_recoveries));
+    fault_doc.set("greedy_recoveries",
+                  rr::json::Value(stats.greedy_recoveries));
+    fault_doc.set("park_transitions", rr::json::Value(stats.parked));
+    fault_doc.set("retries", rr::json::Value(stats.retries));
+    fault_doc.set("retry_recoveries", rr::json::Value(stats.retry_recoveries));
+    fault_doc.set("abandoned", rr::json::Value(stats.abandoned));
+    fault_doc.set("deadline_expiries",
+                  rr::json::Value(stats.deadline_expiries));
+    fault_doc.set("relocated_modules",
+                  rr::json::Value(stats.relocated_modules));
+    fault_doc.set("relocated_tiles", rr::json::Value(stats.relocated_tiles));
+    fault_doc.set("final_live", rr::json::Value(manager.live_count()));
+    fault_doc.set("final_parked", rr::json::Value(manager.parked_count()));
+    fault_doc.set("capacity_retained",
+                  rr::json::Value(manager.capacity_retained()));
+    fault_doc.set("utilization", rr::json::Value(manager.utilization()));
+    rr::json::Value cost_doc = rr::json::Value::object();
+    cost_doc.set("tiles_cleared",
+                 rr::json::Value(manager.recovery_cost().tiles_cleared));
+    cost_doc.set("tiles_written",
+                 rr::json::Value(manager.recovery_cost().tiles_written));
+    cost_doc.set("modules_loaded",
+                 rr::json::Value(manager.recovery_cost().modules_loaded));
+    fault_doc.set("recovery_cost", std::move(cost_doc));
+    stats_doc.set("fault", std::move(fault_doc));
+    if (cli.stats_json_path == "-") {
+      std::cout << stats_doc.dump(2) << '\n';
+    } else {
+      std::ofstream out(cli.stats_json_path);
+      if (!out) {
+        std::cerr << "error: cannot write " << cli.stats_json_path << '\n';
+        return 2;
+      }
+      out << stats_doc.dump(2) << '\n';
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -293,7 +475,20 @@ int main(int argc, char** argv) {
   try {
     const auto fabric = std::make_shared<const rr::fpga::Fabric>(
         rr::fpga::load_fdf(cli.fabric_path));
-    const rr::fpga::PartialRegion region(fabric);
+    rr::fpga::PartialRegion region(fabric);
+    if (!cli.faults_path.empty()) {
+      // Pre-existing damage: the resulting fault map masks the region's
+      // availability, so the solve below places around the dead tiles.
+      const auto trace = rr::fpga::load_fault_trace(cli.faults_path);
+      if (trace.width != fabric->width() ||
+          trace.height != fabric->height()) {
+        std::cerr << "error: fault trace is " << trace.width << 'x'
+                  << trace.height << " but the fabric is " << fabric->width()
+                  << 'x' << fabric->height() << '\n';
+        return 2;
+      }
+      region.apply_faults(rr::fpga::fault_map_from_trace(trace));
+    }
     const auto modules = rr::model::load_mlf(cli.modules_path);
     if (modules.empty()) {
       std::cerr << "error: module library is empty\n";
@@ -317,6 +512,11 @@ int main(int argc, char** argv) {
       // counters reach the stats document's metrics section.
       if (!cli.stats_json_path.empty()) rr::metrics::set_enabled(true);
       return run_online_trace(cli, region, modules);
+    }
+
+    if (!cli.fault_trace_path.empty()) {
+      if (!cli.stats_json_path.empty()) rr::metrics::set_enabled(true);
+      return run_fault_trace(cli, region, modules);
     }
 
     rr::placer::PlacerOptions options;
