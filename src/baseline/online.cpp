@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "geost/anchor_kernel.hpp"
 #include "geost/object.hpp"
 #include "placer/brancher.hpp"
 #include "placer/model_builder.hpp"
@@ -49,11 +50,36 @@ std::optional<geost::Placement> OnlinePlacer::first_fit(
     const BitMatrix& occupancy,
     const std::vector<geost::ShapeFootprint>& shapes,
     const std::vector<geost::Placement>& table) const {
-  for (const geost::Placement& p : table) {
+  // Hybrid scan: at low occupancy first-fit succeeds within a handful of
+  // bottom-left entries, so probe a scalar prefix before paying for batch
+  // conflict bitmaps. The batch remainder tests each entry with one bit
+  // probe into a per-shape dilated bitmap — identical verdicts, since
+  // conflict(y, x) == intersects_shifted(shape, y, x) for every anchor.
+  constexpr std::size_t kScalarPrefix = 64;
+  const std::size_t prefix = options_.batch_feasibility
+                                 ? std::min(kScalarPrefix, table.size())
+                                 : table.size();
+  for (std::size_t t = 0; t < prefix; ++t) {
+    const geost::Placement& p = table[t];
     const geost::ShapeFootprint& shape =
         shapes[static_cast<std::size_t>(p.shape)];
     if (occupancy.intersects_shifted(shape.mask(), p.y, p.x)) continue;
     return p;
+  }
+  if (!options_.batch_feasibility || prefix == table.size())
+    return std::nullopt;
+  std::vector<BitMatrix> conflicts(shapes.size());
+  std::vector<unsigned char> built(shapes.size(), 0);
+  for (std::size_t t = prefix; t < table.size(); ++t) {
+    const geost::Placement& p = table[t];
+    const std::size_t s = static_cast<std::size_t>(p.shape);
+    if (!built[s]) {
+      conflicts[s] = BitMatrix(occupancy.rows(), occupancy.cols());
+      geost::accumulate_conflicts(conflicts[s], occupancy, shapes[s].mask(),
+                                  0, occupancy.rows());
+      built[s] = 1;
+    }
+    if (!conflicts[s].get(p.y, p.x)) return p;
   }
   return std::nullopt;
 }
@@ -130,20 +156,50 @@ std::optional<placer::ModulePlacement> OnlinePlacer::defrag_place(
   const int scan_limit =
       std::min<int>(options_.defrag.max_anchor_scan,
                     static_cast<int>(table.size()));
+  // Batch mode: one conflict bitmap per (live instance, request shape)
+  // pair, built lazily — conflict(y, x) answers "would the request overlap
+  // this instance at anchor (x, y)" for the whole scan at once, so the
+  // per-anchor overlap popcount is paid only for actual blockers.
+  std::vector<BitMatrix> inst_conflicts;
+  std::vector<unsigned char> inst_built;
+  BitMatrix inst_scratch;
+  if (options_.batch_feasibility) {
+    inst_conflicts.resize(live.size() * shapes.size());
+    inst_built.assign(inst_conflicts.size(), 0);
+    inst_scratch = BitMatrix(region_.height(), region_.width());
+  }
   for (int t = 0; t < scan_limit; ++t) {
     if ((t & 31) == 0 && deadline.expired()) break;
     const geost::Placement& p = table[static_cast<std::size_t>(t)];
     const geost::ShapeFootprint& shape =
         shapes[static_cast<std::size_t>(p.shape)];
-    scratch.clear();
-    scratch.or_shifted(shape.mask(), p.y, p.x);
     Candidate candidate;
-    for (const placer::ModulePlacement& inst : live) {
-      const LiveInstance& li = live_.at(inst.module);
+    bool have_scratch = false;
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      const LiveInstance& li = live_.at(live[i].module);
+      if (options_.batch_feasibility) {
+        const std::size_t key =
+            i * shapes.size() + static_cast<std::size_t>(p.shape);
+        if (!inst_built[key]) {
+          BitMatrix& conflict = inst_conflicts[key];
+          conflict = BitMatrix(region_.height(), region_.width());
+          inst_scratch.clear();
+          inst_scratch.or_shifted(li.footprint().mask(), li.y, li.x);
+          geost::accumulate_conflicts(conflict, inst_scratch, shape.mask(), 0,
+                                      region_.height());
+          inst_built[key] = 1;
+        }
+        if (!inst_conflicts[key].get(p.y, p.x)) continue;
+      }
+      if (!have_scratch) {
+        scratch.clear();
+        scratch.or_shifted(shape.mask(), p.y, p.x);
+        have_scratch = true;
+      }
       const std::size_t overlap = scratch.overlap_popcount_shifted(
           li.footprint().mask(), li.y, li.x);
       if (overlap == 0) continue;
-      candidate.blockers.push_back(inst.module);
+      candidate.blockers.push_back(live[i].module);
       candidate.blocked_tiles += overlap;
       if (static_cast<int>(candidate.blockers.size()) >
           options_.defrag.max_relocations)

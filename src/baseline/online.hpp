@@ -69,6 +69,13 @@ struct OnlineDefragStats {
 
 struct OnlineOptions {
   bool use_alternatives = true;
+  /// Batch anchor-feasibility kernels (geost/anchor_kernel) for the
+  /// first-fit scan and the defrag blocking-cell ranking: conflicts are
+  /// computed for all anchors of a shape in one dilation sweep instead of
+  /// one intersects/overlap call per anchor. Placements and defrag plans
+  /// are identical either way; false keeps the per-anchor loops (the
+  /// differential oracle).
+  bool batch_feasibility = true;
   OnlineDefragOptions defrag{};
 };
 

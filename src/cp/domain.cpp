@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "util/simd/simd.hpp"
+
 namespace rr::cp {
 namespace {
 
@@ -407,11 +409,9 @@ bool Domain::intersect(const Domain& other) {
   theirs.resize(nw);
   fill_words(lo, mine);
   other.fill_words(lo, theirs);
-  long new_size = 0;
-  for (std::size_t w = 0; w < nw; ++w) {
-    mine[w] &= theirs[w];
-    new_size += std::popcount(mine[w]);
-  }
+  const long new_size = static_cast<long>(simd::and_inplace_popcount(
+      std::span<std::uint64_t>(mine.data(), nw),
+      std::span<const std::uint64_t>(theirs.data(), nw)));
   if (new_size == size_) return false;
   if (new_size == 0) {
     clear_all();
@@ -431,13 +431,10 @@ bool Domain::keep_masked(int base, std::span<const std::uint64_t> mask) {
     return true;
   }
   if (is_words()) {
-    long new_size = 0;
-    for (std::size_t w = 0; w < words_.size(); ++w) {
-      words_[w] &= gather_window(base, mask,
-                                 static_cast<long>(base_) +
-                                     static_cast<long>(w) * 64);
-      new_size += std::popcount(words_[w]);
-    }
+    // words_[w] &= window(mask, (base_ - base) + 64*w): one windowed
+    // erosion sweep over the block.
+    const long new_size = static_cast<long>(simd::shift_and_into(
+        words_, mask, static_cast<long>(base_) - static_cast<long>(base)));
     if (new_size == size_) return false;  // removal-only: count pins the set
     rescan_words();
     return true;

@@ -1,6 +1,19 @@
 #include "cp/sparse_bitset.hpp"
 
+#include "util/simd/simd.hpp"
+
 namespace rr::cp {
+
+namespace {
+
+// Dense/sparse crossover: deactivated words hold zero, so whole-array SIMD
+// sweeps are always *correct*; they are only *profitable* while the active
+// prefix still covers a sizable fraction of the array.
+bool dense(int limit, std::size_t num_words) noexcept {
+  return static_cast<std::size_t>(limit) * 2 >= num_words;
+}
+
+}  // namespace
 
 void ReversibleSparseBitSet::reset_trail() {
   trail_.clear();
@@ -37,6 +50,8 @@ void ReversibleSparseBitSet::init_from_mask(
 }
 
 long ReversibleSparseBitSet::count() const noexcept {
+  if (dense(limit_, words_.size()))
+    return static_cast<long>(simd::popcount(words_));
   long total = 0;
   for (int i = 0; i < limit_; ++i)
     total += std::popcount(
@@ -58,6 +73,13 @@ void ReversibleSparseBitSet::deactivate(int pos) {
 
 void ReversibleSparseBitSet::and_mask(std::span<const std::uint64_t> mask) {
   RR_ASSERT(mask.size() >= words_.size());
+  // No-op prescan: the mask changes nothing iff no word holds a bit outside
+  // it. Zeroed (deactivated) words can't, so the whole-array sweep decides
+  // this without consulting the active prefix — and a hit skips the trail
+  // bookkeeping entirely.
+  if (dense(limit_, words_.size()) &&
+      !simd::active().andnot_any(words_.data(), mask.data(), words_.size()))
+    return;
   for (int i = limit_ - 1; i >= 0; --i) {
     const int w = active_[static_cast<std::size_t>(i)];
     const std::uint64_t old = words_[static_cast<std::size_t>(w)];
@@ -73,6 +95,12 @@ void ReversibleSparseBitSet::and_mask(std::span<const std::uint64_t> mask) {
 void ReversibleSparseBitSet::and_not_mask(
     std::span<const std::uint64_t> mask) {
   RR_ASSERT(mask.size() >= words_.size());
+  // No-op prescan, mirroring and_mask: clearing bits of `mask` is a no-op
+  // iff the set does not intersect the mask at all.
+  if (dense(limit_, words_.size()) &&
+      simd::active().first_intersect(words_.data(), mask.data(),
+                                     words_.size()) < 0)
+    return;
   for (int i = limit_ - 1; i >= 0; --i) {
     const int w = active_[static_cast<std::size_t>(i)];
     const std::uint64_t old = words_[static_cast<std::size_t>(w)];
@@ -105,6 +133,15 @@ bool ReversibleSparseBitSet::intersects(std::span<const std::uint64_t> mask,
       (words_[static_cast<std::size_t>(residue)] &
        mask[static_cast<std::size_t>(residue)]) != 0)
     return true;
+  if (dense(limit_, words_.size())) {
+    // Deactivated words are zero, so the whole-array scan finds exactly the
+    // intersections the sparse loop would; the hit index is a valid residue.
+    const long hit = simd::active().first_intersect(words_.data(), mask.data(),
+                                                    words_.size());
+    if (hit < 0) return false;
+    residue = static_cast<int>(hit);
+    return true;
+  }
   for (int i = 0; i < limit_; ++i) {
     const int w = active_[static_cast<std::size_t>(i)];
     if ((words_[static_cast<std::size_t>(w)] &

@@ -1,0 +1,179 @@
+#include "geost/anchor_kernel.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/error.hpp"
+#include "util/simd/simd.hpp"
+
+namespace rr::geost {
+namespace {
+
+/// Invoke fn(column) for every set bit of a shape-mask row.
+template <typename F>
+void for_each_column(std::span<const std::uint64_t> row, F&& fn) {
+  for (std::size_t wi = 0; wi < row.size(); ++wi) {
+    std::uint64_t word = row[wi];
+    while (word != 0) {
+      fn(static_cast<int>(wi) * 64 + std::countr_zero(word));
+      word &= word - 1;
+    }
+  }
+}
+
+/// Invoke fn(start, length) for every maximal run of set bits of a
+/// shape-mask row, in increasing column order.
+template <typename F>
+void for_each_run(std::span<const std::uint64_t> row, F&& fn) {
+  int run_start = -1;
+  int prev = -2;
+  for_each_column(row, [&](int c) {
+    if (c != prev + 1) {
+      if (run_start >= 0) fn(run_start, prev - run_start + 1);
+      run_start = c;
+    }
+    prev = c;
+  });
+  if (run_start >= 0) fn(run_start, prev - run_start + 1);
+}
+
+/// scratch[x] = AND of scratch[x .. x+length-1] (bits past the array end
+/// read as zero), by doubling: O(log length) shift-AND sweeps. In-place
+/// aliasing is safe because every window read is at an index >= the word
+/// being written, so it always sees the current sweep's pre-write values.
+void erode_run(std::span<std::uint64_t> scratch, int length) {
+  for (int cur = 1; cur < length;) {
+    const int step = std::min(cur, length - cur);
+    simd::shift_and_into(scratch, scratch, step);
+    cur += step;
+  }
+}
+
+void zero_row(std::span<std::uint64_t> row) noexcept {
+  for (std::uint64_t& w : row) w = 0;
+}
+
+}  // namespace
+
+void erode_fit(BitMatrix& fit, const BitMatrix& avail,
+               const BitMatrix& shape_mask, int row_lo, int row_hi) {
+  RR_ASSERT(fit.rows() == avail.rows() && fit.cols() == avail.cols());
+  row_lo = std::max(row_lo, 0);
+  row_hi = std::min(row_hi, fit.rows());
+  if (row_lo >= row_hi) return;
+  // Shape rows are mostly solid runs (module layouts are unions of
+  // rectangles), so flatten the mask into maximal runs once; each anchor
+  // row then pays one shift-AND per run.
+  struct Run {
+    int sy;
+    int start;
+    int length;
+    int eroded;  // index into `eroded` when length > 1, else -1
+  };
+  std::vector<Run> runs;
+  int max_sy = -1;
+  for (int sy = 0; sy < shape_mask.rows(); ++sy) {
+    for_each_run(shape_mask.row_span(sy), [&](int start, int length) {
+      runs.push_back({sy, start, length, -1});
+      max_sy = std::max(max_sy, sy);
+    });
+  }
+  if (runs.empty()) return;
+  // Anchor rows whose lowest non-empty shape row hangs below the region
+  // cannot be covered at all.
+  const int cover_hi = std::min(row_hi, avail.rows() - max_sy);
+  for (int y = std::max(row_lo, cover_hi); y < row_hi; ++y) {
+    zero_row(fit.row_span_mut(y));
+  }
+  if (row_lo >= cover_hi) return;
+  // A run of length L reads an avail row eroded horizontally by L. Anchor
+  // rows y and y' with y + sy == y' + sy' read the *same* eroded row, so
+  // erode each (avail row, run length) pair once up front — O(rows *
+  // distinct_lengths * log length) sweeps — instead of re-eroding per
+  // anchor row.
+  const int erode_hi = std::min(avail.rows(), cover_hi + max_sy);
+  std::vector<int> lengths;
+  std::vector<BitMatrix> eroded;
+  for (Run& run : runs) {
+    if (run.length == 1) continue;
+    const auto it = std::find(lengths.begin(), lengths.end(), run.length);
+    run.eroded = static_cast<int>(it - lengths.begin());
+    if (it != lengths.end()) continue;
+    lengths.push_back(run.length);
+    BitMatrix copy = avail;
+    for (int r = row_lo; r < erode_hi; ++r) {
+      erode_run(copy.row_span_mut(r), run.length);
+    }
+    eroded.push_back(std::move(copy));
+  }
+  for (int y = row_lo; y < cover_hi; ++y) {
+    auto dst = fit.row_span_mut(y);
+    std::size_t live = simd::popcount(dst);
+    for (const Run& run : runs) {
+      if (live == 0) break;
+      const BitMatrix& src =
+          run.eroded >= 0 ? eroded[static_cast<std::size_t>(run.eroded)]
+                          : avail;
+      live = simd::shift_and_into(dst, src.row_span(y + run.sy), run.start);
+    }
+  }
+}
+
+void accumulate_conflicts(BitMatrix& conflict, const BitMatrix& occ,
+                          const BitMatrix& shape_mask, int row_lo,
+                          int row_hi) {
+  RR_ASSERT(conflict.rows() == occ.rows() && conflict.cols() == occ.cols());
+  row_lo = std::max(row_lo, 0);
+  row_hi = std::min(row_hi, conflict.rows());
+  for (int y = row_lo; y < row_hi; ++y) {
+    auto dst = conflict.row_span_mut(y);
+    for (int sy = 0; sy < shape_mask.rows(); ++sy) {
+      const int src_row = y + sy;
+      // Shape rows landing outside the region cannot overlap anything —
+      // the same "out of range means non-overlapping" rule as
+      // intersects_shifted.
+      if (src_row >= occ.rows()) break;
+      const auto occ_row = occ.row_span(src_row);
+      for_each_column(shape_mask.row_span(sy),
+                      [&](int sc) { simd::shift_or_into(dst, occ_row, sc); });
+    }
+  }
+}
+
+BitMatrix batch_valid_anchors(std::span<const BitMatrix> masks_by_resource,
+                              const ShapeFootprint& shape) {
+  if (masks_by_resource.empty()) return {};
+  const int region_h = masks_by_resource.front().rows();
+  const int region_w = masks_by_resource.front().cols();
+  for (const BitMatrix& m : masks_by_resource) {
+    RR_REQUIRE(m.rows() == region_h && m.cols() == region_w,
+               "all resource masks must share the region dimensions");
+  }
+  // Start from the valid anchor window — anchors at which the shape's
+  // bounding box stays inside the region — and erode per typed group.
+  // (Erosion alone would clear the out-of-window anchors too, because the
+  // bounding box is tight; seeding the window just skips that work.)
+  const Rect box = shape.bounding_box();
+  BitMatrix fit(region_h, region_w);
+  if (box.width <= region_w && box.height <= region_h) {
+    BitMatrix window_row(1, region_w);
+    for (int x = 0; x + box.width <= region_w; ++x) window_row.set(0, x, true);
+    for (int y = 0; y + box.height <= region_h; ++y) {
+      auto dst = fit.row_span_mut(y);
+      const auto src = window_row.row_span(0);
+      std::copy(src.begin(), src.end(), dst.begin());
+    }
+  }
+  for (std::size_t g = 0; g < shape.typed().size(); ++g) {
+    const int resource = shape.typed()[g].resource;
+    if (resource >= static_cast<int>(masks_by_resource.size())) {
+      fit.clear();
+      return fit;  // shape demands a resource the region does not offer
+    }
+    erode_fit(fit, masks_by_resource[static_cast<std::size_t>(resource)],
+              shape.typed_masks()[g], 0, region_h);
+  }
+  return fit;
+}
+
+}  // namespace rr::geost

@@ -1,0 +1,52 @@
+// Batch anchor-feasibility kernels.
+//
+// An *anchor bitmap* is a BitMatrix over anchors: bit (y, x) talks about
+// anchoring a shape's local origin at region cell (x, y). These kernels
+// answer, for a whole region (or a row stripe of it) in one sweep, the
+// predicates the per-anchor loops ask one anchor at a time:
+//
+//   fit:      avail.covers_shifted(shape_mask, y, x)    — erosion
+//   conflict: occ.intersects_shifted(shape_mask, y, x)  — dilation
+//
+// Both reduce to windowed word operations (util/simd): one shift-AND /
+// shift-OR per shape cell per anchor row covers 64 anchors at a time, so a
+// full-region feasibility scan costs O(shape_cells * rows * words_per_row)
+// word operations instead of O(anchors * shape_words) window gathers.
+//
+// Contract: every kernel is bit-identical to its scalar counterpart for
+// every anchor in the bitmap — including anchors whose shape would hang
+// over the region edge (covers false, intersects false). The per-anchor
+// loops stay in the tree as differential oracles; tests and the
+// bench/anchor_kernel harness cross-check the two on random fabrics.
+#pragma once
+
+#include <span>
+
+#include "geost/footprint.hpp"
+#include "util/bitmatrix.hpp"
+
+namespace rr::geost {
+
+/// Erode `fit` by availability: for every anchor row y in [row_lo, row_hi),
+///   fit(y, x) = old_fit(y, x) && avail.covers_shifted(shape_mask, y, x).
+/// Rows outside the stripe are untouched. `fit` and `avail` must share
+/// dimensions; `shape_mask` must be non-empty.
+void erode_fit(BitMatrix& fit, const BitMatrix& avail,
+               const BitMatrix& shape_mask, int row_lo, int row_hi);
+
+/// Dilate occupancy into `conflict`: for every anchor row y in
+/// [row_lo, row_hi),
+///   conflict(y, x) = old(y, x) || occ.intersects_shifted(shape_mask, y, x).
+/// Rows outside the stripe are untouched. `conflict` and `occ` must share
+/// dimensions.
+void accumulate_conflicts(BitMatrix& conflict, const BitMatrix& occ,
+                          const BitMatrix& shape_mask, int row_lo, int row_hi);
+
+/// Candidate-anchor bitmap of `shape` over per-resource availability masks:
+/// bit (y, x) is set iff anchoring the shape at (x, y) places every typed
+/// cell on an available cell of the matching resource — the batch form of
+/// compute_valid_anchors (exactly the same anchor set).
+[[nodiscard]] BitMatrix batch_valid_anchors(
+    std::span<const BitMatrix> masks_by_resource, const ShapeFootprint& shape);
+
+}  // namespace rr::geost

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "geost/anchor_kernel.hpp"
 #include "util/error.hpp"
 
 namespace rr::geost {
@@ -36,7 +37,8 @@ ShapeFootprint ShapeFootprint::from_typed(std::vector<TypedCells> groups) {
   for (const Point& p : fp.all_.cells()) fp.mask_.set(p.y, p.x, true);
 
   for (auto& [resource, cells] : by_resource) {
-    CellSet set = CellSet(std::move(cells), /*normalize=*/false).translated(shift);
+    CellSet set =
+        CellSet(std::move(cells), /*normalize=*/false).translated(shift);
     BitMatrix mask(fp.bbox_.height, fp.bbox_.width);
     for (const Point& p : set.cells()) mask.set(p.y, p.x, true);
     fp.typed_.push_back(TypedCells{resource, std::move(set)});
@@ -57,6 +59,25 @@ std::vector<Point> compute_valid_anchors(
     std::span<const BitMatrix> masks_by_resource,
     const ShapeFootprint& shape) {
   if (masks_by_resource.empty()) return {};
+  const BitMatrix fit = batch_valid_anchors(masks_by_resource, shape);
+  std::vector<Point> anchors;
+  // Sorted by (x, y): x outer so the default bottom-left value ordering of
+  // the placer (increasing placement index) minimizes x first. Bits outside
+  // the valid anchor window are clear by construction, so the scan can stop
+  // at the window edge.
+  const Rect box = shape.bounding_box();
+  for (int x = 0; x + box.width <= fit.cols(); ++x) {
+    for (int y = 0; y + box.height <= fit.rows(); ++y) {
+      if (fit.get(y, x)) anchors.push_back(Point{x, y});
+    }
+  }
+  return anchors;
+}
+
+std::vector<Point> compute_valid_anchors_scalar(
+    std::span<const BitMatrix> masks_by_resource,
+    const ShapeFootprint& shape) {
+  if (masks_by_resource.empty()) return {};
   const int region_h = masks_by_resource.front().rows();
   const int region_w = masks_by_resource.front().cols();
   for (const BitMatrix& m : masks_by_resource) {
@@ -65,8 +86,6 @@ std::vector<Point> compute_valid_anchors(
   }
   const Rect box = shape.bounding_box();
   std::vector<Point> anchors;
-  // Sorted by (x, y): x outer so the default bottom-left value ordering of
-  // the placer (increasing placement index) minimizes x first.
   for (int x = 0; x + box.width <= region_w; ++x) {
     for (int y = 0; y + box.height <= region_h; ++y) {
       bool ok = true;

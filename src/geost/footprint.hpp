@@ -65,8 +65,16 @@ class ShapeFootprint {
 /// and is usable). This folds the paper's constraints (2) — inside the
 /// region — and (3) — matching resource types — into the initial domain.
 /// Anchors are returned in row-major order (y outer, x inner... see impl),
-/// sorted by (x, y).
+/// sorted by (x, y). Implemented on the batch anchor-feasibility kernel
+/// (geost/anchor_kernel); compute_valid_anchors_scalar is the per-anchor
+/// reference it must match anchor for anchor.
 [[nodiscard]] std::vector<Point> compute_valid_anchors(
+    std::span<const BitMatrix> masks_by_resource, const ShapeFootprint& shape);
+
+/// Per-anchor reference implementation of compute_valid_anchors — the
+/// differential oracle for the batch kernel (tests / bench; the batch path
+/// is strictly faster).
+[[nodiscard]] std::vector<Point> compute_valid_anchors_scalar(
     std::span<const BitMatrix> masks_by_resource, const ShapeFootprint& shape);
 
 }  // namespace rr::geost

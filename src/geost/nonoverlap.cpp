@@ -1,8 +1,10 @@
 #include "geost/nonoverlap.hpp"
 
+#include <algorithm>
 #include <memory>
 #include <utility>
 
+#include "geost/anchor_kernel.hpp"
 #include "util/error.hpp"
 
 namespace rr::geost {
@@ -44,6 +46,7 @@ class NonOverlap final : public cp::Propagator {
     if (!options_.incremental) return;
     occupancy_ = BitMatrix(height_, width_);
     delta_occupancy_ = BitMatrix(height_, width_);
+    hazard_ = BitMatrix(height_, width_);
     committed_.assign(n, -1);
     caches_.resize(n);
     // Start with everything dirty: the first run is a full from-scratch
@@ -146,6 +149,12 @@ class NonOverlap final : public cp::Propagator {
   std::vector<int> drained_;
   std::vector<SoftDelta> soft_deltas_;
   std::vector<int> removals_;
+  // Batch-pruning scratch: the per-object hazard union and one lazily
+  // dilated conflict bitmap per shape of the object under examination.
+  BitMatrix hazard_;
+  std::vector<BitMatrix> batch_conflicts_;
+  std::vector<unsigned char> batch_conflict_built_;
+  std::vector<int> batch_probe_counts_;
 };
 
 cp::PropStatus NonOverlap::propagate_incremental(cp::Space& space) {
@@ -244,24 +253,111 @@ cp::PropStatus NonOverlap::propagate_incremental(cp::Space& space) {
                  table_box.intersects(soft_deltas_[s].box);
     }
     if (!relevant) continue;
+    const cp::Domain& dom = space.dom(object.var());
     removals_.clear();
-    space.dom(object.var()).for_each([&](int value) {
+    // Per-value check against the individual delta sources — the reference
+    // semantics both paths below implement.
+    const auto removable = [&](int value) {
       const Rect box = object.bbox_of(value);
       const Placement& p = object.placement(value);
       const BitMatrix& mask = object.footprint_of(value).mask();
       if (occupancy_grew && box.intersects(delta_box) &&
           delta_occupancy_.intersects_shifted(mask, p.y, p.x)) {
-        removals_.push_back(value);
-        return;
+        return true;
       }
       for (const SoftDelta& s : soft_deltas_) {
         if (s.owner == j || !box.intersects(s.box)) continue;
-        if (s.grown.intersects_shifted(mask, p.y, p.x)) {
-          removals_.push_back(value);
-          return;
-        }
+        if (s.grown.intersects_shifted(mask, p.y, p.x)) return true;
       }
-    });
+      return false;
+    };
+    if (options_.batch_anchors &&
+        dom.size() >= static_cast<long>(options_.batch_threshold)) {
+      // Batch path, engaged lazily per shape: values are checked one at a
+      // time exactly like the per-value path until a shape has seen enough
+      // hazard-box hits to amortize a conflict bitmap — the union of all
+      // hazard cells dilated by the shape over the hazard's anchor-row
+      // stripe — after which each remaining value is a single bit probe.
+      // The removal set is identical either way: the hazard union
+      // distributes over the OR of the per-source intersects tests, and a
+      // conflicting cell implies the bbox intersections checked by
+      // `removable`. Small-delta propagations (the common in-tree case)
+      // never reach the switch point and pay nothing beyond the per-value
+      // path's cost.
+      Rect hazard_box{};
+      if (occupancy_grew) hazard_box = delta_box;
+      for (const SoftDelta& s : soft_deltas_) {
+        if (s.owner != j) hazard_box = hazard_box.bounding_union(s.box);
+      }
+      const std::size_t num_shapes = object.shapes().size();
+      if (batch_conflicts_.size() < num_shapes) {
+        batch_conflicts_.resize(num_shapes);
+        batch_probe_counts_.resize(num_shapes);
+      }
+      std::fill_n(batch_probe_counts_.begin(), num_shapes, 0);
+      batch_conflict_built_.assign(num_shapes, 0);
+      bool hazard_built = false;
+      dom.for_each([&](int value) {
+        const Placement& p = object.placement(value);
+        // Values outside the hazard union's bbox cannot conflict with any
+        // grown cell — the same prefilter `removable` applies per source.
+        if (!object.bbox_of(value).intersects(hazard_box)) return;
+        const std::size_t s = static_cast<std::size_t>(p.shape);
+        const ShapeFootprint& shape = object.shapes()[s];
+        const int shape_rows = shape.mask().rows();
+        // Anchor rows that can reach a hazard cell: the shape spans
+        // shape_rows rows downward from its anchor, so the stripe is the
+        // hazard rows dilated upward by shape_rows - 1 (clipped to the
+        // object's anchor-row range).
+        const int row_lo =
+            std::max({0, table_box.y, hazard_box.y - shape_rows + 1});
+        const int row_hi =
+            std::min({height_, table_box.top(), hazard_box.top()});
+        if (!batch_conflict_built_[s]) {
+          // Cost model for the switch point: the build dilates every shape
+          // cell across every stripe row (~stripe_rows * area word ops),
+          // while a per-value probe gathers one window per shape row
+          // (~shape_rows ops against the small delta bitmaps). The bitmap
+          // therefore pays off only after about stripe_rows * cells_per_row
+          // probes of this shape. batch_threshold <= 0 forces the bitmap on
+          // the second probe (how the differential tests pin the batch
+          // path).
+          const int cells_per_row =
+              std::max(shape.area() / std::max(shape_rows, 1), 1);
+          const int switch_after =
+              options_.batch_threshold <= 0
+                  ? 1
+                  : std::max(row_hi - row_lo, 1) * cells_per_row;
+          if (++batch_probe_counts_[s] <= switch_after) {
+            if (removable(value)) removals_.push_back(value);
+            return;
+          }
+          if (!hazard_built) {
+            hazard_.clear();
+            if (occupancy_grew) hazard_.or_with(delta_occupancy_);
+            for (const SoftDelta& s2 : soft_deltas_) {
+              if (s2.owner != j) hazard_.or_with(s2.grown);
+            }
+            hazard_built = true;
+          }
+          BitMatrix& conflict = batch_conflicts_[s];
+          if (conflict.rows() != height_ || conflict.cols() != width_)
+            conflict = BitMatrix(height_, width_);
+          else
+            conflict.clear();
+          accumulate_conflicts(conflict, hazard_,
+                               object.shapes()[s].mask(), row_lo, row_hi);
+          batch_conflict_built_[s] = 1;
+        }
+        // Every probed value passed the bbox test, which puts its anchor
+        // row inside the built stripe.
+        if (batch_conflicts_[s].get(p.y, p.x)) removals_.push_back(value);
+      });
+    } else {
+      dom.for_each([&](int value) {
+        if (removable(value)) removals_.push_back(value);
+      });
+    }
     if (!removals_.empty()) {
       if (space.remove_values_sorted(object.var(), removals_) ==
           cp::ModEvent::kFail)

@@ -38,6 +38,18 @@ struct NonOverlapOptions {
   /// Event-driven incremental kernel (see header comment). Both engines
   /// reach the same fixpoints; false selects the from-scratch oracle.
   bool incremental = true;
+  /// Batch anchor-feasibility kernel for the incremental engine's delta
+  /// pruning: objects with large live domains test all their placements
+  /// against one dilated conflict bitmap per shape instead of one
+  /// intersects_shifted call per value. Removal sets are identical either
+  /// way (false keeps the per-value loop, the differential oracle).
+  bool batch_anchors = true;
+  /// Live-domain size at which the batch kernel is considered at all;
+  /// smaller domains keep the per-value path. Within the batch path the
+  /// bitmaps are still built lazily — only once a shape has seen enough
+  /// hazard-box hits to amortize the build (capped by this value), so
+  /// small-delta propagations cost the same as the per-value path.
+  int batch_threshold = 96;
 };
 
 /// Post the non-overlap constraint over `objects` on a region of

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 
+#include "util/simd/simd.hpp"
+
 namespace rr {
 
 BitMatrix::BitMatrix(int rows, int cols, bool fillValue) {
@@ -33,18 +35,11 @@ void BitMatrix::fill() noexcept {
 }
 
 std::size_t BitMatrix::popcount() const noexcept {
-  std::size_t total = 0;
-  for (std::uint64_t w : words_) total += static_cast<std::size_t>(std::popcount(w));
-  return total;
+  return simd::popcount(words_);
 }
 
 std::size_t BitMatrix::row_popcount(int r) const noexcept {
-  RR_ASSERT(r >= 0 && r < rows_);
-  std::size_t total = 0;
-  const std::size_t base = static_cast<std::size_t>(r) * words_per_row_;
-  for (std::size_t i = 0; i < words_per_row_; ++i)
-    total += static_cast<std::size_t>(std::popcount(words_[base + i]));
-  return total;
+  return simd::popcount(row_span(r));
 }
 
 std::uint64_t BitMatrix::row_window(int r, int c) const noexcept {
@@ -70,7 +65,8 @@ bool BitMatrix::intersects_shifted(const BitMatrix& other, int dr,
   for (int r = 0; r < other.rows_; ++r) {
     const int tr = r + dr;
     if (tr < 0 || tr >= rows_) continue;
-    const std::size_t obase = static_cast<std::size_t>(r) * other.words_per_row_;
+    const std::size_t obase =
+        static_cast<std::size_t>(r) * other.words_per_row_;
     for (std::size_t wi = 0; wi < other.words_per_row_; ++wi) {
       const std::uint64_t ow = other.words_[obase + wi];
       if (ow == 0) continue;
@@ -87,15 +83,7 @@ std::size_t BitMatrix::overlap_popcount_shifted(const BitMatrix& other,
   for (int r = 0; r < other.rows_; ++r) {
     const int tr = r + dr;
     if (tr < 0 || tr >= rows_) continue;
-    const std::size_t obase =
-        static_cast<std::size_t>(r) * other.words_per_row_;
-    for (std::size_t wi = 0; wi < other.words_per_row_; ++wi) {
-      const std::uint64_t ow = other.words_[obase + wi];
-      if (ow == 0) continue;
-      const int col = static_cast<int>(wi) * 64 + dc;
-      total += static_cast<std::size_t>(
-          std::popcount(ow & row_window(tr, col)));
-    }
+    total += simd::shifted_and_popcount(other.row_span(r), row_span(tr), dc);
   }
   return total;
 }
@@ -104,7 +92,8 @@ bool BitMatrix::covers_shifted(const BitMatrix& other, int dr,
                                int dc) const noexcept {
   for (int r = 0; r < other.rows_; ++r) {
     const int tr = r + dr;
-    const std::size_t obase = static_cast<std::size_t>(r) * other.words_per_row_;
+    const std::size_t obase =
+        static_cast<std::size_t>(r) * other.words_per_row_;
     for (std::size_t wi = 0; wi < other.words_per_row_; ++wi) {
       const std::uint64_t ow = other.words_[obase + wi];
       if (ow == 0) continue;
@@ -116,39 +105,80 @@ bool BitMatrix::covers_shifted(const BitMatrix& other, int dr,
   return true;
 }
 
-void BitMatrix::or_shifted(const BitMatrix& other, int dr, int dc) noexcept {
-  for (int r = 0; r < other.rows_; ++r) {
-    const int tr = r + dr;
-    for (int c = 0; c < other.cols_; ++c) {
-      if (!other.get(r, c)) continue;
-      const int tc = c + dc;
-      RR_ASSERT(tr >= 0 && tr < rows_ && tc >= 0 && tc < cols_);
-      set(tr, tc, true);
+namespace {
+
+/// Column positions of the first and last set bit of a row span, or
+/// nothing when the row is empty.
+struct BitBounds {
+  int lo;
+  int hi;
+  bool any;
+};
+
+BitBounds row_bit_bounds(std::span<const std::uint64_t> row) noexcept {
+  BitBounds bounds{0, 0, false};
+  for (std::size_t wi = 0; wi < row.size(); ++wi) {
+    if (row[wi] == 0) continue;
+    if (!bounds.any) {
+      bounds.lo = static_cast<int>(wi) * 64 + std::countr_zero(row[wi]);
+      bounds.any = true;
     }
+    bounds.hi = static_cast<int>(wi) * 64 + 63 - std::countl_zero(row[wi]);
+  }
+  return bounds;
+}
+
+}  // namespace
+
+void BitMatrix::or_shifted(const BitMatrix& other, int dr, int dc) noexcept {
+  // Word-parallel per-row OR. The contract stays the per-cell one: every
+  // set bit of `other` translated by (dr, dc) must land inside *this, which
+  // is equivalent to its extremal set bits landing inside.
+  for (int r = 0; r < other.rows_; ++r) {
+    const auto src = other.row_span(r);
+    const BitBounds bounds = row_bit_bounds(src);
+    if (!bounds.any) continue;
+    const int tr = r + dr;
+    RR_ASSERT(tr >= 0 && tr < rows_ && bounds.lo + dc >= 0 &&
+              bounds.hi + dc < cols_);
+    const std::size_t w0 = static_cast<std::size_t>(bounds.lo + dc) >> 6;
+    const std::size_t w1 = static_cast<std::size_t>(bounds.hi + dc) >> 6;
+    const auto dst = row_span_mut(tr).subspan(w0, w1 - w0 + 1);
+    simd::shift_or_into(dst, src, static_cast<long>(w0) * 64 - dc);
   }
 }
 
 void BitMatrix::clear_shifted(const BitMatrix& other, int dr, int dc) noexcept {
+  // Word-parallel per-row AND-NOT; bits translated outside *this simply
+  // fall off the gathered window, matching the per-cell semantics.
   for (int r = 0; r < other.rows_; ++r) {
     const int tr = r + dr;
     if (tr < 0 || tr >= rows_) continue;
-    for (int c = 0; c < other.cols_; ++c) {
-      if (!other.get(r, c)) continue;
-      const int tc = c + dc;
-      if (tc < 0 || tc >= cols_) continue;
-      set(tr, tc, false);
-    }
+    const auto src = other.row_span(r);
+    const BitBounds bounds = row_bit_bounds(src);
+    if (!bounds.any) continue;
+    const long lo_word =
+        std::max<long>(0, static_cast<long>(bounds.lo + dc) >> 6);
+    const long hi_word = std::min<long>(
+        static_cast<long>(words_per_row_) - 1,
+        simd::detail::floor_div64(static_cast<long>(bounds.hi) + dc));
+    if (hi_word < lo_word) continue;
+    const auto dst =
+        row_span_mut(tr).subspan(static_cast<std::size_t>(lo_word),
+                                 static_cast<std::size_t>(hi_word - lo_word) +
+                                     1);
+    simd::shift_andnot_into(dst, src, lo_word * 64 - dc);
   }
 }
 
 void BitMatrix::and_with(const BitMatrix& other) noexcept {
   RR_ASSERT(rows_ == other.rows_ && cols_ == other.cols_);
-  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  simd::and_inplace(words_, other.words_);
 }
 
 void BitMatrix::or_with(const BitMatrix& other) noexcept {
   RR_ASSERT(rows_ == other.rows_ && cols_ == other.cols_);
-  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  simd::or_inplace(words_, other.words_);
 }
 
 std::string BitMatrix::to_string() const {

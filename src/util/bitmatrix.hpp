@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -79,6 +80,28 @@ class BitMatrix {
                                     int dc) const noexcept;
 
   bool operator==(const BitMatrix& other) const noexcept = default;
+
+  /// Words per stored row (rows are contiguous, tail bits beyond cols()
+  /// are zero). Together with row_span this is the raw view the SIMD batch
+  /// kernels (geost/anchor_kernel) operate on.
+  [[nodiscard]] std::size_t words_per_row() const noexcept {
+    return words_per_row_;
+  }
+
+  /// The words of row r (length words_per_row()).
+  [[nodiscard]] std::span<const std::uint64_t> row_span(int r) const noexcept {
+    RR_ASSERT(r >= 0 && r < rows_);
+    return {words_.data() + static_cast<std::size_t>(r) * words_per_row_,
+            words_per_row_};
+  }
+
+  /// Mutable view of row r. Callers must keep tail bits beyond cols() zero
+  /// — every other operation relies on that invariant.
+  [[nodiscard]] std::span<std::uint64_t> row_span_mut(int r) noexcept {
+    RR_ASSERT(r >= 0 && r < rows_);
+    return {words_.data() + static_cast<std::size_t>(r) * words_per_row_,
+            words_per_row_};
+  }
 
   /// Multi-line string with '#' for set bits and '.' for clear bits;
   /// row 0 printed first.

@@ -1,0 +1,307 @@
+// AVX2 kernel table. Compiled with -mavx2 -mpopcnt for this translation
+// unit only; nothing here runs unless the dispatcher verified AVX2 via
+// CPUID, so the rest of the binary stays baseline x86-64.
+//
+// Every kernel must be bit-identical to its scalar twin in simd.cpp —
+// simd_kernel_test fuzzes the two tables against each other. Vector bodies
+// cover the aligned middle; edges and windowed reads near array bounds fall
+// back to the shared detail::window gather so out-of-range bits read as
+// zero under exactly the scalar rules.
+#include "util/simd/simd.hpp"
+
+#if defined(RRPLACE_HAVE_AVX2)
+
+#include <immintrin.h>
+
+#include <bit>
+
+namespace rr::simd {
+namespace {
+
+/// popcount of all 256 bits of `v` via the nibble-table method (Mula).
+inline std::uint64_t popcount256(__m256i v) noexcept {
+  const __m256i table = _mm256_setr_epi8(
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,  //
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low_mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+  const __m256i counts = _mm256_add_epi8(_mm256_shuffle_epi8(table, lo),
+                                         _mm256_shuffle_epi8(table, hi));
+  const __m256i sums = _mm256_sad_epu8(counts, _mm256_setzero_si256());
+  return static_cast<std::uint64_t>(_mm256_extract_epi64(sums, 0)) +
+         static_cast<std::uint64_t>(_mm256_extract_epi64(sums, 1)) +
+         static_cast<std::uint64_t>(_mm256_extract_epi64(sums, 2)) +
+         static_cast<std::uint64_t>(_mm256_extract_epi64(sums, 3));
+}
+
+std::size_t avx2_popcount(const std::uint64_t* a, std::size_t n) {
+  std::uint64_t total = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4)
+    total += popcount256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i)));
+  for (; i < n; ++i)
+    total += static_cast<std::uint64_t>(std::popcount(a[i]));
+  return static_cast<std::size_t>(total);
+}
+
+std::size_t avx2_and_popcount(const std::uint64_t* a, const std::uint64_t* b,
+                              std::size_t n) {
+  std::uint64_t total = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    total += popcount256(_mm256_and_si256(va, vb));
+  }
+  for (; i < n; ++i)
+    total += static_cast<std::uint64_t>(std::popcount(a[i] & b[i]));
+  return static_cast<std::size_t>(total);
+}
+
+std::size_t avx2_and_inplace_popcount(std::uint64_t* dst,
+                                      const std::uint64_t* src,
+                                      std::size_t n) {
+  std::uint64_t total = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i vd =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i vs =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i v = _mm256_and_si256(vd, vs);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), v);
+    total += popcount256(v);
+  }
+  for (; i < n; ++i) {
+    dst[i] &= src[i];
+    total += static_cast<std::uint64_t>(std::popcount(dst[i]));
+  }
+  return static_cast<std::size_t>(total);
+}
+
+long avx2_first_intersect(const std::uint64_t* a, const std::uint64_t* b,
+                          std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    if (!_mm256_testz_si256(va, vb)) {
+      for (std::size_t j = i; j < i + 4; ++j)
+        if ((a[j] & b[j]) != 0) return static_cast<long>(j);
+    }
+  }
+  for (; i < n; ++i)
+    if ((a[i] & b[i]) != 0) return static_cast<long>(i);
+  return -1;
+}
+
+bool avx2_andnot_any(const std::uint64_t* a, const std::uint64_t* b,
+                     std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    // testc(b, a) == 1 iff (~b & a) is all zero.
+    if (!_mm256_testc_si256(vb, va)) return true;
+  }
+  for (; i < n; ++i)
+    if ((a[i] & ~b[i]) != 0) return true;
+  return false;
+}
+
+void avx2_and_inplace(std::uint64_t* dst, const std::uint64_t* src,
+                      std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i vd =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i vs =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_and_si256(vd, vs));
+  }
+  for (; i < n; ++i) dst[i] &= src[i];
+}
+
+void avx2_or_inplace(std::uint64_t* dst, const std::uint64_t* src,
+                     std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i vd =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i vs =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_or_si256(vd, vs));
+  }
+  for (; i < n; ++i) dst[i] |= src[i];
+}
+
+void avx2_andnot_inplace(std::uint64_t* dst, const std::uint64_t* src,
+                         std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i vd =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i vs =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_andnot_si256(vs, vd));
+  }
+  for (; i < n; ++i) dst[i] &= ~src[i];
+}
+
+/// Vector gather of window(src, 64*i + shift) for lanes i, i+1, i+2, i+3,
+/// valid only when every touched src word is in range: with ws =
+/// floor(shift/64) and bs = shift mod 64, lanes read src[i+ws .. i+ws+4].
+inline __m256i window4(const std::uint64_t* src, std::size_t i, long ws,
+                       int bs) noexcept {
+  const std::uint64_t* base = src + (static_cast<long>(i) + ws);
+  const __m256i lo = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(base));
+  if (bs == 0) return lo;
+  const __m256i hi =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(base + 1));
+  return _mm256_or_si256(_mm256_srli_epi64(lo, bs),
+                         _mm256_slli_epi64(hi, 64 - bs));
+}
+
+/// Bounds of the vector-safe index range for windowed kernels: lanes
+/// [i_lo, i_hi) read only in-range src words (see window4).
+struct SafeRange {
+  std::size_t lo;
+  std::size_t hi;  // exclusive; hi <= n_dst, lo <= hi
+};
+
+inline SafeRange safe_range(std::size_t n_dst, std::size_t n_src, long ws,
+                            int bs) noexcept {
+  // Lowest lane with i + ws >= 0. Clamp to n_dst BEFORE deriving hi from
+  // it: with a far-negative shift lo can exceed n_dst, and hi = max(hi, lo)
+  // past n_dst would let the vector loop store out of bounds.
+  long lo = ws < 0 ? -ws : 0;
+  if (lo > static_cast<long>(n_dst)) lo = static_cast<long>(n_dst);
+  // Highest exclusive lane: reads up to src[i + ws + (bs ? 1 : 0)], which
+  // must stay < n_src.
+  long hi = static_cast<long>(n_src) - ws - (bs != 0 ? 1 : 0);
+  if (hi > static_cast<long>(n_dst)) hi = static_cast<long>(n_dst);
+  if (hi < lo) hi = lo;
+  return SafeRange{static_cast<std::size_t>(lo), static_cast<std::size_t>(hi)};
+}
+
+std::size_t avx2_shift_and_into(std::uint64_t* dst, std::size_t n_dst,
+                                const std::uint64_t* src, std::size_t n_src,
+                                long shift) {
+  const long ws = detail::floor_div64(shift);
+  const int bs = static_cast<int>(shift - ws * 64);
+  const SafeRange range = safe_range(n_dst, n_src, ws, bs);
+  std::uint64_t total = 0;
+  std::size_t i = 0;
+  for (; i < range.lo; ++i) {
+    dst[i] &= detail::window(src, n_src, static_cast<long>(i) * 64 + shift);
+    total += static_cast<std::uint64_t>(std::popcount(dst[i]));
+  }
+  for (; i + 4 <= range.hi; i += 4) {
+    const __m256i vd =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i v = _mm256_and_si256(vd, window4(src, i, ws, bs));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), v);
+    total += popcount256(v);
+  }
+  for (; i < n_dst; ++i) {
+    dst[i] &= detail::window(src, n_src, static_cast<long>(i) * 64 + shift);
+    total += static_cast<std::uint64_t>(std::popcount(dst[i]));
+  }
+  return static_cast<std::size_t>(total);
+}
+
+void avx2_shift_or_into(std::uint64_t* dst, std::size_t n_dst,
+                        const std::uint64_t* src, std::size_t n_src,
+                        long shift) {
+  const long ws = detail::floor_div64(shift);
+  const int bs = static_cast<int>(shift - ws * 64);
+  const SafeRange range = safe_range(n_dst, n_src, ws, bs);
+  std::size_t i = 0;
+  for (; i < range.lo; ++i)
+    dst[i] |= detail::window(src, n_src, static_cast<long>(i) * 64 + shift);
+  for (; i + 4 <= range.hi; i += 4) {
+    const __m256i vd =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_or_si256(vd, window4(src, i, ws, bs)));
+  }
+  for (; i < n_dst; ++i)
+    dst[i] |= detail::window(src, n_src, static_cast<long>(i) * 64 + shift);
+}
+
+void avx2_shift_andnot_into(std::uint64_t* dst, std::size_t n_dst,
+                            const std::uint64_t* src, std::size_t n_src,
+                            long shift) {
+  const long ws = detail::floor_div64(shift);
+  const int bs = static_cast<int>(shift - ws * 64);
+  const SafeRange range = safe_range(n_dst, n_src, ws, bs);
+  std::size_t i = 0;
+  for (; i < range.lo; ++i)
+    dst[i] &= ~detail::window(src, n_src, static_cast<long>(i) * 64 + shift);
+  for (; i + 4 <= range.hi; i += 4) {
+    const __m256i vd =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(dst + i),
+        _mm256_andnot_si256(window4(src, i, ws, bs), vd));
+  }
+  for (; i < n_dst; ++i)
+    dst[i] &= ~detail::window(src, n_src, static_cast<long>(i) * 64 + shift);
+}
+
+std::size_t avx2_shifted_and_popcount(const std::uint64_t* a, std::size_t n_a,
+                                      const std::uint64_t* t, std::size_t n_t,
+                                      long shift) {
+  const long ws = detail::floor_div64(shift);
+  const int bs = static_cast<int>(shift - ws * 64);
+  const SafeRange range = safe_range(n_a, n_t, ws, bs);
+  std::uint64_t total = 0;
+  std::size_t i = 0;
+  for (; i < range.lo; ++i) {
+    if (a[i] == 0) continue;
+    total += static_cast<std::uint64_t>(std::popcount(
+        a[i] & detail::window(t, n_t, static_cast<long>(i) * 64 + shift)));
+  }
+  for (; i + 4 <= range.hi; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    if (_mm256_testz_si256(va, va)) continue;
+    total += popcount256(_mm256_and_si256(va, window4(t, i, ws, bs)));
+  }
+  for (; i < n_a; ++i) {
+    if (a[i] == 0) continue;
+    total += static_cast<std::uint64_t>(std::popcount(
+        a[i] & detail::window(t, n_t, static_cast<long>(i) * 64 + shift)));
+  }
+  return static_cast<std::size_t>(total);
+}
+
+constexpr Kernels kAvx2Kernels{
+    avx2_popcount,         avx2_and_popcount,
+    avx2_and_inplace_popcount, avx2_first_intersect,
+    avx2_andnot_any,       avx2_and_inplace,
+    avx2_or_inplace,       avx2_andnot_inplace,
+    avx2_shift_and_into,   avx2_shift_or_into,
+    avx2_shift_andnot_into, avx2_shifted_and_popcount,
+};
+
+}  // namespace
+
+namespace detail {
+const Kernels& avx2_kernels() noexcept { return kAvx2Kernels; }
+}  // namespace detail
+
+}  // namespace rr::simd
+
+#endif  // RRPLACE_HAVE_AVX2

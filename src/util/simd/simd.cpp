@@ -1,0 +1,180 @@
+// Scalar reference kernels and the runtime dispatch resolver.
+//
+// The scalar table is both the portable fallback and the differential
+// oracle: kernels_avx2.cpp must match it bit for bit on every input, which
+// simd_kernel_test enforces by fuzzing the two tables against each other
+// (and against naive per-bit loops).
+#include "util/simd/simd.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cctype>
+#include <string>
+
+#include "util/env.hpp"
+
+namespace rr::simd {
+namespace {
+
+std::size_t scalar_popcount(const std::uint64_t* a, std::size_t n) {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    total += static_cast<std::size_t>(std::popcount(a[i]));
+  return total;
+}
+
+std::size_t scalar_and_popcount(const std::uint64_t* a, const std::uint64_t* b,
+                                std::size_t n) {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    total += static_cast<std::size_t>(std::popcount(a[i] & b[i]));
+  return total;
+}
+
+std::size_t scalar_and_inplace_popcount(std::uint64_t* dst,
+                                        const std::uint64_t* src,
+                                        std::size_t n) {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] &= src[i];
+    total += static_cast<std::size_t>(std::popcount(dst[i]));
+  }
+  return total;
+}
+
+long scalar_first_intersect(const std::uint64_t* a, const std::uint64_t* b,
+                            std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i)
+    if ((a[i] & b[i]) != 0) return static_cast<long>(i);
+  return -1;
+}
+
+bool scalar_andnot_any(const std::uint64_t* a, const std::uint64_t* b,
+                       std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i)
+    if ((a[i] & ~b[i]) != 0) return true;
+  return false;
+}
+
+void scalar_and_inplace(std::uint64_t* dst, const std::uint64_t* src,
+                        std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] &= src[i];
+}
+
+void scalar_or_inplace(std::uint64_t* dst, const std::uint64_t* src,
+                       std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] |= src[i];
+}
+
+void scalar_andnot_inplace(std::uint64_t* dst, const std::uint64_t* src,
+                           std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] &= ~src[i];
+}
+
+std::size_t scalar_shift_and_into(std::uint64_t* dst, std::size_t n_dst,
+                                  const std::uint64_t* src, std::size_t n_src,
+                                  long shift) {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < n_dst; ++i) {
+    dst[i] &= detail::window(src, n_src, static_cast<long>(i) * 64 + shift);
+    total += static_cast<std::size_t>(std::popcount(dst[i]));
+  }
+  return total;
+}
+
+void scalar_shift_or_into(std::uint64_t* dst, std::size_t n_dst,
+                          const std::uint64_t* src, std::size_t n_src,
+                          long shift) {
+  for (std::size_t i = 0; i < n_dst; ++i)
+    dst[i] |= detail::window(src, n_src, static_cast<long>(i) * 64 + shift);
+}
+
+void scalar_shift_andnot_into(std::uint64_t* dst, std::size_t n_dst,
+                              const std::uint64_t* src, std::size_t n_src,
+                              long shift) {
+  for (std::size_t i = 0; i < n_dst; ++i)
+    dst[i] &= ~detail::window(src, n_src, static_cast<long>(i) * 64 + shift);
+}
+
+std::size_t scalar_shifted_and_popcount(const std::uint64_t* a,
+                                        std::size_t n_a,
+                                        const std::uint64_t* t,
+                                        std::size_t n_t, long shift) {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < n_a; ++i) {
+    if (a[i] == 0) continue;
+    total += static_cast<std::size_t>(std::popcount(
+        a[i] & detail::window(t, n_t, static_cast<long>(i) * 64 + shift)));
+  }
+  return total;
+}
+
+constexpr Kernels kScalarKernels{
+    scalar_popcount,         scalar_and_popcount,
+    scalar_and_inplace_popcount, scalar_first_intersect,
+    scalar_andnot_any,       scalar_and_inplace,
+    scalar_or_inplace,       scalar_andnot_inplace,
+    scalar_shift_and_into,   scalar_shift_or_into,
+    scalar_shift_andnot_into, scalar_shifted_and_popcount,
+};
+
+struct Resolved {
+  const Kernels* kernels;
+  Level level;
+};
+
+Resolved resolve() {
+  std::string mode = env_string("RRPLACE_SIMD", "auto");
+  std::transform(mode.begin(), mode.end(), mode.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  const bool force_scalar =
+      mode == "off" || mode == "0" || mode == "scalar" || mode == "none";
+#if defined(RRPLACE_HAVE_AVX2)
+  if (!force_scalar && cpu_supports_avx2())
+    return Resolved{&detail::avx2_kernels(), Level::kAvx2};
+#endif
+  (void)force_scalar;
+  return Resolved{&kScalarKernels, Level::kScalar};
+}
+
+const Resolved& resolved() noexcept {
+  static const Resolved r = resolve();
+  return r;
+}
+
+}  // namespace
+
+const char* level_name(Level level) noexcept {
+  switch (level) {
+    case Level::kAvx2:
+      return "avx2";
+    case Level::kScalar:
+      break;
+  }
+  return "scalar";
+}
+
+Level active_level() noexcept { return resolved().level; }
+
+bool compiled_avx2() noexcept {
+#if defined(RRPLACE_HAVE_AVX2)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool cpu_supports_avx2() noexcept {
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+const Kernels& active() noexcept { return *resolved().kernels; }
+
+const Kernels& scalar_kernels() noexcept { return kScalarKernels; }
+
+}  // namespace rr::simd

@@ -1,0 +1,219 @@
+// SIMD kernel layer: 64-bit-word array primitives behind runtime dispatch.
+//
+// Every hot word-loop in the placer — BitMatrix row sweeps, reversible
+// sparse-bitset updates, Domain word-block pruning, and the batch
+// anchor-feasibility kernel — bottoms out in one of the kernels declared
+// here. Two implementations exist:
+//
+//   - scalar: portable 64-bit-word loops (namespace simd::scalar). Always
+//     compiled, and the differential oracle: a dispatched kernel must be
+//     bit-identical to its scalar twin on every input.
+//   - avx2: AVX2 implementations, compiled only when the RRPLACE_SIMD CMake
+//     option is on and the target is x86-64 (per-TU -mavx2; the rest of the
+//     library stays baseline so the binary runs on any x86-64).
+//
+// Selection happens once per process: CPUID decides what the machine can
+// run, and the RRPLACE_SIMD environment variable can force a lower level
+// ("off"/"0"/"scalar" selects scalar, "avx2" requests AVX2, anything else —
+// including unset, "on", "auto" — picks the best available). CI builds and
+// runs the full suite on both legs; because results are bit-identical, the
+// switch is safe to flip at any time.
+//
+// Windowed kernels share one gather convention: window(src, b) is the
+// 64-bit little-endian window of the bit-array `src` starting at bit `b`
+// (bit x of the window = bit b + x of src); b may be negative and bits
+// outside [0, 64 * n_src) read as zero.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace rr::simd {
+
+enum class Level { kScalar = 0, kAvx2 = 1 };
+
+/// Name of a dispatch level ("scalar", "avx2").
+[[nodiscard]] const char* level_name(Level level) noexcept;
+
+/// The level the process resolved to (CPUID + RRPLACE_SIMD env override).
+[[nodiscard]] Level active_level() noexcept;
+
+/// True when AVX2 kernels were compiled into this binary.
+[[nodiscard]] bool compiled_avx2() noexcept;
+
+/// True when the CPU reports AVX2 support.
+[[nodiscard]] bool cpu_supports_avx2() noexcept;
+
+/// One resolved kernel table. All pointers are non-null.
+struct Kernels {
+  /// Total set bits in a[0..n).
+  std::size_t (*popcount)(const std::uint64_t* a, std::size_t n);
+  /// popcount(a & b) without modifying either side.
+  std::size_t (*and_popcount)(const std::uint64_t* a, const std::uint64_t* b,
+                              std::size_t n);
+  /// dst &= src; returns popcount of dst afterwards.
+  std::size_t (*and_inplace_popcount)(std::uint64_t* dst,
+                                      const std::uint64_t* src, std::size_t n);
+  /// Index of the first word with (a[i] & b[i]) != 0, or -1.
+  long (*first_intersect)(const std::uint64_t* a, const std::uint64_t* b,
+                          std::size_t n);
+  /// True iff any word has (a[i] & ~b[i]) != 0.
+  bool (*andnot_any)(const std::uint64_t* a, const std::uint64_t* b,
+                     std::size_t n);
+  void (*and_inplace)(std::uint64_t* dst, const std::uint64_t* src,
+                      std::size_t n);
+  void (*or_inplace)(std::uint64_t* dst, const std::uint64_t* src,
+                     std::size_t n);
+  /// dst &= ~src.
+  void (*andnot_inplace)(std::uint64_t* dst, const std::uint64_t* src,
+                         std::size_t n);
+  /// dst[i] &= window(src, 64*i + shift); returns popcount of dst after.
+  /// The erosion primitive of the batch anchor kernel. dst == src aliasing
+  /// is allowed when shift >= 0: both implementations sweep ascending, so
+  /// every window read lands at a word index >= the one being written.
+  std::size_t (*shift_and_into)(std::uint64_t* dst, std::size_t n_dst,
+                                const std::uint64_t* src, std::size_t n_src,
+                                long shift);
+  /// dst[i] |= window(src, 64*i + shift) — dilation (conflict accumulation).
+  void (*shift_or_into)(std::uint64_t* dst, std::size_t n_dst,
+                        const std::uint64_t* src, std::size_t n_src,
+                        long shift);
+  /// dst[i] &= ~window(src, 64*i + shift) — shifted clear.
+  void (*shift_andnot_into)(std::uint64_t* dst, std::size_t n_dst,
+                            const std::uint64_t* src, std::size_t n_src,
+                            long shift);
+  /// sum_i popcount(a[i] & window(t, 64*i + shift)) — the inner loop of
+  /// BitMatrix::overlap_popcount_shifted.
+  std::size_t (*shifted_and_popcount)(const std::uint64_t* a, std::size_t n_a,
+                                      const std::uint64_t* t, std::size_t n_t,
+                                      long shift);
+};
+
+/// The process-wide resolved kernel table.
+[[nodiscard]] const Kernels& active() noexcept;
+
+/// The portable reference kernels (the differential oracle).
+[[nodiscard]] const Kernels& scalar_kernels() noexcept;
+
+namespace detail {
+
+/// AVX2 kernel table — defined in kernels_avx2.cpp, which is linked in only
+/// when the RRPLACE_SIMD CMake option is on (RRPLACE_HAVE_AVX2).
+[[nodiscard]] const Kernels& avx2_kernels() noexcept;
+
+[[nodiscard]] constexpr long floor_div64(long v) noexcept {
+  return v >= 0 ? v / 64 : -((63 - v) / 64);
+}
+
+/// The shared gather: 64 bits of `src` starting at bit `b` (see header
+/// comment). Inline so scalar tails of vector kernels and tests agree on
+/// one definition.
+[[nodiscard]] inline std::uint64_t window(const std::uint64_t* src,
+                                          std::size_t n_src,
+                                          long b) noexcept {
+  const long w = floor_div64(b);
+  const int s = static_cast<int>(b - w * 64);
+  const auto at = [&](long i) -> std::uint64_t {
+    return i >= 0 && i < static_cast<long>(n_src)
+               ? src[static_cast<std::size_t>(i)]
+               : 0;
+  };
+  if (s == 0) return at(w);
+  return (at(w) >> s) | (at(w + 1) << (64 - s));
+}
+
+}  // namespace detail
+
+// --- Span convenience wrappers (the API the rest of the library uses) ------
+
+inline std::size_t popcount(std::span<const std::uint64_t> a) noexcept {
+  return active().popcount(a.data(), a.size());
+}
+
+inline std::size_t and_popcount(std::span<const std::uint64_t> a,
+                                std::span<const std::uint64_t> b) noexcept {
+  return active().and_popcount(a.data(), b.data(), a.size());
+}
+
+inline std::size_t and_inplace_popcount(
+    std::span<std::uint64_t> dst, std::span<const std::uint64_t> src) noexcept {
+  return active().and_inplace_popcount(dst.data(), src.data(), dst.size());
+}
+
+inline long first_intersect(std::span<const std::uint64_t> a,
+                            std::span<const std::uint64_t> b) noexcept {
+  return active().first_intersect(a.data(), b.data(), a.size());
+}
+
+inline bool andnot_any(std::span<const std::uint64_t> a,
+                       std::span<const std::uint64_t> b) noexcept {
+  return active().andnot_any(a.data(), b.data(), a.size());
+}
+
+inline void and_inplace(std::span<std::uint64_t> dst,
+                        std::span<const std::uint64_t> src) noexcept {
+  active().and_inplace(dst.data(), src.data(), dst.size());
+}
+
+inline void or_inplace(std::span<std::uint64_t> dst,
+                       std::span<const std::uint64_t> src) noexcept {
+  active().or_inplace(dst.data(), src.data(), dst.size());
+}
+
+inline void andnot_inplace(std::span<std::uint64_t> dst,
+                           std::span<const std::uint64_t> src) noexcept {
+  active().andnot_inplace(dst.data(), src.data(), dst.size());
+}
+
+// The windowed wrappers special-case single-word destinations inline: on
+// narrow regions (<= 64 columns, one word per row) the per-call indirect
+// dispatch would cost more than the word of work, and detail::window is the
+// same gather both kernel tables bottom out in, so results are identical.
+
+inline std::size_t shift_and_into(std::span<std::uint64_t> dst,
+                                  std::span<const std::uint64_t> src,
+                                  long shift) noexcept {
+  if (dst.size() == 1) {
+    dst[0] &= detail::window(src.data(), src.size(), shift);
+    return static_cast<std::size_t>(std::popcount(dst[0]));
+  }
+  return active().shift_and_into(dst.data(), dst.size(), src.data(),
+                                 src.size(), shift);
+}
+
+inline void shift_or_into(std::span<std::uint64_t> dst,
+                          std::span<const std::uint64_t> src,
+                          long shift) noexcept {
+  if (dst.size() == 1) {
+    dst[0] |= detail::window(src.data(), src.size(), shift);
+    return;
+  }
+  active().shift_or_into(dst.data(), dst.size(), src.data(), src.size(),
+                         shift);
+}
+
+inline void shift_andnot_into(std::span<std::uint64_t> dst,
+                              std::span<const std::uint64_t> src,
+                              long shift) noexcept {
+  if (dst.size() == 1) {
+    dst[0] &= ~detail::window(src.data(), src.size(), shift);
+    return;
+  }
+  active().shift_andnot_into(dst.data(), dst.size(), src.data(), src.size(),
+                             shift);
+}
+
+inline std::size_t shifted_and_popcount(std::span<const std::uint64_t> a,
+                                        std::span<const std::uint64_t> t,
+                                        long shift) noexcept {
+  if (a.size() == 1) {
+    return static_cast<std::size_t>(
+        std::popcount(a[0] & detail::window(t.data(), t.size(), shift)));
+  }
+  return active().shifted_and_popcount(a.data(), a.size(), t.data(), t.size(),
+                                       shift);
+}
+
+}  // namespace rr::simd

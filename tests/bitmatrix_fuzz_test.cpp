@@ -1,0 +1,318 @@
+// Word-edge fuzz for BitMatrix and ReversibleSparseBitSet.
+//
+// The SIMD rewrite moved both onto the dispatch kernels, so the dangerous
+// inputs are the ones where vector lanes meet word boundaries: widths of
+// 63/64/65/127/130 columns, shifted operations whose windows straddle
+// words, and tail words whose high bits must stay zero. Everything is
+// checked against naive set-based references; CI runs the suite on both
+// RRPLACE_SIMD legs, making this a differential oracle for the kernels as
+// used by the real data structures.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "cp/sparse_bitset.hpp"
+#include "util/bitmatrix.hpp"
+#include "util/rng.hpp"
+
+namespace rr {
+namespace {
+
+using CellRef = std::set<std::pair<int, int>>;  // (row, col)
+
+// Widths chosen to land on and around 64-bit word edges; heights stay small
+// so the fuzz rounds cover many (width, shift) combinations cheaply.
+const int kWidths[] = {1, 7, 63, 64, 65, 127, 128, 130};
+
+BitMatrix random_matrix(Rng& rng, int rows, int cols, int fill_pct,
+                        CellRef* ref = nullptr) {
+  BitMatrix m(rows, cols);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (rng.bounded(100) < static_cast<std::uint64_t>(fill_pct)) {
+        m.set(r, c, true);
+        if (ref) ref->emplace(r, c);
+      }
+    }
+  }
+  return m;
+}
+
+CellRef to_ref(const BitMatrix& m) {
+  CellRef ref;
+  for (int r = 0; r < m.rows(); ++r)
+    for (int c = 0; c < m.cols(); ++c)
+      if (m.get(r, c)) ref.emplace(r, c);
+  return ref;
+}
+
+/// Tail bits beyond cols() must be zero in every stored row — the invariant
+/// all word-parallel operations rely on.
+void expect_tail_clear(const BitMatrix& m) {
+  for (int r = 0; r < m.rows(); ++r) {
+    const auto row = m.row_span(r);
+    for (int c = m.cols(); c < static_cast<int>(row.size()) * 64; ++c)
+      ASSERT_FALSE((row[static_cast<std::size_t>(c >> 6)] >> (c & 63)) & 1u)
+          << "tail bit set at row " << r << " col " << c;
+  }
+}
+
+TEST(BitMatrixFuzzTest, PopcountAndRowPopcountAtWordEdges) {
+  Rng rng(101);
+  for (const int cols : kWidths) {
+    CellRef ref;
+    const BitMatrix m = random_matrix(rng, 5, cols, 40, &ref);
+    EXPECT_EQ(m.popcount(), ref.size());
+    for (int r = 0; r < m.rows(); ++r) {
+      std::size_t want = 0;
+      for (const auto& [rr_, cc] : ref) want += (rr_ == r);
+      EXPECT_EQ(m.row_popcount(r), want);
+    }
+  }
+}
+
+TEST(BitMatrixFuzzTest, ShiftedOpsMatchSetReference) {
+  Rng rng(103);
+  for (const int cols : kWidths) {
+    for (int round = 0; round < 6; ++round) {
+      const int rows = 3 + static_cast<int>(rng.bounded(4));
+      const int o_rows = 1 + static_cast<int>(rng.bounded(3));
+      const int o_cols = 1 + static_cast<int>(rng.bounded(
+                                 static_cast<std::uint64_t>(cols)));
+      CellRef base_ref, other_ref;
+      const BitMatrix base = random_matrix(rng, rows, cols, 35, &base_ref);
+      const BitMatrix other =
+          random_matrix(rng, o_rows, o_cols, 50, &other_ref);
+
+      // Shifts cover fully-inside, word-straddling, and hanging-outside
+      // placements in both directions.
+      for (int dr = -o_rows - 1; dr <= rows + 1; ++dr) {
+        for (const int dc : {-o_cols - 1, -1, 0, 1, 62, 63, 64, 65,
+                             cols - o_cols, cols - 1, cols + 1}) {
+          std::size_t want_overlap = 0;
+          bool want_covers = true;
+          for (const auto& [r, c] : other_ref) {
+            const int tr = r + dr, tc = c + dc;
+            const bool inside =
+                tr >= 0 && tr < rows && tc >= 0 && tc < cols;
+            const bool hit = inside && base_ref.count({tr, tc}) > 0;
+            want_overlap += hit;
+            want_covers = want_covers && hit;  // outside => not covered
+          }
+          EXPECT_EQ(base.overlap_popcount_shifted(other, dr, dc),
+                    want_overlap)
+              << "cols=" << cols << " dr=" << dr << " dc=" << dc;
+          EXPECT_EQ(base.intersects_shifted(other, dr, dc), want_overlap > 0);
+          EXPECT_EQ(base.covers_shifted(other, dr, dc), want_covers);
+
+          // clear_shifted accepts any placement (out-of-range bits of
+          // `other` are simply ignored).
+          BitMatrix cleared = base;
+          cleared.clear_shifted(other, dr, dc);
+          CellRef want_cleared = base_ref;
+          for (const auto& [r, c] : other_ref)
+            want_cleared.erase({r + dr, c + dc});
+          EXPECT_EQ(to_ref(cleared), want_cleared)
+              << "cols=" << cols << " dr=" << dr << " dc=" << dc;
+          expect_tail_clear(cleared);
+
+          // or_shifted requires every set bit to land inside.
+          bool fits = true;
+          for (const auto& [r, c] : other_ref) {
+            const int tr = r + dr, tc = c + dc;
+            fits = fits && tr >= 0 && tr < rows && tc >= 0 && tc < cols;
+          }
+          if (fits) {
+            BitMatrix merged = base;
+            merged.or_shifted(other, dr, dc);
+            CellRef want_merged = base_ref;
+            for (const auto& [r, c] : other_ref)
+              want_merged.emplace(r + dr, c + dc);
+            EXPECT_EQ(to_ref(merged), want_merged)
+                << "cols=" << cols << " dr=" << dr << " dc=" << dc;
+            expect_tail_clear(merged);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(BitMatrixFuzzTest, AndOrWithMatchSetReference) {
+  Rng rng(107);
+  for (const int cols : kWidths) {
+    CellRef a_ref, b_ref;
+    const BitMatrix a = random_matrix(rng, 4, cols, 45, &a_ref);
+    const BitMatrix b = random_matrix(rng, 4, cols, 45, &b_ref);
+
+    BitMatrix anded = a, ored = a;
+    anded.and_with(b);
+    ored.or_with(b);
+
+    CellRef want_and, want_or = a_ref;
+    for (const auto& cell : a_ref)
+      if (b_ref.count(cell)) want_and.insert(cell);
+    want_or.insert(b_ref.begin(), b_ref.end());
+
+    EXPECT_EQ(to_ref(anded), want_and) << "cols=" << cols;
+    EXPECT_EQ(to_ref(ored), want_or) << "cols=" << cols;
+    expect_tail_clear(anded);
+    expect_tail_clear(ored);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ReversibleSparseBitSet vs a std::set<long> model with an explicit undo
+// stack. Verifies the SIMD dense paths (count / and_mask / and_not_mask /
+// intersects) and that pop_level restores exactly.
+// ---------------------------------------------------------------------------
+
+class RsbModel {
+ public:
+  explicit RsbModel(long bits) : bits_(bits) {
+    for (long b = 0; b < bits; ++b) live_.insert(b);
+  }
+
+  void and_mask(const std::vector<std::uint64_t>& mask) {
+    for (auto it = live_.begin(); it != live_.end();)
+      it = bit_of(mask, *it) ? std::next(it) : live_.erase(it);
+  }
+  void and_not_mask(const std::vector<std::uint64_t>& mask) {
+    for (auto it = live_.begin(); it != live_.end();)
+      it = bit_of(mask, *it) ? live_.erase(it) : std::next(it);
+  }
+  void clear_bit(long b) { live_.erase(b); }
+  void push_level() { saved_.push_back(live_); }
+  void pop_level() {
+    live_ = saved_.back();
+    saved_.pop_back();
+  }
+
+  [[nodiscard]] const std::set<long>& live() const { return live_; }
+  [[nodiscard]] bool intersects(const std::vector<std::uint64_t>& mask) const {
+    for (const long b : live_)
+      if (bit_of(mask, b)) return true;
+    return false;
+  }
+
+ private:
+  static bool bit_of(const std::vector<std::uint64_t>& mask, long b) {
+    return (mask[static_cast<std::size_t>(b >> 6)] >> (b & 63)) & 1u;
+  }
+  long bits_;
+  std::set<long> live_;
+  std::vector<std::set<long>> saved_;
+};
+
+void expect_same(const cp::ReversibleSparseBitSet& rsb, const RsbModel& model,
+                 long bits) {
+  ASSERT_EQ(rsb.count(), static_cast<long>(model.live().size()));
+  ASSERT_EQ(rsb.empty(), model.live().empty());
+  for (long b = 0; b < bits; ++b)
+    ASSERT_EQ(rsb.test(b), model.live().count(b) > 0) << "bit " << b;
+}
+
+TEST(SparseBitSetFuzzTest, TrailReplayAtWordEdges) {
+  // Bit counts around word edges; 130 gives three words so the dense-path
+  // gate (limit*2 >= num_words) flips both ways during a run.
+  for (const long bits : {63L, 64L, 65L, 130L, 192L, 257L}) {
+    Rng rng(211 + static_cast<std::uint64_t>(bits));
+    cp::ReversibleSparseBitSet rsb;
+    rsb.init_full(bits);
+    RsbModel model(bits);
+    const int num_words = rsb.num_words();
+
+    auto random_mask = [&](int fill_pct) {
+      std::vector<std::uint64_t> mask(static_cast<std::size_t>(num_words));
+      for (long b = 0; b < bits; ++b) {
+        if (rng.bounded(100) < static_cast<std::uint64_t>(fill_pct))
+          mask[static_cast<std::size_t>(b >> 6)] |= std::uint64_t{1}
+                                                    << (b & 63);
+      }
+      return mask;
+    };
+
+    int depth = 0;
+    for (int step = 0; step < 400; ++step) {
+      const auto op = rng.bounded(10);
+      if (op < 2) {
+        rsb.push_level();
+        model.push_level();
+        ++depth;
+      } else if (op < 4 && depth > 0) {
+        rsb.pop_level();
+        model.pop_level();
+        --depth;
+      } else if (op < 6) {
+        // Dense masks keep the set populated; sparse masks drive words to
+        // zero and shrink the active prefix.
+        const auto mask = random_mask(op == 4 ? 90 : 40);
+        rsb.and_mask(mask);
+        model.and_mask(mask);
+      } else if (op < 8) {
+        const auto mask = random_mask(15);
+        rsb.and_not_mask(mask);
+        model.and_not_mask(mask);
+      } else if (op == 8) {
+        const long b = static_cast<long>(
+            rng.bounded(static_cast<std::uint64_t>(bits)));
+        if (rsb.test(b)) {
+          rsb.clear_bit(b);
+          model.clear_bit(b);
+        }
+      } else {
+        const auto mask = random_mask(static_cast<int>(rng.bounded(60)));
+        int residue = 0;
+        EXPECT_EQ(rsb.intersects(mask, residue), model.intersects(mask))
+            << "bits=" << bits << " step=" << step;
+      }
+      expect_same(rsb, model, bits);
+    }
+    while (depth-- > 0) {
+      rsb.pop_level();
+      model.pop_level();
+      expect_same(rsb, model, bits);
+    }
+  }
+}
+
+TEST(SparseBitSetFuzzTest, ResidueWitnessStaysValid) {
+  // The residue cache must never change results — only speed. Drive one
+  // residue int through many intersects calls against changing sets.
+  const long bits = 257;
+  Rng rng(401);
+  cp::ReversibleSparseBitSet rsb;
+  rsb.init_full(bits);
+  RsbModel model(bits);
+  const int num_words = rsb.num_words();
+
+  int residue = 0;
+  for (int step = 0; step < 300; ++step) {
+    std::vector<std::uint64_t> mask(static_cast<std::size_t>(num_words));
+    for (long b = 0; b < bits; ++b)
+      if (rng.bounded(100) < 10)
+        mask[static_cast<std::size_t>(b >> 6)] |= std::uint64_t{1} << (b & 63);
+    ASSERT_EQ(rsb.intersects(mask, residue), model.intersects(mask))
+        << "step=" << step;
+    ASSERT_GE(residue, 0);
+    ASSERT_LT(residue, num_words);
+    if (step % 3 == 0) {
+      const auto thin = [&] {
+        std::vector<std::uint64_t> m(static_cast<std::size_t>(num_words));
+        for (long b = 0; b < bits; ++b)
+          if (rng.bounded(100) < 70)
+            m[static_cast<std::size_t>(b >> 6)] |= std::uint64_t{1}
+                                                   << (b & 63);
+        return m;
+      }();
+      rsb.and_mask(thin);
+      model.and_mask(thin);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rr

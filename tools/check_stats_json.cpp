@@ -124,6 +124,10 @@ void check_bench_v1(const Value& doc) {
   } else if (bench == "nonoverlap_kernel") {
     for (const char* key : {"speedup", "mismatches"})
       check_result_metric(results, key);
+  } else if (bench == "anchor_kernel") {
+    for (const char* key : {"anchor_speedup", "conflict_speedup",
+                            "word_kernel_speedup", "mismatches"})
+      check_result_metric(results, key);
   } else if (bench == "online_service") {
     for (const char* key :
          {"acceptance_without", "acceptance_with", "acceptance_defrag",
