@@ -1,0 +1,224 @@
+// Service load: multi-tenant placement-as-a-service throughput and the
+// solve-context cache's effect on it.
+//
+// Identical per-tenant churn scripts (place/remove with occasional
+// transient faults and scrub repairs) are pumped through the in-process
+// PlacementService twice — once with the shared solve-context cache, once
+// with every request paying the full anchor scan — by one submitter thread
+// per tenant. All tenants run the same fabric and library, so the cached
+// arm prepares the placement tables once and every later acquisition
+// (including every post-fault refresh back to the healthy signature) is a
+// hit.
+//
+// Expected shape: the cached arm sustains well over 1.5x the uncached
+// throughput with a lower p99 (the scan leaves the request path), the hit
+// rate approaches 1, and the per-tenant responses of the two arms are
+// bit-identical (mismatches = 0) — cached tables equal freshly scanned
+// ones, which is the invariant that makes the cache safe.
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using rr::service::Request;
+using rr::service::RequestOp;
+using rr::service::Response;
+
+/// Deterministic churn script for one tenant. Fault events are rare enough
+/// that throughput measures placement, common enough that both arms pay
+/// context refreshes and displacement recovery. The live count is capped
+/// so occupancy stays moderate: at saturation every arm's cost is the
+/// (shared) first-fit scan over a full region, which would measure the
+/// placer, not the service — the regime a service actually runs in is
+/// admit-and-depart, not permanently full.
+std::vector<Request> tenant_script(int tenant, std::uint64_t seed,
+                                   int requests, int library_size,
+                                   int fabric_width, int fabric_height) {
+  rr::Rng rng(seed ^ (0x5EC1CE00ULL + static_cast<std::uint64_t>(tenant)));
+  constexpr std::size_t kLiveCap = 6;
+  std::vector<Request> script;
+  script.reserve(static_cast<std::size_t>(requests));
+  std::vector<int> live;
+  int next_instance = 0;
+  bool fault_live = false;
+  for (int i = 0; i < requests; ++i) {
+    Request request;
+    request.tenant = tenant;
+    if (rng.chance(0.02)) {
+      request.op = RequestOp::kFault;
+      if (fault_live && rng.chance(0.5)) {
+        request.fault.op = rr::fpga::FaultEvent::Op::kRepairTransient;
+        fault_live = false;
+      } else {
+        request.fault.op = rr::fpga::FaultEvent::Op::kTile;
+        request.fault.kind = rr::fpga::FaultKind::kTransient;
+        request.fault.rect =
+            rr::Rect{rng.uniform_int(0, fabric_width - 1),
+                     rng.uniform_int(0, fabric_height - 1), 1, 1};
+        fault_live = true;
+      }
+    } else if (!live.empty() && (live.size() >= kLiveCap || rng.chance(0.3))) {
+      request.op = RequestOp::kRemove;
+      const std::size_t pick = rng.pick_index(live);
+      request.instance = live[pick];
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else {
+      request.op = RequestOp::kPlace;
+      request.instance = next_instance++;
+      request.module = rng.uniform_int(0, library_size - 1);
+      live.push_back(request.instance);
+    }
+    script.push_back(request);
+  }
+  return script;
+}
+
+struct ArmResult {
+  rr::service::ServiceStats stats;
+  double seconds = 0.0;
+  double throughput = 0.0;
+  std::vector<std::vector<Response>> responses;  // per tenant, in order
+};
+
+/// Run every script through one service instance, one submitter thread per
+/// tenant, and collect the ordered per-tenant responses.
+ArmResult run_arm(const std::shared_ptr<const rr::fpga::Fabric>& fabric,
+                  const std::vector<rr::model::Module>& library,
+                  const std::vector<std::vector<Request>>& scripts,
+                  int workers, bool cache_enabled) {
+  const int tenants = static_cast<int>(scripts.size());
+  std::vector<rr::service::Tenant::Config> configs;
+  configs.reserve(static_cast<std::size_t>(tenants));
+  for (int t = 0; t < tenants; ++t) {
+    rr::service::Tenant::Config config;
+    config.fabric = fabric;
+    config.library = library;
+    configs.push_back(std::move(config));
+  }
+  rr::service::ServiceOptions options;
+  options.workers = workers;
+  rr::service::PlacementService service(std::move(configs), options,
+                                        cache_enabled);
+
+  ArmResult result;
+  result.responses.resize(static_cast<std::size_t>(tenants));
+  rr::Stopwatch watch;
+  {
+    std::vector<std::thread> submitters;
+    submitters.reserve(static_cast<std::size_t>(tenants));
+    for (int t = 0; t < tenants; ++t) {
+      submitters.emplace_back([&, t] {
+        const auto& script = scripts[static_cast<std::size_t>(t)];
+        std::vector<std::future<Response>> futures;
+        futures.reserve(script.size());
+        for (const Request& request : script)
+          futures.push_back(service.submit(request));
+        auto& out = result.responses[static_cast<std::size_t>(t)];
+        out.reserve(futures.size());
+        for (auto& future : futures) out.push_back(future.get());
+      });
+    }
+    for (std::thread& thread : submitters) thread.join();
+  }
+  result.seconds = watch.seconds();
+  service.stop();
+  result.stats = service.stats();
+  result.throughput =
+      result.seconds > 0.0
+          ? static_cast<double>(result.stats.requests) / result.seconds
+          : 0.0;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  using namespace rr;
+  const bench::EvalConfig config = bench::EvalConfig::from_env();
+  bench::StatsJsonWriter record("service_load", config);
+  config.print(std::cout);
+  const int tenants = env_int("RRPLACE_TENANTS", 6);
+  const int workers = env_int("RRPLACE_SERVE_WORKERS", 4);
+  const int requests_per_tenant = env_int("RRPLACE_STEPS", 250);
+
+  const auto region = bench::make_eval_region(config.seed, config.modules);
+  const auto fabric = region->fabric_ptr();
+  model::ModuleGenerator generator(bench::paper_workload_params(),
+                                   config.seed);
+  const auto library = generator.generate_many(config.modules);
+
+  std::vector<std::vector<Request>> scripts;
+  scripts.reserve(static_cast<std::size_t>(tenants));
+  for (int t = 0; t < tenants; ++t)
+    scripts.push_back(tenant_script(t, config.seed, requests_per_tenant,
+                                    static_cast<int>(library.size()),
+                                    fabric->width(), fabric->height()));
+
+  RunningStats cached_rps, uncached_rps, speedup;
+  RunningStats cached_p50, cached_p99, uncached_p99, hit_rate, batched;
+  long mismatches = 0;
+  for (int run = 0; run < config.runs; ++run) {
+    // Uncached arm first so the cached arm can't inherit anything warm.
+    const ArmResult uncached =
+        run_arm(fabric, library, scripts, workers, false);
+    const ArmResult cached = run_arm(fabric, library, scripts, workers, true);
+    cached_rps.add(cached.throughput);
+    uncached_rps.add(uncached.throughput);
+    if (uncached.throughput > 0.0)
+      speedup.add(cached.throughput / uncached.throughput);
+    cached_p50.add(cached.stats.latency_p50_ms);
+    cached_p99.add(cached.stats.latency_p99_ms);
+    uncached_p99.add(uncached.stats.latency_p99_ms);
+    hit_rate.add(cached.stats.cache.hit_rate());
+    batched.add(cached.stats.requests > 0
+                    ? static_cast<double>(cached.stats.batched_requests) /
+                          static_cast<double>(cached.stats.requests)
+                    : 0.0);
+    // Determinism gate: cached tables must be bit-identical to freshly
+    // scanned ones, so the two arms must answer every request identically.
+    for (int t = 0; t < tenants; ++t) {
+      const auto& a = cached.responses[static_cast<std::size_t>(t)];
+      const auto& b = uncached.responses[static_cast<std::size_t>(t)];
+      for (std::size_t i = 0; i < a.size(); ++i)
+        if (a[i] != b[i]) ++mismatches;
+    }
+  }
+
+  const std::uint64_t total_requests =
+      static_cast<std::uint64_t>(tenants) *
+      static_cast<std::uint64_t>(requests_per_tenant);
+  TextTable table({"Arm", "Throughput (req/s)", "p50 (ms)", "p99 (ms)"});
+  table.add_row({"context cache", TextTable::num(cached_rps.mean(), 1),
+                 TextTable::num(cached_p50.mean(), 3),
+                 TextTable::num(cached_p99.mean(), 3)});
+  table.add_row({"anchor scan per request",
+                 TextTable::num(uncached_rps.mean(), 1), "-",
+                 TextTable::num(uncached_p99.mean(), 3)});
+  table.print(std::cout, "Service load: " + std::to_string(tenants) +
+                             " tenants x " +
+                             std::to_string(requests_per_tenant) +
+                             " requests on " + std::to_string(workers) +
+                             " workers");
+  std::cout << "cache speedup: " << TextTable::num(speedup.mean(), 2)
+            << "x  hit rate: " << TextTable::pct(hit_rate.mean())
+            << "  batched: " << TextTable::pct(batched.mean())
+            << "  mismatches: " << mismatches << '\n';
+
+  record.add_result("requests", json::Value(total_requests));
+  record.add_result("tenants", json::Value(tenants));
+  record.add_result("workers", json::Value(workers));
+  record.add_result("throughput_rps", cached_rps);
+  record.add_result("throughput_rps_uncached", uncached_rps);
+  record.add_result("cache_speedup", speedup);
+  record.add_result("cache_hit_rate", hit_rate);
+  record.add_result("latency_p50_ms", cached_p50);
+  record.add_result("latency_p99_ms", cached_p99);
+  record.add_result("latency_p99_ms_uncached", uncached_p99);
+  record.add_result("batched_fraction", batched);
+  record.add_result("mismatches", json::Value(mismatches));
+  return 0;
+}

@@ -46,6 +46,17 @@ std::vector<geost::ShapeFootprint> OnlinePlacer::shapes_of(
   return shapes;
 }
 
+void OnlinePlacer::build_tables(const model::Module& module,
+                                std::vector<geost::ShapeFootprint>& shapes,
+                                std::vector<geost::Placement>& table) const {
+  shapes = shapes_of(module);
+  std::vector<std::vector<Point>> anchors;
+  anchors.reserve(shapes.size());
+  for (const geost::ShapeFootprint& shape : shapes)
+    anchors.push_back(geost::compute_valid_anchors(region_.masks(), shape));
+  table = geost::sorted_placement_table(shapes, anchors);
+}
+
 std::optional<geost::Placement> OnlinePlacer::first_fit(
     const BitMatrix& occupancy,
     const std::vector<geost::ShapeFootprint>& shapes,
@@ -88,15 +99,19 @@ std::optional<placer::ModulePlacement> OnlinePlacer::place(
     int instance_id, const model::Module& module) {
   RR_REQUIRE(!live_.contains(instance_id),
              "instance id " + std::to_string(instance_id) + " already placed");
-  // Anchor tables are computed per request: the online setting has no
-  // design-time module list. (Callers placing the same module repeatedly
-  // can cache at their level.)
-  const std::vector<geost::ShapeFootprint> shapes = shapes_of(module);
-  std::vector<std::vector<Point>> anchors;
-  anchors.reserve(shapes.size());
-  for (const geost::ShapeFootprint& shape : shapes)
-    anchors.push_back(geost::compute_valid_anchors(region_.masks(), shape));
-  const auto table = geost::sorted_placement_table(shapes, anchors);
+  // Anchor tables are computed per request — the online setting has no
+  // design-time module list — unless an installed ModuleTableSource covers
+  // the module, in which case the cached tables (prepared by the same code)
+  // short-circuit the scan with bit-identical results.
+  const placer::ModuleTables* cached =
+      table_source_ != nullptr ? table_source_->lookup(module) : nullptr;
+  std::vector<geost::ShapeFootprint> local_shapes;
+  std::vector<geost::Placement> local_table;
+  if (cached == nullptr) build_tables(module, local_shapes, local_table);
+  const std::vector<geost::ShapeFootprint>& shapes =
+      cached != nullptr ? *cached->shapes : local_shapes;
+  const std::vector<geost::Placement>& table =
+      cached != nullptr ? cached->table : local_table;
 
   if (const auto p = first_fit(occupied_, shapes, table)) {
     const geost::ShapeFootprint& shape =
@@ -324,15 +339,17 @@ std::optional<placer::ModulePlacement> OnlinePlacer::defrag_place(
       bool all_placed = true;
       for (const int id : order) {
         const LiveInstance& li = live_.at(id);
-        const std::vector<geost::ShapeFootprint> li_shapes =
-            shapes_of(li.module);
-        std::vector<std::vector<Point>> li_anchors;
-        li_anchors.reserve(li_shapes.size());
-        for (const geost::ShapeFootprint& s : li_shapes)
-          li_anchors.push_back(
-              geost::compute_valid_anchors(region_.masks(), s));
-        const auto li_table =
-            geost::sorted_placement_table(li_shapes, li_anchors);
+        const placer::ModuleTables* li_cached =
+            table_source_ != nullptr ? table_source_->lookup(li.module)
+                                     : nullptr;
+        std::vector<geost::ShapeFootprint> li_local_shapes;
+        std::vector<geost::Placement> li_local_table;
+        if (li_cached == nullptr)
+          build_tables(li.module, li_local_shapes, li_local_table);
+        const std::vector<geost::ShapeFootprint>& li_shapes =
+            li_cached != nullptr ? *li_cached->shapes : li_local_shapes;
+        const std::vector<geost::Placement>& li_table =
+            li_cached != nullptr ? li_cached->table : li_local_table;
         const auto spot = first_fit(shaken, li_shapes, li_table);
         if (!spot.has_value()) {
           all_placed = false;

@@ -27,10 +27,33 @@
 
 #include "fpga/region.hpp"
 #include "model/module.hpp"
+#include "placer/model_builder.hpp"
 #include "placer/placement.hpp"
 #include "runtime/manager.hpp"
 
 namespace rr::baseline {
+
+/// Supplier of cached per-module placement tables, as produced by
+/// placer::prepare_tables over this placer's region and alternatives
+/// setting. When installed via OnlinePlacer::set_table_source, place() and
+/// the defrag shake tier skip the per-request anchor scan for any module
+/// the source covers; a nullptr lookup falls back to the scan. Cached and
+/// scanned tables are prepared by the same code path, so placements are
+/// bit-identical either way.
+///
+/// Staleness contract: the tables encode the region's availability masks at
+/// preparation time. After a fault or repair changes the masks the caller
+/// MUST drop or refresh the source before the next request, or placements
+/// may land on unavailable tiles (the occupancy bitmap alone cannot catch
+/// this). Occupancy changes — place/remove/defrag — do not invalidate.
+class ModuleTableSource {
+ public:
+  virtual ~ModuleTableSource() = default;
+  /// Tables for `module`, or nullptr when not cached. The pointee must stay
+  /// valid until the source is replaced or the placer is destroyed.
+  [[nodiscard]] virtual const placer::ModuleTables* lookup(
+      const model::Module& module) = 0;
+};
 
 /// Tuning for the on-reject defragmentation pass. Defrag is off by default
 /// (deadline_seconds <= 0), in which case place() behaves exactly like the
@@ -97,6 +120,12 @@ class OnlinePlacer {
   /// Remove a previously placed instance, freeing its tiles.
   void remove(int instance_id);
 
+  /// Install (or clear, with nullptr) a table cache; see ModuleTableSource
+  /// for the staleness contract. The source must outlive its installation.
+  void set_table_source(ModuleTableSource* source) noexcept {
+    table_source_ = source;
+  }
+
   [[nodiscard]] bool is_placed(int instance_id) const noexcept {
     return live_.contains(instance_id);
   }
@@ -155,6 +184,13 @@ class OnlinePlacer {
   [[nodiscard]] std::vector<geost::ShapeFootprint> shapes_of(
       const model::Module& module) const;
 
+  /// The anchor scan (prepare_tables' per-module body): fills `shapes` and
+  /// the sorted placement `table` for `module`. The fallback path when no
+  /// table source covers the module.
+  void build_tables(const model::Module& module,
+                    std::vector<geost::ShapeFootprint>& shapes,
+                    std::vector<geost::Placement>& table) const;
+
   /// Bottom-left first-fit of `shapes` against `occupancy`; nullopt when no
   /// table entry is conflict-free.
   [[nodiscard]] std::optional<geost::Placement> first_fit(
@@ -180,6 +216,7 @@ class OnlinePlacer {
 
   const fpga::PartialRegion& region_;
   OnlineOptions options_;
+  ModuleTableSource* table_source_ = nullptr;  // non-owning; may be null
   BitMatrix occupied_;
   long occupied_tiles_ = 0;
   std::unordered_map<int, LiveInstance> live_;

@@ -50,6 +50,13 @@ std::vector<ModuleTables> prepare_tables(
   return tables;
 }
 
+TablesHandle prepare_tables_shared(const fpga::PartialRegion& region,
+                                   std::span<const model::Module> modules,
+                                   bool use_alternatives) {
+  return std::make_shared<const std::vector<ModuleTables>>(
+      prepare_tables(region, modules, use_alternatives));
+}
+
 BuiltModel build_model_from_tables(const fpga::PartialRegion& region,
                                    std::span<const ModuleTables> tables,
                                    const BuildOptions& options) {

@@ -57,6 +57,16 @@ struct ModuleTables {
     const fpga::PartialRegion& region,
     std::span<const model::Module> modules, bool use_alternatives);
 
+/// Shared immutable tables: one prepare, many builds. The handle is safe to
+/// reference from several threads at once (the tables are never mutated
+/// after construction) — portfolio workers, repeated solves, and the
+/// service layer's SolveContext cache all hold one.
+using TablesHandle = std::shared_ptr<const std::vector<ModuleTables>>;
+
+[[nodiscard]] TablesHandle prepare_tables_shared(
+    const fpga::PartialRegion& region,
+    std::span<const model::Module> modules, bool use_alternatives);
+
 /// Build a model from cached tables — microseconds, no anchor scans.
 [[nodiscard]] BuiltModel build_model_from_tables(
     const fpga::PartialRegion& region, std::span<const ModuleTables> tables,

@@ -17,6 +17,8 @@ struct ModulePlacement {
   int shape = 0;
   int x = 0;
   int y = 0;
+
+  bool operator==(const ModulePlacement&) const = default;
 };
 
 struct PlacementSolution {

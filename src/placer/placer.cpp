@@ -39,8 +39,18 @@ SearchStrategy worker_strategy(const PlacerOptions& options, int worker) {
 
 Placer::Placer(const fpga::PartialRegion& region,
                std::span<const model::Module> modules, PlacerOptions options)
-    : region_(region), modules_(modules), options_(std::move(options)) {
+    : Placer(region, modules, nullptr, std::move(options)) {}
+
+Placer::Placer(const fpga::PartialRegion& region,
+               std::span<const model::Module> modules, TablesHandle tables,
+               PlacerOptions options)
+    : region_(region),
+      modules_(modules),
+      tables_(std::move(tables)),
+      options_(std::move(options)) {
   RR_REQUIRE(!modules_.empty(), "nothing to place: module list is empty");
+  RR_REQUIRE(tables_ == nullptr || tables_->size() == modules_.size(),
+             "cached tables must cover exactly the placed modules");
   RR_REQUIRE(options_.workers >= 1, "placer needs at least one worker");
   RR_REQUIRE(options_.mode != PlacerMode::kRestarts || options_.workers == 1,
              "restarts mode has no portfolio variant: use workers == 1 or "
@@ -59,28 +69,39 @@ PlacementOutcome Placer::place() const {
     RR_METRIC_ADD("placer.modules", modules_.size());
     RR_METRIC_ADD("placer.alternatives_considered", alternatives);
   }
+  // Every mode solves from one table set, prepared here (or taken from the
+  // cached handle): portfolio workers and LNS iterations share it instead
+  // of re-running the anchor scans per worker/model build.
+  const TablesHandle tables =
+      tables_ != nullptr
+          ? tables_
+          : prepare_tables_shared(region_, modules_,
+                                  options_.use_alternatives);
   // The mode is honored for any worker count: workers > 1 swaps the exact
   // phase for a parallel portfolio, it does not silently force pure B&B.
   const bool parallel = options_.workers > 1;
   switch (options_.mode) {
     case PlacerMode::kBranchAndBound:
-      return parallel ? place_portfolio() : place_single();
+      return parallel ? place_portfolio(*tables) : place_single(*tables);
     case PlacerMode::kLns:
-      return parallel ? place_portfolio_lns(/*exact_first=*/false)
-                      : place_lns_mode(/*exact_first=*/false);
+      return parallel ? place_portfolio_lns(*tables, /*exact_first=*/false)
+                      : place_lns_mode(*tables, /*exact_first=*/false);
     case PlacerMode::kAuto:
-      return parallel ? place_portfolio_lns(/*exact_first=*/true)
-                      : place_lns_mode(/*exact_first=*/true);
-    case PlacerMode::kRestarts: return place_restarts();  // workers == 1
+      return parallel ? place_portfolio_lns(*tables, /*exact_first=*/true)
+                      : place_lns_mode(*tables, /*exact_first=*/true);
+    case PlacerMode::kRestarts:
+      return place_restarts(*tables);  // workers == 1
   }
-  return place_single();
+  return place_single(*tables);
 }
 
-PlacementOutcome Placer::place_restarts() const {
+PlacementOutcome Placer::place_restarts(
+    const std::vector<ModuleTables>& tables) const {
   Stopwatch watch;
   PlacementOutcome outcome;
 
-  BuiltModel model = build_model(region_, modules_, to_build_options(options_));
+  BuiltModel model =
+      build_model_from_tables(region_, tables, to_build_options(options_));
   if (model.infeasible) {
     outcome.optimal = true;
     outcome.seconds = watch.seconds();
@@ -107,14 +128,13 @@ PlacementOutcome Placer::place_restarts() const {
   return outcome;
 }
 
-PlacementOutcome Placer::place_lns_mode(bool exact_first) const {
+PlacementOutcome Placer::place_lns_mode(
+    const std::vector<ModuleTables>& tables, bool exact_first) const {
   Stopwatch watch;
   const Deadline deadline(options_.time_limit_seconds);
   PlacementOutcome outcome;
 
   const BuildOptions build_options = to_build_options(options_);
-  const std::vector<ModuleTables> tables =
-      prepare_tables(region_, modules_, options_.use_alternatives);
   BuiltModel model = build_model_from_tables(region_, tables, build_options);
   if (model.infeasible) {
     outcome.optimal = true;  // proven: some module cannot be placed at all
@@ -182,14 +202,13 @@ PlacementOutcome Placer::place_lns_mode(bool exact_first) const {
   return outcome;
 }
 
-PlacementOutcome Placer::place_portfolio_lns(bool exact_first) const {
+PlacementOutcome Placer::place_portfolio_lns(
+    const std::vector<ModuleTables>& tables, bool exact_first) const {
   Stopwatch watch;
   const Deadline deadline(options_.time_limit_seconds);
   PlacementOutcome outcome;
 
   const BuildOptions build_options = to_build_options(options_);
-  const std::vector<ModuleTables> tables =
-      prepare_tables(region_, modules_, options_.use_alternatives);
   BuiltModel reference =
       build_model_from_tables(region_, tables, build_options);
   if (reference.infeasible) {
@@ -255,11 +274,13 @@ PlacementOutcome Placer::place_portfolio_lns(bool exact_first) const {
   return outcome;
 }
 
-PlacementOutcome Placer::place_single() const {
+PlacementOutcome Placer::place_single(
+    const std::vector<ModuleTables>& tables) const {
   Stopwatch watch;
   PlacementOutcome outcome;
 
-  BuiltModel model = build_model(region_, modules_, to_build_options(options_));
+  BuiltModel model =
+      build_model_from_tables(region_, tables, to_build_options(options_));
   if (model.infeasible) {
     outcome.optimal = true;  // proven: some module cannot be placed at all
     outcome.seconds = watch.seconds();
@@ -281,15 +302,16 @@ PlacementOutcome Placer::place_single() const {
   return outcome;
 }
 
-PlacementOutcome Placer::place_portfolio() const {
+PlacementOutcome Placer::place_portfolio(
+    const std::vector<ModuleTables>& tables) const {
   Stopwatch watch;
   PlacementOutcome outcome;
 
   // A reference model for early infeasibility detection and for mapping the
-  // winning assignment back to placements (all workers build identical
-  // placement tables, so any model can decode any worker's assignment).
+  // winning assignment back to placements (all workers build from the same
+  // tables, so any model can decode any worker's assignment).
   const BuiltModel reference =
-      build_model(region_, modules_, to_build_options(options_));
+      build_model_from_tables(region_, tables, to_build_options(options_));
   if (reference.infeasible) {
     outcome.optimal = true;
     outcome.seconds = watch.seconds();
@@ -297,10 +319,10 @@ PlacementOutcome Placer::place_portfolio() const {
   }
 
   // All models are built sequentially by minimize_portfolio before any
-  // thread starts, so capturing `this` members is safe.
+  // thread starts, so capturing `this` members and `tables` is safe.
   cp::PortfolioFactory factory = [&](int worker) {
     BuiltModel model =
-        build_model(region_, modules_, to_build_options(options_));
+        build_model_from_tables(region_, tables, to_build_options(options_));
     cp::PortfolioModel instance;
     instance.objective = model.objective;
     instance.report = model.placement_vars;

@@ -63,7 +63,19 @@ class Placer {
   Placer(const fpga::PartialRegion& region,
          std::span<const model::Module> modules, PlacerOptions options = {});
 
-  /// Solve. Repeatable; every call rebuilds and re-solves.
+  /// As above, but with precomputed placement tables (prepare_tables_shared
+  /// over the same region, modules, and alternatives setting): place()
+  /// skips the anchor scans entirely and every mode — including each
+  /// portfolio worker — builds its model from the shared tables. The
+  /// service layer's SolveContext cache is the main client. Pass nullptr to
+  /// prepare per call (identical to the two-argument constructor). Options
+  /// are required here so `Placer(region, modules, {})` stays unambiguous.
+  Placer(const fpga::PartialRegion& region,
+         std::span<const model::Module> modules, TablesHandle tables,
+         PlacerOptions options);
+
+  /// Solve. Repeatable; every call rebuilds and re-solves (from the cached
+  /// tables when the placer holds a handle).
   [[nodiscard]] PlacementOutcome place() const;
 
   [[nodiscard]] const PlacerOptions& options() const noexcept {
@@ -71,14 +83,20 @@ class Placer {
   }
 
  private:
-  [[nodiscard]] PlacementOutcome place_single() const;
-  [[nodiscard]] PlacementOutcome place_portfolio() const;
-  [[nodiscard]] PlacementOutcome place_portfolio_lns(bool exact_first) const;
-  [[nodiscard]] PlacementOutcome place_lns_mode(bool exact_first) const;
-  [[nodiscard]] PlacementOutcome place_restarts() const;
+  [[nodiscard]] PlacementOutcome place_single(
+      const std::vector<ModuleTables>& tables) const;
+  [[nodiscard]] PlacementOutcome place_portfolio(
+      const std::vector<ModuleTables>& tables) const;
+  [[nodiscard]] PlacementOutcome place_portfolio_lns(
+      const std::vector<ModuleTables>& tables, bool exact_first) const;
+  [[nodiscard]] PlacementOutcome place_lns_mode(
+      const std::vector<ModuleTables>& tables, bool exact_first) const;
+  [[nodiscard]] PlacementOutcome place_restarts(
+      const std::vector<ModuleTables>& tables) const;
 
   const fpga::PartialRegion& region_;
   std::span<const model::Module> modules_;
+  TablesHandle tables_;  // null: prepare per place() call
   PlacerOptions options_;
 };
 

@@ -40,6 +40,7 @@
 #include "runtime/manager.hpp"      // IWYU pragma: export
 #include "runtime/recovery.hpp"     // IWYU pragma: export
 #include "render/svg.hpp"           // IWYU pragma: export
+#include "service/service.hpp"      // IWYU pragma: export
 #include "util/json.hpp"            // IWYU pragma: export
 #include "util/metrics.hpp"         // IWYU pragma: export
 #include "util/stats.hpp"           // IWYU pragma: export

@@ -75,6 +75,19 @@ ReconfigurationManager::ReconfigurationManager(
   RR_REQUIRE(!pool_.empty(), "module pool must be non-empty");
 }
 
+placer::TablesHandle ReconfigurationManager::pool_tables() const {
+  if (pool_tables_ == nullptr)
+    pool_tables_ = placer::prepare_tables_shared(region_, pool_,
+                                                 options_.use_alternatives);
+  return pool_tables_;
+}
+
+void ReconfigurationManager::set_pool_tables(placer::TablesHandle tables) {
+  RR_REQUIRE(tables == nullptr || tables->size() == pool_.size(),
+             "pool tables must cover exactly the module pool");
+  pool_tables_ = std::move(tables);
+}
+
 PhaseOutcome ReconfigurationManager::place_phase(
     const Phase& phase, const std::vector<PlacedModule>& frozen,
     bool defrag) const {
@@ -91,8 +104,14 @@ PhaseOutcome ReconfigurationManager::place_phase(
     modules.push_back(pool_[static_cast<std::size_t>(id)]);
 
   const Deadline deadline(options_.time_limit_seconds);
-  const auto tables =
-      placer::prepare_tables(region_, modules, options_.use_alternatives);
+  // Slice the cached pool-wide tables for this phase's active set: the
+  // entries are prepared per module independently, so the slice is
+  // bit-identical to a per-phase prepare_tables over `modules`.
+  const placer::TablesHandle pool_tables = this->pool_tables();
+  std::vector<placer::ModuleTables> tables;
+  tables.reserve(phase.active_modules.size());
+  for (const int id : phase.active_modules)
+    tables.push_back((*pool_tables)[static_cast<std::size_t>(id)]);
 
   // Locate the frozen modules' previous placements in this phase's tables.
   std::vector<bool> frozen_mask(modules.size(), false);

@@ -83,6 +83,20 @@ class ReconfigurationManager {
   [[nodiscard]] RunResult run(const Schedule& schedule,
                               PlacementPolicy policy) const;
 
+  /// Placement tables for the whole pool (pool order), prepared lazily on
+  /// first use and reused across phases and runs — region and pool are
+  /// fixed for the manager's lifetime, so per-phase anchor scans would be
+  /// pure rework. Not thread-safe (like the manager itself).
+  [[nodiscard]] placer::TablesHandle pool_tables() const;
+
+  /// Inject shared pool tables instead of preparing them here: the handle
+  /// must come from prepare_tables_shared over this manager's region, pool,
+  /// and use_alternatives setting (the service layer's SolveContext shares
+  /// one preparation across managers this way). Pass nullptr to drop the
+  /// cache and re-prepare lazily — required after the region's availability
+  /// masks change (e.g. faults).
+  void set_pool_tables(placer::TablesHandle tables);
+
  private:
   [[nodiscard]] PhaseOutcome place_phase(const Phase& phase,
                                          const std::vector<PlacedModule>& frozen,
@@ -91,6 +105,7 @@ class ReconfigurationManager {
   const fpga::PartialRegion& region_;
   std::span<const model::Module> pool_;
   placer::PlacerOptions options_;
+  mutable placer::TablesHandle pool_tables_;  // lazy; see pool_tables()
 };
 
 /// Tiles that must be written/cleared when moving from `before` to `after`

@@ -1,0 +1,346 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace rr::service {
+namespace {
+
+fpga::PartialRegion make_region(const Tenant::Config& config) {
+  RR_REQUIRE(config.fabric != nullptr, "tenant needs a fabric");
+  if (config.window.has_value())
+    return fpga::PartialRegion(config.fabric, *config.window);
+  return fpga::PartialRegion(config.fabric);
+}
+
+double to_ms(std::uint64_t ns) noexcept {
+  return static_cast<double>(ns) * 1e-6;
+}
+
+/// v must be sorted ascending; nearest-rank percentile in [0, 1].
+double percentile_ms(const std::vector<std::uint64_t>& v, double q) noexcept {
+  if (v.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(v.size() - 1) + 0.5);
+  return to_ms(v[std::min(rank, v.size() - 1)]);
+}
+
+}  // namespace
+
+Tenant::Tenant(Config config)
+    : library_(std::move(config.library)),
+      region_(make_region(config)),
+      faults_(*config.fabric),
+      placer_(region_, config.online),
+      cache_(config.cache),
+      online_(config.online) {
+  RR_REQUIRE(!library_.empty(), "tenant needs a non-empty module library");
+  refresh_context();
+}
+
+void Tenant::refresh_context() {
+  if (cache_ == nullptr) return;  // uncached: the placer scans per request
+  context_ = cache_->acquire(region_, library_, online_.use_alternatives);
+  placer_.set_table_source(context_.get());
+}
+
+Response Tenant::apply(const Request& request) {
+  try {
+    switch (request.op) {
+      case RequestOp::kPlace:
+        return apply_place(request);
+      case RequestOp::kRemove:
+        return apply_remove(request);
+      case RequestOp::kFault:
+        return apply_fault(request);
+    }
+    Response response;
+    response.error = "unknown request op";
+    return response;
+  } catch (const std::exception& e) {
+    // A bad request (duplicate instance, out-of-range fault rect, ...)
+    // must fail that request, not the worker thread.
+    Response response;
+    response.status = Response::Status::kError;
+    response.error = e.what();
+    return response;
+  }
+}
+
+Response Tenant::apply_place(const Request& request) {
+  Response response;
+  if (request.module < 0 ||
+      request.module >= static_cast<int>(library_.size())) {
+    response.error = "module index out of range";
+    return response;
+  }
+  if (instance_module_.contains(request.instance)) {
+    response.error = "instance id already live";
+    return response;
+  }
+  const auto placed = placer_.place(
+      request.instance, library_[static_cast<std::size_t>(request.module)]);
+  if (!placed.has_value()) {
+    response.status = Response::Status::kRejected;
+    return response;
+  }
+  instance_module_.emplace(request.instance, request.module);
+  response.status = Response::Status::kPlaced;
+  response.placement = *placed;
+  return response;
+}
+
+Response Tenant::apply_remove(const Request& request) {
+  Response response;
+  const auto it = instance_module_.find(request.instance);
+  if (it == instance_module_.end()) {
+    response.error = "instance id not live";
+    return response;
+  }
+  placer_.remove(request.instance);
+  instance_module_.erase(it);
+  response.status = Response::Status::kRemoved;
+  return response;
+}
+
+Response Tenant::apply_fault(const Request& request) {
+  Response response;
+  faults_.apply(request.fault);
+  region_.apply_faults(faults_);
+  ++fabric_epoch_;
+
+  // Re-resolve the solve context FIRST: the availability masks just
+  // changed, so the installed tables are stale — a casualty re-placed
+  // through them could land on a faulty tile (the occupancy bitmap alone
+  // cannot catch that). The content-keyed cache makes this a natural
+  // re-acquire. The entry this tenant departs is evicted only when it was
+  // its last user (local ref + cache map = 2): other tenants on the same
+  // fabric state keep their shared entry — a tenant-private fault must not
+  // flush the healthy-fabric tables everyone else is running on. The
+  // use_count probe is racy against concurrent acquires, but a stray
+  // eviction only costs the next acquirer a rebuild, never correctness
+  // (holders keep their shared_ptr).
+  const std::shared_ptr<SolveContext> old_context = context_;
+  refresh_context();
+  if (cache_ != nullptr && old_context != nullptr &&
+      context_ != old_context && old_context.use_count() <= 2)
+    cache_->invalidate(old_context->key());
+
+  // Displace every live instance whose footprint the fault overlay now
+  // hits, then try to re-place each on the degraded fabric (ascending id:
+  // deterministic). Unrecoverable instances are lost and their ids freed.
+  std::vector<int> displaced;
+  const BitMatrix& faulty = region_.fault_mask();
+  for (const placer::ModulePlacement& p : placer_.live_placements()) {
+    const int library_index = instance_module_.at(p.module);
+    const geost::ShapeFootprint& shape =
+        library_[static_cast<std::size_t>(library_index)]
+            .shapes()[static_cast<std::size_t>(p.shape)];
+    if (faulty.intersects_shifted(shape.mask(), p.y, p.x))
+      displaced.push_back(p.module);  // p.module is the instance id
+  }
+  for (const int id : displaced) placer_.remove(id);
+  for (const int id : displaced) {
+    const int library_index = instance_module_.at(id);
+    const auto placed = placer_.place(
+        id, library_[static_cast<std::size_t>(library_index)]);
+    if (placed.has_value()) {
+      ++response.recovered;
+    } else {
+      instance_module_.erase(id);
+    }
+  }
+  response.displaced = static_cast<int>(displaced.size());
+  response.status = Response::Status::kFaulted;
+  return response;
+}
+
+json::Value ServiceStats::to_json() const {
+  json::Value doc = json::Value::object();
+  doc.set("requests", json::Value(requests));
+  doc.set("placed", json::Value(placed));
+  doc.set("rejected", json::Value(rejected));
+  doc.set("removed", json::Value(removed));
+  doc.set("fault_events", json::Value(fault_events));
+  doc.set("errors", json::Value(errors));
+  doc.set("batches", json::Value(batches));
+  doc.set("batched_requests", json::Value(batched_requests));
+  json::Value cache_doc = json::Value::object();
+  cache_doc.set("hits", json::Value(cache.hits));
+  cache_doc.set("misses", json::Value(cache.misses));
+  cache_doc.set("invalidations", json::Value(cache.invalidations));
+  cache_doc.set("entries", json::Value(cache.entries));
+  cache_doc.set("hit_rate", json::Value(cache.hit_rate()));
+  doc.set("cache", std::move(cache_doc));
+  json::Value latency = json::Value::object();
+  latency.set("count", json::Value(latency_count));
+  latency.set("mean_ms", json::Value(latency_mean_ms));
+  latency.set("p50_ms", json::Value(latency_p50_ms));
+  latency.set("p99_ms", json::Value(latency_p99_ms));
+  latency.set("max_ms", json::Value(latency_max_ms));
+  doc.set("latency", std::move(latency));
+  return doc;
+}
+
+PlacementService::PlacementService(std::vector<Tenant::Config> tenants,
+                                   ServiceOptions options, bool cache_enabled)
+    : options_(options), cache_(cache_enabled) {
+  RR_REQUIRE(options_.workers >= 1, "service needs at least one worker");
+  RR_REQUIRE(options_.max_batch >= 1, "max_batch must be at least 1");
+  RR_REQUIRE(!tenants.empty(), "service needs at least one tenant");
+  tenants_.reserve(tenants.size());
+  for (Tenant::Config& config : tenants) {
+    // cache_enabled = false means NO solve contexts at all — every request
+    // pays the per-module anchor scan inside the online placer. That is
+    // the pre-service behavior and the bench's control arm; wiring the
+    // disabled cache in instead would still hand each tenant per-epoch
+    // tables and quietly measure the wrong thing.
+    config.cache = cache_.enabled() ? &cache_ : nullptr;
+    tenants_.push_back(std::make_unique<Tenant>(std::move(config)));
+  }
+  workers_.reserve(static_cast<std::size_t>(options_.workers));
+  for (int w = 0; w < options_.workers; ++w)
+    workers_.push_back(std::make_unique<Worker>(options_.queue_capacity));
+  for (const std::unique_ptr<Worker>& worker : workers_) {
+    Worker* raw = worker.get();
+    raw->thread = std::thread([this, raw] { worker_loop(*raw); });
+  }
+}
+
+PlacementService::~PlacementService() { stop(); }
+
+int PlacementService::worker_of(int tenant) const noexcept {
+  // splitmix64 finalizer: spreads consecutive tenant ids over the workers
+  // so adjacent tenants don't pile onto adjacent shards.
+  std::uint64_t x = static_cast<std::uint64_t>(tenant) + 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return static_cast<int>(x % workers_.size());
+}
+
+std::future<Response> PlacementService::submit(Request request) {
+  RR_REQUIRE(request.tenant >= 0 &&
+                 request.tenant < static_cast<int>(tenants_.size()),
+             "unknown tenant id " + std::to_string(request.tenant));
+  Job job;
+  job.request = request;
+  std::future<Response> future = job.promise.get_future();
+  const int worker = worker_of(request.tenant);
+  const bool pushed =
+      workers_[static_cast<std::size_t>(worker)]->queue.push(std::move(job));
+  RR_REQUIRE(pushed, "service is stopped");
+  return future;
+}
+
+Response PlacementService::call(Request request) {
+  return submit(request).get();
+}
+
+void PlacementService::worker_loop(Worker& worker) {
+  // Hot-path metrics land in this worker's shard, contention-free; stop()
+  // folds the shards into the process registry.
+  const metrics::ThreadShard redirect(worker.shard);
+  std::vector<Job> batch;
+  for (;;) {
+    batch.clear();
+    // Drain a run of consecutive same-tenant occupancy requests in one
+    // queue lock: one batch, one solve-context resolution. A fault request
+    // changes the fabric epoch, so it neither starts nor joins a run.
+    const std::size_t taken = worker.queue.pop_run(
+        [](const Job& first, const Job& next) {
+          return first.request.op != RequestOp::kFault &&
+                 next.request.op != RequestOp::kFault &&
+                 next.request.tenant == first.request.tenant;
+        },
+        static_cast<std::size_t>(options_.max_batch), batch);
+    if (taken == 0) break;
+    worker.batched_requests += taken - 1;
+    ++worker.batches;
+    Tenant& tenant =
+        *tenants_[static_cast<std::size_t>(batch.front().request.tenant)];
+    for (Job& job : batch) {
+      Response response = tenant.apply(job.request);
+      record(worker, response);
+      const auto elapsed_ns =
+          static_cast<std::uint64_t>(job.latency.elapsed().count());
+      worker.latency_ns.push_back(elapsed_ns);
+      worker.shard.record_time("service.request", elapsed_ns);
+      ++worker.requests;
+      job.promise.set_value(std::move(response));
+    }
+  }
+}
+
+void PlacementService::record(Worker& worker, const Response& response) {
+  switch (response.status) {
+    case Response::Status::kPlaced:
+      ++worker.placed;
+      break;
+    case Response::Status::kRejected:
+      ++worker.rejected;
+      break;
+    case Response::Status::kRemoved:
+      ++worker.removed;
+      break;
+    case Response::Status::kFaulted:
+      ++worker.fault_events;
+      break;
+    case Response::Status::kError:
+      ++worker.errors;
+      break;
+  }
+}
+
+void PlacementService::stop() {
+  if (stopped_.exchange(true)) return;
+  for (const std::unique_ptr<Worker>& worker : workers_)
+    worker->queue.close();
+  for (const std::unique_ptr<Worker>& worker : workers_)
+    if (worker->thread.joinable()) worker->thread.join();
+  for (const std::unique_ptr<Worker>& worker : workers_)
+    metrics::process().merge(worker->shard);
+}
+
+const Tenant& PlacementService::tenant(int id) const {
+  RR_REQUIRE(stopped_.load(), "tenant inspection requires a stopped service");
+  RR_REQUIRE(id >= 0 && id < static_cast<int>(tenants_.size()),
+             "unknown tenant id " + std::to_string(id));
+  return *tenants_[static_cast<std::size_t>(id)];
+}
+
+ServiceStats PlacementService::stats() const {
+  RR_REQUIRE(stopped_.load(), "stats() requires a stopped service");
+  ServiceStats stats;
+  std::vector<std::uint64_t> latencies;
+  for (const std::unique_ptr<Worker>& worker : workers_) {
+    stats.requests += worker->requests;
+    stats.placed += worker->placed;
+    stats.rejected += worker->rejected;
+    stats.removed += worker->removed;
+    stats.fault_events += worker->fault_events;
+    stats.errors += worker->errors;
+    stats.batches += worker->batches;
+    stats.batched_requests += worker->batched_requests;
+    latencies.insert(latencies.end(), worker->latency_ns.begin(),
+                     worker->latency_ns.end());
+  }
+  stats.cache = cache_.stats();
+  std::sort(latencies.begin(), latencies.end());
+  stats.latency_count = latencies.size();
+  if (!latencies.empty()) {
+    std::uint64_t total = 0;
+    for (const std::uint64_t ns : latencies) total += ns;
+    stats.latency_mean_ms =
+        to_ms(total) / static_cast<double>(latencies.size());
+    stats.latency_p50_ms = percentile_ms(latencies, 0.50);
+    stats.latency_p99_ms = percentile_ms(latencies, 0.99);
+    stats.latency_max_ms = to_ms(latencies.back());
+  }
+  return stats;
+}
+
+}  // namespace rr::service

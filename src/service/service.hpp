@@ -1,0 +1,266 @@
+// Placement-as-a-service: an in-process, multi-tenant placement server.
+//
+// Each tenant owns an independent reconfigurable fabric (region + fault
+// overlay + occupancy) and a fixed module library; clients submit
+// place/remove/fault/repair requests and get futures. Concurrency model:
+//
+//   - Tenants are sharded onto a fixed worker pool by tenant id. All
+//     requests of one tenant land on one worker's queue (per-tenant serial
+//     execution, no tenant-level locking anywhere), while distinct tenants
+//     on distinct workers run fully in parallel.
+//   - Each worker consumes its own bounded BoundedQueue; submit() blocks
+//     when the shard's queue is full (backpressure instead of unbounded
+//     memory).
+//   - A worker drains consecutive same-tenant occupancy requests
+//     (place/remove) from its queue head into one batch: the tenant's
+//     solve context is resolved once per batch, and a fault/repair request
+//     — which changes the fabric epoch and thus the context — always
+//     starts a new batch.
+//   - Solve contexts (per-module placement tables) are cached in a shared
+//     SolveContextCache keyed by content signatures; tenants running the
+//     same fabric and library share one preparation. See solve_context.hpp
+//     for the invalidation rules.
+//
+// Determinism: per-tenant results are bit-identical to a serial replay of
+// that tenant's request sequence through a fresh Tenant — the service and
+// the oracle run the same Tenant::apply code, requests of one tenant never
+// interleave, and cached tables equal freshly scanned ones. (Enable defrag
+// with care: its deadline tiers are wall-clock dependent, so runs are only
+// reproducible with defrag off.)
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "baseline/online.hpp"
+#include "fpga/faults.hpp"
+#include "fpga/region.hpp"
+#include "model/module.hpp"
+#include "placer/placement.hpp"
+#include "service/queue.hpp"
+#include "service/solve_context.hpp"
+#include "util/json.hpp"
+#include "util/metrics.hpp"
+
+namespace rr::service {
+
+enum class RequestOp : std::uint8_t {
+  kPlace,   // place library module `module` as instance `instance`
+  kRemove,  // remove instance `instance`
+  kFault,   // apply `fault` (inject or repair) to the tenant's fabric
+};
+
+struct Request {
+  int tenant = 0;
+  RequestOp op = RequestOp::kPlace;
+  int instance = 0;              // kPlace / kRemove
+  int module = 0;                // kPlace: index into the tenant's library
+  fpga::FaultEvent fault{};      // kFault: injection or repair event
+};
+
+struct Response {
+  enum class Status : std::uint8_t {
+    kPlaced,    // placement holds the result
+    kRejected,  // no feasible placement (not an error)
+    kRemoved,
+    kFaulted,   // fault event applied; displaced/recovered filled
+    kError,     // invalid request (duplicate instance, bad module, ...)
+  };
+
+  Status status = Status::kError;
+  /// kPlaced: the chosen shape and anchor (module = instance id).
+  placer::ModulePlacement placement{};
+  /// kFaulted: live instances whose footprint the fault overlay hit ...
+  int displaced = 0;
+  /// ... and how many of them could be re-placed on the degraded fabric
+  /// (the rest are lost and their ids freed).
+  int recovered = 0;
+  std::string error;  // kError only
+
+  bool operator==(const Response&) const = default;
+};
+
+/// One tenant's full placement state: an owned fabric region with a fault
+/// overlay, an online placer over it, and the module library. Tenant is a
+/// *single-threaded* state machine — the service guarantees per-tenant
+/// serial execution by sharding, and the same class replayed serially is
+/// the determinism oracle in the tests.
+class Tenant {
+ public:
+  struct Config {
+    std::shared_ptr<const fpga::Fabric> fabric;
+    /// Region window; nullopt offers the whole fabric.
+    std::optional<Rect> window;
+    std::vector<model::Module> library;
+    baseline::OnlineOptions online{};
+    /// Shared context cache; nullptr disables caching (every request pays
+    /// the anchor scan — the bench's control arm).
+    SolveContextCache* cache = nullptr;
+  };
+
+  explicit Tenant(Config config);
+
+  Tenant(const Tenant&) = delete;
+  Tenant& operator=(const Tenant&) = delete;
+
+  /// Apply one request. Invalid requests yield Status::kError (the service
+  /// must not die on a bad client), everything else the matching status.
+  Response apply(const Request& request);
+
+  /// Bumped by every fault/repair event; occupancy changes don't count.
+  /// Batching uses it to delimit "same fabric epoch".
+  [[nodiscard]] std::uint64_t fabric_epoch() const noexcept {
+    return fabric_epoch_;
+  }
+
+  [[nodiscard]] const fpga::PartialRegion& region() const noexcept {
+    return region_;
+  }
+  [[nodiscard]] const fpga::FaultMap& faults() const noexcept {
+    return faults_;
+  }
+  [[nodiscard]] const baseline::OnlinePlacer& placer() const noexcept {
+    return placer_;
+  }
+  [[nodiscard]] std::span<const model::Module> library() const noexcept {
+    return library_;
+  }
+  /// The context currently installed (null when caching is off).
+  [[nodiscard]] const std::shared_ptr<SolveContext>& context() const noexcept {
+    return context_;
+  }
+
+ private:
+  Response apply_place(const Request& request);
+  Response apply_remove(const Request& request);
+  Response apply_fault(const Request& request);
+  /// Re-resolve the solve context against the current fabric state and
+  /// install it as the placer's table source.
+  void refresh_context();
+
+  std::vector<model::Module> library_;
+  fpga::PartialRegion region_;  // owned; placer_ references it
+  fpga::FaultMap faults_;
+  baseline::OnlinePlacer placer_;
+  SolveContextCache* cache_;
+  baseline::OnlineOptions online_;
+  std::shared_ptr<SolveContext> context_;
+  std::unordered_map<int, int> instance_module_;  // instance id → library idx
+  std::uint64_t fabric_epoch_ = 0;
+};
+
+struct ServiceOptions {
+  int workers = 4;
+  std::size_t queue_capacity = 256;
+  /// Most same-tenant occupancy requests drained into one batch.
+  int max_batch = 16;
+};
+
+/// Aggregated service telemetry; exact once the service is stopped.
+struct ServiceStats {
+  std::uint64_t requests = 0;
+  std::uint64_t placed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t removed = 0;
+  std::uint64_t fault_events = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t batches = 0;          // dequeue rounds
+  std::uint64_t batched_requests = 0; // requests beyond the first in a batch
+  SolveContextCacheStats cache;
+  // Submit-to-completion latency over all requests.
+  std::uint64_t latency_count = 0;
+  double latency_mean_ms = 0.0;
+  double latency_p50_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  double latency_max_ms = 0.0;
+
+  /// The `service` stats-json section (counters, cache, latency).
+  [[nodiscard]] json::Value to_json() const;
+};
+
+/// The server: owns the tenants, the shared context cache, and the worker
+/// pool. Submitting is thread-safe from any number of client threads;
+/// per-tenant request order is the submission order (per submitting
+/// thread). stop() is idempotent and runs in the destructor.
+class PlacementService {
+ public:
+  PlacementService(std::vector<Tenant::Config> tenants,
+                   ServiceOptions options = {}, bool cache_enabled = true);
+  ~PlacementService();
+
+  PlacementService(const PlacementService&) = delete;
+  PlacementService& operator=(const PlacementService&) = delete;
+
+  /// Enqueue a request; blocks while the tenant's shard queue is full.
+  /// Throws InvalidInput on an unknown tenant id or after stop().
+  [[nodiscard]] std::future<Response> submit(Request request);
+
+  /// submit + wait.
+  Response call(Request request);
+
+  /// Drain all queues, join the workers, and fold the worker metric shards
+  /// into metrics::process(). Idempotent.
+  void stop();
+
+  [[nodiscard]] int worker_count() const noexcept {
+    return static_cast<int>(workers_.size());
+  }
+  [[nodiscard]] int tenant_count() const noexcept {
+    return static_cast<int>(tenants_.size());
+  }
+  /// The worker shard serving `tenant` (the sharding function, exposed so
+  /// tests can construct colliding/non-colliding tenant sets).
+  [[nodiscard]] int worker_of(int tenant) const noexcept;
+
+  /// Post-stop inspection: the tenant's final state (occupancy, faults,
+  /// context). Only safe once stop() returned.
+  [[nodiscard]] const Tenant& tenant(int id) const;
+
+  [[nodiscard]] const SolveContextCache& cache() const noexcept {
+    return cache_;
+  }
+
+  /// Exact after stop(); while running it races with the workers, so it
+  /// requires a stopped service.
+  [[nodiscard]] ServiceStats stats() const;
+
+ private:
+  struct Job {
+    Request request;
+    std::promise<Response> promise;
+    Stopwatch latency;  // started at submit
+  };
+  struct Worker {
+    explicit Worker(std::size_t queue_capacity) : queue(queue_capacity) {}
+    BoundedQueue<Job> queue;
+    std::thread thread;
+    // Written by the worker thread only; read after join.
+    metrics::Registry shard;
+    std::vector<std::uint64_t> latency_ns;
+    std::uint64_t requests = 0;
+    std::uint64_t placed = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t removed = 0;
+    std::uint64_t fault_events = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t batched_requests = 0;
+  };
+
+  void worker_loop(Worker& worker);
+  void record(Worker& worker, const Response& response);
+
+  ServiceOptions options_;
+  SolveContextCache cache_;
+  std::vector<std::unique_ptr<Tenant>> tenants_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace rr::service

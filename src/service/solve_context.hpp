@@ -1,0 +1,132 @@
+// Solve-context caching for the placement service.
+//
+// The expensive part of serving a placement request is not the first-fit
+// scan — it is preparing the per-module placement tables (anchor
+// correlation of every shape against the region's availability masks).
+// Those tables depend only on (fabric availability, module library,
+// alternatives setting), all of which are stable across many requests, so
+// the service caches them: a SolveContext bundles the shared tables for one
+// (fabric signature, library signature) pair and plugs into
+// baseline::OnlinePlacer as its ModuleTableSource; the SolveContextCache
+// deduplicates contexts across tenants that run the same fabric and
+// library.
+//
+// Invalidation: signatures are content hashes over the availability masks
+// and shape layouts, so any fault or repair changes the fabric signature
+// and a re-acquire naturally builds (or finds) the right context — a stale
+// context cannot be returned for a changed fabric. Fault events
+// additionally evict the tenant's previous entry (see invalidate()), so a
+// fabric state nobody runs anymore does not pin its tables in memory.
+// Occupancy changes (place/remove/defrag) never invalidate: the tables
+// encode availability, not occupancy.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "baseline/online.hpp"
+#include "fpga/region.hpp"
+#include "model/module.hpp"
+#include "placer/model_builder.hpp"
+
+namespace rr::service {
+
+/// Content hash of a region's placement-relevant state: dimensions plus the
+/// per-resource availability masks (which already fold in static tiles,
+/// blocks, and the fault overlay). Two regions with equal signatures yield
+/// identical anchor tables for any module.
+[[nodiscard]] std::uint64_t fabric_signature(const fpga::PartialRegion& region);
+
+/// Content hash of a module library: names, shape order, and per-shape
+/// typed layouts. Order-sensitive — the cached tables are indexed by
+/// library position.
+[[nodiscard]] std::uint64_t library_signature(
+    std::span<const model::Module> modules);
+
+struct SolveContextKey {
+  std::uint64_t fabric = 0;
+  std::uint64_t library = 0;
+  bool use_alternatives = true;
+
+  auto operator<=>(const SolveContextKey&) const = default;
+};
+
+/// Immutable solve state for one (fabric, library) pair: the shared
+/// placement tables plus a name index for ModuleTableSource lookups.
+/// Everything is built in the constructor and never mutated, so one context
+/// may be installed in placers on several worker threads at once.
+class SolveContext final : public baseline::ModuleTableSource {
+ public:
+  SolveContext(SolveContextKey key, const fpga::PartialRegion& region,
+               std::span<const model::Module> library);
+
+  [[nodiscard]] const SolveContextKey& key() const noexcept { return key_; }
+
+  /// Tables over the whole library, library order — the handle to inject
+  /// into runtime::ReconfigurationManager::set_pool_tables or a Placer.
+  [[nodiscard]] const placer::TablesHandle& tables() const noexcept {
+    return tables_;
+  }
+
+  /// ModuleTableSource: resolve by module name. Within one library names
+  /// are unique and pin the content (the library signature covers shapes),
+  /// so a name match is a content match. Thread-safe (pure read).
+  [[nodiscard]] const placer::ModuleTables* lookup(
+      const model::Module& module) override;
+
+ private:
+  SolveContextKey key_;
+  placer::TablesHandle tables_;
+  std::unordered_map<std::string, std::size_t> index_;  // name → library pos
+};
+
+struct SolveContextCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t invalidations = 0;
+  std::size_t entries = 0;
+
+  [[nodiscard]] double hit_rate() const noexcept {
+    const std::uint64_t total = hits + misses;
+    return total > 0 ? static_cast<double>(hits) / static_cast<double>(total)
+                     : 0.0;
+  }
+};
+
+/// Shared, thread-safe context cache. acquire() is the only build path, so
+/// concurrent tenants with the same fabric and library share one table
+/// preparation. Disabled mode (enabled = false) builds a fresh context on
+/// every acquire and caches nothing — the control arm of the service bench.
+class SolveContextCache {
+ public:
+  explicit SolveContextCache(bool enabled = true) : enabled_(enabled) {}
+
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  /// The context for (region, library, use_alternatives): cached when the
+  /// signatures match an entry, freshly built (and inserted) otherwise.
+  [[nodiscard]] std::shared_ptr<SolveContext> acquire(
+      const fpga::PartialRegion& region,
+      std::span<const model::Module> library, bool use_alternatives);
+
+  /// Drop the entry for `key`, if present. Holders keep their shared_ptr
+  /// alive; the next acquire for the same signatures rebuilds (a miss).
+  void invalidate(const SolveContextKey& key);
+
+  [[nodiscard]] SolveContextCacheStats stats() const;
+
+ private:
+  const bool enabled_;
+  mutable std::mutex mutex_;
+  std::map<SolveContextKey, std::shared_ptr<SolveContext>> entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t invalidations_ = 0;
+};
+
+}  // namespace rr::service

@@ -146,9 +146,24 @@ json::Value Registry::to_json() const {
   return doc;
 }
 
-Registry& global() {
+namespace {
+
+// The calling thread's redirect target (nullptr: the process registry).
+thread_local Registry* t_shard = nullptr;
+
+}  // namespace
+
+Registry& process() {
   static Registry registry;
   return registry;
 }
+
+Registry& global() { return t_shard != nullptr ? *t_shard : process(); }
+
+ThreadShard::ThreadShard(Registry& shard) noexcept : previous_(t_shard) {
+  t_shard = &shard;
+}
+
+ThreadShard::~ThreadShard() { t_shard = previous_; }
 
 }  // namespace rr::metrics

@@ -17,6 +17,20 @@
 // "placer.lns.iterations", "placer.validator.rejections",
 // "placer.build_seconds". Counters are monotone event counts; timers
 // accumulate (count, total seconds) pairs.
+//
+// Threading contract:
+//   - Every Registry method is individually thread-safe (one mutex per
+//     registry; merge() copies the source under its lock, then folds under
+//     the destination lock, so no call ever holds two locks at once).
+//   - global() resolves to the process-wide registry unless the calling
+//     thread installed a ThreadShard redirect, in which case it resolves to
+//     that thread's shard. Concurrent engines (portfolio workers, service
+//     workers) each install a shard so hot-path recording never contends on
+//     the process mutex, every event lands in exactly one shard, and a
+//     merge-on-snapshot yields totals identical to a serial run.
+//   - Snapshots (counter()/timer()/to_json()) copy under the lock: a
+//     snapshot taken while other threads record sees a consistent
+//     (point-in-time) view and sorted keys, never a torn entry.
 #pragma once
 
 #include <atomic>
@@ -89,8 +103,32 @@ class Registry {
   std::vector<std::pair<std::string, TimerStat>> timers_;
 };
 
-/// The process-wide registry every component records into by default.
+/// The registry every component records into by default: the process-wide
+/// registry, unless the calling thread is inside a ThreadShard scope (see
+/// below), in which case its shard.
 [[nodiscard]] Registry& global();
+
+/// The process-wide registry itself, ignoring any thread redirect — the
+/// snapshot/merge target for emitters.
+[[nodiscard]] Registry& process();
+
+/// RAII redirect: while alive, global() on *this thread* resolves to
+/// `shard` instead of the process registry. Worker threads of concurrent
+/// engines install one over a worker-local registry so deep-stack
+/// RR_METRIC_* recording is contention-free and per-worker attributable;
+/// the owner merges the shards into process() (or a result document) when
+/// the workers are done. Scopes nest; each restores the previous target.
+class ThreadShard {
+ public:
+  explicit ThreadShard(Registry& shard) noexcept;
+  ~ThreadShard();
+
+  ThreadShard(const ThreadShard&) = delete;
+  ThreadShard& operator=(const ThreadShard&) = delete;
+
+ private:
+  Registry* previous_;
+};
 
 /// RAII timer: records the scope's wall time into `registry` under `name`.
 /// Decides at construction; ~free when collection is disabled.

@@ -32,11 +32,22 @@ class Deadline {
   Deadline() noexcept : unlimited_(true) {}
 
   explicit Deadline(double budget_seconds) noexcept
-      : unlimited_(budget_seconds <= 0.0),
-        end_(Stopwatch::clock::now() +
-             std::chrono::duration_cast<Stopwatch::clock::duration>(
-                 std::chrono::duration<double>(
-                     budget_seconds > 0 ? budget_seconds : 0))) {}
+      : unlimited_(budget_seconds <= 0.0) {
+    if (unlimited_) return;
+    // duration_cast from a double-seconds value overflows the clock's
+    // integer representation for very large budgets, which would wrap end_
+    // into the past and make the deadline start out expired. Budgets at or
+    // beyond what the clock can express saturate to the far future instead.
+    const Stopwatch::clock::time_point now = Stopwatch::clock::now();
+    const double max_budget =
+        std::chrono::duration<double>(Stopwatch::clock::time_point::max() -
+                                      now)
+            .count();
+    end_ = !(budget_seconds < max_budget)  // also catches NaN budgets
+               ? Stopwatch::clock::time_point::max()
+               : now + std::chrono::duration_cast<Stopwatch::clock::duration>(
+                           std::chrono::duration<double>(budget_seconds));
+  }
 
   [[nodiscard]] bool expired() const noexcept {
     return !unlimited_ && Stopwatch::clock::now() >= end_;

@@ -3,6 +3,9 @@
 // instrumentation of Space::propagate.
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 #include "cp/brancher.hpp"
 #include "cp/constraints.hpp"
 #include "cp/search.hpp"
@@ -127,6 +130,73 @@ TEST(MetricsRegistry, MergesAcrossWorkers) {
   EXPECT_EQ(total.counter("fails"), 7u);
   EXPECT_EQ(total.timer("solve").count, 2u);
   EXPECT_EQ(total.timer("solve").total_ns, 2000u);
+}
+
+TEST(MetricsRegistry, ThreadShardRedirectsGlobal) {
+  MetricsSwitchGuard guard;
+  metrics::set_enabled(true);
+  metrics::Registry shard;
+  EXPECT_EQ(&metrics::global(), &metrics::process());
+  {
+    metrics::ThreadShard redirect(shard);
+    EXPECT_EQ(&metrics::global(), &shard);
+    metrics::global().add("sharded.counter", 3);
+    {
+      metrics::Registry inner;
+      metrics::ThreadShard nested(inner);
+      EXPECT_EQ(&metrics::global(), &inner);
+    }
+    EXPECT_EQ(&metrics::global(), &shard);  // nesting restores
+  }
+  EXPECT_EQ(&metrics::global(), &metrics::process());
+  EXPECT_EQ(shard.counter("sharded.counter"), 3u);
+  EXPECT_EQ(metrics::process().counter("sharded.counter"), 0u);
+}
+
+TEST(MetricsRegistry, ConcurrentShardedRecordingIsExact) {
+  // The service-worker pattern: each thread records through global() into
+  // its own shard; the merged snapshot must account for every event exactly
+  // (and TSan must see no race). Deliberately hammers one shared registry
+  // from all threads as well — the documented per-call locking contract.
+  MetricsSwitchGuard guard;
+  metrics::set_enabled(true);
+  constexpr int kThreads = 4;
+  constexpr int kEvents = 2000;
+  std::vector<metrics::Registry> shards(kThreads);
+  metrics::Registry shared;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      metrics::ThreadShard redirect(shards[static_cast<std::size_t>(t)]);
+      for (int i = 0; i < kEvents; ++i) {
+        metrics::global().add("worker.events");
+        metrics::global().record_time("worker.time", 5);
+        shared.add("shared.events");
+        shared.record_time("shared.time", 7);
+      }
+    });
+  }
+  // Concurrent snapshots must be consistent (never torn) while recording
+  // is in flight.
+  for (int i = 0; i < 50; ++i) {
+    const json::Value snapshot = shared.to_json();
+    EXPECT_TRUE(snapshot.at("counters").is_object());
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  metrics::Registry total;
+  for (const metrics::Registry& shard : shards) total.merge(shard);
+  EXPECT_EQ(total.counter("worker.events"),
+            static_cast<std::uint64_t>(kThreads) * kEvents);
+  EXPECT_EQ(total.timer("worker.time").count,
+            static_cast<std::uint64_t>(kThreads) * kEvents);
+  EXPECT_EQ(total.timer("worker.time").total_ns,
+            static_cast<std::uint64_t>(kThreads) * kEvents * 5);
+  EXPECT_EQ(shared.counter("shared.events"),
+            static_cast<std::uint64_t>(kThreads) * kEvents);
+  EXPECT_EQ(shared.timer("shared.time").total_ns,
+            static_cast<std::uint64_t>(kThreads) * kEvents * 7);
 }
 
 TEST(MetricsRegistry, ScopedTimerRecordsWallTime) {

@@ -321,5 +321,25 @@ TEST(Deadline, TinyBudgetExpires) {
   EXPECT_TRUE(d.expired());
 }
 
+TEST(Deadline, HugeBudgetDoesNotOverflowIntoThePast) {
+  // Regression: duration_cast from a double-seconds budget overflowed the
+  // clock representation, wrapping end_ into the past so the deadline was
+  // born expired. Saturating budgets must behave like "practically
+  // unlimited" instead.
+  for (const double budget : {1e12, 1e18, 1e30, 4e17 /* ~2^62 ns */}) {
+    Deadline d(budget);
+    EXPECT_FALSE(d.unlimited()) << budget;
+    EXPECT_FALSE(d.expired()) << budget;
+    EXPECT_GT(d.remaining_seconds(), 1e6) << budget;
+  }
+}
+
+TEST(Deadline, ModerateBudgetStillExact) {
+  Deadline d(3600.0);
+  EXPECT_FALSE(d.expired());
+  EXPECT_GT(d.remaining_seconds(), 3590.0);
+  EXPECT_LT(d.remaining_seconds(), 3601.0);
+}
+
 }  // namespace
 }  // namespace rr

@@ -87,6 +87,24 @@ void check_stats_v1(const Value& doc) {
                             "modules_loaded"})
       check_number(cost, key);
   }
+  // The service section is optional (rrplace_cli --serve-trace only), but
+  // when present it must carry the multi-tenant replay contract.
+  if (doc.contains("service")) {
+    const Value& service = doc.at("service");
+    require(service.is_object(), "\"service\" must be an object");
+    for (const char* key :
+         {"requests", "placed", "rejected", "removed", "fault_events",
+          "errors", "batches", "batched_requests", "tenants", "workers",
+          "seconds", "throughput_rps"})
+      check_number(service, key);
+    const Value& cache = service.at("cache");
+    for (const char* key :
+         {"hits", "misses", "invalidations", "entries", "hit_rate"})
+      check_number(cache, key);
+    const Value& latency = service.at("latency");
+    for (const char* key : {"count", "mean_ms", "p50_ms", "p99_ms", "max_ms"})
+      check_number(latency, key);
+  }
 }
 
 // A bench result is either a plain number or a {count,mean,min,max}
@@ -135,6 +153,13 @@ void check_bench_v1(const Value& doc) {
           "defrag_exact_successes", "defrag_greedy_successes",
           "defrag_relocated_modules", "defrag_relocated_tiles",
           "defrag_deadline_expiries", "defrag_rejects"})
+      check_result_metric(results, key);
+  } else if (bench == "service_load") {
+    for (const char* key :
+         {"requests", "throughput_rps", "throughput_rps_uncached",
+          "cache_speedup", "cache_hit_rate", "latency_p50_ms",
+          "latency_p99_ms", "latency_p99_ms_uncached", "batched_fraction",
+          "mismatches"})
       check_result_metric(results, key);
   } else if (bench == "fault_recovery") {
     for (const char* key :

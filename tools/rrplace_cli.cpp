@@ -34,7 +34,24 @@
 //                             tiered recovery (swap / re-place / defrag)
 //   --fault-deadline <s>      per-event recovery deadline for --fault-trace
 //                             (default 0.1; 0 = unlimited)
+//   --serve-trace <path>      replay a multi-tenant request trace through
+//                             the in-process placement service (every
+//                             tenant gets its own copy of the fabric);
+//                             lines: "tenants <n>",
+//                             "place <tenant> <id> <module>",
+//                             "remove <tenant> <id>",
+//                             "fault <tenant> tile <x> <y> [kind]" (also
+//                             column/rect in the .fft grammar),
+//                             "repair <tenant> <x> <y>",
+//                             "repair-transient <tenant>", "#" comments
+//   --serve-workers <n>       service worker pool width (default 4)
+//   --serve-queue <n>         per-worker queue capacity (default 256)
+//   --no-serve-cache          disable the shared solve-context cache
+//                             (every request pays the full anchor scan)
 //   --quiet                   suppress the ASCII floorplan / trace log
+//
+// The trace modes are mutually exclusive, and flags that only make sense
+// for one mode are rejected with the others (see check_conflicts).
 #include <charconv>
 #include <cstring>
 #include <fstream>
@@ -65,7 +82,17 @@ struct CliOptions {
   std::string faults_path;
   std::string fault_trace_path;
   double fault_deadline = 0.1;
+  std::string serve_trace_path;
+  int serve_workers = 4;
+  std::size_t serve_queue = 256;
+  bool serve_cache = true;
   bool quiet = false;
+  // Which flags appeared explicitly — conflict checks must catch an
+  // explicit "--mode restarts" with --serve-trace even though kAuto is
+  // also the default, so defaults alone can't tell.
+  bool mode_set = false;
+  bool defrag_set = false;
+  bool serve_tuning_set = false;
 };
 
 [[noreturn]] void usage(const char* error = nullptr) {
@@ -77,8 +104,47 @@ struct CliOptions {
       "  --svg PATH,\n"
       "  --stats-json PATH|-, --anchors MODULE,\n"
       "  --online-trace PATH, --defrag S,\n"
-      "  --faults PATH, --fault-trace PATH, --fault-deadline S, --quiet\n";
+      "  --faults PATH, --fault-trace PATH, --fault-deadline S,\n"
+      "  --serve-trace PATH, --serve-workers N, --serve-queue N,\n"
+      "  --no-serve-cache, --quiet\n";
   std::exit(error == nullptr ? 0 : 2);
+}
+
+// Conflicting-flag rejection: one line on stderr, nonzero exit, no usage
+// dump — the combination is well-formed syntax, just meaningless, and the
+// caller (likely a script) wants the reason, not the flag list.
+[[noreturn]] void conflict(const std::string& what) {
+  std::cerr << "error: conflicting options: " << what << '\n';
+  std::exit(2);
+}
+
+// The three trace modes are mutually exclusive with each other and with
+// --anchors, and mode-specific tuning flags are rejected outside their
+// mode instead of being silently ignored.
+void check_conflicts(const CliOptions& options) {
+  const bool online = !options.online_trace_path.empty();
+  const bool fault = !options.fault_trace_path.empty();
+  const bool serve = !options.serve_trace_path.empty();
+  const bool anchors = !options.anchors_module.empty();
+  if (online && fault) conflict("--online-trace with --fault-trace");
+  if (serve && online) conflict("--serve-trace with --online-trace");
+  if (serve && fault) conflict("--serve-trace with --fault-trace");
+  if (anchors && (online || fault || serve))
+    conflict("--anchors with a trace replay mode");
+  // The service runs the online first-fit placer per tenant; the offline
+  // search mode can't apply, so an explicit --mode is a confused command
+  // line even when it names the default.
+  if (serve && options.mode_set) conflict("--serve-trace with --mode");
+  // Tenants own private fabrics built from the pristine description;
+  // pre-damage via --faults would be silently dropped.
+  if (serve && !options.faults_path.empty())
+    conflict("--serve-trace with --faults (pre-damage is per-tenant: use "
+             "fault events in the serve trace)");
+  if (options.defrag_set && !online)
+    conflict("--defrag without --online-trace");
+  if (options.serve_tuning_set && !serve)
+    conflict("--serve-workers/--serve-queue/--no-serve-cache without "
+             "--serve-trace");
 }
 
 // Checked numeric parsing: the whole token must parse and satisfy the
@@ -121,16 +187,34 @@ CliOptions parse_args(int argc, char** argv) {
     else if (arg == "--stats-json") options.stats_json_path = need_value(i);
     else if (arg == "--anchors") options.anchors_module = need_value(i);
     else if (arg == "--online-trace") options.online_trace_path = need_value(i);
-    else if (arg == "--defrag")
+    else if (arg == "--defrag") {
       options.defrag_seconds =
           parse_number<double>(need_value(i), "--defrag", 0.0);
+      options.defrag_set = true;
+    }
     else if (arg == "--faults") options.faults_path = need_value(i);
     else if (arg == "--fault-trace") options.fault_trace_path = need_value(i);
     else if (arg == "--fault-deadline")
       options.fault_deadline =
           parse_number<double>(need_value(i), "--fault-deadline", 0.0);
+    else if (arg == "--serve-trace") options.serve_trace_path = need_value(i);
+    else if (arg == "--serve-workers") {
+      options.serve_workers =
+          parse_number<int>(need_value(i), "--serve-workers", 1);
+      options.serve_tuning_set = true;
+    }
+    else if (arg == "--serve-queue") {
+      options.serve_queue = parse_number<std::size_t>(
+          need_value(i), "--serve-queue", std::size_t{1});
+      options.serve_tuning_set = true;
+    }
+    else if (arg == "--no-serve-cache") {
+      options.serve_cache = false;
+      options.serve_tuning_set = true;
+    }
     else if (arg == "--quiet") options.quiet = true;
     else if (arg == "--mode") {
+      options.mode_set = true;
       const std::string mode = need_value(i);
       if (mode == "bnb") options.mode = rr::placer::PlacerMode::kBranchAndBound;
       else if (mode == "lns") options.mode = rr::placer::PlacerMode::kLns;
@@ -143,6 +227,7 @@ CliOptions parse_args(int argc, char** argv) {
   }
   if (options.fabric_path.empty() || options.modules_path.empty())
     usage("--fabric and --modules are required");
+  check_conflicts(options);
   return options;
 }
 
@@ -468,6 +553,246 @@ int run_fault_trace(const CliOptions& cli,
   return 0;
 }
 
+// Multi-tenant service replay: parse the whole trace into a request list,
+// pump it through the in-process PlacementService (one private fabric per
+// tenant, shared solve-context cache), then report throughput, latency
+// percentiles, and cache effectiveness.
+int run_serve_trace(const CliOptions& cli,
+                    const rr::fpga::PartialRegion& region,
+                    const std::shared_ptr<const rr::fpga::Fabric>& fabric,
+                    const std::vector<rr::model::Module>& modules) {
+  std::ifstream in(cli.serve_trace_path);
+  if (!in) {
+    std::cerr << "error: cannot read trace " << cli.serve_trace_path << '\n';
+    return 2;
+  }
+  auto trace_error = [&](long line_no, const std::string& what) {
+    std::cerr << "error: " << cli.serve_trace_path << ':' << line_no << ": "
+              << what << '\n';
+    return 2;
+  };
+  auto module_index = [&](const std::string& name) {
+    for (std::size_t i = 0; i < modules.size(); ++i)
+      if (modules[i].name() == name) return static_cast<int>(i);
+    return -1;
+  };
+  const rr::Rect fabric_bounds{0, 0, fabric->width(), fabric->height()};
+
+  int tenants = 1;
+  std::vector<rr::service::Request> requests;
+  long line_no = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream tokens(line);
+    std::string op;
+    if (!(tokens >> op) || op.front() == '#') continue;
+    if (op == "tenants") {
+      if (!requests.empty())
+        return trace_error(line_no, "tenants header after the first request");
+      if (!(tokens >> tenants) || tenants < 1)
+        return trace_error(line_no, "expected: tenants <count >= 1>");
+      continue;
+    }
+    rr::service::Request request;
+    if (!(tokens >> request.tenant))
+      return trace_error(line_no, "expected: " + op + " <tenant> ...");
+    if (request.tenant < 0 || request.tenant >= tenants)
+      return trace_error(line_no, "tenant " + std::to_string(request.tenant) +
+                                      " outside [0, " +
+                                      std::to_string(tenants) + ")");
+    if (op == "place") {
+      request.op = rr::service::RequestOp::kPlace;
+      std::string name;
+      if (!(tokens >> request.instance >> name))
+        return trace_error(line_no, "expected: place <tenant> <id> <module>");
+      request.module = module_index(name);
+      if (request.module < 0)
+        return trace_error(line_no, "no module named '" + name + "'");
+    } else if (op == "remove") {
+      request.op = rr::service::RequestOp::kRemove;
+      if (!(tokens >> request.instance))
+        return trace_error(line_no, "expected: remove <tenant> <id>");
+    } else if (op == "fault" || op == "repair" || op == "repair-transient") {
+      request.op = rr::service::RequestOp::kFault;
+      auto parse_kind = [&]() {
+        std::string kind;
+        return (tokens >> kind) && kind == "transient"
+                   ? rr::fpga::FaultKind::kTransient
+                   : rr::fpga::FaultKind::kPermanent;
+      };
+      if (op == "repair") {
+        request.fault.op = rr::fpga::FaultEvent::Op::kRepairTile;
+        int x = 0, y = 0;
+        if (!(tokens >> x >> y))
+          return trace_error(line_no, "expected: repair <tenant> <x> <y>");
+        request.fault.rect = rr::Rect{x, y, 1, 1};
+      } else if (op == "repair-transient") {
+        request.fault.op = rr::fpga::FaultEvent::Op::kRepairTransient;
+      } else {
+        std::string where;
+        if (!(tokens >> where))
+          return trace_error(line_no,
+                             "expected: fault <tenant> tile|column|rect ...");
+        if (where == "tile") {
+          request.fault.op = rr::fpga::FaultEvent::Op::kTile;
+          int x = 0, y = 0;
+          if (!(tokens >> x >> y))
+            return trace_error(line_no,
+                               "expected: fault <tenant> tile <x> <y> [kind]");
+          request.fault.rect = rr::Rect{x, y, 1, 1};
+        } else if (where == "column") {
+          request.fault.op = rr::fpga::FaultEvent::Op::kColumn;
+          int x = 0;
+          if (!(tokens >> x))
+            return trace_error(line_no,
+                               "expected: fault <tenant> column <x> [kind]");
+          request.fault.rect = rr::Rect{x, 0, 1, fabric->height()};
+        } else if (where == "rect") {
+          request.fault.op = rr::fpga::FaultEvent::Op::kRect;
+          rr::Rect r{};
+          if (!(tokens >> r.x >> r.y >> r.width >> r.height))
+            return trace_error(
+                line_no, "expected: fault <tenant> rect <x> <y> <w> <h>");
+          request.fault.rect = r;
+        } else {
+          return trace_error(line_no, "unknown fault op '" + where + "'");
+        }
+        request.fault.kind = parse_kind();
+      }
+      if (request.fault.op != rr::fpga::FaultEvent::Op::kRepairTransient &&
+          (request.fault.rect.empty() ||
+           !fabric_bounds.contains(request.fault.rect)))
+        return trace_error(line_no, "fault rect outside the fabric");
+    } else {
+      return trace_error(line_no, "unknown trace op '" + op + "'");
+    }
+    requests.push_back(request);
+  }
+
+  std::vector<rr::service::Tenant::Config> configs;
+  configs.reserve(static_cast<std::size_t>(tenants));
+  for (int t = 0; t < tenants; ++t) {
+    rr::service::Tenant::Config config;
+    config.fabric = fabric;
+    config.library = modules;
+    config.online.use_alternatives = cli.alternatives;
+    configs.push_back(std::move(config));
+  }
+  rr::service::ServiceOptions service_options;
+  service_options.workers = cli.serve_workers;
+  service_options.queue_capacity = cli.serve_queue;
+  rr::service::PlacementService service(std::move(configs), service_options,
+                                        cli.serve_cache);
+
+  rr::Stopwatch watch;
+  std::vector<std::future<rr::service::Response>> futures;
+  futures.reserve(requests.size());
+  for (const auto& request : requests)
+    futures.push_back(service.submit(request));
+  std::vector<rr::service::Response> responses;
+  responses.reserve(futures.size());
+  for (auto& future : futures) responses.push_back(future.get());
+  const double seconds = watch.seconds();
+  service.stop();
+  const rr::service::ServiceStats stats = service.stats();
+  const double throughput =
+      seconds > 0.0 ? static_cast<double>(requests.size()) / seconds : 0.0;
+
+  std::ostream& human = cli.stats_json_path == "-" ? std::cerr : std::cout;
+  if (!cli.quiet) {
+    using Status = rr::service::Response::Status;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      const auto& request = requests[i];
+      const auto& response = responses[i];
+      human << "  [t" << request.tenant << "] ";
+      switch (request.op) {
+        case rr::service::RequestOp::kPlace:
+          human << "place " << request.instance << ' '
+                << modules[static_cast<std::size_t>(request.module)].name()
+                << ": ";
+          if (response.status == Status::kPlaced) {
+            human << "accepted shape=" << response.placement.shape << " at ("
+                  << response.placement.x << ',' << response.placement.y
+                  << ")";
+          } else if (response.status == Status::kRejected) {
+            human << "rejected";
+          }
+          break;
+        case rr::service::RequestOp::kRemove:
+          human << "remove " << request.instance << ':';
+          break;
+        case rr::service::RequestOp::kFault:
+          human << fault_event_text(request.fault) << ": "
+                << response.displaced << " displaced, " << response.recovered
+                << " recovered";
+          break;
+      }
+      if (response.status == Status::kError)
+        human << "error: " << response.error;
+      human << '\n';
+    }
+  }
+
+  human << "serve: " << stats.requests << " requests, " << tenants
+        << " tenants on " << service.worker_count() << " workers  time: "
+        << rr::TextTable::num(seconds, 3) << "s  throughput: "
+        << rr::TextTable::num(throughput, 1) << " req/s\n";
+  human << "status: " << stats.placed << " placed, " << stats.rejected
+        << " rejected, " << stats.removed << " removed, "
+        << stats.fault_events << " faults, " << stats.errors << " errors  "
+        << "batching: " << stats.batches << " rounds, "
+        << stats.batched_requests << " coalesced\n";
+  if (cli.serve_cache) {
+    human << "cache: " << stats.cache.hits << " hits / " << stats.cache.misses
+          << " misses (" << rr::TextTable::pct(stats.cache.hit_rate())
+          << "), " << stats.cache.invalidations << " invalidations, "
+          << stats.cache.entries << " entries\n";
+  } else {
+    human << "cache: disabled\n";
+  }
+  human << "latency: p50 " << rr::TextTable::num(stats.latency_p50_ms, 3)
+        << "ms, p99 " << rr::TextTable::num(stats.latency_p99_ms, 3)
+        << "ms, max " << rr::TextTable::num(stats.latency_max_ms, 3)
+        << "ms\n";
+
+  if (!cli.stats_json_path.empty()) {
+    rr::json::Value config = rr::json::Value::object();
+    config.set("fabric", rr::json::Value(cli.fabric_path));
+    config.set("modules", rr::json::Value(cli.modules_path));
+    config.set("alternatives", rr::json::Value(cli.alternatives));
+    config.set("trace", rr::json::Value(cli.serve_trace_path));
+    config.set("workers", rr::json::Value(cli.serve_workers));
+    config.set("queue_capacity",
+               rr::json::Value(static_cast<std::uint64_t>(cli.serve_queue)));
+    config.set("cache", rr::json::Value(cli.serve_cache));
+    // As with the online replay, the solve sections describe one offline
+    // solve which a service replay doesn't have; the replay data lives in
+    // the "service" section.
+    rr::placer::PlacementOutcome outcome;
+    outcome.seconds = seconds;
+    rr::json::Value stats_doc = rr::placer::solve_stats_json(
+        region, modules, outcome, "rrplace_cli-service", std::move(config));
+    rr::json::Value service_doc = stats.to_json();
+    service_doc.set("tenants", rr::json::Value(tenants));
+    service_doc.set("workers", rr::json::Value(service.worker_count()));
+    service_doc.set("seconds", rr::json::Value(seconds));
+    service_doc.set("throughput_rps", rr::json::Value(throughput));
+    stats_doc.set("service", std::move(service_doc));
+    if (cli.stats_json_path == "-") {
+      std::cout << stats_doc.dump(2) << '\n';
+    } else {
+      std::ofstream out(cli.stats_json_path);
+      if (!out) {
+        std::cerr << "error: cannot write " << cli.stats_json_path << '\n';
+        return 2;
+      }
+      out << stats_doc.dump(2) << '\n';
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -517,6 +842,13 @@ int main(int argc, char** argv) {
     if (!cli.fault_trace_path.empty()) {
       if (!cli.stats_json_path.empty()) rr::metrics::set_enabled(true);
       return run_fault_trace(cli, region, modules);
+    }
+
+    if (!cli.serve_trace_path.empty()) {
+      // Collection must be on before the service spawns its workers so the
+      // per-worker metric shards (service.* counters) are recorded.
+      if (!cli.stats_json_path.empty()) rr::metrics::set_enabled(true);
+      return run_serve_trace(cli, region, fabric, modules);
     }
 
     rr::placer::PlacerOptions options;
