@@ -1,6 +1,7 @@
 #include "baseline/online.hpp"
 
 #include <algorithm>
+#include <tuple>
 
 #include "geost/anchor_kernel.hpp"
 #include "geost/object.hpp"
@@ -15,7 +16,16 @@ OnlinePlacer::OnlinePlacer(const fpga::PartialRegion& region,
                            OnlineOptions options)
     : region_(region),
       options_(options),
-      occupied_(region.height(), region.width()) {}
+      occupied_(region.height(), region.width()) {
+  if (options_.free_space_index)
+    index_ = FreeSpaceIndex(FreeSpaceIndex::union_of(region_.masks()));
+}
+
+void OnlinePlacer::refresh_region() {
+  if (options_.free_space_index)
+    index_.set_available(FreeSpaceIndex::union_of(region_.masks()));
+  query_cache_.clear();
+}
 
 double OnlinePlacer::occupancy() const noexcept {
   const long total = region_.total_available();
@@ -95,6 +105,121 @@ std::optional<geost::Placement> OnlinePlacer::first_fit(
   return std::nullopt;
 }
 
+OnlinePlacer::ShapeQueryData OnlinePlacer::build_query_data(
+    const std::vector<geost::ShapeFootprint>& shapes,
+    const std::vector<geost::Placement>& table) const {
+  ShapeQueryData data;
+  data.anchors.reserve(shapes.size());
+  data.parts.reserve(shapes.size());
+  for (const geost::ShapeFootprint& shape : shapes) {
+    data.anchors.emplace_back(region_.height(), region_.width());
+    data.parts.push_back(decompose_mask(shape.mask()));
+  }
+  for (const geost::Placement& p : table)
+    data.anchors[static_cast<std::size_t>(p.shape)].set(p.y, p.x, true);
+  return data;
+}
+
+std::optional<geost::Placement> OnlinePlacer::index_fit(
+    const FreeSpaceIndex& index,
+    const std::vector<geost::ShapeFootprint>& shapes,
+    const std::vector<geost::Placement>& table,
+    const placer::ModuleTables* cached) const {
+  const ShapeQueryData* data;
+  ShapeQueryData local;
+  if (cached != nullptr) {
+    const auto [it, inserted] = query_cache_.try_emplace(cached);
+    if (inserted) it->second = build_query_data(shapes, table);
+    data = &it->second;
+  } else {
+    local = build_query_data(shapes, table);
+    data = &local;
+  }
+  std::vector<AnchorQuery> queries(shapes.size());
+  for (std::size_t s = 0; s < shapes.size(); ++s) {
+    const Rect box = shapes[s].bounding_box();
+    queries[s] = AnchorQuery{&data->anchors[s], data->parts[s], box.width,
+                             box.height};
+  }
+  const auto pick = index.best_anchor(queries, options_.policy);
+  if (!pick.has_value()) return std::nullopt;
+  return geost::Placement{pick->shape, pick->x, pick->y};
+}
+
+std::optional<geost::Placement> OnlinePlacer::sweep_fit(
+    const BitMatrix& occupancy,
+    const std::vector<geost::ShapeFootprint>& shapes,
+    const std::vector<geost::Placement>& table) const {
+  // kFirstFit wants the first feasible entry in table order — exactly the
+  // early-exit hybrid scan. The other policies must see every feasible
+  // entry, so they pay a full scan and reduce under the policy key.
+  if (options_.policy == AnchorPolicy::kFirstFit)
+    return first_fit(occupancy, shapes, table);
+  std::vector<BitMatrix> conflicts(shapes.size());
+  std::vector<unsigned char> built(shapes.size(), 0);
+  const auto feasible = [&](const geost::Placement& p) {
+    const std::size_t s = static_cast<std::size_t>(p.shape);
+    if (!options_.batch_feasibility)
+      return !occupancy.intersects_shifted(shapes[s].mask(), p.y, p.x);
+    if (!built[s]) {
+      conflicts[s] = BitMatrix(occupancy.rows(), occupancy.cols());
+      geost::accumulate_conflicts(conflicts[s], occupancy, shapes[s].mask(),
+                                  0, occupancy.rows());
+      built[s] = 1;
+    }
+    return !conflicts[s].get(p.y, p.x);
+  };
+  if (options_.policy == AnchorPolicy::kBottomLeft) {
+    const geost::Placement* best = nullptr;
+    for (const geost::Placement& p : table) {
+      if (best != nullptr &&
+          std::tuple(best->y, best->x, best->shape) <=
+              std::tuple(p.y, p.x, p.shape))
+        continue;
+      if (feasible(p)) best = &p;
+    }
+    if (best == nullptr) return std::nullopt;
+    return *best;
+  }
+  // kBestFit: tightest hole — the smallest maximal empty rectangle of the
+  // current free bitmap containing the shape's first part; ties fall back
+  // to the first-fit key, which is the table order, so the first feasible
+  // entry attaining the minimum wins.
+  BitMatrix free = FreeSpaceIndex::union_of(region_.masks());
+  free.clear_shifted(occupancy, 0, 0);
+  const std::vector<Rect> mers = FreeSpaceIndex::enumerate(free);
+  std::vector<std::vector<Rect>> parts(shapes.size());
+  for (std::size_t s = 0; s < shapes.size(); ++s)
+    parts[s] = decompose_mask(shapes[s].mask());
+  const geost::Placement* best = nullptr;
+  long best_area = 0;
+  for (const geost::Placement& p : table) {
+    if (!feasible(p)) continue;
+    const Rect probe =
+        parts[static_cast<std::size_t>(p.shape)].front().translated(
+            {p.x, p.y});
+    long area = -1;
+    for (const Rect& m : mers)
+      if (m.contains(probe) && (area < 0 || m.area() < area)) area = m.area();
+    RR_ASSERT(area > 0);  // feasible => the part is free => some MER holds it
+    if (best == nullptr || area < best_area) {
+      best = &p;
+      best_area = area;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  return *best;
+}
+
+std::optional<geost::Placement> OnlinePlacer::find_spot(
+    const BitMatrix& occupancy, const FreeSpaceIndex* index,
+    const std::vector<geost::ShapeFootprint>& shapes,
+    const std::vector<geost::Placement>& table,
+    const placer::ModuleTables* cached) const {
+  return index != nullptr ? index_fit(*index, shapes, table, cached)
+                          : sweep_fit(occupancy, shapes, table);
+}
+
 std::optional<placer::ModulePlacement> OnlinePlacer::place(
     int instance_id, const model::Module& module) {
   RR_REQUIRE(!live_.contains(instance_id),
@@ -113,10 +238,12 @@ std::optional<placer::ModulePlacement> OnlinePlacer::place(
   const std::vector<geost::Placement>& table =
       cached != nullptr ? cached->table : local_table;
 
-  if (const auto p = first_fit(occupied_, shapes, table)) {
+  const FreeSpaceIndex* index = options_.free_space_index ? &index_ : nullptr;
+  if (const auto p = find_spot(occupied_, index, shapes, table, cached)) {
     const geost::ShapeFootprint& shape =
         shapes[static_cast<std::size_t>(p->shape)];
     occupied_.or_shifted(shape.mask(), p->y, p->x);
+    if (options_.free_space_index) index_.occupy(shape.mask(), p->y, p->x);
     occupied_tiles_ += shape.area();
     live_.emplace(instance_id,
                   LiveInstance{module, p->shape, p->x, p->y});
@@ -142,13 +269,14 @@ std::optional<placer::ModulePlacement> OnlinePlacer::place(
     RR_METRIC_COUNT("online.defrag.retry_skips");
     return std::nullopt;
   }
-  return defrag_place(instance_id, module, shapes, table);
+  return defrag_place(instance_id, module, shapes, table, cached);
 }
 
 std::optional<placer::ModulePlacement> OnlinePlacer::defrag_place(
     int instance_id, const model::Module& module,
     const std::vector<geost::ShapeFootprint>& shapes,
-    const std::vector<geost::Placement>& table) {
+    const std::vector<geost::Placement>& table,
+    const placer::ModuleTables* cached) {
   ++defrag_stats_.attempts;
   RR_METRIC_COUNT("online.defrag.attempts");
   const Deadline deadline(options_.defrag.deadline_seconds);
@@ -319,16 +447,27 @@ std::optional<placer::ModulePlacement> OnlinePlacer::defrag_place(
   // set it would be pointless: the shake explores a subset of that space).
   if (deadline_cut) {
     const std::vector<int>& shake_set = candidates.front().blockers;
+    // Relocation-target search on the shaken state: the index arm clones
+    // the live index and releases the lifted footprints, so its free space
+    // mirrors the shaken bitmap exactly.
     BitMatrix shaken = occupied_;
+    FreeSpaceIndex shadow;
+    if (options_.free_space_index) shadow = index_;
     for (const int id : shake_set) {
       const LiveInstance& li = live_.at(id);
       shaken.clear_shifted(li.footprint().mask(), li.y, li.x);
+      if (options_.free_space_index)
+        shadow.release(li.footprint().mask(), li.y, li.x);
     }
-    const auto request = first_fit(shaken, shapes, table);
+    const FreeSpaceIndex* shadow_ptr =
+        options_.free_space_index ? &shadow : nullptr;
+    const auto request = find_spot(shaken, shadow_ptr, shapes, table, cached);
     if (request.has_value()) {
       const geost::ShapeFootprint& shape =
           shapes[static_cast<std::size_t>(request->shape)];
       shaken.or_shifted(shape.mask(), request->y, request->x);
+      if (shadow_ptr != nullptr)
+        shadow.occupy(shape.mask(), request->y, request->x);
       std::vector<int> order = shake_set;
       std::sort(order.begin(), order.end(), [&](int a, int b) {
         const int area_a = live_.at(a).footprint().area();
@@ -350,14 +489,16 @@ std::optional<placer::ModulePlacement> OnlinePlacer::defrag_place(
             li_cached != nullptr ? *li_cached->shapes : li_local_shapes;
         const std::vector<geost::Placement>& li_table =
             li_cached != nullptr ? li_cached->table : li_local_table;
-        const auto spot = first_fit(shaken, li_shapes, li_table);
+        const auto spot =
+            find_spot(shaken, shadow_ptr, li_shapes, li_table, li_cached);
         if (!spot.has_value()) {
           all_placed = false;
           break;
         }
-        shaken.or_shifted(
-            li_shapes[static_cast<std::size_t>(spot->shape)].mask(), spot->y,
-            spot->x);
+        const BitMatrix& spot_mask =
+            li_shapes[static_cast<std::size_t>(spot->shape)].mask();
+        shaken.or_shifted(spot_mask, spot->y, spot->x);
+        if (shadow_ptr != nullptr) shadow.occupy(spot_mask, spot->y, spot->x);
         moves.push_back(Move{id, spot->shape, spot->x, spot->y});
       }
       if (all_placed) {
@@ -387,6 +528,8 @@ placer::ModulePlacement OnlinePlacer::commit_plan(
     if (li.shape == move.shape && li.x == move.x && li.y == move.y)
       continue;  // kept in place: no reconfiguration
     occupied_.clear_shifted(li.footprint().mask(), li.y, li.x);
+    if (options_.free_space_index)
+      index_.release(li.footprint().mask(), li.y, li.x);
     applied.push_back(&move);
   }
   for (const Move* move : applied) {
@@ -399,6 +542,8 @@ placer::ModulePlacement OnlinePlacer::commit_plan(
     const long new_area = new_shape.area();
     RR_ASSERT(!occupied_.intersects_shifted(new_shape.mask(), li.y, li.x));
     occupied_.or_shifted(new_shape.mask(), li.y, li.x);
+    if (options_.free_space_index)
+      index_.occupy(new_shape.mask(), li.y, li.x);
     occupied_tiles_ += new_area - old_area;
     ++defrag_stats_.relocated_modules;
     defrag_stats_.relocated_tiles +=
@@ -417,6 +562,8 @@ placer::ModulePlacement OnlinePlacer::commit_plan(
            : module.shapes().front());
   RR_ASSERT(!occupied_.intersects_shifted(shape.mask(), request.y, request.x));
   occupied_.or_shifted(shape.mask(), request.y, request.x);
+  if (options_.free_space_index)
+    index_.occupy(shape.mask(), request.y, request.x);
   occupied_tiles_ += shape.area();
   live_.emplace(instance_id,
                 LiveInstance{module, request.shape, request.x, request.y});
@@ -439,6 +586,8 @@ void OnlinePlacer::remove(int instance_id) {
              "instance id " + std::to_string(instance_id) + " is not placed");
   const LiveInstance& instance = it->second;
   occupied_.clear_shifted(instance.footprint().mask(), instance.y, instance.x);
+  if (options_.free_space_index)
+    index_.release(instance.footprint().mask(), instance.y, instance.x);
   occupied_tiles_ -= instance.footprint().area();
   live_.erase(it);
   ++epoch_;

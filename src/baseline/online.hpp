@@ -26,6 +26,7 @@
 #include <unordered_map>
 
 #include "fpga/region.hpp"
+#include "geo/free_space.hpp"
 #include "model/module.hpp"
 #include "placer/model_builder.hpp"
 #include "placer/placement.hpp"
@@ -99,6 +100,15 @@ struct OnlineOptions {
   /// are identical either way; false keeps the per-anchor loops (the
   /// differential oracle).
   bool batch_feasibility = true;
+  /// Answer admission queries from the incremental maximal-empty-rectangle
+  /// index (geo/free_space) instead of sweeping anchor tables against the
+  /// occupancy bitmap. Accept/reject decisions and chosen anchors are
+  /// bit-identical either way; false keeps the bitmap sweep as the
+  /// differential oracle (and skips all index maintenance).
+  bool free_space_index = true;
+  /// Which feasible anchor wins a placement query; see AnchorPolicy. Both
+  /// the index and the sweep honour the policy identically.
+  AnchorPolicy policy = AnchorPolicy::kFirstFit;
   OnlineDefragOptions defrag{};
 };
 
@@ -122,9 +132,19 @@ class OnlinePlacer {
 
   /// Install (or clear, with nullptr) a table cache; see ModuleTableSource
   /// for the staleness contract. The source must outlive its installation.
+  /// Dropping the source also drops the anchor-query cache derived from its
+  /// tables (cache entries are keyed by ModuleTables address).
   void set_table_source(ModuleTableSource* source) noexcept {
     table_source_ = source;
+    query_cache_.clear();
   }
+
+  /// Re-sync with the region after its availability masks changed (fault or
+  /// repair overlay): the free-space index diffs the new union-availability
+  /// bitmap and the anchor-query cache is dropped. Callers refreshing their
+  /// ModuleTableSource after a fault (the staleness contract) must call this
+  /// too, or index decisions diverge from the masks.
+  void refresh_region();
 
   [[nodiscard]] bool is_placed(int instance_id) const noexcept {
     return live_.contains(instance_id);
@@ -145,6 +165,12 @@ class OnlinePlacer {
   /// The incremental occupancy bitmap (rows by y, columns by x).
   [[nodiscard]] const BitMatrix& occupied_matrix() const noexcept {
     return occupied_;
+  }
+
+  /// The free-space index (meaningful only while options.free_space_index;
+  /// otherwise it is empty). Exposed for recovery-tier queries and tests.
+  [[nodiscard]] const FreeSpaceIndex& free_space() const noexcept {
+    return index_;
   }
 
   [[nodiscard]] const OnlineDefragStats& defrag_stats() const noexcept {
@@ -198,12 +224,50 @@ class OnlinePlacer {
       const std::vector<geost::ShapeFootprint>& shapes,
       const std::vector<geost::Placement>& table) const;
 
+  /// Per-shape inputs for FreeSpaceIndex::best_anchor, derived purely from
+  /// a table's contents (anchor bitmaps scattered from its entries, part
+  /// decompositions of its shapes) — never from occupancy, so cached data
+  /// stays valid for the lifetime of its ModuleTables object.
+  struct ShapeQueryData {
+    std::vector<BitMatrix> anchors;
+    std::vector<std::vector<Rect>> parts;
+  };
+
+  [[nodiscard]] ShapeQueryData build_query_data(
+      const std::vector<geost::ShapeFootprint>& shapes,
+      const std::vector<geost::Placement>& table) const;
+
+  /// Policy-aware admission via the free-space index; decisions match
+  /// sweep_fit bit-for-bit. `cached` (may be null) keys the query-data
+  /// cache.
+  [[nodiscard]] std::optional<geost::Placement> index_fit(
+      const FreeSpaceIndex& index,
+      const std::vector<geost::ShapeFootprint>& shapes,
+      const std::vector<geost::Placement>& table,
+      const placer::ModuleTables* cached) const;
+
+  /// Policy-aware admission via the occupancy-bitmap sweep (the
+  /// differential oracle). kFirstFit delegates to first_fit; the other
+  /// policies reduce over every feasible table entry.
+  [[nodiscard]] std::optional<geost::Placement> sweep_fit(
+      const BitMatrix& occupancy,
+      const std::vector<geost::ShapeFootprint>& shapes,
+      const std::vector<geost::Placement>& table) const;
+
+  /// Dispatch: index when `index` is non-null, sweep otherwise.
+  [[nodiscard]] std::optional<geost::Placement> find_spot(
+      const BitMatrix& occupancy, const FreeSpaceIndex* index,
+      const std::vector<geost::ShapeFootprint>& shapes,
+      const std::vector<geost::Placement>& table,
+      const placer::ModuleTables* cached) const;
+
   /// The defrag pass (gates already passed). Commits and returns the new
   /// request's placement on success.
   std::optional<placer::ModulePlacement> defrag_place(
       int instance_id, const model::Module& module,
       const std::vector<geost::ShapeFootprint>& shapes,
-      const std::vector<geost::Placement>& table);
+      const std::vector<geost::Placement>& table,
+      const placer::ModuleTables* cached);
 
   /// Apply a defrag plan: relocate `moves` (entries whose placement is
   /// unchanged are kept for free) and admit the new request.
@@ -220,6 +284,12 @@ class OnlinePlacer {
   BitMatrix occupied_;
   long occupied_tiles_ = 0;
   std::unordered_map<int, LiveInstance> live_;
+  /// Mirrors occupied_ against the region's union availability; maintained
+  /// at every occupancy mutation while options_.free_space_index.
+  FreeSpaceIndex index_;
+  /// Anchor bitmaps / parts per cached table, built on first index query.
+  mutable std::unordered_map<const placer::ModuleTables*, ShapeQueryData>
+      query_cache_;
 
   OnlineDefragStats defrag_stats_{};
   runtime::TransitionCost relocation_cost_{};

@@ -1,0 +1,651 @@
+#include "geo/free_space.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/simd/simd.hpp"
+
+namespace rr {
+
+namespace {
+
+constexpr std::uint64_t kAllOnes = ~std::uint64_t{0};
+
+/// True iff every bit of columns [l, r) in `row` of `m` is set. r > l.
+bool row_all_set(const BitMatrix& m, int row, int l, int r) {
+  const std::span<const std::uint64_t> words = m.row_span(row);
+  const std::size_t wl = static_cast<std::size_t>(l >> 6);
+  const std::size_t wr = static_cast<std::size_t>((r - 1) >> 6);
+  const std::uint64_t first = kAllOnes << (l & 63);
+  const std::uint64_t last = kAllOnes >> (63 - ((r - 1) & 63));
+  if (wl == wr) {
+    const std::uint64_t mask = first & last;
+    return (words[wl] & mask) == mask;
+  }
+  if ((words[wl] & first) != first) return false;
+  for (std::size_t w = wl + 1; w < wr; ++w)
+    if (~words[w] != 0) return false;
+  return (words[wr] & last) == last;
+}
+
+/// OR every bit of columns [l, r) into `row` of `m`. r > l.
+void row_fill(BitMatrix& m, int row, int l, int r) {
+  const std::span<std::uint64_t> words = m.row_span_mut(row);
+  const std::size_t wl = static_cast<std::size_t>(l >> 6);
+  const std::size_t wr = static_cast<std::size_t>((r - 1) >> 6);
+  const std::uint64_t first = kAllOnes << (l & 63);
+  const std::uint64_t last = kAllOnes >> (63 - ((r - 1) & 63));
+  if (wl == wr) {
+    words[wl] |= first & last;
+    return;
+  }
+  words[wl] |= first;
+  for (std::size_t w = wl + 1; w < wr; ++w) words[w] = kAllOnes;
+  words[wr] |= last;
+}
+
+/// Keep only bits of columns [l, r] (inclusive) in `row` of `m`.
+void row_clip(BitMatrix& m, int row, int l, int r) {
+  const std::span<std::uint64_t> words = m.row_span_mut(row);
+  for (std::size_t w = 0; w < words.size(); ++w) {
+    const int lo = static_cast<int>(w) * 64;
+    std::uint64_t mask = kAllOnes;
+    if (l > lo) mask &= (l - lo >= 64) ? 0 : kAllOnes << (l - lo);
+    if (r < lo + 63) mask &= (r < lo) ? 0 : kAllOnes >> (lo + 63 - r);
+    words[w] &= mask;
+  }
+}
+
+/// Invoke fn(start, end) for every maximal run [start, end) of set bits in
+/// a row given as words (the word-parallel row-run extraction of the
+/// rebuild path; tail bits beyond cols are zero by BitMatrix invariant).
+template <typename Fn>
+void for_each_set_run(std::span<const std::uint64_t> words, int cols, Fn&& fn) {
+  const long n = static_cast<long>(words.size());
+  int x = 0;
+  while (x < cols) {
+    // Next set bit at or after x.
+    long w = x >> 6;
+    std::uint64_t cur = words[static_cast<std::size_t>(w)] & (kAllOnes << (x & 63));
+    while (cur == 0) {
+      if (++w >= n) return;
+      cur = words[static_cast<std::size_t>(w)];
+    }
+    const int start = static_cast<int>(w) * 64 + std::countr_zero(cur);
+    // Next clear bit after start.
+    std::uint64_t zeros = ~words[static_cast<std::size_t>(w)] &
+                          ((start & 63) == 63 ? 0 : kAllOnes << ((start & 63) + 1));
+    int end = cols;
+    for (;;) {
+      if (zeros != 0) {
+        end = static_cast<int>(w) * 64 + std::countr_zero(zeros);
+        break;
+      }
+      if (++w >= n) {
+        end = static_cast<int>(n) * 64;
+        break;
+      }
+      zeros = ~words[static_cast<std::size_t>(w)];
+    }
+    if (end > cols) end = cols;
+    fn(start, end);
+    x = end + 1;
+  }
+}
+
+}  // namespace
+
+std::vector<Rect> decompose_mask(const BitMatrix& mask) {
+  std::vector<Rect> parts;
+  int open_x = 0, open_y = 0, open_h = 0, open_w = 0;
+  const auto flush = [&] {
+    if (open_w > 0) parts.push_back(Rect{open_x, open_y, open_w, open_h});
+    open_w = 0;
+  };
+  std::vector<std::pair<int, int>> runs;  // (y, len)
+  for (int x = 0; x < mask.cols(); ++x) {
+    runs.clear();
+    for (int y = 0; y < mask.rows(); ++y) {
+      if (!mask.get(y, x)) continue;
+      int y2 = y;
+      while (y2 + 1 < mask.rows() && mask.get(y2 + 1, x)) ++y2;
+      runs.emplace_back(y, y2 - y + 1);
+      y = y2;
+    }
+    if (runs.size() == 1) {
+      if (open_w > 0 && open_y == runs[0].first && open_h == runs[0].second) {
+        ++open_w;
+      } else {
+        flush();
+        open_x = x;
+        open_y = runs[0].first;
+        open_h = runs[0].second;
+        open_w = 1;
+      }
+    } else {
+      flush();
+      for (const auto& [ry, rlen] : runs) parts.push_back(Rect{x, ry, 1, rlen});
+    }
+  }
+  flush();
+  return parts;
+}
+
+FreeSpaceIndex::FreeSpaceIndex(BitMatrix available)
+    : avail_(std::move(available)),
+      occ_(avail_.rows(), avail_.cols()),
+      free_(avail_),
+      free_tiles_(static_cast<long>(free_.popcount())),
+      mers_(enumerate(free_)),
+      feasible_(avail_.rows(), avail_.cols()),
+      strip_(avail_.rows(), avail_.cols()) {}
+
+BitMatrix FreeSpaceIndex::union_of(std::span<const BitMatrix> masks) {
+  RR_REQUIRE(!masks.empty(), "union_of: no masks");
+  BitMatrix out = masks[0];
+  for (std::size_t i = 1; i < masks.size(); ++i) out.or_with(masks[i]);
+  return out;
+}
+
+std::vector<Rect> FreeSpaceIndex::enumerate(const BitMatrix& free) {
+  std::vector<Rect> out;
+  const int rows = free.rows();
+  const int cols = free.cols();
+  if (rows == 0 || cols == 0) return out;
+  // h[x]: consecutive free cells in column x ending at the current row;
+  // h[cols] stays 0 as the flushing sentinel.
+  std::vector<int> h(static_cast<std::size_t>(cols) + 1, 0);
+  struct Bar {
+    int start;
+    int height;
+  };
+  std::vector<Bar> stack;
+  for (int y = 0; y < rows; ++y) {
+    int prev_end = 0;
+    for_each_set_run(free.row_span(y), cols, [&](int s, int e) {
+      for (int c = prev_end; c < s; ++c) h[static_cast<std::size_t>(c)] = 0;
+      for (int c = s; c < e; ++c) ++h[static_cast<std::size_t>(c)];
+      prev_end = e;
+    });
+    for (int c = prev_end; c < cols; ++c) h[static_cast<std::size_t>(c)] = 0;
+
+    // Histogram stack pass: a popped bar (start s, height ph) spanning
+    // columns [s, x) is left/right/bottom-maximal by construction (both
+    // neighbours are strictly lower, and some column in [s, x) has exactly
+    // ph free cells); it is a maximal rectangle iff the row above blocks
+    // it somewhere.
+    stack.clear();
+    for (int x = 0; x <= cols; ++x) {
+      const int hx = h[static_cast<std::size_t>(x)];
+      int start = x;
+      while (!stack.empty() && stack.back().height > hx) {
+        const Bar bar = stack.back();
+        stack.pop_back();
+        if (y + 1 >= rows || !row_all_set(free, y + 1, bar.start, x))
+          out.push_back(Rect{bar.start, y - bar.height + 1, x - bar.start,
+                             bar.height});
+        start = bar.start;
+      }
+      if (hx > 0 && (stack.empty() || stack.back().height < hx))
+        stack.push_back(Bar{start, hx});
+    }
+  }
+  return out;
+}
+
+std::pair<int, int> FreeSpaceIndex::row_interval(int row, int x) const {
+  const std::span<const std::uint64_t> words = free_.row_span(row);
+  if (((words[static_cast<std::size_t>(x >> 6)] >> (x & 63)) & 1u) == 0)
+    return {0, 0};
+  // Right boundary: first blocked column at or after x + 1. The shared
+  // windowed gather scans 64 columns at a time; out-of-range bits read as
+  // zero, so the row end terminates the scan by itself.
+  int r = x + 1;
+  for (;;) {
+    const std::uint64_t win =
+        simd::detail::window(words.data(), words.size(), r);
+    const std::uint64_t zeros = ~win;
+    if (zeros != 0) {
+      r += std::countr_zero(zeros);
+      break;
+    }
+    r += 64;
+  }
+  if (r > free_.cols()) r = free_.cols();
+  // Left boundary: last blocked column strictly before x (columns below 0
+  // read as blocked the same way).
+  int l = x;
+  while (l > 0) {
+    const long base = static_cast<long>(l) - 64;
+    const std::uint64_t win =
+        simd::detail::window(words.data(), words.size(), base);
+    const std::uint64_t zeros = ~win;
+    if (zeros != 0) {
+      l = static_cast<int>(base) + (63 - std::countl_zero(zeros)) + 1;
+      break;
+    }
+    l -= 64;
+  }
+  if (l < 0) l = 0;
+  return {l, r};
+}
+
+void FreeSpaceIndex::insert_run(int x, int y1, int y2) {
+  const Rect run{x, y1, 1, y2 - y1 + 1};
+  std::vector<Rect> pieces;
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < mers_.size(); ++i) {
+    const Rect m = mers_[i];
+    if (!m.intersects(run)) {
+      mers_[keep++] = m;
+      continue;
+    }
+    // Split into the at-most-four remainders around the blocked column run.
+    if (x > m.x) pieces.push_back(Rect{m.x, m.y, x - m.x, m.height});
+    if (x + 1 < m.right())
+      pieces.push_back(Rect{x + 1, m.y, m.right() - (x + 1), m.height});
+    if (y1 > m.y) pieces.push_back(Rect{m.x, m.y, m.width, y1 - m.y});
+    if (y2 + 1 < m.top())
+      pieces.push_back(Rect{m.x, y2 + 1, m.width, m.top() - (y2 + 1)});
+  }
+  mers_.resize(keep);
+  // A piece survives unless a surviving MER or another piece contains it
+  // (among equal pieces the first wins).
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    const Rect& p = pieces[i];
+    bool contained = false;
+    for (std::size_t j = 0; j < keep && !contained; ++j)
+      contained = mers_[j].contains(p);
+    for (std::size_t j = 0; j < pieces.size() && !contained; ++j) {
+      if (j == i) continue;
+      contained = pieces[j].contains(p) && (pieces[j] != p || j < i);
+    }
+    if (!contained) mers_.push_back(p);
+  }
+}
+
+void FreeSpaceIndex::remove_run(int x, int y1, int y2) {
+  // Enumerate every maximal rectangle through column x that intersects the
+  // freed rows [y1, y2]: for each bottom row a, grow the top b upward while
+  // intersecting the per-row maximal free intervals containing x; each
+  // strict shrink closes a horizontally+top-maximal candidate, kept when
+  // also bottom-maximal. All other maximal rectangles of the new free
+  // bitmap were free before the run and are already stored.
+  const int rows = free_.rows();
+  std::vector<Rect> fresh;
+  std::pair<int, int> prev{0, 0};
+  for (int a = 0; a <= y2; ++a) {
+    const std::pair<int, int> cur = row_interval(a, x);
+    if (cur.second <= cur.first) {
+      prev = cur;
+      continue;
+    }
+    // If the row below covers this row's whole interval, every candidate
+    // with bottom a would extend downward: nothing bottom-maximal here.
+    if (a > 0 && prev.second > prev.first && prev.first <= cur.first &&
+        prev.second >= cur.second) {
+      prev = cur;
+      continue;
+    }
+    int l = cur.first;
+    int r = cur.second;
+    for (int b = a;; ++b) {
+      std::pair<int, int> nxt{0, 0};
+      if (b + 1 < rows) nxt = row_interval(b + 1, x);
+      int nl = std::max(l, nxt.first);
+      int nr = std::min(r, nxt.second);
+      if (nxt.second <= nxt.first) {
+        nl = 0;
+        nr = 0;
+      }
+      if (nl != l || nr != r) {
+        if (b >= y1 && a <= y2) {
+          const bool covered_below = a > 0 && prev.second > prev.first &&
+                                     prev.first <= l && prev.second >= r;
+          if (!covered_below) fresh.push_back(Rect{l, a, r - l, b - a + 1});
+        }
+        if (nr <= nl) break;
+        l = nl;
+        r = nr;
+      }
+    }
+    prev = cur;
+  }
+  if (fresh.empty()) return;
+  // Old MERs swallowed by a fresh rectangle lose maximality; fresh ones
+  // contain a newly freed cell, so none duplicates a survivor.
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < mers_.size(); ++i) {
+    bool swallowed = false;
+    for (const Rect& n : fresh) {
+      if (n.contains(mers_[i])) {
+        swallowed = true;
+        break;
+      }
+    }
+    if (!swallowed) mers_[keep++] = mers_[i];
+  }
+  mers_.resize(keep);
+  mers_.insert(mers_.end(), fresh.begin(), fresh.end());
+}
+
+void FreeSpaceIndex::occupy(const BitMatrix& footprint, int y, int x) {
+  for (int lx = 0; lx < footprint.cols(); ++lx) {
+    const int gx = x + lx;
+    for (int ly = 0; ly < footprint.rows(); ++ly) {
+      if (!footprint.get(ly, lx)) continue;
+      int le = ly;
+      while (le + 1 < footprint.rows() && footprint.get(le + 1, lx)) ++le;
+      const int gy1 = y + ly;
+      const int gy2 = y + le;
+      RR_ASSERT(gx >= 0 && gx < free_.cols() && gy1 >= 0 && gy2 < free_.rows());
+      for (int gy = gy1; gy <= gy2; ++gy) {
+        RR_ASSERT(free_.get(gy, gx));
+        free_.set(gy, gx, false);
+        occ_.set(gy, gx, true);
+      }
+      free_tiles_ -= gy2 - gy1 + 1;
+      insert_run(gx, gy1, gy2);
+      ly = le;
+    }
+  }
+}
+
+void FreeSpaceIndex::release(const BitMatrix& footprint, int y, int x) {
+  for (int lx = 0; lx < footprint.cols(); ++lx) {
+    const int gx = x + lx;
+    for (int ly = 0; ly < footprint.rows(); ++ly) {
+      if (!footprint.get(ly, lx)) continue;
+      int le = ly;
+      while (le + 1 < footprint.rows() && footprint.get(le + 1, lx)) ++le;
+      int run_start = -1;
+      for (int gy = y + ly; gy <= y + le; ++gy) {
+        RR_ASSERT(occ_.get(gy, gx));
+        occ_.set(gy, gx, false);
+        if (avail_.get(gy, gx)) {
+          free_.set(gy, gx, true);
+          ++free_tiles_;
+          if (run_start < 0) run_start = gy;
+        } else if (run_start >= 0) {
+          remove_run(gx, run_start, gy - 1);
+          run_start = -1;
+        }
+      }
+      if (run_start >= 0) remove_run(gx, run_start, y + le);
+      ly = le;
+    }
+  }
+}
+
+void FreeSpaceIndex::set_available(const BitMatrix& available) {
+  RR_REQUIRE(available.rows() == avail_.rows() &&
+                 available.cols() == avail_.cols(),
+             "set_available: availability bitmap shape mismatch");
+  // Word-XOR diff; blocked cells applied before freed ones so each
+  // remove_run sweep sees a settled free bitmap.
+  std::vector<Point> lost;
+  std::vector<Point> gained;
+  for (int r = 0; r < avail_.rows(); ++r) {
+    const std::span<const std::uint64_t> a = avail_.row_span(r);
+    const std::span<const std::uint64_t> b = available.row_span(r);
+    for (std::size_t w = 0; w < a.size(); ++w) {
+      std::uint64_t diff = a[w] ^ b[w];
+      while (diff != 0) {
+        const int bit = std::countr_zero(diff);
+        diff &= diff - 1;
+        const int c = static_cast<int>(w) * 64 + bit;
+        if ((b[w] >> bit) & 1u)
+          gained.push_back(Point{c, r});
+        else
+          lost.push_back(Point{c, r});
+      }
+    }
+  }
+  const auto column_runs = [](std::vector<Point>& cells, auto&& fn) {
+    std::sort(cells.begin(), cells.end(), [](Point p, Point q) {
+      return p.x != q.x ? p.x < q.x : p.y < q.y;
+    });
+    std::size_t i = 0;
+    while (i < cells.size()) {
+      std::size_t j = i;
+      while (j + 1 < cells.size() && cells[j + 1].x == cells[i].x &&
+             cells[j + 1].y == cells[j].y + 1)
+        ++j;
+      fn(cells[i].x, cells[i].y, cells[j].y);
+      i = j + 1;
+    }
+  };
+  column_runs(lost, [&](int x, int ya, int yb) {
+    // Only cells that were free leave the MER set; occupied ones just lose
+    // availability (they stay out when later released).
+    int run_start = -1;
+    for (int yy = ya; yy <= yb; ++yy) {
+      avail_.set(yy, x, false);
+      if (free_.get(yy, x)) {
+        free_.set(yy, x, false);
+        --free_tiles_;
+        if (run_start < 0) run_start = yy;
+      } else if (run_start >= 0) {
+        insert_run(x, run_start, yy - 1);
+        run_start = -1;
+      }
+    }
+    if (run_start >= 0) insert_run(x, run_start, yb);
+  });
+  column_runs(gained, [&](int x, int ya, int yb) {
+    int run_start = -1;
+    for (int yy = ya; yy <= yb; ++yy) {
+      avail_.set(yy, x, true);
+      if (!occ_.get(yy, x)) {
+        free_.set(yy, x, true);
+        ++free_tiles_;
+        if (run_start < 0) run_start = yy;
+      } else if (run_start >= 0) {
+        remove_run(x, run_start, yy - 1);
+        run_start = -1;
+      }
+    }
+    if (run_start >= 0) remove_run(x, run_start, yb);
+  });
+}
+
+std::optional<AnchorPick> FreeSpaceIndex::best_anchor(
+    std::span<const AnchorQuery> queries, AnchorPolicy policy,
+    const Rect* window) const {
+  const int rows = free_.rows();
+  const int cols = free_.cols();
+  if (rows == 0 || cols == 0) return std::nullopt;
+  if (feasible_.rows() != rows || feasible_.cols() != cols) {
+    feasible_ = BitMatrix(rows, cols);
+    strip_ = BitMatrix(rows, cols);
+    strip_lo_ = strip_hi_ = 0;
+  }
+
+  // Fill strip_ with the union of per-MER anchor windows of `part`:
+  // anchor (x, y) is set iff some MER with room for the part contains the
+  // part placed at that anchor. Returns false when no MER qualifies.
+  const auto build_strip = [&](const Rect& part, const Rect* m_begin,
+                               const Rect* m_end) -> bool {
+    for (int r = strip_lo_; r < strip_hi_; ++r) {
+      const std::span<std::uint64_t> span = strip_.row_span_mut(r);
+      std::fill(span.begin(), span.end(), 0);
+    }
+    strip_lo_ = rows;
+    strip_hi_ = 0;
+    bool any = false;
+    for (const Rect* m = m_begin; m != m_end; ++m) {
+      if (m->width < part.width || m->height < part.height) continue;
+      int ax0 = m->x - part.x;
+      int ay0 = m->y - part.y;
+      int ax1 = m->right() - part.width - part.x;
+      int ay1 = m->top() - part.height - part.y;
+      if (ax0 < 0) ax0 = 0;
+      if (ay0 < 0) ay0 = 0;
+      if (ax1 > cols - 1) ax1 = cols - 1;
+      if (ay1 > rows - 1) ay1 = rows - 1;
+      if (ax1 < ax0 || ay1 < ay0) continue;
+      any = true;
+      if (ay0 < strip_lo_) strip_lo_ = ay0;
+      if (ay1 + 1 > strip_hi_) strip_hi_ = ay1 + 1;
+      for (int r = ay0; r <= ay1; ++r) row_fill(strip_, r, ax0, ax1 + 1);
+    }
+    if (!any) {
+      strip_lo_ = strip_hi_ = 0;
+    }
+    return any;
+  };
+
+  // Minimal (x, y) lexicographic anchor of feasible_, optionally AND-masked
+  // by strip_: the first non-empty word column's OR gives the minimal x.
+  const auto min_xy = [&](bool with_strip) -> std::optional<std::pair<int, int>> {
+    const std::size_t wpr = feasible_.words_per_row();
+    for (std::size_t w = 0; w < wpr; ++w) {
+      std::uint64_t orw = 0;
+      for (int r = 0; r < rows; ++r) {
+        std::uint64_t v = feasible_.row_span(r)[w];
+        if (with_strip) v &= strip_.row_span(r)[w];
+        orw |= v;
+      }
+      if (orw == 0) continue;
+      const int c = static_cast<int>(w) * 64 + std::countr_zero(orw);
+      const std::uint64_t bit = std::uint64_t{1} << (c & 63);
+      for (int r = 0; r < rows; ++r) {
+        std::uint64_t v = feasible_.row_span(r)[w];
+        if (with_strip) v &= strip_.row_span(r)[w];
+        if (v & bit) return std::make_pair(c, r);
+      }
+    }
+    return std::nullopt;
+  };
+
+  // Minimal (y, x) lexicographic anchor of feasible_.
+  const auto min_yx = [&]() -> std::optional<std::pair<int, int>> {
+    for (int r = 0; r < rows; ++r) {
+      const std::span<const std::uint64_t> span = feasible_.row_span(r);
+      for (std::size_t w = 0; w < span.size(); ++w) {
+        if (span[w] != 0)
+          return std::make_pair(
+              static_cast<int>(w) * 64 + std::countr_zero(span[w]), r);
+      }
+    }
+    return std::nullopt;
+  };
+
+  // MERs ordered by (area, x, y, width, height) for the best-fit walk.
+  std::vector<Rect> by_area;
+  if (policy == AnchorPolicy::kBestFit) {
+    by_area = mers_;
+    std::sort(by_area.begin(), by_area.end(),
+              [](const Rect& a, const Rect& b) {
+                if (a.area() != b.area()) return a.area() < b.area();
+                return a < b;
+              });
+  }
+
+  bool have_best = false;
+  std::array<long, 5> best_key{};
+  AnchorPick best{};
+  const auto offer = [&](const std::array<long, 5>& key, int shape, int x,
+                         int y) {
+    if (!have_best || key < best_key) {
+      have_best = true;
+      best_key = key;
+      best = AnchorPick{shape, x, y};
+    }
+  };
+
+  for (std::size_t s = 0; s < queries.size(); ++s) {
+    const AnchorQuery& q = queries[s];
+    if (q.anchors == nullptr || q.parts.empty()) continue;
+    long area = 0;
+    for (const Rect& p : q.parts) area += p.area();
+    if (area > free_tiles_) continue;
+    int wx0 = 0, wy0 = 0, wx1 = cols - 1, wy1 = rows - 1;
+    if (window != nullptr) {
+      wx0 = window->x;
+      wy0 = window->y;
+      wx1 = window->right() - q.width;
+      wy1 = window->top() - q.height;
+      if (wx1 < wx0 || wy1 < wy0) continue;
+    }
+    // feasible_ = valid anchors ∧ (every part inside some MER).
+    for (int r = 0; r < rows; ++r) {
+      const std::span<const std::uint64_t> src = q.anchors->row_span(r);
+      const std::span<std::uint64_t> dst = feasible_.row_span_mut(r);
+      std::copy(src.begin(), src.end(), dst.begin());
+    }
+    bool dead = false;
+    for (const Rect& part : q.parts) {
+      if (!build_strip(part, mers_.data(), mers_.data() + mers_.size())) {
+        dead = true;
+        break;
+      }
+      std::size_t pop = 0;
+      for (int r = 0; r < rows; ++r)
+        pop += simd::and_inplace_popcount(feasible_.row_span_mut(r),
+                                          strip_.row_span(r));
+      if (pop == 0) {
+        dead = true;
+        break;
+      }
+    }
+    if (dead) continue;
+    if (window != nullptr) {
+      for (int r = 0; r < rows; ++r) {
+        if (r < wy0 || r > wy1) {
+          const std::span<std::uint64_t> span = feasible_.row_span_mut(r);
+          std::fill(span.begin(), span.end(), 0);
+        } else {
+          row_clip(feasible_, r, wx0, wx1);
+        }
+      }
+    }
+
+    switch (policy) {
+      case AnchorPolicy::kFirstFit: {
+        if (const auto p = min_xy(false))
+          offer({p->first + q.width, p->first, p->second,
+                 static_cast<long>(s), 0},
+                static_cast<int>(s), p->first, p->second);
+        break;
+      }
+      case AnchorPolicy::kBottomLeft: {
+        if (const auto p = min_yx())
+          offer({p->second, p->first, static_cast<long>(s), 0, 0},
+                static_cast<int>(s), p->first, p->second);
+        break;
+      }
+      case AnchorPolicy::kBestFit: {
+        // Walk MERs by ascending area; within one area class, the anchors
+        // whose first part fits that class are exactly the anchors whose
+        // tightest containing MER has this area (smaller classes came up
+        // empty), so the first non-empty class decides.
+        const Rect& p0 = q.parts[0];
+        std::size_t i = 0;
+        while (i < by_area.size()) {
+          std::size_t j = i;
+          while (j + 1 < by_area.size() &&
+                 by_area[j + 1].area() == by_area[i].area())
+            ++j;
+          if (build_strip(p0, by_area.data() + i, by_area.data() + j + 1)) {
+            if (const auto p = min_xy(true)) {
+              offer({by_area[i].area(), p->first + q.width, p->first,
+                     p->second, static_cast<long>(s)},
+                    static_cast<int>(s), p->first, p->second);
+              break;
+            }
+          }
+          i = j + 1;
+        }
+        break;
+      }
+    }
+  }
+  return have_best ? std::optional<AnchorPick>(best) : std::nullopt;
+}
+
+}  // namespace rr

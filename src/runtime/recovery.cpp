@@ -33,7 +33,10 @@ FaultRecoveryManager::FaultRecoveryManager(fpga::PartialRegion region,
       faults_(region_.fabric()),
       options_(options),
       initial_available_(region_.total_available()),
-      occupied_(region_.height(), region_.width()) {}
+      occupied_(region_.height(), region_.width()) {
+  if (options_.use_free_space_index)
+    index_ = FreeSpaceIndex(FreeSpaceIndex::union_of(region_.masks()));
+}
 
 double FaultRecoveryManager::capacity_retained() const {
   if (initial_available_ <= 0) return 0.0;
@@ -102,6 +105,8 @@ void FaultRecoveryManager::write_instance(int instance_id,
       module.shapes()[static_cast<std::size_t>(spot.shape)];
   RR_ASSERT(!occupied_.intersects_shifted(shape.mask(), spot.y, spot.x));
   occupied_.or_shifted(shape.mask(), spot.y, spot.x);
+  if (options_.use_free_space_index)
+    index_.occupy(shape.mask(), spot.y, spot.x);
   occupied_tiles_ += shape.area();
   live_.insert_or_assign(
       instance_id, LiveInstance{module, spot.shape, spot.x, spot.y});
@@ -144,6 +149,27 @@ bool FaultRecoveryManager::try_first_fit(
     const std::vector<geost::ShapeFootprint>& shapes,
     const std::vector<geost::Placement>& table, const Rect* window,
     Spot* out) const {
+  if (options_.use_free_space_index) {
+    // Index query: anchors scattered from the (freshly built, so never
+    // stale) table, one rectangular decomposition per shape. The windowed
+    // bound on best_anchor equals the sweep's contains(bbox) filter.
+    std::vector<BitMatrix> anchors(
+        shapes.size(), BitMatrix(region_.height(), region_.width()));
+    for (const geost::Placement& p : table)
+      anchors[static_cast<std::size_t>(p.shape)].set(p.y, p.x, true);
+    std::vector<std::vector<Rect>> parts(shapes.size());
+    std::vector<AnchorQuery> queries(shapes.size());
+    for (std::size_t s = 0; s < shapes.size(); ++s) {
+      parts[s] = decompose_mask(shapes[s].mask());
+      const Rect box = shapes[s].bounding_box();
+      queries[s] = AnchorQuery{&anchors[s], parts[s], box.width, box.height};
+    }
+    const auto pick =
+        index_.best_anchor(queries, AnchorPolicy::kFirstFit, window);
+    if (!pick.has_value()) return false;
+    *out = Spot{pick->shape, pick->x, pick->y};
+    return true;
+  }
   for (const geost::Placement& p : table) {
     const geost::ShapeFootprint& shape =
         shapes[static_cast<std::size_t>(p.shape)];
@@ -233,6 +259,8 @@ bool FaultRecoveryManager::try_defrag(
           li.y == move.spot.y)
         continue;  // kept in place: no reconfiguration
       occupied_.clear_shifted(li.footprint().mask(), li.y, li.x);
+      if (options_.use_free_space_index)
+        index_.release(li.footprint().mask(), li.y, li.x);
       applied.push_back(&move);
     }
     for (const Move* move : applied) {
@@ -245,6 +273,8 @@ bool FaultRecoveryManager::try_defrag(
       const long new_area = new_shape.area();
       RR_ASSERT(!occupied_.intersects_shifted(new_shape.mask(), li.y, li.x));
       occupied_.or_shifted(new_shape.mask(), li.y, li.x);
+      if (options_.use_free_space_index)
+        index_.occupy(new_shape.mask(), li.y, li.x);
       occupied_tiles_ += new_area - old_area;
       ++stats_.relocated_modules;
       stats_.relocated_tiles += static_cast<std::uint64_t>(old_area + new_area);
@@ -544,6 +574,11 @@ FaultEventOutcome FaultRecoveryManager::on_fault(
   stats_.tiles_faulted += static_cast<std::uint64_t>(outcome.tiles_faulted);
   RR_METRIC_ADD("runtime.fault.tiles_faulted",
                 static_cast<std::uint64_t>(outcome.tiles_faulted));
+  // Sync the free-space index with the changed availability masks before
+  // any recovery query runs. Victim lifts below then release their cells;
+  // cells under a fault stay out of the free set until repaired.
+  if (options_.use_free_space_index)
+    index_.set_available(FreeSpaceIndex::union_of(region_.masks()));
 
   // Find every live module the new fault hits, lift them all out of the
   // occupancy (their old tiles are then free for each other's recovery),
@@ -569,7 +604,9 @@ FaultEventOutcome FaultRecoveryManager::on_fault(
   for (const Victim& victim : victims) {
     const LiveInstance& li = live_.at(victim.id);
     occupied_.clear_shifted(li.footprint().mask(), li.y, li.x);
-    occupied_tiles_ -= li.footprint().area();
+    if (options_.use_free_space_index)
+      index_.release(li.footprint().mask(), li.y, li.x);
+    occupied_tiles_ -= victim.old_area;
     live_.erase(victim.id);
   }
   outcome.modules_hit = static_cast<int>(victims.size());

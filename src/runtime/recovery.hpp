@@ -32,6 +32,7 @@
 
 #include "fpga/faults.hpp"
 #include "fpga/region.hpp"
+#include "geo/free_space.hpp"
 #include "model/module.hpp"
 #include "placer/placement.hpp"
 #include "runtime/manager.hpp"
@@ -52,6 +53,12 @@ struct FaultRecoveryOptions {
   int max_relocations = 3;
   /// Defrag tier: candidate anchors scanned for relocation sets.
   int max_anchor_scan = 128;
+  /// Serve the tier-1 local/global re-place queries from the incremental
+  /// maximal-empty-rectangle index (geo/free_space) instead of sweeping the
+  /// anchor table against the occupancy bitmap. Recovery outcomes are
+  /// bit-identical either way; false keeps the sweep (the differential
+  /// oracle) and skips all index maintenance.
+  bool use_free_space_index = true;
   /// Parked-module retries before the module is abandoned (permanently
   /// degraded capacity).
   int max_retries = 3;
@@ -241,6 +248,10 @@ class FaultRecoveryManager {
   FaultRecoveryOptions options_;
   long initial_available_ = 0;
   BitMatrix occupied_;
+  /// Mirrors occupied_ against the fault-aware union availability; synced
+  /// with every occupancy mutation and every fault/repair overlay change
+  /// while options_.use_free_space_index.
+  FreeSpaceIndex index_;
   long occupied_tiles_ = 0;
   std::unordered_map<int, LiveInstance> live_;
   std::unordered_map<int, ParkedInstance> parked_;

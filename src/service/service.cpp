@@ -112,22 +112,16 @@ Response Tenant::apply_fault(const Request& request) {
   region_.apply_faults(faults_);
   ++fabric_epoch_;
 
-  // Re-resolve the solve context FIRST: the availability masks just
-  // changed, so the installed tables are stale — a casualty re-placed
-  // through them could land on a faulty tile (the occupancy bitmap alone
-  // cannot catch that). The content-keyed cache makes this a natural
-  // re-acquire. The entry this tenant departs is evicted only when it was
-  // its last user (local ref + cache map = 2): other tenants on the same
-  // fabric state keep their shared entry — a tenant-private fault must not
-  // flush the healthy-fabric tables everyone else is running on. The
-  // use_count probe is racy against concurrent acquires, but a stray
-  // eviction only costs the next acquirer a rebuild, never correctness
-  // (holders keep their shared_ptr).
-  const std::shared_ptr<SolveContext> old_context = context_;
+  // Re-sync the placer with the changed availability masks FIRST: the
+  // free-space index must diff the new union availability and the
+  // installed tables are stale — a casualty re-placed through them could
+  // land on a faulty tile (the occupancy bitmap alone cannot catch that).
+  // The content-keyed cache makes the context refresh a natural
+  // re-acquire; entries this tenant no longer runs age out through the
+  // cache's LRU cap, so a tenant-private fault never flushes the
+  // healthy-fabric tables other tenants share.
+  placer_.refresh_region();
   refresh_context();
-  if (cache_ != nullptr && old_context != nullptr &&
-      context_ != old_context && old_context.use_count() <= 2)
-    cache_->invalidate(old_context->key());
 
   // Displace every live instance whose footprint the fault overlay now
   // hits, then try to re-place each on the degraded fabric (ascending id:
@@ -172,6 +166,7 @@ json::Value ServiceStats::to_json() const {
   cache_doc.set("hits", json::Value(cache.hits));
   cache_doc.set("misses", json::Value(cache.misses));
   cache_doc.set("invalidations", json::Value(cache.invalidations));
+  cache_doc.set("evictions", json::Value(cache.evictions));
   cache_doc.set("entries", json::Value(cache.entries));
   cache_doc.set("hit_rate", json::Value(cache.hit_rate()));
   doc.set("cache", std::move(cache_doc));
@@ -182,12 +177,24 @@ json::Value ServiceStats::to_json() const {
   latency.set("p99_ms", json::Value(latency_p99_ms));
   latency.set("max_ms", json::Value(latency_max_ms));
   doc.set("latency", std::move(latency));
+  json::Value service_lat = json::Value::object();
+  service_lat.set("mean_ms", json::Value(latency_service_mean_ms));
+  service_lat.set("p50_ms", json::Value(latency_service_p50_ms));
+  service_lat.set("p99_ms", json::Value(latency_service_p99_ms));
+  service_lat.set("max_ms", json::Value(latency_service_max_ms));
+  doc.set("latency_service", std::move(service_lat));
+  json::Value queue_lat = json::Value::object();
+  queue_lat.set("mean_ms", json::Value(latency_queue_mean_ms));
+  queue_lat.set("p50_ms", json::Value(latency_queue_p50_ms));
+  queue_lat.set("p99_ms", json::Value(latency_queue_p99_ms));
+  queue_lat.set("max_ms", json::Value(latency_queue_max_ms));
+  doc.set("latency_queue", std::move(queue_lat));
   return doc;
 }
 
 PlacementService::PlacementService(std::vector<Tenant::Config> tenants,
                                    ServiceOptions options, bool cache_enabled)
-    : options_(options), cache_(cache_enabled) {
+    : options_(options), cache_(cache_enabled, options.cache_capacity) {
   RR_REQUIRE(options_.workers >= 1, "service needs at least one worker");
   RR_REQUIRE(options_.max_batch >= 1, "max_batch must be at least 1");
   RR_REQUIRE(!tenants.empty(), "service needs at least one tenant");
@@ -263,12 +270,21 @@ void PlacementService::worker_loop(Worker& worker) {
     Tenant& tenant =
         *tenants_[static_cast<std::size_t>(batch.front().request.tenant)];
     for (Job& job : batch) {
+      Stopwatch service_watch;
       Response response = tenant.apply(job.request);
+      const auto service_ns =
+          static_cast<std::uint64_t>(service_watch.elapsed().count());
       record(worker, response);
       const auto elapsed_ns =
           static_cast<std::uint64_t>(job.latency.elapsed().count());
+      const std::uint64_t queue_ns =
+          elapsed_ns > service_ns ? elapsed_ns - service_ns : 0;
       worker.latency_ns.push_back(elapsed_ns);
+      worker.service_ns.push_back(service_ns);
+      worker.queue_ns.push_back(queue_ns);
       worker.shard.record_time("service.request", elapsed_ns);
+      worker.shard.record_time("service.request.service", service_ns);
+      worker.shard.record_time("service.request.queue", queue_ns);
       ++worker.requests;
       job.promise.set_value(std::move(response));
     }
@@ -316,6 +332,8 @@ ServiceStats PlacementService::stats() const {
   RR_REQUIRE(stopped_.load(), "stats() requires a stopped service");
   ServiceStats stats;
   std::vector<std::uint64_t> latencies;
+  std::vector<std::uint64_t> service;
+  std::vector<std::uint64_t> queue;
   for (const std::unique_ptr<Worker>& worker : workers_) {
     stats.requests += worker->requests;
     stats.placed += worker->placed;
@@ -327,19 +345,31 @@ ServiceStats PlacementService::stats() const {
     stats.batched_requests += worker->batched_requests;
     latencies.insert(latencies.end(), worker->latency_ns.begin(),
                      worker->latency_ns.end());
+    service.insert(service.end(), worker->service_ns.begin(),
+                   worker->service_ns.end());
+    queue.insert(queue.end(), worker->queue_ns.begin(),
+                 worker->queue_ns.end());
   }
   stats.cache = cache_.stats();
-  std::sort(latencies.begin(), latencies.end());
   stats.latency_count = latencies.size();
-  if (!latencies.empty()) {
+  const auto summarize = [](std::vector<std::uint64_t>& v, double* mean,
+                            double* p50, double* p99, double* max) {
+    if (v.empty()) return;
+    std::sort(v.begin(), v.end());
     std::uint64_t total = 0;
-    for (const std::uint64_t ns : latencies) total += ns;
-    stats.latency_mean_ms =
-        to_ms(total) / static_cast<double>(latencies.size());
-    stats.latency_p50_ms = percentile_ms(latencies, 0.50);
-    stats.latency_p99_ms = percentile_ms(latencies, 0.99);
-    stats.latency_max_ms = to_ms(latencies.back());
-  }
+    for (const std::uint64_t ns : v) total += ns;
+    *mean = to_ms(total) / static_cast<double>(v.size());
+    *p50 = percentile_ms(v, 0.50);
+    *p99 = percentile_ms(v, 0.99);
+    *max = to_ms(v.back());
+  };
+  summarize(latencies, &stats.latency_mean_ms, &stats.latency_p50_ms,
+            &stats.latency_p99_ms, &stats.latency_max_ms);
+  summarize(service, &stats.latency_service_mean_ms,
+            &stats.latency_service_p50_ms, &stats.latency_service_p99_ms,
+            &stats.latency_service_max_ms);
+  summarize(queue, &stats.latency_queue_mean_ms, &stats.latency_queue_p50_ms,
+            &stats.latency_queue_p99_ms, &stats.latency_queue_max_ms);
   return stats;
 }
 

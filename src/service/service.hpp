@@ -160,6 +160,9 @@ struct ServiceOptions {
   std::size_t queue_capacity = 256;
   /// Most same-tenant occupancy requests drained into one batch.
   int max_batch = 16;
+  /// Solve-context cache LRU capacity (0 = unbounded); see
+  /// SolveContextCache.
+  std::size_t cache_capacity = SolveContextCache::kDefaultCapacity;
 };
 
 /// Aggregated service telemetry; exact once the service is stopped.
@@ -173,12 +176,24 @@ struct ServiceStats {
   std::uint64_t batches = 0;          // dequeue rounds
   std::uint64_t batched_requests = 0; // requests beyond the first in a batch
   SolveContextCacheStats cache;
-  // Submit-to-completion latency over all requests.
+  // Submit-to-completion latency over all requests, split into the time
+  // spent inside Tenant::apply (service) and everything else between
+  // submit and completion — queue wait plus batching overhead (queue).
+  // total = service + queue per request, so the aggregate means add up;
+  // the percentiles are per-component and need not.
   std::uint64_t latency_count = 0;
   double latency_mean_ms = 0.0;
   double latency_p50_ms = 0.0;
   double latency_p99_ms = 0.0;
   double latency_max_ms = 0.0;
+  double latency_service_mean_ms = 0.0;
+  double latency_service_p50_ms = 0.0;
+  double latency_service_p99_ms = 0.0;
+  double latency_service_max_ms = 0.0;
+  double latency_queue_mean_ms = 0.0;
+  double latency_queue_p50_ms = 0.0;
+  double latency_queue_p99_ms = 0.0;
+  double latency_queue_max_ms = 0.0;
 
   /// The `service` stats-json section (counters, cache, latency).
   [[nodiscard]] json::Value to_json() const;
@@ -243,6 +258,8 @@ class PlacementService {
     // Written by the worker thread only; read after join.
     metrics::Registry shard;
     std::vector<std::uint64_t> latency_ns;
+    std::vector<std::uint64_t> service_ns;  // inside Tenant::apply
+    std::vector<std::uint64_t> queue_ns;    // latency_ns - service_ns
     std::uint64_t requests = 0;
     std::uint64_t placed = 0;
     std::uint64_t rejected = 0;

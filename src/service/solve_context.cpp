@@ -90,9 +90,10 @@ std::shared_ptr<SolveContext> SolveContextCache::acquire(
     const std::scoped_lock lock(mutex_);
     const auto it = entries_.find(key);
     if (it != entries_.end()) {
+      it->second.last_used = ++tick_;
       ++hits_;
       RR_METRIC_COUNT("service.cache.hits");
-      return it->second;
+      return it->second.context;
     }
   }
   // Build outside the lock: table preparation is the expensive part, and
@@ -101,10 +102,20 @@ std::shared_ptr<SolveContext> SolveContextCache::acquire(
   auto context = std::make_shared<SolveContext>(key, region, library);
   if (!enabled_) return context;
   const std::scoped_lock lock(mutex_);
-  const auto [it, inserted] = entries_.emplace(key, context);
+  const auto [it, inserted] = entries_.emplace(key, Entry{context, ++tick_});
   ++misses_;
   RR_METRIC_COUNT("service.cache.misses");
-  return inserted ? context : it->second;
+  if (inserted && capacity_ > 0 && entries_.size() > capacity_) {
+    // LRU cap: drop the least-recently-acquired entry (never the one just
+    // inserted — its tick is the freshest). Holders keep their shared_ptr.
+    auto lru = entries_.begin();
+    for (auto cur = entries_.begin(); cur != entries_.end(); ++cur)
+      if (cur->second.last_used < lru->second.last_used) lru = cur;
+    entries_.erase(lru);
+    ++evictions_;
+    RR_METRIC_COUNT("service.cache.evictions");
+  }
+  return inserted ? context : it->second.context;
 }
 
 void SolveContextCache::invalidate(const SolveContextKey& key) {
@@ -121,6 +132,7 @@ SolveContextCacheStats SolveContextCache::stats() const {
   stats.hits = hits_;
   stats.misses = misses_;
   stats.invalidations = invalidations_;
+  stats.evictions = evictions_;
   stats.entries = entries_.size();
   return stats;
 }

@@ -14,11 +14,13 @@
 // Invalidation: signatures are content hashes over the availability masks
 // and shape layouts, so any fault or repair changes the fabric signature
 // and a re-acquire naturally builds (or finds) the right context — a stale
-// context cannot be returned for a changed fabric. Fault events
-// additionally evict the tenant's previous entry (see invalidate()), so a
-// fabric state nobody runs anymore does not pin its tables in memory.
-// Occupancy changes (place/remove/defrag) never invalidate: the tables
-// encode availability, not occupancy.
+// context cannot be returned for a changed fabric. Memory is bounded by an
+// LRU cap: when an insert would exceed the capacity, the least-recently-
+// acquired entry is evicted, so fabric states nobody runs anymore age out
+// while hot shared entries (healthy-fabric tables several tenants run on)
+// survive any one tenant's fault churn. Occupancy changes
+// (place/remove/defrag) never invalidate: the tables encode availability,
+// not occupancy.
 #pragma once
 
 #include <cstdint>
@@ -89,6 +91,7 @@ struct SolveContextCacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t invalidations = 0;
+  std::uint64_t evictions = 0;  // LRU-cap evictions (not invalidate() calls)
   std::size_t entries = 0;
 
   [[nodiscard]] double hit_rate() const noexcept {
@@ -104,9 +107,19 @@ struct SolveContextCacheStats {
 /// every acquire and caches nothing — the control arm of the service bench.
 class SolveContextCache {
  public:
-  explicit SolveContextCache(bool enabled = true) : enabled_(enabled) {}
+  /// Default LRU capacity: comfortably above the distinct (fabric, library)
+  /// states a typical tenant mix runs at once, small enough that dead
+  /// fabric states cannot accumulate tables without bound.
+  static constexpr std::size_t kDefaultCapacity = 32;
+
+  /// `capacity` caps the entry count (LRU eviction on overflow); 0 means
+  /// unbounded.
+  explicit SolveContextCache(bool enabled = true,
+                             std::size_t capacity = kDefaultCapacity)
+      : enabled_(enabled), capacity_(capacity) {}
 
   [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
 
   /// The context for (region, library, use_alternatives): cached when the
   /// signatures match an entry, freshly built (and inserted) otherwise.
@@ -121,12 +134,20 @@ class SolveContextCache {
   [[nodiscard]] SolveContextCacheStats stats() const;
 
  private:
+  struct Entry {
+    std::shared_ptr<SolveContext> context;
+    std::uint64_t last_used = 0;  // recency tick of the latest acquire
+  };
+
   const bool enabled_;
+  const std::size_t capacity_;
   mutable std::mutex mutex_;
-  std::map<SolveContextKey, std::shared_ptr<SolveContext>> entries_;
+  std::map<SolveContextKey, Entry> entries_;
+  std::uint64_t tick_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t invalidations_ = 0;
+  std::uint64_t evictions_ = 0;
 };
 
 }  // namespace rr::service

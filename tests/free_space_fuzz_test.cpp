@@ -1,0 +1,548 @@
+// Differential fuzz for the maximal-empty-rectangle free-space index.
+//
+// Three oracle layers, mirroring the PR 2/3/6 pattern:
+//   1. FreeSpaceIndex::enumerate against a brute-force maximal-rectangle
+//      definition check on small grids.
+//   2. The incremental occupy/release/set_available updates against
+//      enumerate-from-scratch after every event of random
+//      place/remove/fault/repair sequences.
+//   3. best_anchor (all three policies, with and without a window) against
+//      a per-anchor bitmap reference that knows nothing about rectangles.
+// Layer 4 — the online placer's index admission against the bitmap sweep —
+// lives at the end: whole random traces replayed through OnlinePlacer pairs
+// with free_space_index on/off must make identical decisions.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "baseline/online.hpp"
+#include "fpga/builders.hpp"
+#include "fpga/fabric.hpp"
+#include "fpga/faults.hpp"
+#include "fpga/region.hpp"
+#include "geo/free_space.hpp"
+#include "model/generator.hpp"
+#include "runtime/recovery.hpp"
+#include "util/bitmatrix.hpp"
+#include "util/rng.hpp"
+
+namespace rr {
+namespace {
+
+BitMatrix random_bitmap(Rng& rng, int rows, int cols, int fill_pct) {
+  BitMatrix m(rows, cols);
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c)
+      if (rng.bounded(100) < static_cast<std::uint64_t>(fill_pct))
+        m.set(r, c, true);
+  return m;
+}
+
+bool rect_all_free(const BitMatrix& free, const Rect& r) {
+  if (r.x < 0 || r.y < 0 || r.right() > free.cols() || r.top() > free.rows())
+    return false;
+  for (int y = r.y; y < r.top(); ++y)
+    for (int x = r.x; x < r.right(); ++x)
+      if (!free.get(y, x)) return false;
+  return true;
+}
+
+/// Brute-force: every maximal free rectangle by definition (free, and no
+/// 1-step extension in any direction stays free).
+std::set<Rect> brute_maximal_rects(const BitMatrix& free) {
+  std::set<Rect> out;
+  for (int y = 0; y < free.rows(); ++y) {
+    for (int x = 0; x < free.cols(); ++x) {
+      if (!free.get(y, x)) continue;
+      for (int h = 1; y + h <= free.rows(); ++h) {
+        for (int w = 1; x + w <= free.cols(); ++w) {
+          const Rect r{x, y, w, h};
+          if (!rect_all_free(free, r)) break;
+          const bool maximal =
+              !rect_all_free(free, Rect{x - 1, y, w + 1, h}) &&
+              !rect_all_free(free, Rect{x, y, w + 1, h}) &&
+              !rect_all_free(free, Rect{x, y - 1, w, h + 1}) &&
+              !rect_all_free(free, Rect{x, y, w, h + 1});
+          if (maximal) out.insert(r);
+        }
+        if (!rect_all_free(free, Rect{x, y, 1, h})) break;
+      }
+    }
+  }
+  return out;
+}
+
+std::set<Rect> to_set(const std::vector<Rect>& rects) {
+  std::set<Rect> out(rects.begin(), rects.end());
+  EXPECT_EQ(out.size(), rects.size()) << "duplicate rectangles stored";
+  return out;
+}
+
+TEST(FreeSpaceEnumerate, MatchesBruteForceOnRandomGrids) {
+  Rng rng(0xFEE15ABCULL);
+  for (int round = 0; round < 60; ++round) {
+    const int rows = 1 + static_cast<int>(rng.bounded(12));
+    const int cols = 1 + static_cast<int>(rng.bounded(14));
+    const int fill = static_cast<int>(rng.bounded(101));
+    const BitMatrix free = random_bitmap(rng, rows, cols, fill);
+    EXPECT_EQ(to_set(FreeSpaceIndex::enumerate(free)),
+              brute_maximal_rects(free))
+        << "round " << round << " grid\n"
+        << free.to_string();
+  }
+}
+
+TEST(FreeSpaceEnumerate, WordEdgeWidths) {
+  Rng rng(0x5EED5EEDULL);
+  for (const int cols : {63, 64, 65, 127, 128, 130}) {
+    const BitMatrix free = random_bitmap(rng, 5, cols, 70);
+    EXPECT_EQ(to_set(FreeSpaceIndex::enumerate(free)),
+              brute_maximal_rects(free))
+        << "cols " << cols;
+  }
+}
+
+TEST(FreeSpaceEnumerate, FullAndEmpty) {
+  const BitMatrix empty(6, 9);
+  EXPECT_TRUE(FreeSpaceIndex::enumerate(empty).empty());
+  BitMatrix full(6, 9);
+  full.fill();
+  const auto rects = FreeSpaceIndex::enumerate(full);
+  ASSERT_EQ(rects.size(), 1u);
+  EXPECT_EQ(rects[0], (Rect{0, 0, 9, 6}));
+}
+
+/// A random footprint mask: a union of a few rectangles, guaranteeing at
+/// least one set cell, normalized to its bounding box.
+BitMatrix random_footprint(Rng& rng, int max_dim) {
+  const int rows = 1 + static_cast<int>(rng.bounded(max_dim));
+  const int cols = 1 + static_cast<int>(rng.bounded(max_dim));
+  BitMatrix m(rows, cols);
+  const int blobs = 1 + static_cast<int>(rng.bounded(3));
+  for (int b = 0; b < blobs; ++b) {
+    const int x = static_cast<int>(rng.bounded(static_cast<std::uint64_t>(cols)));
+    const int y = static_cast<int>(rng.bounded(static_cast<std::uint64_t>(rows)));
+    const int w = 1 + static_cast<int>(rng.bounded(static_cast<std::uint64_t>(cols - x)));
+    const int h = 1 + static_cast<int>(rng.bounded(static_cast<std::uint64_t>(rows - y)));
+    for (int yy = y; yy < y + h; ++yy)
+      for (int xx = x; xx < x + w; ++xx) m.set(yy, xx, true);
+  }
+  // Normalize: crop to the bounding box of set cells.
+  int x0 = cols, x1 = -1, y0 = rows, y1 = -1;
+  for (int y = 0; y < rows; ++y)
+    for (int x = 0; x < cols; ++x)
+      if (m.get(y, x)) {
+        x0 = std::min(x0, x);
+        x1 = std::max(x1, x);
+        y0 = std::min(y0, y);
+        y1 = std::max(y1, y);
+      }
+  BitMatrix out(y1 - y0 + 1, x1 - x0 + 1);
+  for (int y = y0; y <= y1; ++y)
+    for (int x = x0; x <= x1; ++x)
+      if (m.get(y, x)) out.set(y - y0, x - x0, true);
+  return out;
+}
+
+TEST(FreeSpaceDecompose, PartsTileTheMask) {
+  Rng rng(0xDECC0DEULL);
+  for (int round = 0; round < 200; ++round) {
+    const BitMatrix mask = random_footprint(rng, 9);
+    const std::vector<Rect> parts = decompose_mask(mask);
+    BitMatrix cover(mask.rows(), mask.cols());
+    long covered = 0;
+    for (const Rect& p : parts) {
+      ASSERT_GE(p.x, 0);
+      ASSERT_GE(p.y, 0);
+      ASSERT_LE(p.right(), mask.cols());
+      ASSERT_LE(p.top(), mask.rows());
+      for (int y = p.y; y < p.top(); ++y)
+        for (int x = p.x; x < p.right(); ++x) {
+          ASSERT_TRUE(mask.get(y, x)) << "part cell outside mask";
+          ASSERT_FALSE(cover.get(y, x)) << "overlapping parts";
+          cover.set(y, x, true);
+          ++covered;
+        }
+    }
+    EXPECT_EQ(covered, static_cast<long>(mask.popcount()))
+        << "parts do not cover mask\n"
+        << mask.to_string();
+  }
+}
+
+/// Checks the stored MER set of `index` exactly matches a from-scratch
+/// enumeration and the stored free bitmap matches `expect_free`.
+void expect_index_consistent(const FreeSpaceIndex& index,
+                             const BitMatrix& expect_free,
+                             const char* context) {
+  ASSERT_EQ(index.free_matrix(), expect_free) << context;
+  ASSERT_EQ(static_cast<std::size_t>(index.free_tiles()),
+            expect_free.popcount())
+      << context;
+  EXPECT_EQ(to_set(index.rectangles()),
+            to_set(FreeSpaceIndex::enumerate(expect_free)))
+      << context << " free bitmap:\n"
+      << expect_free.to_string();
+}
+
+TEST(FreeSpaceIncremental, RandomPlaceRemoveFaultRepairSequences) {
+  Rng rng(0x1C4E3E27ULL);
+  for (int round = 0; round < 25; ++round) {
+    const int rows = 4 + static_cast<int>(rng.bounded(12));
+    const int cols = 4 + static_cast<int>(rng.bounded(16));
+    // Availability with a few static holes.
+    BitMatrix avail(rows, cols, true);
+    for (int k = static_cast<int>(rng.bounded(5)); k > 0; --k)
+      avail.set(static_cast<int>(rng.bounded(static_cast<std::uint64_t>(rows))),
+                static_cast<int>(rng.bounded(static_cast<std::uint64_t>(cols))),
+                false);
+    FreeSpaceIndex index(avail);
+    BitMatrix occupied(rows, cols);
+    struct Live {
+      BitMatrix mask;
+      int x, y;
+    };
+    std::vector<Live> live;
+    BitMatrix faults(rows, cols);  // currently faulted cells
+    const auto free_now = [&] {
+      BitMatrix f = avail;
+      f.clear_shifted(faults, 0, 0);
+      f.clear_shifted(occupied, 0, 0);
+      return f;
+    };
+    expect_index_consistent(index, free_now(), "initial");
+    for (int step = 0; step < 60; ++step) {
+      const std::uint64_t op = rng.bounded(100);
+      if (op < 45) {  // try to place a random footprint at a random free spot
+        const BitMatrix fp = random_footprint(rng, 5);
+        if (fp.rows() > rows || fp.cols() > cols) continue;
+        const int x = static_cast<int>(
+            rng.bounded(static_cast<std::uint64_t>(cols - fp.cols() + 1)));
+        const int y = static_cast<int>(
+            rng.bounded(static_cast<std::uint64_t>(rows - fp.rows() + 1)));
+        if (!free_now().covers_shifted(fp, y, x)) continue;
+        index.occupy(fp, y, x);
+        occupied.or_shifted(fp, y, x);
+        live.push_back(Live{fp, x, y});
+      } else if (op < 70 && !live.empty()) {  // remove
+        const std::size_t pick = rng.bounded(live.size());
+        const Live victim = live[static_cast<std::size_t>(pick)];
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+        occupied.clear_shifted(victim.mask, victim.y, victim.x);
+        index.release(victim.mask, victim.y, victim.x);
+      } else if (op < 85) {  // fault a random small rect
+        const int x = static_cast<int>(rng.bounded(static_cast<std::uint64_t>(cols)));
+        const int y = static_cast<int>(rng.bounded(static_cast<std::uint64_t>(rows)));
+        const int w = 1 + static_cast<int>(rng.bounded(3));
+        const int h = 1 + static_cast<int>(rng.bounded(3));
+        for (int yy = y; yy < std::min(rows, y + h); ++yy)
+          for (int xx = x; xx < std::min(cols, x + w); ++xx)
+            faults.set(yy, xx, true);
+        BitMatrix now_avail = avail;
+        now_avail.clear_shifted(faults, 0, 0);
+        index.set_available(now_avail);
+      } else {  // repair everything
+        faults = BitMatrix(rows, cols);
+        index.set_available(avail);
+      }
+      expect_index_consistent(index, free_now(), "after step");
+    }
+  }
+}
+
+/// Per-anchor reference for best_anchor: knows only bitmaps, no rectangles.
+std::optional<AnchorPick> reference_best_anchor(
+    const BitMatrix& free, std::span<const BitMatrix> shapes,
+    std::span<const BitMatrix> anchors, AnchorPolicy policy,
+    const Rect* window) {
+  const std::vector<Rect> mers = FreeSpaceIndex::enumerate(free);
+  std::optional<AnchorPick> best;
+  std::vector<long> best_key;
+  for (std::size_t s = 0; s < shapes.size(); ++s) {
+    const BitMatrix& fp = shapes[s];
+    const std::vector<Rect> parts = decompose_mask(fp);
+    if (parts.empty()) continue;
+    for (int y = 0; y < free.rows(); ++y) {
+      for (int x = 0; x < free.cols(); ++x) {
+        if (!anchors[s].get(y, x)) continue;
+        if (window != nullptr &&
+            !window->contains(Rect{x, y, fp.cols(), fp.rows()}))
+          continue;
+        if (!free.covers_shifted(fp, y, x)) continue;
+        std::vector<long> key;
+        switch (policy) {
+          case AnchorPolicy::kFirstFit:
+            key = {x + fp.cols(), x, y, static_cast<long>(s)};
+            break;
+          case AnchorPolicy::kBottomLeft:
+            key = {y, x, static_cast<long>(s)};
+            break;
+          case AnchorPolicy::kBestFit: {
+            const Rect p0 = parts[0].translated(Point{x, y});
+            long bf = -1;
+            for (const Rect& m : mers)
+              if (m.contains(p0) && (bf < 0 || m.area() < bf)) bf = m.area();
+            key = {bf, x + fp.cols(), x, y, static_cast<long>(s)};
+            break;
+          }
+        }
+        if (!best.has_value() || key < best_key) {
+          best = AnchorPick{static_cast<int>(s), x, y};
+          best_key = key;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+TEST(FreeSpaceQuery, BestAnchorMatchesPerAnchorReference) {
+  Rng rng(0xBE57A4C4ULL);
+  for (int round = 0; round < 120; ++round) {
+    const int rows = 4 + static_cast<int>(rng.bounded(12));
+    const int cols = 4 + static_cast<int>(rng.bounded(70));
+    const BitMatrix free = random_bitmap(rng, rows, cols, 60);
+    FreeSpaceIndex index(free);
+    const int n_shapes = 1 + static_cast<int>(rng.bounded(3));
+    std::vector<BitMatrix> shapes;
+    std::vector<BitMatrix> anchor_maps;
+    std::vector<std::vector<Rect>> parts;
+    for (int s = 0; s < n_shapes; ++s) {
+      shapes.push_back(random_footprint(rng, 5));
+      // Random valid-anchor bitmap restricted to in-bounds placements.
+      BitMatrix a(rows, cols);
+      for (int y = 0; y + shapes.back().rows() <= rows; ++y)
+        for (int x = 0; x + shapes.back().cols() <= cols; ++x)
+          if (rng.bounded(100) < 80) a.set(y, x, true);
+      anchor_maps.push_back(std::move(a));
+      parts.push_back(decompose_mask(shapes.back()));
+    }
+    std::vector<AnchorQuery> queries;
+    for (int s = 0; s < n_shapes; ++s)
+      queries.push_back(AnchorQuery{&anchor_maps[static_cast<std::size_t>(s)],
+                                    parts[static_cast<std::size_t>(s)],
+                                    shapes[static_cast<std::size_t>(s)].cols(),
+                                    shapes[static_cast<std::size_t>(s)].rows()});
+    std::optional<Rect> window;
+    if (rng.bounded(2) == 0) {
+      const int wx = static_cast<int>(rng.bounded(static_cast<std::uint64_t>(cols)));
+      const int wy = static_cast<int>(rng.bounded(static_cast<std::uint64_t>(rows)));
+      window = Rect{wx, wy, 1 + static_cast<int>(rng.bounded(static_cast<std::uint64_t>(cols - wx))),
+                    1 + static_cast<int>(rng.bounded(static_cast<std::uint64_t>(rows - wy)))};
+    }
+    for (const AnchorPolicy policy :
+         {AnchorPolicy::kFirstFit, AnchorPolicy::kBestFit,
+          AnchorPolicy::kBottomLeft}) {
+      const auto got = index.best_anchor(queries, policy,
+                                         window ? &*window : nullptr);
+      const auto want = reference_best_anchor(
+          free, shapes, anchor_maps, policy, window ? &*window : nullptr);
+      ASSERT_EQ(got.has_value(), want.has_value())
+          << "round " << round << " policy " << static_cast<int>(policy);
+      if (got.has_value()) {
+        EXPECT_EQ(got->shape, want->shape) << "round " << round;
+        EXPECT_EQ(got->x, want->x) << "round " << round;
+        EXPECT_EQ(got->y, want->y) << "round " << round;
+      }
+    }
+  }
+}
+
+// ---- Layer 4: whole components, index arm against sweep arm. ----
+
+/// A column-module library with alternative-rich entries so multi-shape
+/// queries and bestfit tie-breaks are exercised.
+std::vector<model::Module> differential_library() {
+  using model::ModuleGenerator;
+  std::vector<model::Module> lib;
+  lib.push_back(
+      model::Module("s1", {ModuleGenerator::make_column_shape(1, 0, 1, 1, 0)}));
+  lib.push_back(
+      model::Module("s4", {ModuleGenerator::make_column_shape(4, 0, 1, 2, 0),
+                           ModuleGenerator::make_column_shape(4, 0, 1, 4, 0)}));
+  lib.push_back(
+      model::Module("s6", {ModuleGenerator::make_column_shape(6, 0, 1, 3, 0),
+                           ModuleGenerator::make_column_shape(6, 0, 1, 2, 0)}));
+  lib.push_back(
+      model::Module("s9", {ModuleGenerator::make_column_shape(9, 0, 1, 3, 0)}));
+  return lib;
+}
+
+/// Replays random place/remove/fault/repair traces through two OnlinePlacer
+/// arms — free-space index on vs. the occupancy-bitmap sweep — and requires
+/// identical accept/reject decisions and identical chosen anchors at every
+/// event, under every anchor policy. This is the "decision_mismatches == 0"
+/// oracle contract the bench pins at scale.
+TEST(OnlinePlacerDifferential, IndexMatchesSweepOnRandomTraces) {
+  const auto fabric = std::make_shared<const fpga::Fabric>(
+      fpga::make_homogeneous(14, 8));
+  const std::vector<model::Module> library = differential_library();
+  for (const AnchorPolicy policy :
+       {AnchorPolicy::kFirstFit, AnchorPolicy::kBestFit,
+        AnchorPolicy::kBottomLeft}) {
+    Rng rng(0xD1FFC0DEULL + static_cast<std::uint64_t>(policy) * 97);
+    for (int round = 0; round < 5; ++round) {
+      fpga::PartialRegion region_index(fabric);
+      fpga::PartialRegion region_sweep(fabric);
+      baseline::OnlineOptions with_index;
+      with_index.policy = policy;
+      with_index.free_space_index = true;
+      baseline::OnlineOptions with_sweep = with_index;
+      with_sweep.free_space_index = false;
+      baseline::OnlinePlacer indexed(region_index, with_index);
+      baseline::OnlinePlacer swept(region_sweep, with_sweep);
+      fpga::FaultMap faults(fabric->width(), fabric->height());
+      std::vector<int> live;
+      int next_id = 0;
+      for (int step = 0; step < 110; ++step) {
+        const std::uint64_t op = rng.bounded(100);
+        if (op < 55) {
+          const std::size_t m = rng.bounded(library.size());
+          const int id = next_id++;
+          const auto a = indexed.place(id, library[m]);
+          const auto b = swept.place(id, library[m]);
+          ASSERT_EQ(a.has_value(), b.has_value())
+              << "policy " << static_cast<int>(policy) << " round " << round
+              << " step " << step << " module " << library[m].name();
+          if (a.has_value()) {
+            ASSERT_EQ(a->shape, b->shape) << "step " << step;
+            ASSERT_EQ(a->x, b->x) << "step " << step;
+            ASSERT_EQ(a->y, b->y) << "step " << step;
+            live.push_back(id);
+          }
+        } else if (op < 80 && !live.empty()) {
+          const std::size_t pick = rng.bounded(live.size());
+          const int id = live[pick];
+          live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+          indexed.remove(id);
+          swept.remove(id);
+        } else {
+          // Fault or scrub. Displacement is the recovery layer's business;
+          // the admission contract only needs both arms to see the same
+          // masks, so the event goes to both regions followed by the
+          // mandatory refresh_region() resync.
+          fpga::FaultEvent event;
+          if (rng.bounded(3) == 0) {
+            event.op = fpga::FaultEvent::Op::kRepairTransient;
+          } else {
+            event.op = fpga::FaultEvent::Op::kTile;
+            event.kind = fpga::FaultKind::kTransient;
+            event.rect = Rect{
+                static_cast<int>(rng.bounded(
+                    static_cast<std::uint64_t>(fabric->width()))),
+                static_cast<int>(rng.bounded(
+                    static_cast<std::uint64_t>(fabric->height()))),
+                1, 1};
+          }
+          faults.apply(event);
+          region_index.apply_faults(faults);
+          region_sweep.apply_faults(faults);
+          indexed.refresh_region();
+          swept.refresh_region();
+        }
+        ASSERT_EQ(indexed.occupied_matrix(), swept.occupied_matrix())
+            << "step " << step;
+        // The index arm's internal free bitmap must track avail ∧ ¬occ.
+        BitMatrix expect_free =
+            FreeSpaceIndex::union_of(region_index.masks());
+        expect_free.clear_shifted(indexed.occupied_matrix(), 0, 0);
+        ASSERT_EQ(indexed.free_space().free_matrix(), expect_free)
+            << "step " << step;
+      }
+      EXPECT_EQ(indexed.live_placements(), swept.live_placements());
+    }
+  }
+}
+
+/// Replays random fault/repair sequences through two FaultRecoveryManager
+/// arms (tier-1 queries from the index vs. the sweep) and requires
+/// identical recovery outcomes and final state. Deadline 0 (unlimited)
+/// keeps the tier ladder wall-clock independent.
+TEST(FaultRecoveryDifferential, IndexMatchesSweepOnRandomFaultSequences) {
+  const auto fabric = std::make_shared<const fpga::Fabric>(
+      fpga::make_homogeneous(14, 8));
+  const std::vector<model::Module> library = differential_library();
+  Rng rng(0xFA171D1FULL);
+  for (int round = 0; round < 4; ++round) {
+    // Initial layout: greedy first-fit via an OnlinePlacer, admitted into
+    // both managers identically.
+    fpga::PartialRegion seed_region(fabric);
+    baseline::OnlinePlacer seeder(seed_region);
+    std::vector<std::pair<int, std::size_t>> admitted;  // id -> library idx
+    for (int id = 0; id < 10; ++id) {
+      const std::size_t m = rng.bounded(library.size());
+      if (seeder.place(id, library[m]).has_value()) admitted.push_back({id, m});
+    }
+    runtime::FaultRecoveryOptions base;
+    base.deadline_seconds = 0.0;
+    base.seed = 7;
+    runtime::FaultRecoveryOptions with_index = base;
+    with_index.use_free_space_index = true;
+    runtime::FaultRecoveryOptions with_sweep = base;
+    with_sweep.use_free_space_index = false;
+    runtime::FaultRecoveryManager indexed(fpga::PartialRegion(fabric),
+                                          with_index);
+    runtime::FaultRecoveryManager swept(fpga::PartialRegion(fabric),
+                                        with_sweep);
+    for (const placer::ModulePlacement& p : seeder.live_placements()) {
+      std::size_t m = 0;
+      for (const auto& [id, idx] : admitted)
+        if (id == p.module) m = idx;
+      indexed.admit(p.module, library[m], p.shape, p.x, p.y);
+      swept.admit(p.module, library[m], p.shape, p.x, p.y);
+    }
+    for (int step = 0; step < 30; ++step) {
+      fpga::FaultEvent event;
+      const std::uint64_t kind = rng.bounded(10);
+      if (kind < 5) {
+        event.op = fpga::FaultEvent::Op::kTile;
+        event.kind = rng.bounded(2) == 0 ? fpga::FaultKind::kTransient
+                                         : fpga::FaultKind::kPermanent;
+        event.rect = Rect{
+            static_cast<int>(rng.bounded(
+                static_cast<std::uint64_t>(fabric->width()))),
+            static_cast<int>(rng.bounded(
+                static_cast<std::uint64_t>(fabric->height()))),
+            1, 1};
+      } else if (kind < 7) {
+        event.op = fpga::FaultEvent::Op::kRect;
+        event.kind = fpga::FaultKind::kTransient;
+        const int x = static_cast<int>(
+            rng.bounded(static_cast<std::uint64_t>(fabric->width() - 1)));
+        const int y = static_cast<int>(
+            rng.bounded(static_cast<std::uint64_t>(fabric->height() - 1)));
+        event.rect = Rect{x, y, 2, 2};
+      } else {
+        event.op = fpga::FaultEvent::Op::kRepairTransient;
+      }
+      const auto a = indexed.on_fault(event);
+      const auto b = swept.on_fault(event);
+      ASSERT_EQ(a.tiles_faulted, b.tiles_faulted) << "step " << step;
+      ASSERT_EQ(a.tiles_repaired, b.tiles_repaired) << "step " << step;
+      ASSERT_EQ(a.modules_hit, b.modules_hit) << "step " << step;
+      ASSERT_EQ(a.recovered, b.recovered) << "step " << step;
+      ASSERT_EQ(a.parked, b.parked) << "step " << step;
+      ASSERT_EQ(a.retry_recoveries, b.retry_recoveries) << "step " << step;
+      ASSERT_EQ(a.modules.size(), b.modules.size()) << "step " << step;
+      for (std::size_t i = 0; i < a.modules.size(); ++i) {
+        ASSERT_EQ(a.modules[i].instance_id, b.modules[i].instance_id);
+        ASSERT_EQ(a.modules[i].tier, b.modules[i].tier)
+            << "step " << step << " module " << a.modules[i].instance_id;
+        ASSERT_EQ(a.modules[i].recovered, b.modules[i].recovered);
+        ASSERT_EQ(a.modules[i].from_parked, b.modules[i].from_parked);
+      }
+      ASSERT_EQ(indexed.occupied_matrix(), swept.occupied_matrix())
+          << "step " << step;
+      ASSERT_EQ(indexed.live_placements(), swept.live_placements())
+          << "step " << step;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rr

@@ -1,0 +1,161 @@
+// Concurrent differential for the free-space index inside the service:
+// tenant pairs run the SAME deterministic churn script (places, removes,
+// fault injections, scrubs), one arm answering admission from the
+// incremental maximal-empty-rectangle index and the other from the
+// occupancy-bitmap sweep. All tenants are driven by concurrent submitter
+// threads over a shared worker pool and solve-context cache, so index
+// maintenance (occupy/release/set_available on fault) runs under real
+// interleavings — the `concurrent` ctest label puts this under the TSan CI
+// leg. Responses must be bit-identical between the arms of every pair.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "fpga/builders.hpp"
+#include "model/generator.hpp"
+#include "service/service.hpp"
+#include "util/rng.hpp"
+
+namespace rr::service {
+namespace {
+
+using model::Module;
+using model::ModuleGenerator;
+
+constexpr int kPairs = 4;
+constexpr int kWorkers = 4;
+constexpr int kRequestsPerTenant = 120;
+constexpr int kFabricW = 12;
+constexpr int kFabricH = 6;
+
+std::vector<Module> pair_library() {
+  std::vector<Module> lib;
+  lib.push_back(Module("s1", {ModuleGenerator::make_column_shape(1, 0, 1, 1, 0)}));
+  lib.push_back(Module("s4", {ModuleGenerator::make_column_shape(4, 0, 1, 2, 0),
+                              ModuleGenerator::make_column_shape(4, 0, 1, 4, 0)}));
+  lib.push_back(Module("s6", {ModuleGenerator::make_column_shape(6, 0, 1, 3, 0),
+                              ModuleGenerator::make_column_shape(6, 0, 1, 2, 0)}));
+  return lib;
+}
+
+/// Deterministic per-pair churn script (both arms of a pair replay the
+/// same one, with only the tenant id differing at submit time).
+std::vector<Request> pair_script(int pair) {
+  Rng rng(0xF5D1FFULL + static_cast<std::uint64_t>(pair) * 6151);
+  std::vector<Request> script;
+  std::vector<int> live;
+  int next_instance = 0;
+  for (int i = 0; i < kRequestsPerTenant; ++i) {
+    Request request;
+    if (rng.chance(0.05)) {
+      request.op = RequestOp::kFault;
+      if (rng.chance(0.4)) {
+        request.fault.op = fpga::FaultEvent::Op::kRepairTransient;
+      } else {
+        request.fault.op = fpga::FaultEvent::Op::kTile;
+        request.fault.kind = fpga::FaultKind::kTransient;
+        request.fault.rect = Rect{rng.uniform_int(0, kFabricW - 1),
+                                  rng.uniform_int(0, kFabricH - 1), 1, 1};
+      }
+    } else if (!live.empty() && rng.chance(0.45)) {
+      request.op = RequestOp::kRemove;
+      const std::size_t pick = rng.pick_index(live);
+      request.instance = live[pick];
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else {
+      request.op = RequestOp::kPlace;
+      request.instance = next_instance++;
+      request.module = rng.uniform_int(0, 2);
+      live.push_back(request.instance);
+    }
+    script.push_back(request);
+  }
+  return script;
+}
+
+TEST(FreeSpaceService, IndexAndSweepTenantsAgreeUnderConcurrentChurn) {
+  const auto fabric = std::make_shared<const fpga::Fabric>(
+      fpga::make_homogeneous(kFabricW, kFabricH));
+
+  std::vector<std::vector<Request>> scripts;
+  scripts.reserve(kPairs);
+  for (int p = 0; p < kPairs; ++p) scripts.push_back(pair_script(p));
+
+  // Tenant 2p is the index arm, 2p+1 the sweep arm of pair p. All policies
+  // get coverage across the pairs.
+  const AnchorPolicy policies[] = {AnchorPolicy::kFirstFit,
+                                   AnchorPolicy::kBestFit,
+                                   AnchorPolicy::kBottomLeft};
+  std::vector<Tenant::Config> configs;
+  configs.reserve(2 * kPairs);
+  for (int p = 0; p < kPairs; ++p) {
+    for (const bool use_index : {true, false}) {
+      Tenant::Config config;
+      config.fabric = fabric;
+      config.library = pair_library();
+      config.online.policy = policies[p % 3];
+      config.online.free_space_index = use_index;
+      configs.push_back(std::move(config));
+    }
+  }
+  ServiceOptions options;
+  options.workers = kWorkers;
+  options.queue_capacity = 32;
+  PlacementService service(std::move(configs), options);
+
+  std::vector<std::vector<Response>> responses(2 * kPairs);
+  {
+    std::vector<std::thread> submitters;
+    submitters.reserve(2 * kPairs);
+    for (int t = 0; t < 2 * kPairs; ++t) {
+      submitters.emplace_back([&, t] {
+        std::vector<std::future<Response>> futures;
+        futures.reserve(scripts[t / 2].size());
+        for (Request request : scripts[t / 2]) {
+          request.tenant = t;
+          futures.push_back(service.submit(request));
+        }
+        responses[t].reserve(futures.size());
+        for (auto& future : futures) responses[t].push_back(future.get());
+      });
+    }
+    for (std::thread& thread : submitters) thread.join();
+  }
+  service.stop();
+
+  for (int p = 0; p < kPairs; ++p) {
+    const int index_arm = 2 * p;
+    const int sweep_arm = 2 * p + 1;
+    ASSERT_EQ(responses[index_arm].size(), responses[sweep_arm].size());
+    for (std::size_t i = 0; i < responses[index_arm].size(); ++i) {
+      EXPECT_EQ(responses[index_arm][i], responses[sweep_arm][i])
+          << "pair " << p << " diverged at request " << i;
+    }
+    const Tenant& indexed = service.tenant(index_arm);
+    const Tenant& swept = service.tenant(sweep_arm);
+    EXPECT_EQ(indexed.placer().live_placements(),
+              swept.placer().live_placements())
+        << "pair " << p;
+    EXPECT_EQ(indexed.placer().occupied_matrix(),
+              swept.placer().occupied_matrix())
+        << "pair " << p;
+    // The index arm's free bitmap tracks avail ∧ ¬occ after all the churn.
+    BitMatrix expect_free =
+        FreeSpaceIndex::union_of(indexed.region().masks());
+    expect_free.clear_shifted(indexed.placer().occupied_matrix(), 0, 0);
+    EXPECT_EQ(indexed.placer().free_space().free_matrix(), expect_free)
+        << "pair " << p;
+  }
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.requests,
+            static_cast<std::uint64_t>(2 * kPairs * kRequestsPerTenant));
+  EXPECT_GT(stats.placed, 0u);
+  EXPECT_GT(stats.fault_events, 0u);
+}
+
+}  // namespace
+}  // namespace rr::service

@@ -187,7 +187,10 @@ TEST(ServiceSoak, ConcurrentChurnMatchesSerialOracleExactly) {
   // response, so no errors == 0 assertion — the oracle match above already
   // pins every response exactly.)
   EXPECT_GT(stats.cache.hits, 0u);
-  EXPECT_GT(stats.cache.invalidations, 0u);
+  // Fault churn re-keys contexts instead of eagerly invalidating; the LRU
+  // cap alone bounds the entry count.
+  EXPECT_EQ(stats.cache.invalidations, 0u);
+  EXPECT_LE(stats.cache.entries, SolveContextCache::kDefaultCapacity);
 }
 
 TEST(ServiceSoak, ManyClientThreadsOneTenantStaySerial) {

@@ -98,12 +98,19 @@ void check_stats_v1(const Value& doc) {
           "seconds", "throughput_rps"})
       check_number(service, key);
     const Value& cache = service.at("cache");
-    for (const char* key :
-         {"hits", "misses", "invalidations", "entries", "hit_rate"})
+    for (const char* key : {"hits", "misses", "invalidations", "evictions",
+                            "entries", "hit_rate"})
       check_number(cache, key);
     const Value& latency = service.at("latency");
     for (const char* key : {"count", "mean_ms", "p50_ms", "p99_ms", "max_ms"})
       check_number(latency, key);
+    // Submit-to-completion latency split: time inside Tenant::apply vs
+    // queue wait (total = service + queue per request).
+    for (const char* section : {"latency_service", "latency_queue"}) {
+      const Value& split = service.at(section);
+      for (const char* key : {"mean_ms", "p50_ms", "p99_ms", "max_ms"})
+        check_number(split, key);
+    }
   }
 }
 
@@ -157,9 +164,18 @@ void check_bench_v1(const Value& doc) {
   } else if (bench == "service_load") {
     for (const char* key :
          {"requests", "throughput_rps", "throughput_rps_uncached",
-          "cache_speedup", "cache_hit_rate", "latency_p50_ms",
-          "latency_p99_ms", "latency_p99_ms_uncached", "batched_fraction",
-          "mismatches"})
+          "throughput_rps_sweep", "cache_speedup", "index_speedup",
+          "cache_hit_rate", "latency_p50_ms", "latency_p99_ms",
+          "latency_p99_ms_uncached", "latency_p99_ms_sweep",
+          "latency_service_p99_ms", "latency_queue_p99_ms",
+          "latency_service_p99_ms_sweep", "service_p99_speedup",
+          "batched_fraction", "mismatches"})
+      check_result_metric(results, key);
+  } else if (bench == "free_space") {
+    for (const char* key :
+         {"probes", "index_speedup", "decision_mismatches",
+          "speedup_eval_50", "speedup_eval_80", "speedup_large_50",
+          "speedup_large_80"})
       check_result_metric(results, key);
   } else if (bench == "fault_recovery") {
     for (const char* key :

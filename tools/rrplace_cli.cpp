@@ -25,6 +25,14 @@
 //                             "#" comments
 //   --defrag <seconds>        per-request defragmentation deadline for
 //                             --online-trace (0 = off, plain first-fit)
+//   --online-policy <p>       anchor-selection policy for the online placer
+//                             (firstfit | bestfit | bottomleft; default
+//                             firstfit); applies to --online-trace and
+//                             --serve-trace
+//   --no-free-space-index     answer online admission with the occupancy-
+//                             bitmap sweep instead of the incremental
+//                             maximal-empty-rectangle index (the
+//                             differential oracle; decisions identical)
 //   --faults <path>           apply a fault trace's (.fft) resulting fault
 //                             map to the region before solving or replaying:
 //                             every placer refuses the faulty tiles
@@ -48,6 +56,8 @@
 //   --serve-queue <n>         per-worker queue capacity (default 256)
 //   --no-serve-cache          disable the shared solve-context cache
 //                             (every request pays the full anchor scan)
+//   --serve-cache-cap <n>     solve-context cache LRU capacity (default
+//                             32; 0 = unbounded)
 //   --quiet                   suppress the ASCII floorplan / trace log
 //
 // The trace modes are mutually exclusive, and flags that only make sense
@@ -79,6 +89,8 @@ struct CliOptions {
   std::string anchors_module;
   std::string online_trace_path;
   double defrag_seconds = 0.0;
+  rr::AnchorPolicy online_policy = rr::AnchorPolicy::kFirstFit;
+  bool free_space_index = true;
   std::string faults_path;
   std::string fault_trace_path;
   double fault_deadline = 0.1;
@@ -86,6 +98,7 @@ struct CliOptions {
   int serve_workers = 4;
   std::size_t serve_queue = 256;
   bool serve_cache = true;
+  std::size_t serve_cache_cap = rr::service::SolveContextCache::kDefaultCapacity;
   bool quiet = false;
   // Which flags appeared explicitly — conflict checks must catch an
   // explicit "--mode restarts" with --serve-trace even though kAuto is
@@ -93,6 +106,8 @@ struct CliOptions {
   bool mode_set = false;
   bool defrag_set = false;
   bool serve_tuning_set = false;
+  bool online_policy_set = false;
+  bool free_space_index_set = false;
 };
 
 [[noreturn]] void usage(const char* error = nullptr) {
@@ -104,10 +119,20 @@ struct CliOptions {
       "  --svg PATH,\n"
       "  --stats-json PATH|-, --anchors MODULE,\n"
       "  --online-trace PATH, --defrag S,\n"
+      "  --online-policy firstfit|bestfit|bottomleft, --no-free-space-index,\n"
       "  --faults PATH, --fault-trace PATH, --fault-deadline S,\n"
       "  --serve-trace PATH, --serve-workers N, --serve-queue N,\n"
-      "  --no-serve-cache, --quiet\n";
+      "  --no-serve-cache, --serve-cache-cap N, --quiet\n";
   std::exit(error == nullptr ? 0 : 2);
+}
+
+const char* policy_name(rr::AnchorPolicy policy) {
+  switch (policy) {
+    case rr::AnchorPolicy::kFirstFit: return "firstfit";
+    case rr::AnchorPolicy::kBestFit: return "bestfit";
+    case rr::AnchorPolicy::kBottomLeft: return "bottomleft";
+  }
+  return "firstfit";
 }
 
 // Conflicting-flag rejection: one line on stderr, nonzero exit, no usage
@@ -142,9 +167,15 @@ void check_conflicts(const CliOptions& options) {
              "fault events in the serve trace)");
   if (options.defrag_set && !online)
     conflict("--defrag without --online-trace");
+  // The policy and index toggles steer the OnlinePlacer, which only runs
+  // inside the two trace modes that host it.
+  if (options.online_policy_set && !online && !serve)
+    conflict("--online-policy without --online-trace or --serve-trace");
+  if (options.free_space_index_set && !online && !serve)
+    conflict("--no-free-space-index without --online-trace or --serve-trace");
   if (options.serve_tuning_set && !serve)
-    conflict("--serve-workers/--serve-queue/--no-serve-cache without "
-             "--serve-trace");
+    conflict("--serve-workers/--serve-queue/--no-serve-cache/"
+             "--serve-cache-cap without --serve-trace");
 }
 
 // Checked numeric parsing: the whole token must parse and satisfy the
@@ -212,6 +243,24 @@ CliOptions parse_args(int argc, char** argv) {
       options.serve_cache = false;
       options.serve_tuning_set = true;
     }
+    else if (arg == "--serve-cache-cap") {
+      options.serve_cache_cap = parse_number<std::size_t>(
+          need_value(i), "--serve-cache-cap", std::size_t{0});
+      options.serve_tuning_set = true;
+    }
+    else if (arg == "--online-policy") {
+      options.online_policy_set = true;
+      const std::string policy = need_value(i);
+      if (policy == "firstfit") options.online_policy = rr::AnchorPolicy::kFirstFit;
+      else if (policy == "bestfit") options.online_policy = rr::AnchorPolicy::kBestFit;
+      else if (policy == "bottomleft")
+        options.online_policy = rr::AnchorPolicy::kBottomLeft;
+      else usage("unknown online policy");
+    }
+    else if (arg == "--no-free-space-index") {
+      options.free_space_index = false;
+      options.free_space_index_set = true;
+    }
     else if (arg == "--quiet") options.quiet = true;
     else if (arg == "--mode") {
       options.mode_set = true;
@@ -254,6 +303,8 @@ int run_online_trace(const CliOptions& cli,
 
   rr::baseline::OnlineOptions online;
   online.use_alternatives = cli.alternatives;
+  online.policy = cli.online_policy;
+  online.free_space_index = cli.free_space_index;
   online.defrag.deadline_seconds = cli.defrag_seconds;
   online.defrag.seed = cli.seed;
   rr::baseline::OnlinePlacer placer(region, online);
@@ -333,6 +384,8 @@ int run_online_trace(const CliOptions& cli,
     config.set("defrag_deadline_seconds",
                rr::json::Value(cli.defrag_seconds));
     config.set("seed", rr::json::Value(cli.seed));
+    config.set("policy", rr::json::Value(policy_name(cli.online_policy)));
+    config.set("free_space_index", rr::json::Value(cli.free_space_index));
     // The search/space/result sections describe one offline solve; a trace
     // replay has none, so a default (empty) outcome keeps the schema
     // intact and the replay data lives in the "online" section.
@@ -677,11 +730,14 @@ int run_serve_trace(const CliOptions& cli,
     config.fabric = fabric;
     config.library = modules;
     config.online.use_alternatives = cli.alternatives;
+    config.online.policy = cli.online_policy;
+    config.online.free_space_index = cli.free_space_index;
     configs.push_back(std::move(config));
   }
   rr::service::ServiceOptions service_options;
   service_options.workers = cli.serve_workers;
   service_options.queue_capacity = cli.serve_queue;
+  service_options.cache_capacity = cli.serve_cache_cap;
   rr::service::PlacementService service(std::move(configs), service_options,
                                         cli.serve_cache);
 
@@ -747,14 +803,18 @@ int run_serve_trace(const CliOptions& cli,
     human << "cache: " << stats.cache.hits << " hits / " << stats.cache.misses
           << " misses (" << rr::TextTable::pct(stats.cache.hit_rate())
           << "), " << stats.cache.invalidations << " invalidations, "
-          << stats.cache.entries << " entries\n";
+          << stats.cache.evictions << " evictions, " << stats.cache.entries
+          << " entries (cap " << service.cache().capacity() << ")\n";
   } else {
     human << "cache: disabled\n";
   }
   human << "latency: p50 " << rr::TextTable::num(stats.latency_p50_ms, 3)
         << "ms, p99 " << rr::TextTable::num(stats.latency_p99_ms, 3)
         << "ms, max " << rr::TextTable::num(stats.latency_max_ms, 3)
-        << "ms\n";
+        << "ms  (service p99 "
+        << rr::TextTable::num(stats.latency_service_p99_ms, 3)
+        << "ms, queue p99 "
+        << rr::TextTable::num(stats.latency_queue_p99_ms, 3) << "ms)\n";
 
   if (!cli.stats_json_path.empty()) {
     rr::json::Value config = rr::json::Value::object();
@@ -766,6 +826,10 @@ int run_serve_trace(const CliOptions& cli,
     config.set("queue_capacity",
                rr::json::Value(static_cast<std::uint64_t>(cli.serve_queue)));
     config.set("cache", rr::json::Value(cli.serve_cache));
+    config.set("cache_capacity", rr::json::Value(static_cast<std::uint64_t>(
+                                     cli.serve_cache_cap)));
+    config.set("policy", rr::json::Value(policy_name(cli.online_policy)));
+    config.set("free_space_index", rr::json::Value(cli.free_space_index));
     // As with the online replay, the solve sections describe one offline
     // solve which a service replay doesn't have; the replay data lives in
     // the "service" section.
