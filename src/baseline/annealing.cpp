@@ -105,6 +105,21 @@ placer::PlacementOutcome place_annealing(
     }
   }
 
+  // Communication term: bound nets plus the per-module doubled centers the
+  // walk keeps in sync with `state`. Fully gated — with comm off the cost
+  // function, the accepted-move sequence, and every RNG draw are
+  // byte-identical to the area-only walk (the zero-weight oracle).
+  comm::BoundNets bound_nets;
+  if (options.nets != nullptr && options.comm_weight > 0)
+    bound_nets = comm::BoundNets(*options.nets, modules);
+  const bool comm_on = !bound_nets.empty();
+  const auto center_of = [&](std::size_t i, int value) {
+    const geost::Placement& p =
+        candidates[i].table[static_cast<std::size_t>(value)];
+    return comm::center2(shape_of(i, value).bounding_box(), p.x, p.y);
+  };
+  std::vector<comm::Center2> centers(comm_on ? modules.size() : 0);
+
   CountGrid grid(region.height(), region.width());
   int overlap_tiles = 0;
   std::vector<int> extents(modules.size());
@@ -112,11 +127,18 @@ placer::PlacementOutcome place_annealing(
     const geost::Placement& p = candidates[i].table[static_cast<std::size_t>(state[i])];
     overlap_tiles += grid.apply(shape_of(i, state[i]), p.x, p.y, +1);
     extents[i] = extent_of(i, state[i]);
+    if (comm_on) centers[i] = center_of(i, state[i]);
   }
   auto cost = [&]() {
     const int extent = *std::max_element(extents.begin(), extents.end());
-    return static_cast<double>(extent) +
-           options.overlap_weight * overlap_tiles;
+    double c = static_cast<double>(extent) +
+               options.overlap_weight * overlap_tiles;
+    if (comm_on) {
+      c += static_cast<double>(options.comm_weight) *
+           static_cast<double>(bound_nets.wirelength2(centers)) /
+           static_cast<double>(comm::kExtentScale);
+    }
+    return c;
   };
 
   double current = cost();
@@ -153,6 +175,7 @@ placer::PlacementOutcome place_annealing(
       overlap_tiles += delta_overlap;
       state[i] = value;
       extents[i] = extent_of(i, value);
+      if (comm_on) centers[i] = center_of(i, value);
       const double next = cost();
       const double delta = next - current;
       if (delta <= 0 || rng.uniform01() < std::exp(-delta / temperature)) {
@@ -164,6 +187,7 @@ placer::PlacementOutcome place_annealing(
         overlap_tiles += grid.apply(shape_of(i, old_value), old_p.x, old_p.y, +1);
         state[i] = old_value;
         extents[i] = old_extent;
+        if (comm_on) centers[i] = center_of(i, old_value);
       }
     }
     temperature *= options.cooling;

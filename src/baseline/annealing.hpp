@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <span>
 
+#include "comm/net.hpp"
 #include "fpga/region.hpp"
 #include "model/module.hpp"
 #include "placer/placement.hpp"
@@ -26,6 +27,13 @@ struct AnnealingOptions {
   int moves_per_round_per_module = 40;
   /// Cost weight of each doubly-occupied tile.
   double overlap_weight = 4.0;
+  /// Optional inter-module nets: with comm_weight > 0 the walk minimizes
+  /// extent + overlap penalty + comm_weight * HPWL2 / comm::kExtentScale
+  /// (the CP objective's relative scaling, in tiles). Null nets or
+  /// comm_weight <= 0 leaves the area-only cost and the random walk
+  /// byte-identical (the zero-weight oracle).
+  const comm::NetList* nets = nullptr;
+  long comm_weight = 0;
 };
 
 [[nodiscard]] placer::PlacementOutcome place_annealing(

@@ -51,20 +51,62 @@ placer::PlacementOutcome place_greedy(const fpga::PartialRegion& region,
   solution.feasible = true;
   solution.placements.assign(modules.size(), placer::ModulePlacement{});
 
+  const bool comm_on = options.nets != nullptr && options.comm_weight > 0 &&
+                       !options.nets->empty();
+  std::vector<comm::NamedPin> pins;  // modules placed so far
+
+  const auto commit = [&](std::size_t i, const geost::Placement& p,
+                          const geost::ShapeFootprint& shape) {
+    occupied.or_shifted(shape.mask(), p.y, p.x);
+    solution.placements[i] =
+        placer::ModulePlacement{static_cast<int>(i), p.shape, p.x, p.y};
+    solution.extent =
+        std::max(solution.extent, p.x + shape.bounding_box().width);
+    if (comm_on) {
+      pins.push_back(comm::NamedPin{
+          modules[i].name(), comm::center2(shape.bounding_box(), p.x, p.y)});
+    }
+  };
+
   for (std::size_t i : order) {
     const Candidate& c = candidates[i];
+    comm::PinContext ctx;
+    if (comm_on)
+      ctx = comm::PinContext::build(*options.nets, modules[i].name(), pins);
     bool placed = false;
-    for (const geost::Placement& p : c.table) {
-      const geost::ShapeFootprint& shape =
-          c.shapes[static_cast<std::size_t>(p.shape)];
-      if (occupied.intersects_shifted(shape.mask(), p.y, p.x)) continue;
-      occupied.or_shifted(shape.mask(), p.y, p.x);
-      solution.placements[i] = placer::ModulePlacement{
-          static_cast<int>(i), p.shape, p.x, p.y};
-      solution.extent = std::max(
-          solution.extent, p.x + shape.bounding_box().width);
-      placed = true;
-      break;
+    if (ctx.empty()) {
+      // Area-only first fit (also the comm path when no already-placed net
+      // partner pins the module anywhere).
+      for (const geost::Placement& p : c.table) {
+        const geost::ShapeFootprint& shape =
+            c.shapes[static_cast<std::size_t>(p.shape)];
+        if (occupied.intersects_shifted(shape.mask(), p.y, p.x)) continue;
+        commit(i, p, shape);
+        placed = true;
+        break;
+      }
+    } else {
+      // Minimal communication cost against the placed-so-far pins; the
+      // table is sorted by the first-fit key, so keeping the earliest entry
+      // of minimal cost realizes the pinned (cost, x+w, x, y, shape) order.
+      const geost::Placement* best = nullptr;
+      const geost::ShapeFootprint* best_shape = nullptr;
+      long best_cost = 0;
+      for (const geost::Placement& p : c.table) {
+        const geost::ShapeFootprint& shape =
+            c.shapes[static_cast<std::size_t>(p.shape)];
+        const long cost =
+            ctx.cost2(comm::center2(shape.bounding_box(), p.x, p.y));
+        if (best != nullptr && cost >= best_cost) continue;
+        if (occupied.intersects_shifted(shape.mask(), p.y, p.x)) continue;
+        best = &p;
+        best_shape = &shape;
+        best_cost = cost;
+      }
+      if (best != nullptr) {
+        commit(i, *best, *best_shape);
+        placed = true;
+      }
     }
     if (!placed) {
       solution.feasible = false;

@@ -9,6 +9,7 @@
 
 #include <span>
 
+#include "comm/net.hpp"
 #include "fpga/region.hpp"
 #include "model/module.hpp"
 #include "placer/placement.hpp"
@@ -23,6 +24,13 @@ enum class GreedyOrder {
 struct GreedyOptions {
   bool use_alternatives = true;
   GreedyOrder order = GreedyOrder::kDecreasingArea;
+  /// Optional inter-module nets: with comm_weight > 0 each module goes to
+  /// the feasible placement of minimal communication cost against the
+  /// modules placed so far (ties broken by table order, i.e. the first-fit
+  /// key). Null nets or comm_weight <= 0 leaves the area-only first-fit
+  /// path byte-identical (the zero-weight oracle).
+  const comm::NetList* nets = nullptr;
+  long comm_weight = 0;
 };
 
 /// Place each module at its first (bottom-left-most) conflict-free

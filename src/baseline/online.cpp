@@ -1,6 +1,7 @@
 #include "baseline/online.hpp"
 
 #include <algorithm>
+#include <array>
 #include <tuple>
 
 #include "geost/anchor_kernel.hpp"
@@ -120,11 +121,29 @@ OnlinePlacer::ShapeQueryData OnlinePlacer::build_query_data(
   return data;
 }
 
+comm::PinContext OnlinePlacer::build_pin_context(std::string_view name,
+                                                 int exclude_id) const {
+  if (options_.nets == nullptr || options_.comm_weight <= 0 ||
+      options_.nets->empty())
+    return {};
+  std::vector<comm::NamedPin> pins;
+  pins.reserve(live_.size());
+  for (const auto& [id, li] : live_) {
+    if (id == exclude_id) continue;
+    const Rect box = li.footprint().bounding_box();
+    pins.push_back(
+        comm::NamedPin{li.module.name(), comm::center2(box, li.x, li.y)});
+  }
+  // PinContext folds pins to per-net min/max bounds, so the unordered map's
+  // iteration order cannot influence the result (determinism contract).
+  return comm::PinContext::build(*options_.nets, name, pins);
+}
+
 std::optional<geost::Placement> OnlinePlacer::index_fit(
     const FreeSpaceIndex& index,
     const std::vector<geost::ShapeFootprint>& shapes,
     const std::vector<geost::Placement>& table,
-    const placer::ModuleTables* cached) const {
+    const placer::ModuleTables* cached, const comm::PinContext* comm) const {
   const ShapeQueryData* data;
   ShapeQueryData local;
   if (cached != nullptr) {
@@ -141,7 +160,17 @@ std::optional<geost::Placement> OnlinePlacer::index_fit(
     queries[s] = AnchorQuery{&data->anchors[s], data->parts[s], box.width,
                              box.height};
   }
-  const auto pick = index.best_anchor(queries, options_.policy);
+  AnchorCost cost;
+  const AnchorCost* cost_ptr = nullptr;
+  if (options_.policy == AnchorPolicy::kCommCost && comm != nullptr) {
+    cost = [&shapes, comm](int s, int x, int y) {
+      const Rect box = shapes[static_cast<std::size_t>(s)].bounding_box();
+      return comm->cost2(comm::center2(box, x, y));
+    };
+    cost_ptr = &cost;
+  }
+  const auto pick = index.best_anchor(queries, options_.policy, nullptr,
+                                      cost_ptr);
   if (!pick.has_value()) return std::nullopt;
   return geost::Placement{pick->shape, pick->x, pick->y};
 }
@@ -149,11 +178,16 @@ std::optional<geost::Placement> OnlinePlacer::index_fit(
 std::optional<geost::Placement> OnlinePlacer::sweep_fit(
     const BitMatrix& occupancy,
     const std::vector<geost::ShapeFootprint>& shapes,
-    const std::vector<geost::Placement>& table) const {
+    const std::vector<geost::Placement>& table,
+    const comm::PinContext* comm) const {
   // kFirstFit wants the first feasible entry in table order — exactly the
   // early-exit hybrid scan. The other policies must see every feasible
   // entry, so they pay a full scan and reduce under the policy key.
-  if (options_.policy == AnchorPolicy::kFirstFit)
+  // kCommCost without a ranking context cannot distinguish anchors and
+  // degrades to the same first-fit order (zero-weight oracle, matching the
+  // index arm's null-cost fallback).
+  if (options_.policy == AnchorPolicy::kFirstFit ||
+      (options_.policy == AnchorPolicy::kCommCost && comm == nullptr))
     return first_fit(occupancy, shapes, table);
   std::vector<BitMatrix> conflicts(shapes.size());
   std::vector<unsigned char> built(shapes.size(), 0);
@@ -169,6 +203,25 @@ std::optional<geost::Placement> OnlinePlacer::sweep_fit(
     }
     return !conflicts[s].get(p.y, p.x);
   };
+  if (options_.policy == AnchorPolicy::kCommCost) {
+    // Pinned key (cost, x + bbox.width, x, y, shape) — the same strict-`<`
+    // reduction the index arm runs over its feasible bitmap, so both arms
+    // resolve equal-cost ties to the same anchor.
+    const geost::Placement* best = nullptr;
+    std::array<long, 5> best_key{};
+    for (const geost::Placement& p : table) {
+      const Rect box =
+          shapes[static_cast<std::size_t>(p.shape)].bounding_box();
+      const std::array<long, 5> key{comm->cost2(comm::center2(box, p.x, p.y)),
+                                    p.x + box.width, p.x, p.y, p.shape};
+      if (best != nullptr && !(key < best_key)) continue;
+      if (!feasible(p)) continue;
+      best = &p;
+      best_key = key;
+    }
+    if (best == nullptr) return std::nullopt;
+    return *best;
+  }
   if (options_.policy == AnchorPolicy::kBottomLeft) {
     const geost::Placement* best = nullptr;
     for (const geost::Placement& p : table) {
@@ -215,9 +268,9 @@ std::optional<geost::Placement> OnlinePlacer::find_spot(
     const BitMatrix& occupancy, const FreeSpaceIndex* index,
     const std::vector<geost::ShapeFootprint>& shapes,
     const std::vector<geost::Placement>& table,
-    const placer::ModuleTables* cached) const {
-  return index != nullptr ? index_fit(*index, shapes, table, cached)
-                          : sweep_fit(occupancy, shapes, table);
+    const placer::ModuleTables* cached, const comm::PinContext* comm) const {
+  return index != nullptr ? index_fit(*index, shapes, table, cached, comm)
+                          : sweep_fit(occupancy, shapes, table, comm);
 }
 
 std::optional<placer::ModulePlacement> OnlinePlacer::place(
@@ -239,7 +292,14 @@ std::optional<placer::ModulePlacement> OnlinePlacer::place(
       cached != nullptr ? cached->table : local_table;
 
   const FreeSpaceIndex* index = options_.free_space_index ? &index_ : nullptr;
-  if (const auto p = find_spot(occupied_, index, shapes, table, cached)) {
+  comm::PinContext pin_context;
+  const comm::PinContext* comm_ctx = nullptr;
+  if (options_.policy == AnchorPolicy::kCommCost) {
+    pin_context = build_pin_context(module.name(), instance_id);
+    if (!pin_context.empty()) comm_ctx = &pin_context;
+  }
+  if (const auto p = find_spot(occupied_, index, shapes, table, cached,
+                               comm_ctx)) {
     const geost::ShapeFootprint& shape =
         shapes[static_cast<std::size_t>(p->shape)];
     occupied_.or_shifted(shape.mask(), p->y, p->x);
@@ -461,7 +521,17 @@ std::optional<placer::ModulePlacement> OnlinePlacer::defrag_place(
     }
     const FreeSpaceIndex* shadow_ptr =
         options_.free_space_index ? &shadow : nullptr;
-    const auto request = find_spot(shaken, shadow_ptr, shapes, table, cached);
+    // kCommCost ranking contexts fold pins from live_ as it stands during
+    // the shake — lifted modules still contribute their old pins, which is
+    // deterministic and identical for both arms (the oracle's requirement).
+    comm::PinContext request_ctx;
+    const comm::PinContext* request_comm = nullptr;
+    if (options_.policy == AnchorPolicy::kCommCost) {
+      request_ctx = build_pin_context(module.name(), instance_id);
+      if (!request_ctx.empty()) request_comm = &request_ctx;
+    }
+    const auto request =
+        find_spot(shaken, shadow_ptr, shapes, table, cached, request_comm);
     if (request.has_value()) {
       const geost::ShapeFootprint& shape =
           shapes[static_cast<std::size_t>(request->shape)];
@@ -489,8 +559,14 @@ std::optional<placer::ModulePlacement> OnlinePlacer::defrag_place(
             li_cached != nullptr ? *li_cached->shapes : li_local_shapes;
         const std::vector<geost::Placement>& li_table =
             li_cached != nullptr ? li_cached->table : li_local_table;
-        const auto spot =
-            find_spot(shaken, shadow_ptr, li_shapes, li_table, li_cached);
+        comm::PinContext li_ctx;
+        const comm::PinContext* li_comm = nullptr;
+        if (options_.policy == AnchorPolicy::kCommCost) {
+          li_ctx = build_pin_context(li.module.name(), id);
+          if (!li_ctx.empty()) li_comm = &li_ctx;
+        }
+        const auto spot = find_spot(shaken, shadow_ptr, li_shapes, li_table,
+                                    li_cached, li_comm);
         if (!spot.has_value()) {
           all_placed = false;
           break;

@@ -22,9 +22,12 @@
 // runtime::TransitionCost.
 #pragma once
 
+#include <memory>
 #include <optional>
+#include <string_view>
 #include <unordered_map>
 
+#include "comm/net.hpp"
 #include "fpga/region.hpp"
 #include "geo/free_space.hpp"
 #include "model/module.hpp"
@@ -109,6 +112,14 @@ struct OnlineOptions {
   /// Which feasible anchor wins a placement query; see AnchorPolicy. Both
   /// the index and the sweep honour the policy identically.
   AnchorPolicy policy = AnchorPolicy::kFirstFit;
+  /// Communication model for AnchorPolicy::kCommCost: a request's candidate
+  /// anchors are ranked by the weighted HPWL growth against the pins of the
+  /// currently live instances (nets reference modules by name; instances of
+  /// unnamed-by-any-net modules rank as first-fit). A null/empty net list or
+  /// comm_weight <= 0 degrades kCommCost to kFirstFit — the zero-weight
+  /// oracle. Shared ownership so service tenants can alias one list.
+  std::shared_ptr<const comm::NetList> nets;
+  long comm_weight = 0;
   OnlineDefragOptions defrag{};
 };
 
@@ -239,12 +250,13 @@ class OnlinePlacer {
 
   /// Policy-aware admission via the free-space index; decisions match
   /// sweep_fit bit-for-bit. `cached` (may be null) keys the query-data
-  /// cache.
+  /// cache. `comm` (may be null) is the kCommCost ranking context.
   [[nodiscard]] std::optional<geost::Placement> index_fit(
       const FreeSpaceIndex& index,
       const std::vector<geost::ShapeFootprint>& shapes,
       const std::vector<geost::Placement>& table,
-      const placer::ModuleTables* cached) const;
+      const placer::ModuleTables* cached,
+      const comm::PinContext* comm) const;
 
   /// Policy-aware admission via the occupancy-bitmap sweep (the
   /// differential oracle). kFirstFit delegates to first_fit; the other
@@ -252,14 +264,23 @@ class OnlinePlacer {
   [[nodiscard]] std::optional<geost::Placement> sweep_fit(
       const BitMatrix& occupancy,
       const std::vector<geost::ShapeFootprint>& shapes,
-      const std::vector<geost::Placement>& table) const;
+      const std::vector<geost::Placement>& table,
+      const comm::PinContext* comm) const;
 
   /// Dispatch: index when `index` is non-null, sweep otherwise.
   [[nodiscard]] std::optional<geost::Placement> find_spot(
       const BitMatrix& occupancy, const FreeSpaceIndex* index,
       const std::vector<geost::ShapeFootprint>& shapes,
       const std::vector<geost::Placement>& table,
-      const placer::ModuleTables* cached) const;
+      const placer::ModuleTables* cached,
+      const comm::PinContext* comm) const;
+
+  /// kCommCost ranking context for placing one instance of `name`: the
+  /// fixed pins of the live instances, minus `exclude_id` (the moving
+  /// instance must not attract itself during a defrag shake). Empty when
+  /// comm is off or no net can distinguish anchors for this module.
+  [[nodiscard]] comm::PinContext build_pin_context(std::string_view name,
+                                                   int exclude_id) const;
 
   /// The defrag pass (gates already passed). Commits and returns the new
   /// request's placement on success.

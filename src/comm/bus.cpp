@@ -10,13 +10,11 @@ namespace {
 constexpr int kClb = static_cast<int>(fpga::ResourceType::kClb);
 constexpr int kBus = static_cast<int>(fpga::ResourceType::kBusMacro);
 
-/// Retype the CLB cells of row `row` (clamped into the shape's bounding
-/// box) to bus macros. Returns nullopt when the row has no CLB cell.
+/// Retype the CLB cells of row `row` to bus macros. The row must lie inside
+/// the shape's bounding box — the caller validates before calling. Returns
+/// nullopt when the row has no CLB cell.
 std::optional<geost::ShapeFootprint> attach_shape(
     const geost::ShapeFootprint& shape, int row) {
-  const Rect box = shape.bounding_box();
-  row = std::clamp(row, 0, box.height - 1);
-
   std::vector<Point> clb_cells, bus_cells;
   std::vector<geost::TypedCells> groups;
   for (const geost::TypedCells& group : shape.typed()) {
@@ -66,9 +64,20 @@ fpga::Fabric with_bus_lanes(const fpga::Fabric& fabric, const BusSpec& spec) {
 model::Module with_bus_attachment(const model::Module& module,
                                   int attachment_row) {
   std::vector<geost::ShapeFootprint> shapes;
+  int index = 0;
   for (const geost::ShapeFootprint& shape : module.shapes()) {
+    // A row outside the shape is a model error, not something to clamp:
+    // silently attaching at a different row than requested would connect
+    // the module to the wrong bus lane.
+    const Rect box = shape.bounding_box();
+    if (attachment_row < 0 || attachment_row >= box.height)
+      throw ModelError("module " + module.name() + " shape " +
+                       std::to_string(index) + ": attachment row " +
+                       std::to_string(attachment_row) +
+                       " outside shape height " + std::to_string(box.height));
     if (auto attached = attach_shape(shape, attachment_row))
       shapes.push_back(std::move(*attached));
+    ++index;
   }
   if (shapes.empty())
     throw ModelError("module " + module.name() +

@@ -36,9 +36,11 @@ struct BusSpec {
 
 /// Copy of `module` whose shapes request a bus connection: in every shape,
 /// the CLB cells of the attachment row (local y = `attachment_row` within
-/// the shape, clamped to its height) are retyped to kBusMacro. Shapes
-/// without any CLB cell in that row are dropped (they cannot attach); a
-/// module losing all shapes this way throws ModelError.
+/// the shape) are retyped to kBusMacro. The row must lie inside every
+/// shape's bounding box — a negative row or one at/past a shape's height
+/// throws ModelError naming the module, shape, and row. Shapes without any
+/// CLB cell in that row are dropped (they cannot attach); a module losing
+/// all shapes this way throws ModelError.
 [[nodiscard]] model::Module with_bus_attachment(const model::Module& module,
                                                 int attachment_row = 0);
 

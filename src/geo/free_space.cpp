@@ -455,7 +455,11 @@ void FreeSpaceIndex::set_available(const BitMatrix& available) {
 
 std::optional<AnchorPick> FreeSpaceIndex::best_anchor(
     std::span<const AnchorQuery> queries, AnchorPolicy policy,
-    const Rect* window) const {
+    const Rect* window, const AnchorCost* cost) const {
+  // Without a cost callback communication cannot distinguish anchors, so
+  // kCommCost degenerates to the first-fit order (zero-weight oracle).
+  if (policy == AnchorPolicy::kCommCost && cost == nullptr)
+    policy = AnchorPolicy::kFirstFit;
   const int rows = free_.rows();
   const int cols = free_.cols();
   if (rows == 0 || cols == 0) return std::nullopt;
@@ -640,6 +644,25 @@ std::optional<AnchorPick> FreeSpaceIndex::best_anchor(
             }
           }
           i = j + 1;
+        }
+        break;
+      }
+      case AnchorPolicy::kCommCost: {
+        // Enumerate every feasible anchor and reduce by the pinned
+        // (cost, x + width, x, y, shape) key — the bitmap sweep does the
+        // same over its placement table, so both arms agree bit-for-bit.
+        for (int r = 0; r < rows; ++r) {
+          const std::span<const std::uint64_t> span = feasible_.row_span(r);
+          for (std::size_t w = 0; w < span.size(); ++w) {
+            std::uint64_t v = span[w];
+            while (v != 0) {
+              const int c = static_cast<int>(w) * 64 + std::countr_zero(v);
+              v &= v - 1;
+              offer({(*cost)(static_cast<int>(s), c, r), c + q.width, c, r,
+                     static_cast<long>(s)},
+                    static_cast<int>(s), c, r);
+            }
+          }
         }
         break;
       }

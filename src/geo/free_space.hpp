@@ -35,6 +35,7 @@
 // occupancy-bitmap sweep, which the callers keep as a differential oracle.
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <span>
 #include <vector>
@@ -53,7 +54,31 @@ namespace rr {
 ///   - kBottomLeft: minimal (y, x, shape) — lowest row first.
 ///   - kBestFit: tightest hole first — minimal area of the smallest MER
 ///     containing the shape's first part, ties broken by the first-fit key.
-enum class AnchorPolicy { kFirstFit = 0, kBestFit = 1, kBottomLeft = 2 };
+///   - kCommCost: cheapest communication first — minimal caller-supplied
+///     anchor cost (see AnchorCost), ties broken by the first-fit key.
+///     Without a cost callback the policy degenerates to kFirstFit (the
+///     zero-weight oracle).
+///
+/// Tie-breaking contract (pinned; the bitmap sweeps replicate it so the
+/// index-vs-sweep differential oracle holds for every policy): each policy
+/// reduces feasible anchors by strict `<` over a total-order key —
+///   kFirstFit   (x + bbox.width, x, y, shape)
+///   kBottomLeft (y, x, shape)
+///   kBestFit    (containing-MER area, x + bbox.width, x, y, shape)
+///   kCommCost   (cost, x + bbox.width, x, y, shape)
+/// Every key ends in (.., x, y, shape)-distinguishing components, so equal
+/// scores always resolve to the same anchor on both arms.
+enum class AnchorPolicy {
+  kFirstFit = 0,
+  kBestFit = 1,
+  kBottomLeft = 2,
+  kCommCost = 3,
+};
+
+/// Anchor cost callback for AnchorPolicy::kCommCost: the communication cost
+/// of anchoring shape `shape` (index into the query span) at (x, y). Must
+/// be deterministic for the differential oracle to hold.
+using AnchorCost = std::function<long(int shape, int x, int y)>;
 
 /// One shape's inputs to best_anchor. `anchors` is the region-shaped
 /// valid-anchor bitmap (resource compatibility folded in); `parts` is the
@@ -108,10 +133,12 @@ class FreeSpaceIndex {
   /// Best feasible anchor across `queries` under `policy`, or nullopt when
   /// no shape fits anywhere. `window`, when given, additionally requires
   /// the shape's bounding box to lie inside it (the fault-recovery local
-  /// re-place tier). Not thread-safe (reuses internal scratch).
+  /// re-place tier). `cost` drives AnchorPolicy::kCommCost (ignored by the
+  /// other policies; kCommCost with a null cost behaves as kFirstFit). Not
+  /// thread-safe (reuses internal scratch).
   [[nodiscard]] std::optional<AnchorPick> best_anchor(
       std::span<const AnchorQuery> queries, AnchorPolicy policy,
-      const Rect* window = nullptr) const;
+      const Rect* window = nullptr, const AnchorCost* cost = nullptr) const;
 
   /// The maximal empty rectangles (unspecified order).
   [[nodiscard]] const std::vector<Rect>& rectangles() const noexcept {

@@ -45,7 +45,25 @@ LnsResult improve_lns(const fpga::PartialRegion& region,
   result.placement_values.assign(incumbent.begin(), incumbent.end());
   result.extent = assignment_extent(tables, incumbent);
 
+  // The minimized cost: plain extent, or the combined extent + wirelength
+  // objective when the build options carry an active communication model.
+  // With comm off every line below reduces to the historical extent-only
+  // logic (the zero-weight oracle).
+  const comm::BoundNets* nets = build_options.comm_nets;
+  const bool comm_on =
+      nets != nullptr && build_options.comm_weight > 0 && !nets->empty();
+  const auto assignment_cost = [&](std::span<const int> values) -> long {
+    const int extent = assignment_extent(tables, values);
+    if (!comm_on) return extent;
+    return comm::kExtentScale * extent +
+           build_options.comm_weight *
+               assignment_wirelength2(tables, values, *nets);
+  };
+  result.cost = assignment_cost(result.placement_values);
+
   const int lower_bound = area_lower_bound(region, tables);
+  const long lower_cost =
+      comm_on ? comm::kExtentScale * lower_bound : lower_bound;
   Rng rng(options.seed);
   const std::size_t n = tables.size();
   RR_REQUIRE(options.frozen.empty() || options.frozen.size() == n,
@@ -54,15 +72,20 @@ LnsResult improve_lns(const fpga::PartialRegion& region,
     return !options.frozen.empty() && options.frozen[i];
   };
 
-  while (!deadline.expired() && result.extent > lower_bound) {
+  while (!deadline.expired() && result.cost > lower_cost) {
     // With every extent-defining module frozen, the extent cannot drop.
-    bool movable_at_extent = false;
-    for (std::size_t i = 0; i < n; ++i) {
-      const int extent_i =
-          tables[i].extents[static_cast<std::size_t>(result.placement_values[i])];
-      if (extent_i >= result.extent && !is_frozen(i)) movable_at_extent = true;
+    // (Only conclusive for the extent-only objective: under comm the cost
+    // can still improve by shortening nets at the same extent.)
+    if (!comm_on) {
+      bool movable_at_extent = false;
+      for (std::size_t i = 0; i < n; ++i) {
+        const int extent_i = tables[i].extents[static_cast<std::size_t>(
+            result.placement_values[i])];
+        if (extent_i >= result.extent && !is_frozen(i))
+          movable_at_extent = true;
+      }
+      if (!movable_at_extent) break;
     }
-    if (!movable_at_extent) break;
 
     ++result.iterations;
     // Most iterations demand a strict improvement; every fourth allows an
@@ -99,7 +122,8 @@ LnsResult improve_lns(const fpga::PartialRegion& region,
     BuiltModel model = build_model_from_tables(region, tables, build_options);
     if (model.infeasible) break;
     cp::Space& space = *model.space;
-    space.set_max(model.objective, strict ? result.extent - 1 : result.extent);
+    space.set_max(model.objective,
+                  static_cast<int>(strict ? result.cost - 1 : result.cost));
     for (std::size_t i = 0; i < n; ++i) {
       if (!relaxed[i])
         space.assign(model.placement_vars[i], result.placement_values[i]);
@@ -114,14 +138,14 @@ LnsResult improve_lns(const fpga::PartialRegion& region,
     if (search.next()) {
       for (std::size_t i = 0; i < n; ++i)
         result.placement_values[i] = space.min(model.placement_vars[i]);
-      const int new_extent =
-          assignment_extent(tables, result.placement_values);
+      const long new_cost = assignment_cost(result.placement_values);
       RR_DEBUG("lns iter " << result.iterations << (strict ? " strict" : " sideways")
-                           << " relaxed=" << relaxed_count << " extent "
-                           << result.extent << " -> " << new_extent
+                           << " relaxed=" << relaxed_count << " cost "
+                           << result.cost << " -> " << new_cost
                            << " fails=" << search.stats().fails);
-      if (new_extent < result.extent) ++result.improvements;
-      result.extent = new_extent;
+      if (new_cost < result.cost) ++result.improvements;
+      result.cost = new_cost;
+      result.extent = assignment_extent(tables, result.placement_values);
     } else {
       RR_DEBUG("lns iter " << result.iterations << (strict ? " strict" : " sideways")
                            << " relaxed=" << relaxed_count
@@ -136,7 +160,7 @@ LnsResult improve_lns(const fpga::PartialRegion& region,
     result.space_stats.merge(space.stats());
   }
 
-  result.optimal = result.extent <= lower_bound;
+  result.optimal = result.cost <= lower_cost;
   RR_METRIC_ADD("placer.lns.iterations",
                 static_cast<std::uint64_t>(result.iterations));
   RR_METRIC_ADD("placer.lns.improvements",

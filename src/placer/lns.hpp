@@ -36,11 +36,15 @@ struct LnsResult {
   bool found = false;
   std::vector<int> placement_values;  // table index per module
   int extent = 0;
-  bool optimal = false;  // extent reached the area lower bound
+  /// Objective actually minimized: the extent, or the combined
+  /// comm::kExtentScale * extent + comm_weight * HPWL2 cost when the build
+  /// options carry an active communication model.
+  long cost = 0;
+  bool optimal = false;  // cost reached the area-derived lower bound
   cp::SearchStats stats; // summed over iterations
   cp::SpaceStats space_stats;  // propagation counters summed over iterations
   int iterations = 0;
-  int improvements = 0;  // iterations that reduced the extent
+  int improvements = 0;  // iterations that reduced the cost
 };
 
 /// Improve from `incumbent` (table index per module; must be a feasible

@@ -8,6 +8,7 @@
 #include <span>
 #include <vector>
 
+#include "comm/net.hpp"
 #include "cp/constraints.hpp"
 #include "fpga/region.hpp"
 #include "geost/nonoverlap.hpp"
@@ -31,6 +32,14 @@ struct BuildOptions {
   /// lists): interchangeable modules otherwise multiply the search space by
   /// k! without adding solutions.
   bool break_symmetries = true;
+  /// Communication model (non-owning; must outlive every build). When set
+  /// with a positive comm_weight and at least one surviving net, the
+  /// objective becomes comm::kExtentScale * H + comm_weight * HPWL2 via a
+  /// doubled-center element encoding. Otherwise the model is built
+  /// byte-for-byte identically to the area-only objective (same variable
+  /// ids, same propagators) — the zero-weight oracle.
+  const comm::BoundNets* comm_nets = nullptr;
+  long comm_weight = 0;
 };
 
 struct BuiltModel {
@@ -38,7 +47,13 @@ struct BuiltModel {
   std::vector<geost::GeostObject> objects;  // one per module, module order
   std::vector<cp::VarId> placement_vars;    // objects[i].var()
   std::vector<cp::VarId> extent_vars;
-  cp::VarId objective = cp::kNoVar;  // H = max_i extent_i
+  /// Minimized by the search engine: equal to extent_objective for the
+  /// area-only model, the combined extent + wirelength variable when the
+  /// communication term is active.
+  cp::VarId objective = cp::kNoVar;
+  cp::VarId extent_objective = cp::kNoVar;  // H = max_i extent_i
+  /// Weighted doubled HPWL variable (kNoVar when comm is off).
+  cp::VarId wirelength2_var = cp::kNoVar;
   /// True when some module had no valid placement at all (model is failed).
   bool infeasible = false;
 };
@@ -81,5 +96,11 @@ using TablesHandle = std::shared_ptr<const std::vector<ModuleTables>>;
 /// assignment `placement_values` (one table index per module).
 [[nodiscard]] PlacementSolution extract_solution(
     const BuiltModel& model, std::span<const int> placement_values);
+
+/// Weighted doubled HPWL of a table-index assignment (one value per module,
+/// module order matching the tables `nets` was bound against).
+[[nodiscard]] long assignment_wirelength2(std::span<const ModuleTables> tables,
+                                          std::span<const int> values,
+                                          const comm::BoundNets& nets);
 
 }  // namespace rr::placer

@@ -8,15 +8,6 @@
 namespace rr::placer {
 namespace {
 
-BuildOptions to_build_options(const PlacerOptions& options) {
-  BuildOptions build;
-  build.use_alternatives = options.use_alternatives;
-  build.nonoverlap = options.nonoverlap;
-  build.element = options.element;
-  build.area_bound = options.area_bound;
-  return build;
-}
-
 cp::SearchLimits to_limits(const PlacerOptions& options) {
   cp::SearchLimits limits;
   if (options.time_limit_seconds > 0)
@@ -55,6 +46,24 @@ Placer::Placer(const fpga::PartialRegion& region,
   RR_REQUIRE(options_.mode != PlacerMode::kRestarts || options_.workers == 1,
              "restarts mode has no portfolio variant: use workers == 1 or "
              "another mode");
+  // Bind the communication nets once against the module list; binding
+  // validates that every net endpoint names a placed module. With weight 0
+  // the nets are ignored entirely (the zero-weight oracle).
+  if (options_.nets != nullptr && options_.comm_weight > 0)
+    bound_nets_ = comm::BoundNets(*options_.nets, modules_);
+}
+
+BuildOptions Placer::build_options() const {
+  BuildOptions build;
+  build.use_alternatives = options_.use_alternatives;
+  build.nonoverlap = options_.nonoverlap;
+  build.element = options_.element;
+  build.area_bound = options_.area_bound;
+  if (!bound_nets_.empty()) {
+    build.comm_nets = &bound_nets_;
+    build.comm_weight = options_.comm_weight;
+  }
+  return build;
 }
 
 PlacementOutcome Placer::place() const {
@@ -101,7 +110,7 @@ PlacementOutcome Placer::place_restarts(
   PlacementOutcome outcome;
 
   BuiltModel model =
-      build_model_from_tables(region_, tables, to_build_options(options_));
+      build_model_from_tables(region_, tables, build_options());
   if (model.infeasible) {
     outcome.optimal = true;
     outcome.seconds = watch.seconds();
@@ -134,7 +143,7 @@ PlacementOutcome Placer::place_lns_mode(
   const Deadline deadline(options_.time_limit_seconds);
   PlacementOutcome outcome;
 
-  const BuildOptions build_options = to_build_options(options_);
+  const BuildOptions build_options = this->build_options();
   BuiltModel model = build_model_from_tables(region_, tables, build_options);
   if (model.infeasible) {
     outcome.optimal = true;  // proven: some module cannot be placed at all
@@ -208,7 +217,7 @@ PlacementOutcome Placer::place_portfolio_lns(
   const Deadline deadline(options_.time_limit_seconds);
   PlacementOutcome outcome;
 
-  const BuildOptions build_options = to_build_options(options_);
+  const BuildOptions build_options = this->build_options();
   BuiltModel reference =
       build_model_from_tables(region_, tables, build_options);
   if (reference.infeasible) {
@@ -280,7 +289,7 @@ PlacementOutcome Placer::place_single(
   PlacementOutcome outcome;
 
   BuiltModel model =
-      build_model_from_tables(region_, tables, to_build_options(options_));
+      build_model_from_tables(region_, tables, build_options());
   if (model.infeasible) {
     outcome.optimal = true;  // proven: some module cannot be placed at all
     outcome.seconds = watch.seconds();
@@ -311,7 +320,7 @@ PlacementOutcome Placer::place_portfolio(
   // winning assignment back to placements (all workers build from the same
   // tables, so any model can decode any worker's assignment).
   const BuiltModel reference =
-      build_model_from_tables(region_, tables, to_build_options(options_));
+      build_model_from_tables(region_, tables, build_options());
   if (reference.infeasible) {
     outcome.optimal = true;
     outcome.seconds = watch.seconds();
@@ -322,7 +331,7 @@ PlacementOutcome Placer::place_portfolio(
   // thread starts, so capturing `this` members and `tables` is safe.
   cp::PortfolioFactory factory = [&](int worker) {
     BuiltModel model =
-        build_model_from_tables(region_, tables, to_build_options(options_));
+        build_model_from_tables(region_, tables, build_options());
     cp::PortfolioModel instance;
     instance.objective = model.objective;
     instance.report = model.placement_vars;

@@ -49,6 +49,13 @@ struct PlacerOptions {
   cp::ElementOptions element{};
   bool area_bound = true;
   std::uint64_t seed = 1;
+  /// Communication nets (non-owning; must outlive the placer). With a
+  /// positive comm_weight the objective becomes
+  /// comm::kExtentScale * extent + comm_weight * HPWL2; otherwise (or with
+  /// no surviving net) the solve is byte-identical to the area-only
+  /// objective. Net endpoints must name modules from the placed list.
+  const comm::NetList* nets = nullptr;
+  long comm_weight = 0;
   /// kAuto only: fail budget for the exact phase before switching to LNS.
   std::uint64_t auto_exact_fails = 20000;
   /// LNS tuning (kLns / kAuto).
@@ -83,6 +90,7 @@ class Placer {
   }
 
  private:
+  [[nodiscard]] BuildOptions build_options() const;
   [[nodiscard]] PlacementOutcome place_single(
       const std::vector<ModuleTables>& tables) const;
   [[nodiscard]] PlacementOutcome place_portfolio(
@@ -98,6 +106,7 @@ class Placer {
   std::span<const model::Module> modules_;
   TablesHandle tables_;  // null: prepare per place() call
   PlacerOptions options_;
+  comm::BoundNets bound_nets_;  // empty unless options_.nets is active
 };
 
 }  // namespace rr::placer

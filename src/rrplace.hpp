@@ -21,6 +21,7 @@
 #include "baseline/online.hpp"      // IWYU pragma: export
 #include "baseline/slots.hpp"       // IWYU pragma: export
 #include "comm/bus.hpp"             // IWYU pragma: export
+#include "comm/net.hpp"             // IWYU pragma: export
 #include "cp/constraints.hpp"       // IWYU pragma: export
 #include "cp/portfolio.hpp"         // IWYU pragma: export
 #include "cp/search.hpp"            // IWYU pragma: export

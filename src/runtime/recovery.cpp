@@ -1,6 +1,7 @@
 #include "runtime/recovery.hpp"
 
 #include <algorithm>
+#include <array>
 
 #include "geost/object.hpp"
 #include "placer/brancher.hpp"
@@ -145,10 +146,28 @@ bool FaultRecoveryManager::try_inplace_swap(
   return false;
 }
 
+comm::PinContext FaultRecoveryManager::pin_context_for(
+    const model::Module& module) const {
+  if (options_.nets == nullptr || options_.comm_weight <= 0 ||
+      options_.nets->empty())
+    return {};
+  std::vector<comm::NamedPin> pins;
+  pins.reserve(live_.size());
+  // PinContext folds pins into per-net min/max bounds, so the unordered
+  // iteration order of live_ cannot affect the result.
+  for (const auto& [id, li] : live_) {
+    const Rect box = li.footprint().bounding_box();
+    pins.push_back(comm::NamedPin{li.module.name(),
+                                  comm::center2(box, li.x, li.y)});
+  }
+  return comm::PinContext::build(*options_.nets, module.name(), pins);
+}
+
 bool FaultRecoveryManager::try_first_fit(
     const std::vector<geost::ShapeFootprint>& shapes,
     const std::vector<geost::Placement>& table, const Rect* window,
-    Spot* out) const {
+    const comm::PinContext* comm, Spot* out) const {
+  if (comm != nullptr && comm->empty()) comm = nullptr;
   if (options_.use_free_space_index) {
     // Index query: anchors scattered from the (freshly built, so never
     // stale) table, one rectangular decomposition per shape. The windowed
@@ -164,11 +183,40 @@ bool FaultRecoveryManager::try_first_fit(
       const Rect box = shapes[s].bounding_box();
       queries[s] = AnchorQuery{&anchors[s], parts[s], box.width, box.height};
     }
-    const auto pick =
-        index_.best_anchor(queries, AnchorPolicy::kFirstFit, window);
+    const AnchorCost cost = [&shapes, comm](int s, int x, int y) {
+      const Rect box = shapes[static_cast<std::size_t>(s)].bounding_box();
+      return comm->cost2(comm::center2(box, x, y));
+    };
+    const auto pick = index_.best_anchor(
+        queries,
+        comm != nullptr ? AnchorPolicy::kCommCost : AnchorPolicy::kFirstFit,
+        window, comm != nullptr ? &cost : nullptr);
     if (!pick.has_value()) return false;
     *out = Spot{pick->shape, pick->x, pick->y};
     return true;
+  }
+  if (comm != nullptr) {
+    // Sweep arm of the kCommCost policy: full scan reduced by the pinned
+    // (cost, x + width, x, y, shape) key — identical order to the index.
+    bool found = false;
+    std::array<long, 5> best_key{};
+    for (const geost::Placement& p : table) {
+      const geost::ShapeFootprint& shape =
+          shapes[static_cast<std::size_t>(p.shape)];
+      const Rect box = shape.bounding_box();
+      if (window != nullptr &&
+          !window->contains(box.translated(Point{p.x, p.y})))
+        continue;
+      const std::array<long, 5> key{
+          comm->cost2(comm::center2(box, p.x, p.y)), p.x + box.width, p.x,
+          p.y, p.shape};
+      if (found && !(key < best_key)) continue;
+      if (occupied_.intersects_shifted(shape.mask(), p.y, p.x)) continue;
+      best_key = key;
+      *out = Spot{p.shape, p.x, p.y};
+      found = true;
+    }
+    return found;
   }
   for (const geost::Placement& p : table) {
     const geost::ShapeFootprint& shape =
@@ -440,6 +488,9 @@ ModuleRecovery FaultRecoveryManager::recover_module(
     anchors.push_back(geost::compute_valid_anchors(region_.masks(), shape));
   const auto table = geost::sorted_placement_table(shapes, anchors);
   {
+    const comm::PinContext pin_context = pin_context_for(module);
+    const comm::PinContext* comm_ctx =
+        pin_context.empty() ? nullptr : &pin_context;
     Spot spot;
     bool found = false;
     if (old_spot != nullptr) {
@@ -452,9 +503,9 @@ ModuleRecovery FaultRecoveryManager::recover_module(
           Rect{old_bbox.x - m, old_bbox.y - m, old_bbox.width + 2 * m,
                old_bbox.height + 2 * m}
               .intersection(Rect{0, 0, region_.width(), region_.height()});
-      found = try_first_fit(shapes, table, &window, &spot);
+      found = try_first_fit(shapes, table, &window, comm_ctx, &spot);
     }
-    if (!found) found = try_first_fit(shapes, table, nullptr, &spot);
+    if (!found) found = try_first_fit(shapes, table, nullptr, comm_ctx, &spot);
     if (found) {
       write_instance(instance_id, module, spot);
       result.tier = RecoveryTier::kLocalReplace;

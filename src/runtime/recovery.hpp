@@ -27,9 +27,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
+#include "comm/net.hpp"
 #include "fpga/faults.hpp"
 #include "fpga/region.hpp"
 #include "geo/free_space.hpp"
@@ -66,6 +68,16 @@ struct FaultRecoveryOptions {
   int retry_backoff_events = 2;
   /// Seed for the exact tier's search.
   std::uint64_t seed = 1;
+  /// Optional inter-module nets: with comm_weight > 0 the tier-1 re-place
+  /// picks the feasible spot of minimal communication cost against the
+  /// surviving live modules (ties broken by the first-fit key) instead of
+  /// plain first fit, so relocation does not needlessly separate chatty
+  /// pairs. Both the free-space-index and the sweep arm implement the same
+  /// pinned order, so the differential oracle holds. Null/empty nets or
+  /// comm_weight <= 0 keeps recovery byte-identical to the area-only path
+  /// (the zero-weight oracle).
+  std::shared_ptr<const comm::NetList> nets;
+  long comm_weight = 0;
 };
 
 enum class RecoveryTier {
@@ -229,10 +241,18 @@ class FaultRecoveryManager {
   [[nodiscard]] bool try_inplace_swap(
       const std::vector<geost::ShapeFootprint>& shapes, const Rect& old_bbox,
       Spot* out) const;
+  /// Tier-1 spot search: first fit, or — when `comm` is non-null and
+  /// non-empty — minimal communication cost with first-fit tie-breaking.
   [[nodiscard]] bool try_first_fit(
       const std::vector<geost::ShapeFootprint>& shapes,
       const std::vector<geost::Placement>& table, const Rect* window,
-      Spot* out) const;
+      const comm::PinContext* comm, Spot* out) const;
+  /// Communication context of `module` against every live instance (the
+  /// victim is already lifted out of live_ by the recovery contract).
+  /// Empty when nets are absent, comm_weight <= 0, or no live net partner
+  /// pins the module anywhere.
+  [[nodiscard]] comm::PinContext pin_context_for(
+      const model::Module& module) const;
   [[nodiscard]] bool try_defrag(
       int instance_id, const model::Module& module,
       const std::vector<geost::ShapeFootprint>& shapes,

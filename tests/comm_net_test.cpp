@@ -1,0 +1,174 @@
+// Inter-module communication model: .net parsing, doubled-center geometry,
+// name binding, and the HPWL evaluators (full assignments, live pin sets,
+// and the per-request PinContext ranking bounds).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "comm/net.hpp"
+#include "model/generator.hpp"
+#include "util/error.hpp"
+
+namespace rr::comm {
+namespace {
+
+model::Module make_module(const std::string& name, int area, int height) {
+  return model::Module(
+      name, {model::ModuleGenerator::make_column_shape(area, 0, 1, height, 0)});
+}
+
+TEST(ParseNets, ParsesWeightsModulesAndTerminals) {
+  const NetList nets = parse_nets(
+      "# header comment\n"
+      "\n"
+      "net 4 a b\n"
+      "net 2 a @3,5 c  # trailing comment\n");
+  ASSERT_EQ(nets.nets.size(), 2u);
+  EXPECT_EQ(nets.nets[0].weight, 4);
+  EXPECT_EQ(nets.nets[0].modules, (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(nets.nets[0].terminals.empty());
+  EXPECT_EQ(nets.nets[1].weight, 2);
+  EXPECT_EQ(nets.nets[1].modules, (std::vector<std::string>{"a", "c"}));
+  ASSERT_EQ(nets.nets[1].terminals.size(), 1u);
+  EXPECT_EQ(nets.nets[1].terminals[0], (Point{3, 5}));
+  EXPECT_TRUE(nets.mentions("a"));
+  EXPECT_FALSE(nets.mentions("d"));
+}
+
+TEST(ParseNets, ErrorsCarryTheLineNumber) {
+  const auto expect_line_error = [](const std::string& text,
+                                    const std::string& fragment) {
+    try {
+      (void)parse_nets(text);
+      FAIL() << "expected InvalidInput for: " << text;
+    } catch (const InvalidInput& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find(fragment), std::string::npos) << what;
+    }
+  };
+  expect_line_error("net 1 a b\nwire 1 a b\n", "net:2");
+  expect_line_error("net -3 a b\n", "net:1");
+  expect_line_error("net 1x a b\n", "non-negative integer weight");
+  expect_line_error("net 1\n", "at least 2 endpoints");
+  expect_line_error("net 1 a\n", "at least 2 endpoints");
+  expect_line_error("net 1 a @35\n", "terminal must be @x,y");
+  expect_line_error("net 1 a @3,-5\n", "non-negative integers");
+  expect_line_error("# ok\nnet\n", "missing net weight");
+}
+
+TEST(ParseNets, WeightZeroIsValidSyntax) {
+  // Weight 0 parses fine (the zero-weight oracle runs real files with all
+  // weights zeroed); it is dropped later, at binding/eval time.
+  const NetList nets = parse_nets("net 0 a b\n");
+  ASSERT_EQ(nets.nets.size(), 1u);
+  EXPECT_EQ(nets.nets[0].weight, 0);
+}
+
+TEST(Center2Math, DoubledCentersStayIntegral) {
+  // 3x2 bbox anchored at (4, 1): real center (5.5, 2.0) -> doubled (11, 4).
+  EXPECT_EQ(center2(Rect{0, 0, 3, 2}, 4, 1), (Center2{11, 4}));
+  // Terminal tile (3, 5): center (3.5, 5.5) -> doubled (7, 11).
+  EXPECT_EQ(terminal_center2(Point{3, 5}), (Center2{7, 11}));
+}
+
+TEST(BoundNetsTest, BindsNamesAndEvaluatesHpwl) {
+  const std::vector<model::Module> modules = {make_module("a", 4, 2),
+                                              make_module("b", 4, 2),
+                                              make_module("c", 4, 2)};
+  const NetList nets =
+      parse_nets("net 3 a b\nnet 2 b @0,0\nnet 5 a c\n");
+  const BoundNets bound(nets, modules);
+  ASSERT_FALSE(bound.empty());
+  EXPECT_EQ(bound.module_count(), 3);
+  EXPECT_EQ(bound.used_modules(), (std::vector<int>{0, 1, 2}));
+  // a at doubled (2, 2), b at (10, 2), c at (2, 10).
+  const std::vector<Center2> centers = {{2, 2}, {10, 2}, {2, 10}};
+  // net a-b: 3 * (8 + 0); net b-@0,0 (center {1,1}): 2 * (9 + 1);
+  // net a-c: 5 * (0 + 8).
+  EXPECT_EQ(bound.wirelength2(centers), 3 * 8 + 2 * 10 + 5 * 8);
+}
+
+TEST(BoundNetsTest, ThrowsOnUnknownModuleName) {
+  const std::vector<model::Module> modules = {make_module("a", 4, 2)};
+  const NetList nets = parse_nets("net 1 a ghost\n");
+  try {
+    (void)BoundNets(nets, modules);
+    FAIL() << "expected ModelError";
+  } catch (const ModelError& e) {
+    EXPECT_NE(std::string(e.what()).find("ghost"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(BoundNetsTest, DropsZeroWeightAndDegenerateNets) {
+  const std::vector<model::Module> modules = {make_module("a", 4, 2),
+                                              make_module("b", 4, 2)};
+  NetList nets = parse_nets("net 0 a b\n");
+  Net dup;
+  dup.weight = 4;
+  dup.modules = {"a", "a"};  // two mentions of one module still bind
+  nets.nets.push_back(dup);
+  const BoundNets bound(nets, modules);
+  // The duplicate-endpoint net survives binding (2 members), the zero
+  // weight one does not.
+  ASSERT_EQ(bound.nets().size(), 1u);
+  EXPECT_EQ(bound.nets()[0].weight, 4);
+  EXPECT_TRUE(BoundNets(parse_nets("net 0 a b\n"), modules).empty());
+}
+
+TEST(PinsWirelength, NetsWithFewerThanTwoPresentEndpointsContributeZero) {
+  const NetList nets = parse_nets("net 3 a b\nnet 2 c @1,1\nnet 1 d e\n");
+  const std::vector<NamedPin> pins = {{"a", {2, 2}}, {"b", {10, 6}},
+                                      {"d", {0, 0}}};
+  // a-b: 3 * (8 + 4) = 36. c-@1,1: terminal + no "c" pin -> only one
+  // endpoint present -> 0. d-e: only "d" present -> 0.
+  EXPECT_EQ(pins_wirelength2(nets, pins), 36);
+}
+
+TEST(PinsWirelength, CountsEveryLiveInstanceOfAName) {
+  // Online traces may hold several instances of one module; each live pin
+  // folds into the net's bounding box.
+  const NetList nets = parse_nets("net 2 a b\n");
+  const std::vector<NamedPin> pins = {
+      {"a", {0, 0}}, {"a", {20, 0}}, {"b", {10, 8}}};
+  EXPECT_EQ(pins_wirelength2(nets, pins), 2 * (20 + 8));
+}
+
+TEST(PinContextTest, CostIsClampedSpanGrowth) {
+  const NetList nets = parse_nets("net 3 m x y\nnet 2 m @0,2\n");
+  const std::vector<NamedPin> pins = {{"x", {4, 4}}, {"y", {8, 10}}};
+  const PinContext ctx = PinContext::build(nets, "m", pins);
+  ASSERT_FALSE(ctx.empty());
+  ASSERT_EQ(ctx.bounds().size(), 2u);
+  // Net 1 folds the x/y pins to the box {4..8} x {4..10}; net 2 folds the
+  // @0,2 terminal to its doubled center {1, 5}.
+  // Inside net 1's box, level with the terminal: only net 2 grows, in x.
+  const Center2 inside{6, 5};
+  EXPECT_EQ(ctx.cost2(inside), 0 + 2 * ((6 - 1) + 0));
+  // Far right: net 1 grows by (20 - 8), net 2 by (20 - 1).
+  const Center2 right{20, 5};
+  EXPECT_EQ(ctx.cost2(right), 3 * (20 - 8) + 2 * (20 - 1));
+  // Left of / below both boxes: growth on both axes.
+  const Center2 origin{0, 0};
+  EXPECT_EQ(ctx.cost2(origin), 3 * (4 + 4) + 2 * (1 + 5));
+}
+
+TEST(PinContextTest, DropsNetsWithNoPresentPartner) {
+  // "m" is the only endpoint present: every anchor costs the same, so the
+  // net is dropped; with no surviving nets the context reports empty and
+  // the caller falls back to the area-only policy.
+  const NetList nets = parse_nets("net 3 m x\n");
+  EXPECT_TRUE(PinContext::build(nets, "m", {}).empty());
+  // A terminal is always present, though.
+  const NetList io = parse_nets("net 3 m @2,2\n");
+  EXPECT_FALSE(PinContext::build(io, "m", {}).empty());
+}
+
+TEST(PinContextTest, ZeroWeightNetsNeverRank) {
+  const NetList nets = parse_nets("net 0 m @2,2\n");
+  EXPECT_TRUE(PinContext::build(nets, "m", {}).empty());
+}
+
+}  // namespace
+}  // namespace rr::comm

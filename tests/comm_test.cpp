@@ -2,8 +2,11 @@
 // of the bus-alignment constraint on placement.
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "comm/bus.hpp"
 #include "fpga/builders.hpp"
+#include "util/error.hpp"
 #include "model/generator.hpp"
 #include "placer/placer.hpp"
 #include "placer/validator.hpp"
@@ -68,11 +71,47 @@ TEST(WithBusAttachment, KeepsDedicatedResources) {
   EXPECT_GT(shape.demand(static_cast<int>(kBus)), 0);
 }
 
-TEST(WithBusAttachment, AttachmentRowIsClamped) {
+TEST(WithBusAttachment, RejectsNegativeAttachmentRow) {
+  // 2x2 all-CLB module (height 2): a negative row is a model error, not
+  // something to clamp to row 0.
   const model::Module module(
       "m", {model::ModuleGenerator::make_column_shape(4, 0, 1, 2, 0)});
-  const model::Module attached = with_bus_attachment(module, 99);
-  // Clamped to the top row (y = 1).
+  try {
+    (void)with_bus_attachment(module, -1);
+    FAIL() << "expected ModelError";
+  } catch (const ModelError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("module m"), std::string::npos) << what;
+    EXPECT_NE(what.find("shape 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("-1"), std::string::npos) << what;
+  }
+}
+
+TEST(WithBusAttachment, RejectsAttachmentRowAtShapeHeight) {
+  // Row indices are 0-based: row == height is the first out-of-range value.
+  const model::Module module(
+      "m", {model::ModuleGenerator::make_column_shape(4, 0, 1, 2, 0)});
+  EXPECT_THROW((void)with_bus_attachment(module, 2), ModelError);
+}
+
+TEST(WithBusAttachment, RejectsAttachmentRowPastShapeHeight) {
+  const model::Module module(
+      "m", {model::ModuleGenerator::make_column_shape(4, 0, 1, 2, 0)});
+  try {
+    (void)with_bus_attachment(module, 99);
+    FAIL() << "expected ModelError";
+  } catch (const ModelError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("module m"), std::string::npos) << what;
+    EXPECT_NE(what.find("99"), std::string::npos) << what;
+  }
+}
+
+TEST(WithBusAttachment, TopRowAttachesWhenInsideEveryShape) {
+  // The last in-range row (height - 1) still works.
+  const model::Module module(
+      "m", {model::ModuleGenerator::make_column_shape(4, 0, 1, 2, 0)});
+  const model::Module attached = with_bus_attachment(module, 1);
   const auto& shape = attached.shapes().front();
   for (const auto& group : shape.typed()) {
     if (group.resource != static_cast<int>(kBus)) continue;

@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <memory>
 #include <optional>
 #include <set>
@@ -21,6 +22,7 @@
 #include <vector>
 
 #include "baseline/online.hpp"
+#include "comm/net.hpp"
 #include "fpga/builders.hpp"
 #include "fpga/fabric.hpp"
 #include "fpga/faults.hpp"
@@ -259,7 +261,7 @@ TEST(FreeSpaceIncremental, RandomPlaceRemoveFaultRepairSequences) {
 std::optional<AnchorPick> reference_best_anchor(
     const BitMatrix& free, std::span<const BitMatrix> shapes,
     std::span<const BitMatrix> anchors, AnchorPolicy policy,
-    const Rect* window) {
+    const Rect* window, const AnchorCost* cost = nullptr) {
   const std::vector<Rect> mers = FreeSpaceIndex::enumerate(free);
   std::optional<AnchorPick> best;
   std::vector<long> best_key;
@@ -288,6 +290,12 @@ std::optional<AnchorPick> reference_best_anchor(
             for (const Rect& m : mers)
               if (m.contains(p0) && (bf < 0 || m.area() < bf)) bf = m.area();
             key = {bf, x + fp.cols(), x, y, static_cast<long>(s)};
+            break;
+          }
+          case AnchorPolicy::kCommCost: {
+            const long c =
+                cost != nullptr ? (*cost)(static_cast<int>(s), x, y) : 0;
+            key = {c, x + fp.cols(), x, y, static_cast<long>(s)};
             break;
           }
         }
@@ -350,6 +358,85 @@ TEST(FreeSpaceQuery, BestAnchorMatchesPerAnchorReference) {
         EXPECT_EQ(got->y, want->y) << "round " << round;
       }
     }
+    // kCommCost against a synthetic deterministic cost. Integer division
+    // by 3 quantizes the distance so distinct anchors routinely share a
+    // cost and the pinned first-fit tie-break has to decide.
+    const int tx = static_cast<int>(rng.bounded(static_cast<std::uint64_t>(cols)));
+    const int ty = static_cast<int>(rng.bounded(static_cast<std::uint64_t>(rows)));
+    const AnchorCost cost = [&](int shape, int x, int y) {
+      return static_cast<long>((std::abs(x - tx) + std::abs(y - ty)) / 3 +
+                               shape % 2);
+    };
+    const auto got = index.best_anchor(queries, AnchorPolicy::kCommCost,
+                                       window ? &*window : nullptr, &cost);
+    const auto want =
+        reference_best_anchor(free, shapes, anchor_maps,
+                              AnchorPolicy::kCommCost,
+                              window ? &*window : nullptr, &cost);
+    ASSERT_EQ(got.has_value(), want.has_value()) << "round " << round;
+    if (got.has_value()) {
+      EXPECT_EQ(got->shape, want->shape) << "round " << round;
+      EXPECT_EQ(got->x, want->x) << "round " << round;
+      EXPECT_EQ(got->y, want->y) << "round " << round;
+    }
+    // Null cost: kCommCost must degenerate to exactly kFirstFit.
+    const auto ff = index.best_anchor(queries, AnchorPolicy::kFirstFit,
+                                      window ? &*window : nullptr);
+    const auto null_cost = index.best_anchor(
+        queries, AnchorPolicy::kCommCost, window ? &*window : nullptr);
+    ASSERT_EQ(ff.has_value(), null_cost.has_value()) << "round " << round;
+    if (ff.has_value()) {
+      EXPECT_EQ(ff->shape, null_cost->shape) << "round " << round;
+      EXPECT_EQ(ff->x, null_cost->x) << "round " << round;
+      EXPECT_EQ(ff->y, null_cost->y) << "round " << round;
+    }
+  }
+}
+
+/// Satellite: tie-break audit. Uniform grids where every feasible anchor
+/// scores equal under the policy (constant comm cost; identical 1x1 shapes
+/// duplicated across queries so even the shape component has to decide)
+/// force the pinned tie-break keys to carry the whole decision; index and
+/// per-anchor reference must still agree everywhere.
+TEST(FreeSpaceQuery, TieBreakingIsPinnedUnderEqualScores) {
+  Rng rng(0x71EB4EA8ULL);
+  for (int round = 0; round < 40; ++round) {
+    const int rows = 3 + static_cast<int>(rng.bounded(8));
+    const int cols = 3 + static_cast<int>(rng.bounded(10));
+    // Mostly-free grid: large equal-score plateaus with a few holes.
+    const BitMatrix free = random_bitmap(rng, rows, cols, 85);
+    FreeSpaceIndex index(free);
+    // Two identical 1x1 shapes with full anchor maps: every feasible
+    // anchor ties on geometry, and the duplicate shape ties on (x, y) so
+    // only the shape-index component separates the two queries.
+    const BitMatrix unit(1, 1, true);
+    BitMatrix anchors(rows, cols, true);
+    const std::vector<Rect> unit_parts = decompose_mask(unit);
+    std::vector<BitMatrix> shapes(2, unit);
+    std::vector<BitMatrix> anchor_maps(2, anchors);
+    std::vector<AnchorQuery> queries(
+        2, AnchorQuery{&anchor_maps[0], unit_parts, 1, 1});
+    queries[1].anchors = &anchor_maps[1];
+    const AnchorCost flat = [](int, int, int) { return 7; };
+    for (const AnchorPolicy policy :
+         {AnchorPolicy::kFirstFit, AnchorPolicy::kBestFit,
+          AnchorPolicy::kBottomLeft, AnchorPolicy::kCommCost}) {
+      const AnchorCost* cost =
+          policy == AnchorPolicy::kCommCost ? &flat : nullptr;
+      const auto got = index.best_anchor(queries, policy, nullptr, cost);
+      const auto want = reference_best_anchor(free, shapes, anchor_maps,
+                                              policy, nullptr, cost);
+      ASSERT_EQ(got.has_value(), want.has_value())
+          << "round " << round << " policy " << static_cast<int>(policy);
+      if (got.has_value()) {
+        EXPECT_EQ(got->shape, want->shape) << "round " << round;
+        EXPECT_EQ(got->x, want->x) << "round " << round;
+        EXPECT_EQ(got->y, want->y) << "round " << round;
+        // A duplicated shape can never win: the key's trailing shape
+        // component makes the lower query index strictly better.
+        EXPECT_EQ(got->shape, 0) << "round " << round;
+      }
+    }
   }
 }
 
@@ -382,9 +469,24 @@ TEST(OnlinePlacerDifferential, IndexMatchesSweepOnRandomTraces) {
   const auto fabric = std::make_shared<const fpga::Fabric>(
       fpga::make_homogeneous(14, 8));
   const std::vector<model::Module> library = differential_library();
+  // Nets over the library for the commcost policy: a chain plus an IO
+  // terminal, weighted so anchors genuinely reorder relative to first fit.
+  const auto nets = std::make_shared<const comm::NetList>([&] {
+    comm::NetList list;
+    comm::Net chain;
+    chain.weight = 3;
+    chain.modules = {"s1", "s4", "s6"};
+    list.nets.push_back(std::move(chain));
+    comm::Net io;
+    io.weight = 2;
+    io.modules = {"s9"};
+    io.terminals.push_back(Point{0, 4});
+    list.nets.push_back(std::move(io));
+    return list;
+  }());
   for (const AnchorPolicy policy :
        {AnchorPolicy::kFirstFit, AnchorPolicy::kBestFit,
-        AnchorPolicy::kBottomLeft}) {
+        AnchorPolicy::kBottomLeft, AnchorPolicy::kCommCost}) {
     Rng rng(0xD1FFC0DEULL + static_cast<std::uint64_t>(policy) * 97);
     for (int round = 0; round < 5; ++round) {
       fpga::PartialRegion region_index(fabric);
@@ -392,6 +494,10 @@ TEST(OnlinePlacerDifferential, IndexMatchesSweepOnRandomTraces) {
       baseline::OnlineOptions with_index;
       with_index.policy = policy;
       with_index.free_space_index = true;
+      if (policy == AnchorPolicy::kCommCost) {
+        with_index.nets = nets;
+        with_index.comm_weight = 5;
+      }
       baseline::OnlineOptions with_sweep = with_index;
       with_sweep.free_space_index = false;
       baseline::OnlinePlacer indexed(region_index, with_index);

@@ -87,6 +87,14 @@ void check_stats_v1(const Value& doc) {
                             "modules_loaded"})
       check_number(cost, key);
   }
+  // The comm section is optional (rrplace_cli --nets only), but when
+  // present it must carry the communication-model contract.
+  if (doc.contains("comm")) {
+    const Value& comm = doc.at("comm");
+    require(comm.is_object(), "\"comm\" must be an object");
+    for (const char* key : {"nets", "weight", "wirelength2"})
+      check_number(comm, key);
+  }
   // The service section is optional (rrplace_cli --serve-trace only), but
   // when present it must carry the multi-tenant replay contract.
   if (doc.contains("service")) {
@@ -176,6 +184,12 @@ void check_bench_v1(const Value& doc) {
          {"probes", "index_speedup", "decision_mismatches",
           "speedup_eval_50", "speedup_eval_80", "speedup_large_50",
           "speedup_large_80"})
+      check_result_metric(results, key);
+  } else if (bench == "comm_cost") {
+    for (const char* key :
+         {"requests", "wirelength2_first_fit", "wirelength2_comm",
+          "wirelength_reduction", "acceptance_first_fit", "acceptance_comm",
+          "zero_weight_mismatches", "index_sweep_mismatches"})
       check_result_metric(results, key);
   } else if (bench == "fault_recovery") {
     for (const char* key :

@@ -26,9 +26,9 @@
 //   --defrag <seconds>        per-request defragmentation deadline for
 //                             --online-trace (0 = off, plain first-fit)
 //   --online-policy <p>       anchor-selection policy for the online placer
-//                             (firstfit | bestfit | bottomleft; default
-//                             firstfit); applies to --online-trace and
-//                             --serve-trace
+//                             (firstfit | bestfit | bottomleft | commcost;
+//                             default firstfit); applies to --online-trace
+//                             and --serve-trace; commcost requires --nets
 //   --no-free-space-index     answer online admission with the occupancy-
 //                             bitmap sweep instead of the incremental
 //                             maximal-empty-rectangle index (the
@@ -58,6 +58,23 @@
 //                             (every request pays the full anchor scan)
 //   --serve-cache-cap <n>     solve-context cache LRU capacity (default
 //                             32; 0 = unbounded)
+//   --nets <path>             inter-module communication nets (.net): the
+//                             offline placer adds a weighted-HPWL term to
+//                             its objective, the online commcost policy
+//                             ranks anchors by it, and fault recovery
+//                             prefers spots near net partners
+//   --comm-weight <w>         weight of the communication term relative to
+//                             the area objective (default 1; 0 disables the
+//                             term — the zero-weight oracle); requires
+//                             --nets
+//   --bus-period <p>          overlay horizontal bus lanes every p rows on
+//                             the loaded fabric (comm/bus model)
+//   --bus-offset <r>          first bus lane row (default 0); requires
+//                             --bus-period
+//   --bus-attach <row>        rewrite every module so logic in this shape
+//                             row becomes bus-macro demand (modules then
+//                             anchor on lanes); requires --bus-period; a
+//                             row outside any shape is a model error
 //   --quiet                   suppress the ASCII floorplan / trace log
 //
 // The trace modes are mutually exclusive, and flags that only make sense
@@ -66,9 +83,11 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <unordered_map>
 
 #include "rrplace.hpp"
 
@@ -99,6 +118,11 @@ struct CliOptions {
   std::size_t serve_queue = 256;
   bool serve_cache = true;
   std::size_t serve_cache_cap = rr::service::SolveContextCache::kDefaultCapacity;
+  std::string nets_path;
+  long comm_weight = 1;
+  int bus_period = 0;
+  int bus_offset = 0;
+  int bus_attach = 0;
   bool quiet = false;
   // Which flags appeared explicitly — conflict checks must catch an
   // explicit "--mode restarts" with --serve-trace even though kAuto is
@@ -108,6 +132,9 @@ struct CliOptions {
   bool serve_tuning_set = false;
   bool online_policy_set = false;
   bool free_space_index_set = false;
+  bool comm_weight_set = false;
+  bool bus_offset_set = false;
+  bool bus_attach_set = false;
 };
 
 [[noreturn]] void usage(const char* error = nullptr) {
@@ -122,7 +149,9 @@ struct CliOptions {
       "  --online-policy firstfit|bestfit|bottomleft, --no-free-space-index,\n"
       "  --faults PATH, --fault-trace PATH, --fault-deadline S,\n"
       "  --serve-trace PATH, --serve-workers N, --serve-queue N,\n"
-      "  --no-serve-cache, --serve-cache-cap N, --quiet\n";
+      "  --no-serve-cache, --serve-cache-cap N,\n"
+      "  --nets PATH, --comm-weight W,\n"
+      "  --bus-period P, --bus-offset R, --bus-attach ROW, --quiet\n";
   std::exit(error == nullptr ? 0 : 2);
 }
 
@@ -131,6 +160,7 @@ const char* policy_name(rr::AnchorPolicy policy) {
     case rr::AnchorPolicy::kFirstFit: return "firstfit";
     case rr::AnchorPolicy::kBestFit: return "bestfit";
     case rr::AnchorPolicy::kBottomLeft: return "bottomleft";
+    case rr::AnchorPolicy::kCommCost: return "commcost";
   }
   return "firstfit";
 }
@@ -176,6 +206,19 @@ void check_conflicts(const CliOptions& options) {
   if (options.serve_tuning_set && !serve)
     conflict("--serve-workers/--serve-queue/--no-serve-cache/"
              "--serve-cache-cap without --serve-trace");
+  // The communication term needs nets to price; a bare weight (or a
+  // commcost policy with nothing to rank by) is a confused command line.
+  if (options.comm_weight_set && options.nets_path.empty())
+    conflict("--comm-weight without --nets");
+  if (options.online_policy == rr::AnchorPolicy::kCommCost &&
+      options.nets_path.empty())
+    conflict("--online-policy commcost without --nets");
+  // The bus overlay flags modify the lanes --bus-period creates; without a
+  // period there are no lanes to offset or attach to.
+  if (options.bus_offset_set && options.bus_period <= 0)
+    conflict("--bus-offset without --bus-period");
+  if (options.bus_attach_set && options.bus_period <= 0)
+    conflict("--bus-attach without --bus-period");
 }
 
 // Checked numeric parsing: the whole token must parse and satisfy the
@@ -255,7 +298,25 @@ CliOptions parse_args(int argc, char** argv) {
       else if (policy == "bestfit") options.online_policy = rr::AnchorPolicy::kBestFit;
       else if (policy == "bottomleft")
         options.online_policy = rr::AnchorPolicy::kBottomLeft;
+      else if (policy == "commcost")
+        options.online_policy = rr::AnchorPolicy::kCommCost;
       else usage("unknown online policy");
+    }
+    else if (arg == "--nets") options.nets_path = need_value(i);
+    else if (arg == "--comm-weight") {
+      options.comm_weight =
+          parse_number<long>(need_value(i), "--comm-weight", 0L);
+      options.comm_weight_set = true;
+    }
+    else if (arg == "--bus-period")
+      options.bus_period = parse_number<int>(need_value(i), "--bus-period", 1);
+    else if (arg == "--bus-offset") {
+      options.bus_offset = parse_number<int>(need_value(i), "--bus-offset", 0);
+      options.bus_offset_set = true;
+    }
+    else if (arg == "--bus-attach") {
+      options.bus_attach = parse_number<int>(need_value(i), "--bus-attach", 0);
+      options.bus_attach_set = true;
     }
     else if (arg == "--no-free-space-index") {
       options.free_space_index = false;
@@ -280,11 +341,23 @@ CliOptions parse_args(int argc, char** argv) {
   return options;
 }
 
+// The optional "comm" stats section: net count, active weight, and the
+// total doubled-HPWL of the final placement (0 when nothing is placed).
+rr::json::Value comm_stats_json(const rr::comm::NetList& nets, long weight,
+                                long wirelength2) {
+  rr::json::Value doc = rr::json::Value::object();
+  doc.set("nets", rr::json::Value(static_cast<std::uint64_t>(nets.nets.size())));
+  doc.set("weight", rr::json::Value(weight));
+  doc.set("wirelength2", rr::json::Value(wirelength2));
+  return doc;
+}
+
 // Replay an online place/remove trace through the OnlinePlacer and report
 // the service level (acceptance ratio) plus defragmentation telemetry.
 int run_online_trace(const CliOptions& cli,
                      const rr::fpga::PartialRegion& region,
-                     const std::vector<rr::model::Module>& modules) {
+                     const std::vector<rr::model::Module>& modules,
+                     const std::shared_ptr<const rr::comm::NetList>& nets) {
   std::ifstream in(cli.online_trace_path);
   if (!in) {
     std::cerr << "error: cannot read trace " << cli.online_trace_path << '\n';
@@ -307,7 +380,12 @@ int run_online_trace(const CliOptions& cli,
   online.free_space_index = cli.free_space_index;
   online.defrag.deadline_seconds = cli.defrag_seconds;
   online.defrag.seed = cli.seed;
+  online.nets = nets;
+  online.comm_weight = cli.comm_weight;
   rr::baseline::OnlinePlacer placer(region, online);
+  // Names of the live instances (defrag may relocate them, so positions
+  // come from live_placements() at the end, not from this map).
+  std::unordered_map<int, const rr::model::Module*> live_modules;
 
   std::ostream& human = cli.stats_json_path == "-" ? std::cerr : std::cout;
   rr::Stopwatch watch;
@@ -331,7 +409,10 @@ int run_online_trace(const CliOptions& cli,
         return trace_error(line_no, "no module named '" + name + "'");
       ++places;
       const auto placement = placer.place(id, *module);
-      if (placement) ++accepted;
+      if (placement) {
+        ++accepted;
+        live_modules[id] = module;
+      }
       if (!cli.quiet) {
         human << "  place " << id << ' ' << name << ": ";
         if (placement) {
@@ -349,6 +430,7 @@ int run_online_trace(const CliOptions& cli,
                            "instance " + std::to_string(id) + " is not live");
       ++removes;
       placer.remove(id);
+      live_modules.erase(id);
       if (!cli.quiet) human << "  remove " << id << '\n';
     } else {
       return trace_error(line_no, "unknown trace op '" + op + "'");
@@ -371,6 +453,24 @@ int run_online_trace(const CliOptions& cli,
         << " admitted (" << defrag.exact_successes << " exact, "
         << defrag.greedy_successes << " greedy), " << defrag.relocated_modules
         << " modules / " << defrag.relocated_tiles << " tiles relocated\n";
+  // Final live wirelength under the loaded nets (names from the replay
+  // map, positions from the placer: defrag may have relocated instances).
+  long final_wirelength2 = 0;
+  if (nets != nullptr) {
+    std::vector<rr::comm::NamedPin> pins;
+    pins.reserve(live_modules.size());
+    for (const auto& p : placer.live_placements()) {
+      const rr::model::Module* module = live_modules.at(p.module);
+      const rr::Rect box =
+          module->shapes()[static_cast<std::size_t>(p.shape)].bounding_box();
+      pins.push_back(rr::comm::NamedPin{module->name(),
+                                        rr::comm::center2(box, p.x, p.y)});
+    }
+    final_wirelength2 = rr::comm::pins_wirelength2(*nets, pins);
+    human << "comm: " << nets->nets.size() << " nets, weight "
+          << cli.comm_weight << ", final wirelength2 " << final_wirelength2
+          << '\n';
+  }
   human << "final: " << placer.live_count() << " live, occupancy "
         << rr::TextTable::pct(placer.occupancy()) << "  time: "
         << rr::TextTable::num(seconds, 3) << "s\n";
@@ -386,6 +486,8 @@ int run_online_trace(const CliOptions& cli,
     config.set("seed", rr::json::Value(cli.seed));
     config.set("policy", rr::json::Value(policy_name(cli.online_policy)));
     config.set("free_space_index", rr::json::Value(cli.free_space_index));
+    if (!cli.nets_path.empty())
+      config.set("nets", rr::json::Value(cli.nets_path));
     // The search/space/result sections describe one offline solve; a trace
     // replay has none, so a default (empty) outcome keeps the schema
     // intact and the replay data lives in the "online" section.
@@ -428,6 +530,9 @@ int run_online_trace(const CliOptions& cli,
     online_doc.set("final_live", rr::json::Value(placer.live_count()));
     online_doc.set("final_occupancy", rr::json::Value(placer.occupancy()));
     stats.set("online", std::move(online_doc));
+    if (nets != nullptr)
+      stats.set("comm", comm_stats_json(*nets, cli.comm_weight,
+                                        final_wirelength2));
     if (cli.stats_json_path == "-") {
       std::cout << stats.dump(2) << '\n';
     } else {
@@ -474,7 +579,8 @@ std::string fault_event_text(const rr::fpga::FaultEvent& event) {
 // then degrade the fabric event by event and report what survived.
 int run_fault_trace(const CliOptions& cli,
                     const rr::fpga::PartialRegion& region,
-                    const std::vector<rr::model::Module>& modules) {
+                    const std::vector<rr::model::Module>& modules,
+                    const std::shared_ptr<const rr::comm::NetList>& nets) {
   const rr::fpga::FaultTrace trace =
       rr::fpga::load_fault_trace(cli.fault_trace_path);
   if (trace.width != region.fabric().width() ||
@@ -491,6 +597,8 @@ int run_fault_trace(const CliOptions& cli,
   options.mode = cli.mode;
   options.workers = cli.workers;
   options.seed = cli.seed;
+  options.nets = nets.get();
+  options.comm_weight = cli.comm_weight;
   rr::placer::Placer placer(region, modules, options);
   const auto outcome = placer.place();
   std::ostream& human = cli.stats_json_path == "-" ? std::cerr : std::cout;
@@ -503,6 +611,8 @@ int run_fault_trace(const CliOptions& cli,
   recovery_options.deadline_seconds = cli.fault_deadline;
   recovery_options.use_alternatives = cli.alternatives;
   recovery_options.seed = cli.seed;
+  recovery_options.nets = nets;
+  recovery_options.comm_weight = cli.comm_weight;
   rr::runtime::FaultRecoveryManager manager(region, recovery_options);
   for (const auto& p : outcome.solution.placements)
     manager.admit(p.module, modules[static_cast<std::size_t>(p.module)],
@@ -555,6 +665,8 @@ int run_fault_trace(const CliOptions& cli,
     config.set("fault_trace", rr::json::Value(cli.fault_trace_path));
     config.set("fault_deadline_seconds", rr::json::Value(cli.fault_deadline));
     config.set("seed", rr::json::Value(cli.seed));
+    if (!cli.nets_path.empty())
+      config.set("nets", rr::json::Value(cli.nets_path));
     rr::json::Value stats_doc = rr::placer::solve_stats_json(
         region, modules, outcome, "rrplace_cli-faults", std::move(config));
     rr::json::Value fault_doc = rr::json::Value::object();
@@ -592,6 +704,20 @@ int run_fault_trace(const CliOptions& cli,
                  rr::json::Value(manager.recovery_cost().modules_loaded));
     fault_doc.set("recovery_cost", std::move(cost_doc));
     stats_doc.set("fault", std::move(fault_doc));
+    if (nets != nullptr) {
+      // Wirelength of what survived, at its possibly-relocated positions.
+      std::vector<rr::comm::NamedPin> pins;
+      for (const auto& p : manager.live_placements()) {
+        const rr::model::Module& module = manager.module_of(p.module);
+        const rr::Rect box =
+            module.shapes()[static_cast<std::size_t>(p.shape)].bounding_box();
+        pins.push_back(rr::comm::NamedPin{module.name(),
+                                          rr::comm::center2(box, p.x, p.y)});
+      }
+      stats_doc.set("comm",
+                    comm_stats_json(*nets, cli.comm_weight,
+                                    rr::comm::pins_wirelength2(*nets, pins)));
+    }
     if (cli.stats_json_path == "-") {
       std::cout << stats_doc.dump(2) << '\n';
     } else {
@@ -613,7 +739,8 @@ int run_fault_trace(const CliOptions& cli,
 int run_serve_trace(const CliOptions& cli,
                     const rr::fpga::PartialRegion& region,
                     const std::shared_ptr<const rr::fpga::Fabric>& fabric,
-                    const std::vector<rr::model::Module>& modules) {
+                    const std::vector<rr::model::Module>& modules,
+                    const std::shared_ptr<const rr::comm::NetList>& nets) {
   std::ifstream in(cli.serve_trace_path);
   if (!in) {
     std::cerr << "error: cannot read trace " << cli.serve_trace_path << '\n';
@@ -732,6 +859,8 @@ int run_serve_trace(const CliOptions& cli,
     config.online.use_alternatives = cli.alternatives;
     config.online.policy = cli.online_policy;
     config.online.free_space_index = cli.free_space_index;
+    config.online.nets = nets;
+    config.online.comm_weight = cli.comm_weight;
     configs.push_back(std::move(config));
   }
   rr::service::ServiceOptions service_options;
@@ -862,8 +991,15 @@ int run_serve_trace(const CliOptions& cli,
 int main(int argc, char** argv) {
   const CliOptions cli = parse_args(argc, argv);
   try {
-    const auto fabric = std::make_shared<const rr::fpga::Fabric>(
-        rr::fpga::load_fdf(cli.fabric_path));
+    rr::fpga::Fabric fabric_desc = rr::fpga::load_fdf(cli.fabric_path);
+    if (cli.bus_period > 0) {
+      rr::comm::BusSpec bus;
+      bus.lane_period = cli.bus_period;
+      bus.lane_offset = cli.bus_offset;
+      fabric_desc = rr::comm::with_bus_lanes(fabric_desc, bus);
+    }
+    const auto fabric =
+        std::make_shared<const rr::fpga::Fabric>(std::move(fabric_desc));
     rr::fpga::PartialRegion region(fabric);
     if (!cli.faults_path.empty()) {
       // Pre-existing damage: the resulting fault map masks the region's
@@ -878,11 +1014,18 @@ int main(int argc, char** argv) {
       }
       region.apply_faults(rr::fpga::fault_map_from_trace(trace));
     }
-    const auto modules = rr::model::load_mlf(cli.modules_path);
+    auto modules = rr::model::load_mlf(cli.modules_path);
     if (modules.empty()) {
       std::cerr << "error: module library is empty\n";
       return 2;
     }
+    if (cli.bus_attach_set)
+      // Throws ModelError (exit 2 below) when the row is outside a shape.
+      modules = rr::comm::with_bus_attachment(modules, cli.bus_attach);
+    std::shared_ptr<const rr::comm::NetList> nets;
+    if (!cli.nets_path.empty())
+      nets = std::make_shared<const rr::comm::NetList>(
+          rr::comm::load_nets(cli.nets_path));
 
     if (!cli.anchors_module.empty()) {
       for (const auto& module : modules) {
@@ -900,19 +1043,19 @@ int main(int argc, char** argv) {
       // Collection must be on before the replay so the "online.defrag.*"
       // counters reach the stats document's metrics section.
       if (!cli.stats_json_path.empty()) rr::metrics::set_enabled(true);
-      return run_online_trace(cli, region, modules);
+      return run_online_trace(cli, region, modules, nets);
     }
 
     if (!cli.fault_trace_path.empty()) {
       if (!cli.stats_json_path.empty()) rr::metrics::set_enabled(true);
-      return run_fault_trace(cli, region, modules);
+      return run_fault_trace(cli, region, modules, nets);
     }
 
     if (!cli.serve_trace_path.empty()) {
       // Collection must be on before the service spawns its workers so the
       // per-worker metric shards (service.* counters) are recorded.
       if (!cli.stats_json_path.empty()) rr::metrics::set_enabled(true);
-      return run_serve_trace(cli, region, fabric, modules);
+      return run_serve_trace(cli, region, fabric, modules, nets);
     }
 
     rr::placer::PlacerOptions options;
@@ -923,6 +1066,8 @@ int main(int argc, char** argv) {
     options.nonoverlap.incremental = cli.incremental;
     options.element.compact = cli.compact_element;
     options.seed = cli.seed;
+    options.nets = nets.get();
+    options.comm_weight = cli.comm_weight;
     // Collection must be on before the Placer builds its Spaces: each Space
     // snapshots the flag at construction.
     if (!cli.stats_json_path.empty()) rr::metrics::set_enabled(true);
@@ -939,8 +1084,27 @@ int main(int argc, char** argv) {
       config.set("incremental", rr::json::Value(cli.incremental));
       config.set("compact_element", rr::json::Value(cli.compact_element));
       config.set("seed", rr::json::Value(cli.seed));
-      const rr::json::Value stats = rr::placer::solve_stats_json(
+      if (!cli.nets_path.empty())
+        config.set("nets", rr::json::Value(cli.nets_path));
+      rr::json::Value stats = rr::placer::solve_stats_json(
           region, modules, outcome, "rrplace_cli", std::move(config));
+      if (nets != nullptr) {
+        long wirelength2 = 0;
+        if (outcome.solution.feasible) {
+          const rr::comm::BoundNets bound(*nets, modules);
+          std::vector<rr::comm::Center2> centers(modules.size());
+          for (const auto& p : outcome.solution.placements) {
+            const rr::Rect box = modules[static_cast<std::size_t>(p.module)]
+                                     .shapes()[static_cast<std::size_t>(p.shape)]
+                                     .bounding_box();
+            centers[static_cast<std::size_t>(p.module)] =
+                rr::comm::center2(box, p.x, p.y);
+          }
+          wirelength2 = bound.wirelength2(centers);
+        }
+        stats.set("comm",
+                  comm_stats_json(*nets, cli.comm_weight, wirelength2));
+      }
       if (cli.stats_json_path == "-") {
         std::cout << stats.dump(2) << '\n';
       } else {
