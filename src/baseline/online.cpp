@@ -274,7 +274,7 @@ std::optional<geost::Placement> OnlinePlacer::find_spot(
 }
 
 std::optional<placer::ModulePlacement> OnlinePlacer::place(
-    int instance_id, const model::Module& module) {
+    int instance_id, const model::Module& module, double budget_seconds) {
   RR_REQUIRE(!live_.contains(instance_id),
              "instance id " + std::to_string(instance_id) + " already placed");
   // Anchor tables are computed per request — the online setting has no
@@ -311,8 +311,14 @@ std::optional<placer::ModulePlacement> OnlinePlacer::place(
     return placer::ModulePlacement{instance_id, p->shape, p->x, p->y};
   }
 
-  // First-fit failed: defragment, unless disabled or gated off.
+  // First-fit failed: defragment, unless disabled or gated off. A caller
+  // budget clamps the configured pass deadline (remaining-budget deadline
+  // propagation) but never enables defrag on its own.
   if (options_.defrag.deadline_seconds <= 0.0) return std::nullopt;
+  const double deadline_seconds =
+      budget_seconds > 0.0
+          ? std::min(options_.defrag.deadline_seconds, budget_seconds)
+          : options_.defrag.deadline_seconds;
   if (table.empty() || live_.empty()) return std::nullopt;
   if (options_.defrag.relocation_budget_tiles >= 0 &&
       static_cast<long>(defrag_stats_.relocated_tiles) >=
@@ -329,17 +335,18 @@ std::optional<placer::ModulePlacement> OnlinePlacer::place(
     RR_METRIC_COUNT("online.defrag.retry_skips");
     return std::nullopt;
   }
-  return defrag_place(instance_id, module, shapes, table, cached);
+  return defrag_place(instance_id, module, shapes, table, cached,
+                      deadline_seconds);
 }
 
 std::optional<placer::ModulePlacement> OnlinePlacer::defrag_place(
     int instance_id, const model::Module& module,
     const std::vector<geost::ShapeFootprint>& shapes,
     const std::vector<geost::Placement>& table,
-    const placer::ModuleTables* cached) {
+    const placer::ModuleTables* cached, double deadline_seconds) {
   ++defrag_stats_.attempts;
   RR_METRIC_COUNT("online.defrag.attempts");
-  const Deadline deadline(options_.defrag.deadline_seconds);
+  const Deadline deadline(deadline_seconds);
 
   // --- Blocking-cell heuristic: rank relocation sets by how cheap their
   // conflict is to clear. For each candidate anchor of the request

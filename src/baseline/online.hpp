@@ -135,8 +135,17 @@ class OnlinePlacer {
   /// `instance_id` names the instance for later removal and must be fresh.
   /// A successful defrag pass may relocate other live instances; their new
   /// positions are visible through live_placements().
+  ///
+  /// `budget_seconds` > 0 caps the defrag pass's deadline at
+  /// min(configured, budget) — the service hands each request's *remaining*
+  /// deadline budget through here so a late-starting request cannot spend
+  /// the full configured defrag budget it no longer has. <= 0 means "no
+  /// extra cap" (the configured deadline applies unchanged); a positive
+  /// budget never *enables* defrag when it is configured off, so the
+  /// default is bit-identical to the two-argument call.
   std::optional<placer::ModulePlacement> place(int instance_id,
-                                               const model::Module& module);
+                                               const model::Module& module,
+                                               double budget_seconds = 0.0);
 
   /// Remove a previously placed instance, freeing its tiles.
   void remove(int instance_id);
@@ -283,12 +292,13 @@ class OnlinePlacer {
                                                    int exclude_id) const;
 
   /// The defrag pass (gates already passed). Commits and returns the new
-  /// request's placement on success.
+  /// request's placement on success. `deadline_seconds` is the effective
+  /// (possibly remaining-budget-clamped) wall budget for this pass.
   std::optional<placer::ModulePlacement> defrag_place(
       int instance_id, const model::Module& module,
       const std::vector<geost::ShapeFootprint>& shapes,
       const std::vector<geost::Placement>& table,
-      const placer::ModuleTables* cached);
+      const placer::ModuleTables* cached, double deadline_seconds);
 
   /// Apply a defrag plan: relocate `moves` (entries whose placement is
   /// unchanged are kept for free) and admit the new request.

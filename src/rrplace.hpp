@@ -42,6 +42,8 @@
 #include "runtime/recovery.hpp"     // IWYU pragma: export
 #include "render/svg.hpp"           // IWYU pragma: export
 #include "service/service.hpp"      // IWYU pragma: export
+#include "service/trace.hpp"        // IWYU pragma: export
+#include "sim/workload.hpp"         // IWYU pragma: export
 #include "util/json.hpp"            // IWYU pragma: export
 #include "util/metrics.hpp"         // IWYU pragma: export
 #include "util/stats.hpp"           // IWYU pragma: export

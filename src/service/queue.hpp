@@ -32,9 +32,12 @@ class BoundedQueue {
   BoundedQueue(const BoundedQueue&) = delete;
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
-  /// Enqueue, blocking while the queue is full. Returns false (and drops
-  /// `value`) when the queue is or becomes closed.
-  bool push(T value) {
+  /// Enqueue, blocking while the queue is full. Returns false when the
+  /// queue is or becomes closed; `value` is consumed only on success, so a
+  /// caller can still resolve a promise riding inside it after a failed
+  /// push (the submit/stop race turns into a typed response, not a broken
+  /// promise).
+  bool push(T& value) {
     std::unique_lock lock(mutex_);
     not_full_.wait(lock,
                    [&] { return closed_ || items_.size() < capacity_; });
@@ -43,6 +46,30 @@ class BoundedQueue {
     lock.unlock();
     not_empty_.notify_one();
     return true;
+  }
+
+  /// Rvalue convenience; the value is dropped when the queue is closed.
+  bool push(T&& value) {
+    T local(std::move(value));
+    return push(local);
+  }
+
+  /// try_push outcome: distinguishing a full queue (caller may back off
+  /// and retry) from a closed one (the consumer is gone; retrying is
+  /// pointless) is what lets the service shed instead of spin.
+  enum class PushResult : std::uint8_t { kPushed, kFull, kClosed };
+
+  /// Non-blocking enqueue. `value` is consumed only on kPushed, so a
+  /// caller with a retry budget keeps its item across kFull attempts.
+  PushResult try_push(T& value) {
+    {
+      const std::scoped_lock lock(mutex_);
+      if (closed_) return PushResult::kClosed;
+      if (items_.size() >= capacity_) return PushResult::kFull;
+      items_.push_back(std::move(value));
+    }
+    not_empty_.notify_one();
+    return PushResult::kPushed;
   }
 
   /// Dequeue, blocking while empty. Returns nullopt once the queue is

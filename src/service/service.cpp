@@ -1,7 +1,9 @@
 #include "service/service.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
+#include <thread>
 #include <utility>
 
 #include "util/error.hpp"
@@ -36,6 +38,7 @@ Tenant::Tenant(Config config)
       faults_(*config.fabric),
       placer_(region_, config.online),
       cache_(config.cache),
+      clock_(config.clock != nullptr ? config.clock : &system_clock()),
       online_(config.online) {
   RR_REQUIRE(!library_.empty(), "tenant needs a non-empty module library");
   refresh_context();
@@ -47,15 +50,25 @@ void Tenant::refresh_context() {
   placer_.set_table_source(context_.get());
 }
 
-Response Tenant::apply(const Request& request) {
+double Tenant::remaining_budget_seconds(std::uint64_t deadline_ns) const {
+  if (deadline_ns == 0) return 0.0;  // no deadline: downstream uncapped
+  const std::uint64_t now = clock_->now_ns();
+  // Expired: a tiny positive budget keeps the cap active (0 would mean
+  // "uncapped") while giving the defrag pass no room — it degrades to the
+  // plain first-fit tier, which always runs.
+  if (now >= deadline_ns) return 1e-9;
+  return static_cast<double>(deadline_ns - now) * 1e-9;
+}
+
+Response Tenant::apply(const Request& request, std::uint64_t deadline_ns) {
   try {
     switch (request.op) {
       case RequestOp::kPlace:
-        return apply_place(request);
+        return apply_place(request, deadline_ns);
       case RequestOp::kRemove:
         return apply_remove(request);
       case RequestOp::kFault:
-        return apply_fault(request);
+        return apply_fault(request, deadline_ns);
     }
     Response response;
     response.error = "unknown request op";
@@ -70,7 +83,8 @@ Response Tenant::apply(const Request& request) {
   }
 }
 
-Response Tenant::apply_place(const Request& request) {
+Response Tenant::apply_place(const Request& request,
+                             std::uint64_t deadline_ns) {
   Response response;
   if (request.module < 0 ||
       request.module >= static_cast<int>(library_.size())) {
@@ -82,7 +96,8 @@ Response Tenant::apply_place(const Request& request) {
     return response;
   }
   const auto placed = placer_.place(
-      request.instance, library_[static_cast<std::size_t>(request.module)]);
+      request.instance, library_[static_cast<std::size_t>(request.module)],
+      remaining_budget_seconds(deadline_ns));
   if (!placed.has_value()) {
     response.status = Response::Status::kRejected;
     return response;
@@ -106,7 +121,8 @@ Response Tenant::apply_remove(const Request& request) {
   return response;
 }
 
-Response Tenant::apply_fault(const Request& request) {
+Response Tenant::apply_fault(const Request& request,
+                             std::uint64_t deadline_ns) {
   Response response;
   faults_.apply(request.fault);
   region_.apply_faults(faults_);
@@ -139,8 +155,11 @@ Response Tenant::apply_fault(const Request& request) {
   for (const int id : displaced) placer_.remove(id);
   for (const int id : displaced) {
     const int library_index = instance_module_.at(id);
+    // Remaining budget, re-read per casualty: each re-place's defrag tier
+    // gets only what the earlier casualties left, never the full budget.
     const auto placed = placer_.place(
-        id, library_[static_cast<std::size_t>(library_index)]);
+        id, library_[static_cast<std::size_t>(library_index)],
+        remaining_budget_seconds(deadline_ns));
     if (placed.has_value()) {
       ++response.recovered;
     } else {
@@ -162,6 +181,21 @@ json::Value ServiceStats::to_json() const {
   doc.set("errors", json::Value(errors));
   doc.set("batches", json::Value(batches));
   doc.set("batched_requests", json::Value(batched_requests));
+  json::Value shed_doc = json::Value::object();
+  shed_doc.set("submitted", json::Value(shed.submitted));
+  shed_doc.set("completed", json::Value(shed.completed));
+  shed_doc.set("deadline", json::Value(shed.shed_deadline));
+  shed_doc.set("quota", json::Value(shed.shed_quota));
+  shed_doc.set("queue", json::Value(shed.shed_queue));
+  shed_doc.set("stopped", json::Value(shed.rejected_stopped));
+  shed_doc.set("submit_retries", json::Value(shed.submit_retries));
+  shed_doc.set(
+      "shed_rate",
+      json::Value(shed.submitted > 0
+                      ? static_cast<double>(shed.total_shed()) /
+                            static_cast<double>(shed.submitted)
+                      : 0.0));
+  doc.set("shed", std::move(shed_doc));
   json::Value cache_doc = json::Value::object();
   cache_doc.set("hits", json::Value(cache.hits));
   cache_doc.set("misses", json::Value(cache.misses));
@@ -194,11 +228,17 @@ json::Value ServiceStats::to_json() const {
 
 PlacementService::PlacementService(std::vector<Tenant::Config> tenants,
                                    ServiceOptions options, bool cache_enabled)
-    : options_(options), cache_(cache_enabled, options.cache_capacity) {
+    : options_(options),
+      clock_(options.clock != nullptr ? options.clock : &system_clock()),
+      cache_(cache_enabled, options.cache_capacity),
+      paused_(options.start_paused) {
   RR_REQUIRE(options_.workers >= 1, "service needs at least one worker");
   RR_REQUIRE(options_.max_batch >= 1, "max_batch must be at least 1");
   RR_REQUIRE(!tenants.empty(), "service needs at least one tenant");
   tenants_.reserve(tenants.size());
+  inflight_ = std::make_unique<std::atomic<int>[]>(tenants.size());
+  for (std::size_t t = 0; t < tenants.size(); ++t)
+    inflight_[t].store(0, std::memory_order_relaxed);
   for (Tenant::Config& config : tenants) {
     // cache_enabled = false means NO solve contexts at all — every request
     // pays the per-module anchor scan inside the online placer. That is
@@ -206,6 +246,7 @@ PlacementService::PlacementService(std::vector<Tenant::Config> tenants,
     // disabled cache in instead would still hand each tenant per-epoch
     // tables and quietly measure the wrong thing.
     config.cache = cache_.enabled() ? &cache_ : nullptr;
+    config.clock = clock_;
     tenants_.push_back(std::make_unique<Tenant>(std::move(config)));
   }
   workers_.reserve(static_cast<std::size_t>(options_.workers));
@@ -229,18 +270,93 @@ int PlacementService::worker_of(int tenant) const noexcept {
   return static_cast<int>(x % workers_.size());
 }
 
+void PlacementService::resolve_shed(Job& job, Response::Status status,
+                                    std::atomic<std::uint64_t>& counter,
+                                    bool held) {
+  if (held)
+    inflight_[static_cast<std::size_t>(job.request.tenant)].fetch_sub(
+        1, std::memory_order_acq_rel);
+  counter.fetch_add(1, std::memory_order_relaxed);
+  Response response;
+  response.status = status;
+  job.promise.set_value(std::move(response));
+}
+
 std::future<Response> PlacementService::submit(Request request) {
   RR_REQUIRE(request.tenant >= 0 &&
                  request.tenant < static_cast<int>(tenants_.size()),
              "unknown tenant id " + std::to_string(request.tenant));
+  submitted_.fetch_add(1, std::memory_order_relaxed);
   Job job;
   job.request = request;
   std::future<Response> future = job.promise.get_future();
-  const int worker = worker_of(request.tenant);
-  const bool pushed =
-      workers_[static_cast<std::size_t>(worker)]->queue.push(std::move(job));
-  RR_REQUIRE(pushed, "service is stopped");
-  return future;
+  job.submit_ns = clock_->now_ns();
+  const double deadline_ms = request.deadline_ms > 0.0
+                                 ? request.deadline_ms
+                                 : options_.default_deadline_ms;
+  if (deadline_ms > 0.0)
+    job.deadline_ns =
+        job.submit_ns + static_cast<std::uint64_t>(deadline_ms * 1e6);
+
+  // Quota admission: CAS so concurrent submitters cannot overshoot. The
+  // slot is held until the response resolves (worker or shed path).
+  std::atomic<int>& inflight =
+      inflight_[static_cast<std::size_t>(request.tenant)];
+  if (options_.tenant_inflight_quota > 0) {
+    int current = inflight.load(std::memory_order_relaxed);
+    for (;;) {
+      if (current >= options_.tenant_inflight_quota) {
+        resolve_shed(job, Response::Status::kShedQuota, shed_quota_,
+                     /*held=*/false);
+        return future;
+      }
+      if (inflight.compare_exchange_weak(current, current + 1,
+                                         std::memory_order_acq_rel))
+        break;
+    }
+  } else {
+    inflight.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  BoundedQueue<Job>& queue =
+      workers_[static_cast<std::size_t>(worker_of(request.tenant))]->queue;
+  if (options_.submit_retry_budget < 0) {
+    // Backpressure: block while full. A stop() racing this push is benign
+    // now — the request resolves kRejectedStopped instead of throwing
+    // (push leaves the job, and its promise, intact on failure).
+    if (!queue.push(job))
+      resolve_shed(job, Response::Status::kRejectedStopped, rejected_stopped_,
+                   /*held=*/true);
+    return future;
+  }
+
+  std::uint64_t backoff_us = options_.backoff_initial_us;
+  for (int attempt = 0;; ++attempt) {
+    const BoundedQueue<Job>::PushResult pushed = queue.try_push(job);
+    if (pushed == BoundedQueue<Job>::PushResult::kPushed) return future;
+    if (pushed == BoundedQueue<Job>::PushResult::kClosed) {
+      resolve_shed(job, Response::Status::kRejectedStopped, rejected_stopped_,
+                   /*held=*/true);
+      return future;
+    }
+    // kFull: shed on an expired deadline, then on a spent retry budget;
+    // otherwise back off (real sleep — pacing only; the *decisions* above
+    // read the injected clock and an attempt counter, so they are
+    // deterministic under a FakeClock).
+    if (job.deadline_ns != 0 && clock_->now_ns() >= job.deadline_ns) {
+      resolve_shed(job, Response::Status::kShedDeadline, shed_deadline_,
+                   /*held=*/true);
+      return future;
+    }
+    if (attempt >= options_.submit_retry_budget) {
+      resolve_shed(job, Response::Status::kShedQueue, shed_queue_,
+                   /*held=*/true);
+      return future;
+    }
+    submit_retries_.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+    backoff_us = std::min(backoff_us * 2, options_.backoff_max_us);
+  }
 }
 
 Response PlacementService::call(Request request) {
@@ -251,6 +367,12 @@ void PlacementService::worker_loop(Worker& worker) {
   // Hot-path metrics land in this worker's shard, contention-free; stop()
   // folds the shards into the process registry.
   const metrics::ThreadShard redirect(worker.shard);
+  {
+    // start_paused gate: requests may pile up (and FakeClock deadlines
+    // expire) before any of them executes.
+    std::unique_lock lock(pause_mutex_);
+    resume_.wait(lock, [&] { return !paused_; });
+  }
   std::vector<Job> batch;
   for (;;) {
     batch.clear();
@@ -270,13 +392,22 @@ void PlacementService::worker_loop(Worker& worker) {
     Tenant& tenant =
         *tenants_[static_cast<std::size_t>(batch.front().request.tenant)];
     for (Job& job : batch) {
-      Stopwatch service_watch;
-      Response response = tenant.apply(job.request);
-      const auto service_ns =
-          static_cast<std::uint64_t>(service_watch.elapsed().count());
+      // Deadline shedding at dequeue: a request whose queue wait already
+      // consumed its budget would solve for nobody — drop it before
+      // touching the tenant. Shed requests stay out of the latency
+      // distributions (those describe executed requests).
+      if (job.deadline_ns != 0 && clock_->now_ns() >= job.deadline_ns) {
+        worker.shard.add("service.shed.deadline");
+        resolve_shed(job, Response::Status::kShedDeadline, shed_deadline_,
+                     /*held=*/true);
+        continue;
+      }
+      const std::uint64_t service_start = clock_->now_ns();
+      Response response = tenant.apply(job.request, job.deadline_ns);
+      const std::uint64_t done = clock_->now_ns();
+      const std::uint64_t service_ns = done - service_start;
       record(worker, response);
-      const auto elapsed_ns =
-          static_cast<std::uint64_t>(job.latency.elapsed().count());
+      const std::uint64_t elapsed_ns = done - job.submit_ns;
       const std::uint64_t queue_ns =
           elapsed_ns > service_ns ? elapsed_ns - service_ns : 0;
       worker.latency_ns.push_back(elapsed_ns);
@@ -286,6 +417,12 @@ void PlacementService::worker_loop(Worker& worker) {
       worker.shard.record_time("service.request.service", service_ns);
       worker.shard.record_time("service.request.queue", queue_ns);
       ++worker.requests;
+      // Order matters for the accounting identity: bump completed_ and
+      // release the inflight slot before set_value, so a client that has
+      // observed the future also observes the counters it implies.
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      inflight_[static_cast<std::size_t>(job.request.tenant)].fetch_sub(
+          1, std::memory_order_acq_rel);
       job.promise.set_value(std::move(response));
     }
   }
@@ -308,11 +445,25 @@ void PlacementService::record(Worker& worker, const Response& response) {
     case Response::Status::kError:
       ++worker.errors;
       break;
+    case Response::Status::kShedDeadline:
+    case Response::Status::kShedQuota:
+    case Response::Status::kShedQueue:
+    case Response::Status::kRejectedStopped:
+      break;  // shed responses never come out of Tenant::apply
   }
+}
+
+void PlacementService::resume() {
+  {
+    const std::scoped_lock lock(pause_mutex_);
+    paused_ = false;
+  }
+  resume_.notify_all();
 }
 
 void PlacementService::stop() {
   if (stopped_.exchange(true)) return;
+  resume();  // a paused service must still drain and join
   for (const std::unique_ptr<Worker>& worker : workers_)
     worker->queue.close();
   for (const std::unique_ptr<Worker>& worker : workers_)
@@ -326,6 +477,27 @@ const Tenant& PlacementService::tenant(int id) const {
   RR_REQUIRE(id >= 0 && id < static_cast<int>(tenants_.size()),
              "unknown tenant id " + std::to_string(id));
   return *tenants_[static_cast<std::size_t>(id)];
+}
+
+const Tenant& PlacementService::tenant_quiesced(int id) const {
+  // Quiescence (all futures observed, no concurrent submits) is the
+  // caller's contract — see the header. Only the id can be checked here.
+  RR_REQUIRE(id >= 0 && id < static_cast<int>(tenants_.size()),
+             "unknown tenant id " + std::to_string(id));
+  return *tenants_[static_cast<std::size_t>(id)];
+}
+
+ShedCounters PlacementService::shed_counters() const {
+  ShedCounters counters;
+  counters.submitted = submitted_.load(std::memory_order_relaxed);
+  counters.completed = completed_.load(std::memory_order_relaxed);
+  counters.shed_deadline = shed_deadline_.load(std::memory_order_relaxed);
+  counters.shed_quota = shed_quota_.load(std::memory_order_relaxed);
+  counters.shed_queue = shed_queue_.load(std::memory_order_relaxed);
+  counters.rejected_stopped =
+      rejected_stopped_.load(std::memory_order_relaxed);
+  counters.submit_retries = submit_retries_.load(std::memory_order_relaxed);
+  return counters;
 }
 
 ServiceStats PlacementService::stats() const {
@@ -350,6 +522,7 @@ ServiceStats PlacementService::stats() const {
     queue.insert(queue.end(), worker->queue_ns.begin(),
                  worker->queue_ns.end());
   }
+  stats.shed = shed_counters();
   stats.cache = cache_.stats();
   stats.latency_count = latencies.size();
   const auto summarize = [](std::vector<std::uint64_t>& v, double* mean,

@@ -1,0 +1,321 @@
+#include "sim/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <sstream>
+#include <tuple>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace rr::sim {
+namespace {
+
+/// Bounded Pareto on [lo, hi) via inverse CDF; heavy upper tail for
+/// small alpha. Requires 0 < lo < hi.
+double bounded_pareto(Rng& rng, double alpha, double lo, double hi) {
+  const double u = rng.uniform01();
+  const double ratio = std::pow(lo / hi, alpha);
+  return lo / std::pow(1.0 - u * (1.0 - ratio), 1.0 / alpha);
+}
+
+/// Knuth Poisson sampler — explicit uniform01 products keep the draw
+/// reproducible across standard libraries (std::poisson_distribution is
+/// implementation-defined). Lambda is clamped so a misconfigured rate
+/// cannot spin the product loop unboundedly.
+long poisson(Rng& rng, double lambda) {
+  lambda = std::clamp(lambda, 0.0, 50.0);
+  const double limit = std::exp(-lambda);
+  long k = 0;
+  double product = rng.uniform01();
+  while (product > limit) {
+    ++k;
+    product *= rng.uniform01();
+  }
+  return k;
+}
+
+}  // namespace
+
+WorkloadGenerator::WorkloadGenerator(WorkloadParams params,
+                                     std::span<const model::Module> library,
+                                     int fabric_width, int fabric_height)
+    : params_(params),
+      library_(library),
+      fabric_width_(fabric_width),
+      fabric_height_(fabric_height) {
+  RR_REQUIRE(!library.empty(), "workload generator needs a module library");
+  RR_REQUIRE(params_.tenants >= 1, "workload generator needs >= 1 tenant");
+  RR_REQUIRE(params_.requests >= 0, "request budget must be non-negative");
+  RR_REQUIRE(fabric_width >= 1 && fabric_height >= 1,
+             "fabric dimensions must be positive");
+  RR_REQUIRE(params_.life_min >= 0 && params_.life_max >= params_.life_min,
+             "lifetime bounds must satisfy 0 <= min <= max");
+  RR_REQUIRE(params_.priority_classes >= 1,
+             "need at least one priority class");
+}
+
+service::ServeTrace WorkloadGenerator::generate() {
+  service::ServeTrace trace;
+  trace.tenants = params_.tenants;
+  trace.requests.reserve(static_cast<std::size_t>(params_.requests));
+
+  Rng rng(params_.seed);
+
+  // Library modules sorted by minimum area: the Pareto area draw maps to
+  // the nearest entry (ties to the lower library index).
+  std::vector<std::pair<int, int>> by_area;  // (min_area, library index)
+  by_area.reserve(library_.size());
+  for (std::size_t i = 0; i < library_.size(); ++i)
+    by_area.emplace_back(library_[i].min_area(), static_cast<int>(i));
+  std::sort(by_area.begin(), by_area.end());
+  const double area_lo = static_cast<double>(by_area.front().first);
+  const double area_hi = static_cast<double>(by_area.back().first) + 1.0;
+
+  auto pick_module = [&]() {
+    const double target =
+        area_lo < area_hi - 0.5
+            ? bounded_pareto(rng, params_.size_alpha, std::max(1.0, area_lo),
+                             area_hi)
+            : area_lo;
+    int best = by_area.front().second;
+    double best_gap = 1e300;
+    for (const auto& [area, index] : by_area) {
+      const double gap = std::abs(static_cast<double>(area) - target);
+      if (gap < best_gap) {
+        best_gap = gap;
+        best = index;
+      }
+    }
+    return best;
+  };
+
+  auto draw_lifetime = [&]() -> long {
+    const double lo = static_cast<double>(params_.life_min) + 1.0;
+    const double hi = static_cast<double>(params_.life_max) + 2.0;
+    const double drawn = bounded_pareto(rng, params_.life_alpha, lo, hi);
+    return std::clamp(static_cast<long>(drawn) - 1, params_.life_min,
+                      params_.life_max);
+  };
+
+  auto draw_deadline_ms = [&]() -> double {
+    if (!(params_.deadline_base_ms > 0.0)) return 0.0;
+    const int cls =
+        static_cast<int>(rng.bounded(
+            static_cast<std::uint64_t>(params_.priority_classes)));
+    // Class 0 is the tightest; keep the value integral so rendered text
+    // round-trips bit-exactly through the parser.
+    return std::ceil(params_.deadline_base_ms *
+                     std::pow(params_.deadline_class_mult, cls));
+  };
+
+  // Pending removals: (tick, tenant, instance), popped in that order.
+  using Departure = std::tuple<long, int, int>;
+  std::priority_queue<Departure, std::vector<Departure>,
+                      std::greater<Departure>>
+      departures;
+  std::vector<int> next_instance(static_cast<std::size_t>(params_.tenants),
+                                 1);
+  // Per-tenant storm state + the permanent fault tiles the current storm
+  // has injected (candidates for targeted repair at storm end).
+  std::vector<char> storming(static_cast<std::size_t>(params_.tenants), 0);
+  std::vector<std::vector<std::pair<int, int>>> storm_permanents(
+      static_cast<std::size_t>(params_.tenants));
+
+  bool burst = false;
+  long emitted = 0;
+  auto emit = [&](const service::Request& request) {
+    if (emitted >= params_.requests) return false;
+    trace.requests.push_back(request);
+    ++emitted;
+    return true;
+  };
+
+  for (long tick = 0; emitted < params_.requests; ++tick) {
+    // 1. Departures due this tick (deterministic heap order).
+    while (!departures.empty() && std::get<0>(departures.top()) <= tick) {
+      const auto [when, tenant, instance] = departures.top();
+      departures.pop();
+      service::Request remove;
+      remove.tenant = tenant;
+      remove.op = service::RequestOp::kRemove;
+      remove.instance = instance;
+      if (!emit(remove)) return trace;
+    }
+
+    // 2. MMPP state, diurnal modulation, arrivals.
+    if (burst ? rng.chance(params_.p_exit_burst)
+              : rng.chance(params_.p_enter_burst))
+      burst = !burst;
+    double rate = burst ? params_.rate_high : params_.rate_low;
+    if (params_.diurnal_period > 0) {
+      const double phase = 2.0 * 3.14159265358979323846 *
+                           static_cast<double>(tick) /
+                           static_cast<double>(params_.diurnal_period);
+      rate *= std::max(0.0, 1.0 + params_.diurnal_amplitude * std::sin(phase));
+    }
+    const long arrivals = poisson(rng, rate);
+    for (long a = 0; a < arrivals; ++a) {
+      const int tenant = static_cast<int>(
+          rng.bounded(static_cast<std::uint64_t>(params_.tenants)));
+      service::Request place;
+      place.tenant = tenant;
+      place.op = service::RequestOp::kPlace;
+      place.instance = next_instance[static_cast<std::size_t>(tenant)]++;
+      place.module = pick_module();
+      place.deadline_ms = draw_deadline_ms();
+      const long lifetime = draw_lifetime();
+      if (!emit(place)) return trace;
+      if (lifetime == 0) {
+        // Zero-duration edge case: the remove lands immediately after the
+        // place, in the same tick.
+        service::Request remove;
+        remove.tenant = tenant;
+        remove.op = service::RequestOp::kRemove;
+        remove.instance = place.instance;
+        if (!emit(remove)) return trace;
+      } else {
+        departures.emplace(tick + lifetime, tenant, place.instance);
+      }
+    }
+
+    // 3. Fault storms, per tenant.
+    for (int tenant = 0; tenant < params_.tenants; ++tenant) {
+      const auto t = static_cast<std::size_t>(tenant);
+      if (storming[t] == 0) {
+        if (rng.chance(params_.p_storm_start)) storming[t] = 1;
+        continue;
+      }
+      if (rng.chance(params_.p_storm_stop)) {
+        // Storm passed: scrub all transient damage, then repair most of
+        // the permanent tiles it burned.
+        storming[t] = 0;
+        service::Request scrub;
+        scrub.tenant = tenant;
+        scrub.op = service::RequestOp::kFault;
+        scrub.fault.op = fpga::FaultEvent::Op::kRepairTransient;
+        if (!emit(scrub)) return trace;
+        for (const auto& [x, y] : storm_permanents[t]) {
+          if (!rng.chance(params_.p_repair_permanent)) continue;
+          service::Request repair;
+          repair.tenant = tenant;
+          repair.op = service::RequestOp::kFault;
+          repair.fault.op = fpga::FaultEvent::Op::kRepairTile;
+          repair.fault.rect = Rect{x, y, 1, 1};
+          if (!emit(repair)) return trace;
+        }
+        storm_permanents[t].clear();
+        continue;
+      }
+      const long faults = poisson(rng, params_.storm_fault_rate);
+      for (long f = 0; f < faults; ++f) {
+        service::Request fault;
+        fault.tenant = tenant;
+        fault.op = service::RequestOp::kFault;
+        const double shape = rng.uniform01();
+        if (shape < 0.7) {
+          const int x = rng.uniform_int(0, fabric_width_ - 1);
+          const int y = rng.uniform_int(0, fabric_height_ - 1);
+          fault.fault.op = fpga::FaultEvent::Op::kTile;
+          fault.fault.rect = Rect{x, y, 1, 1};
+          if (rng.chance(params_.storm_transient_fraction)) {
+            fault.fault.kind = fpga::FaultKind::kTransient;
+          } else {
+            fault.fault.kind = fpga::FaultKind::kPermanent;
+            storm_permanents[t].emplace_back(x, y);
+          }
+        } else if (shape < 0.9) {
+          // Small rect burst; always transient so the post-storm scrub
+          // fully undoes it (targeted repair is per-tile).
+          const int w = std::min(fabric_width_, rng.uniform_int(1, 3));
+          const int h = std::min(fabric_height_, rng.uniform_int(1, 3));
+          const int x = rng.uniform_int(0, fabric_width_ - w);
+          const int y = rng.uniform_int(0, fabric_height_ - h);
+          fault.fault.op = fpga::FaultEvent::Op::kRect;
+          fault.fault.rect = Rect{x, y, w, h};
+          fault.fault.kind = fpga::FaultKind::kTransient;
+        } else {
+          fault.fault.op = fpga::FaultEvent::Op::kColumn;
+          fault.fault.rect =
+              Rect{rng.uniform_int(0, fabric_width_ - 1), 0, 1,
+                   fabric_height_};
+          fault.fault.kind = fpga::FaultKind::kTransient;
+        }
+        if (!emit(fault)) return trace;
+      }
+    }
+  }
+  return trace;
+}
+
+std::string WorkloadGenerator::render(const service::ServeTrace& trace,
+                                      std::span<const model::Module> library) {
+  std::ostringstream out;
+  out << "tenants " << trace.tenants << '\n';
+  for (const service::Request& r : trace.requests) {
+    switch (r.op) {
+      case service::RequestOp::kPlace: {
+        RR_REQUIRE(r.module >= 0 &&
+                       r.module < static_cast<int>(library.size()),
+                   "render: module index outside the library");
+        out << "place " << r.tenant << ' ' << r.instance << ' '
+            << library[static_cast<std::size_t>(r.module)].name();
+        if (r.deadline_ms > 0.0) {
+          out << ' ';
+          if (r.deadline_ms == std::floor(r.deadline_ms) &&
+              r.deadline_ms < 9e15) {
+            out << static_cast<long long>(r.deadline_ms);
+          } else {
+            std::ostringstream number;
+            number.precision(17);
+            number << r.deadline_ms;
+            out << number.str();
+          }
+        }
+        out << '\n';
+        break;
+      }
+      case service::RequestOp::kRemove:
+        out << "remove " << r.tenant << ' ' << r.instance << '\n';
+        break;
+      case service::RequestOp::kFault: {
+        using Op = fpga::FaultEvent::Op;
+        const char* kind = r.fault.kind == fpga::FaultKind::kTransient
+                               ? "transient"
+                               : "permanent";
+        switch (r.fault.op) {
+          case Op::kTile:
+            out << "fault " << r.tenant << " tile " << r.fault.rect.x << ' '
+                << r.fault.rect.y << ' ' << kind << '\n';
+            break;
+          case Op::kColumn:
+            out << "fault " << r.tenant << " column " << r.fault.rect.x
+                << ' ' << kind << '\n';
+            break;
+          case Op::kRect:
+            out << "fault " << r.tenant << " rect " << r.fault.rect.x << ' '
+                << r.fault.rect.y << ' ' << r.fault.rect.width << ' '
+                << r.fault.rect.height << ' ' << kind << '\n';
+            break;
+          case Op::kRepairTile:
+            out << "repair " << r.tenant << ' ' << r.fault.rect.x << ' '
+                << r.fault.rect.y << '\n';
+            break;
+          case Op::kRepairTransient:
+            out << "repair-transient " << r.tenant << '\n';
+            break;
+        }
+        break;
+      }
+    }
+  }
+  return out.str();
+}
+
+std::string WorkloadGenerator::generate_text() {
+  return render(generate(), library_);
+}
+
+}  // namespace rr::sim

@@ -1,0 +1,111 @@
+// Adversarial workload generator — seeded, reproducible serve traces with
+// the load shapes a long-lived reconfigurable system actually sees:
+//
+//   - MMPP arrivals: a two-state Markov-modulated Poisson process (quiet /
+//     burst) so load comes in squalls, not a steady drip.
+//   - Heavy-tailed sizes and lifetimes: bounded-Pareto draws for the
+//     requested module area (mapped to the nearest library module) and for
+//     instance lifetime in ticks — including zero-duration instances whose
+//     remove lands immediately after their place.
+//   - Priority classes: class k carries deadline base * mult^k (class 0
+//     tightest); the service sheds what misses its budget.
+//   - Diurnal curve: a sinusoidal modulation of the arrival rate on top of
+//     the MMPP bursts.
+//   - Fault storms: per-tenant storm state machines inject clustered
+//     tile/rect/column faults (mostly transient) under load, then scrub
+//     transients and repair most permanents when the storm passes — the
+//     combined fault+defrag regime single-shot tests never reach.
+//
+// Determinism: everything draws from one rr::Rng stream in a fixed loop
+// order, so the same (params, library, fabric) produce a bit-identical
+// request list and byte-identical rendered text — the property the
+// workload tests pin. Removes are emitted for every generated instance
+// whether or not the service ends up admitting its place; a remove of a
+// rejected instance is a kError response the service must tolerate, which
+// is part of the adversarial point.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "model/module.hpp"
+#include "service/trace.hpp"
+
+namespace rr::sim {
+
+struct WorkloadParams {
+  int tenants = 4;
+  /// Stop once this many requests (places + removes + faults + repairs)
+  /// have been generated.
+  long requests = 10000;
+  std::uint64_t seed = 1;
+
+  // --- MMPP arrivals (per tick).
+  double rate_low = 0.6;       // mean arrivals/tick in the quiet state
+  double rate_high = 6.0;      // ... in the burst state
+  double p_enter_burst = 0.015;
+  double p_exit_burst = 0.12;
+
+  // --- Bounded-Pareto module size (target area in tiles, mapped to the
+  // nearest library module by minimum area).
+  double size_alpha = 1.2;
+
+  // --- Bounded-Pareto instance lifetime in ticks. life_min = 0 permits
+  // zero-duration instances (remove immediately follows place).
+  double life_alpha = 1.1;
+  long life_min = 0;
+  long life_max = 400;
+
+  // --- Priority classes / deadlines. deadline_base_ms <= 0 emits no
+  // deadlines at all (every place line stays grammar-identical to PR 7).
+  int priority_classes = 3;
+  double deadline_base_ms = 0.0;
+  double deadline_class_mult = 4.0;
+
+  // --- Diurnal arrival-rate modulation: rate *= 1 + amplitude *
+  // sin(2*pi*t/period). period <= 0 disables.
+  long diurnal_period = 0;
+  double diurnal_amplitude = 0.5;
+
+  // --- Per-tenant fault storms.
+  double p_storm_start = 0.0008;        // per tick, per calm tenant
+  double p_storm_stop = 0.15;           // per tick, per storming tenant
+  double storm_fault_rate = 0.7;        // mean faults/tick while storming
+  double storm_transient_fraction = 0.85;
+  /// Chance that each permanent fault of a passed storm gets a targeted
+  /// repair when the storm ends (transients are always scrubbed).
+  double p_repair_permanent = 0.9;
+};
+
+class WorkloadGenerator {
+ public:
+  /// `library` supplies the placeable modules (names + areas); the fabric
+  /// dimensions bound the generated fault rectangles. The library must be
+  /// non-empty and the span must outlive the generator.
+  WorkloadGenerator(WorkloadParams params,
+                    std::span<const model::Module> library, int fabric_width,
+                    int fabric_height);
+
+  /// Generate the full trace. Deterministic: same construction arguments,
+  /// same result, every time.
+  [[nodiscard]] service::ServeTrace generate();
+
+  /// Render a trace in the serve-trace grammar (parse_serve_trace inverts
+  /// this exactly). Deadlines are emitted as a trailing number on place
+  /// lines only when positive.
+  [[nodiscard]] static std::string render(
+      const service::ServeTrace& trace,
+      std::span<const model::Module> library);
+
+  /// generate() + render(): the byte-reproducible trace text.
+  [[nodiscard]] std::string generate_text();
+
+ private:
+  WorkloadParams params_;
+  std::span<const model::Module> library_;
+  int fabric_width_;
+  int fabric_height_;
+};
+
+}  // namespace rr::sim

@@ -1,0 +1,69 @@
+// Injectable monotonic clock — the time source for all service-level
+// deadline logic (submit timestamps, queue-wait shedding, latency
+// accounting, remaining-budget propagation into the defrag/recovery
+// tiers).
+//
+// Production code reads system_clock() (steady_clock under the hood);
+// tests inject a FakeClock and advance it by hand, which makes every
+// deadline decision deterministic — no sleeps, no flaky timing margins.
+// The interface is nanoseconds-since-an-arbitrary-epoch on purpose: a
+// single integer read keeps the virtual call cheap enough for per-request
+// hot paths, and differences are all the service ever computes.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace rr {
+
+/// Monotonic time source. Implementations must be thread-safe and
+/// non-decreasing per observer.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Nanoseconds since an arbitrary fixed epoch.
+  [[nodiscard]] virtual std::uint64_t now_ns() const = 0;
+};
+
+/// The real steady clock.
+class SystemClock final : public Clock {
+ public:
+  [[nodiscard]] std::uint64_t now_ns() const override {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+};
+
+/// Process-wide singleton; the default when no clock is injected.
+[[nodiscard]] inline const Clock& system_clock() {
+  static const SystemClock clock;
+  return clock;
+}
+
+/// Manually advanced clock for deterministic tests. Starts at a non-zero
+/// origin so "epoch minus a bit" arithmetic in code under test cannot
+/// underflow to huge unsigned values.
+class FakeClock final : public Clock {
+ public:
+  explicit FakeClock(std::uint64_t origin_ns = 1'000'000'000ULL)
+      : now_(origin_ns) {}
+
+  [[nodiscard]] std::uint64_t now_ns() const override {
+    return now_.load(std::memory_order_relaxed);
+  }
+
+  void advance_ns(std::uint64_t delta_ns) {
+    now_.fetch_add(delta_ns, std::memory_order_relaxed);
+  }
+  void advance_ms(std::uint64_t delta_ms) {
+    advance_ns(delta_ms * 1'000'000ULL);
+  }
+
+ private:
+  std::atomic<std::uint64_t> now_;
+};
+
+}  // namespace rr

@@ -23,6 +23,7 @@
 #include "fpga/builders.hpp"
 #include "model/generator.hpp"
 #include "service/service.hpp"
+#include "util/clock.hpp"
 #include "util/rng.hpp"
 
 namespace rr::service {
@@ -56,6 +57,15 @@ Tenant::Config soak_config(const std::shared_ptr<const fpga::Fabric>& fabric,
   config.library = soak_library();
   config.cache = cache;
   return config;
+}
+
+Request place_request(int tenant, int instance) {
+  Request request;
+  request.tenant = tenant;
+  request.op = RequestOp::kPlace;
+  request.instance = instance;
+  request.module = 0;  // the 1x1 module: always placeable on a healthy fabric
+  return request;
 }
 
 /// Deterministic per-tenant churn script. Fault rate is low enough that
@@ -238,6 +248,90 @@ TEST(ServiceSoak, ManyClientThreadsOneTenantStaySerial) {
   const ServiceStats stats = service.stats();
   EXPECT_EQ(stats.errors, 0u);
   EXPECT_GT(stats.placed, 0u);
+}
+
+TEST(ServiceSoak, OverloadedBurstKeepsShedAccountingExact) {
+  // Overload soak on a FakeClock: every deadline decision is driven by a
+  // manual clock advance, so the test asserts exact shed counts — no real
+  // sleeps, no timing margins to flake under TSan — while the submission
+  // phase still races real client threads against the admission path.
+  FakeClock clock;
+  constexpr int kBurstTenants = 4;
+  constexpr int kQuota = 6;
+  constexpr int kBurst = 10;  // per tenant: kQuota admitted, rest quota-shed
+  const auto fabric = std::make_shared<const fpga::Fabric>(
+      fpga::make_homogeneous(kFabricW, kFabricH));
+  std::vector<Tenant::Config> configs;
+  configs.reserve(kBurstTenants);
+  for (int t = 0; t < kBurstTenants; ++t)
+    configs.push_back(soak_config(fabric, nullptr));
+  ServiceOptions options;
+  options.workers = 2;
+  options.queue_capacity = 64;
+  options.tenant_inflight_quota = kQuota;
+  options.default_deadline_ms = 5.0;
+  options.clock = &clock;
+  options.start_paused = true;  // admit the burst before anything executes
+  PlacementService service(std::move(configs), options);
+
+  // Phase 1: concurrent burst into the paused service. Per tenant, the
+  // first kQuota submissions are admitted and the rest shed on quota; the
+  // clock then jumps past every deadline, so the admitted ones shed at
+  // dequeue. Deterministic totals, racy interleavings.
+  std::vector<std::vector<std::future<Response>>> futures(kBurstTenants);
+  {
+    std::vector<std::thread> submitters;
+    submitters.reserve(kBurstTenants);
+    for (int t = 0; t < kBurstTenants; ++t) {
+      submitters.emplace_back([&, t] {
+        for (int i = 0; i < kBurst; ++i)
+          futures[t].push_back(service.submit(place_request(t, i)));
+      });
+    }
+    for (std::thread& thread : submitters) thread.join();
+  }
+  clock.advance_ms(6);  // past the 5ms default deadline
+  service.resume();
+  std::uint64_t seen_quota = 0, seen_deadline = 0;
+  for (auto& tenant_futures : futures)
+    for (auto& future : tenant_futures) {
+      const Response::Status status = future.get().status;
+      if (status == Response::Status::kShedQuota) ++seen_quota;
+      else if (status == Response::Status::kShedDeadline) ++seen_deadline;
+      else FAIL() << "unexpected status " << static_cast<int>(status);
+    }
+  EXPECT_EQ(seen_quota,
+            static_cast<std::uint64_t>(kBurstTenants * (kBurst - kQuota)));
+  EXPECT_EQ(seen_deadline,
+            static_cast<std::uint64_t>(kBurstTenants * kQuota));
+
+  // Phase 2: the frozen clock accrues no queue wait, so with the shed storm
+  // drained the same service serves normal traffic — quota slots were all
+  // released and no tenant state was touched by shed requests.
+  for (int t = 0; t < kBurstTenants; ++t) {
+    // Every future has resolved, so the quiesced accessor is race-free.
+    EXPECT_EQ(service.tenant_quiesced(t).placer().live_count(), 0)
+        << "tenant " << t;
+    EXPECT_EQ(service.call(place_request(t, 1000)).status,
+              Response::Status::kPlaced);
+  }
+  service.stop();
+  for (int t = 0; t < kBurstTenants; ++t)
+    EXPECT_EQ(service.tenant(t).placer().live_count(), 1) << "tenant " << t;
+
+  const ShedCounters shed = service.shed_counters();
+  EXPECT_EQ(shed.submitted,
+            static_cast<std::uint64_t>(kBurstTenants * (kBurst + 1)));
+  EXPECT_EQ(shed.shed_quota, seen_quota);
+  EXPECT_EQ(shed.shed_deadline, seen_deadline);
+  EXPECT_EQ(shed.completed, static_cast<std::uint64_t>(kBurstTenants));
+  EXPECT_EQ(shed.shed_queue, 0u);
+  EXPECT_EQ(shed.rejected_stopped, 0u);
+  // The accounting identity, exact because every future above resolved.
+  EXPECT_EQ(shed.submitted, shed.completed + shed.total_shed());
+  // Shed requests never reach the latency distribution.
+  EXPECT_EQ(service.stats().latency_count,
+            static_cast<std::uint64_t>(kBurstTenants));
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 // stale-context regression), and the end-to-end server.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -12,6 +13,8 @@
 #include "service/queue.hpp"
 #include "service/service.hpp"
 #include "service/solve_context.hpp"
+#include "util/clock.hpp"
+#include "util/json.hpp"
 
 namespace rr::service {
 namespace {
@@ -367,7 +370,12 @@ TEST(PlacementService, ServesTenantsAndCountsStats) {
 
   for (int t = 0; t < 3; ++t)
     EXPECT_GE(service.tenant(t).placer().live_count(), 1);
-  EXPECT_THROW((void)service.submit(place_req(0, 50, 0)), InvalidInput);
+  // Submitting after stop is an overload/lifecycle outcome, not a
+  // programming error: a typed response, never a throw (the shutdown-race
+  // regression — a client racing stop() used to get InvalidInput).
+  EXPECT_EQ(service.submit(place_req(0, 50, 0)).get().status,
+            Response::Status::kRejectedStopped);
+  EXPECT_EQ(service.shed_counters().rejected_stopped, 1u);
 }
 
 TEST(PlacementService, RejectsUnknownTenantAndBadOptions) {
@@ -380,6 +388,144 @@ TEST(PlacementService, RejectsUnknownTenantAndBadOptions) {
 
   std::vector<Tenant::Config> empty;
   EXPECT_THROW(PlacementService(std::move(empty)), InvalidInput);
+}
+
+TEST(BoundedQueue, TryPushDistinguishesFullFromClosed) {
+  BoundedQueue<int> queue(2);
+  int value = 7;
+  EXPECT_EQ(queue.try_push(value), BoundedQueue<int>::PushResult::kPushed);
+  value = 8;
+  EXPECT_EQ(queue.try_push(value), BoundedQueue<int>::PushResult::kPushed);
+  // Full: the value is NOT consumed — a retrying caller keeps its item.
+  value = 9;
+  EXPECT_EQ(queue.try_push(value), BoundedQueue<int>::PushResult::kFull);
+  EXPECT_EQ(value, 9);
+  EXPECT_EQ(queue.pop(), std::optional<int>(7));
+  EXPECT_EQ(queue.try_push(value), BoundedQueue<int>::PushResult::kPushed);
+  queue.close();
+  value = 10;
+  EXPECT_EQ(queue.try_push(value), BoundedQueue<int>::PushResult::kClosed);
+  // Closed queues still drain.
+  EXPECT_EQ(queue.pop(), std::optional<int>(8));
+  EXPECT_EQ(queue.pop(), std::optional<int>(9));
+  EXPECT_EQ(queue.pop(), std::nullopt);
+}
+
+TEST(PlacementService, QuotaShedsExcessInflightPerTenant) {
+  std::vector<Tenant::Config> configs;
+  configs.push_back(tenant_config(8, 4, nullptr));
+  configs.push_back(tenant_config(8, 4, nullptr));
+  ServiceOptions options;
+  options.workers = 1;
+  options.tenant_inflight_quota = 2;
+  options.start_paused = true;  // nothing drains: inflight counts are exact
+  PlacementService service(std::move(configs), options);
+
+  auto a0 = service.submit(place_req(0, 0, 2));
+  auto a1 = service.submit(place_req(0, 1, 2));
+  // Third in-flight request for tenant 0: over quota, shed synchronously.
+  auto a2 = service.submit(place_req(0, 2, 2));
+  EXPECT_EQ(a2.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(a2.get().status, Response::Status::kShedQuota);
+  // The quota is per tenant: tenant 1 is unaffected.
+  auto b0 = service.submit(place_req(1, 0, 2));
+
+  service.resume();
+  EXPECT_EQ(a0.get().status, Response::Status::kPlaced);
+  EXPECT_EQ(a1.get().status, Response::Status::kPlaced);
+  EXPECT_EQ(b0.get().status, Response::Status::kPlaced);
+  // Completion released the slots: tenant 0 admits again.
+  EXPECT_EQ(service.call(place_req(0, 3, 2)).status,
+            Response::Status::kPlaced);
+  service.stop();
+  const ShedCounters shed = service.shed_counters();
+  EXPECT_EQ(shed.submitted, 5u);
+  EXPECT_EQ(shed.shed_quota, 1u);
+  EXPECT_EQ(shed.completed, 4u);
+  EXPECT_EQ(shed.submitted, shed.completed + shed.total_shed());
+}
+
+TEST(PlacementService, FakeClockDeadlineShedsAtDequeue) {
+  FakeClock clock;
+  std::vector<Tenant::Config> configs;
+  configs.push_back(tenant_config(8, 4, nullptr));
+  ServiceOptions options;
+  options.workers = 1;
+  options.default_deadline_ms = 10.0;
+  options.clock = &clock;
+  options.start_paused = true;
+  PlacementService service(std::move(configs), options);
+
+  // Per-request deadlines override the default; 0 means "use the default".
+  Request tight = place_req(0, 0, 2);
+  tight.deadline_ms = 5.0;
+  auto doomed = service.submit(tight);
+  auto surviving = service.submit(place_req(0, 1, 2));
+  // 6ms of queue wait: past the 5ms deadline, within the 10ms default.
+  clock.advance_ms(6);
+  service.resume();
+  EXPECT_EQ(doomed.get().status, Response::Status::kShedDeadline);
+  EXPECT_EQ(surviving.get().status, Response::Status::kPlaced);
+
+  service.stop();
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.shed.shed_deadline, 1u);
+  EXPECT_EQ(stats.shed.completed, 1u);
+  // Shed requests never executed, so they stay out of the latency
+  // distribution — it describes served traffic only.
+  EXPECT_EQ(stats.latency_count, 1u);
+  EXPECT_EQ(stats.requests, 1u);
+  // The tenant never saw the shed request.
+  EXPECT_EQ(service.tenant(0).placer().live_count(), 1);
+}
+
+TEST(PlacementService, SubmitRetryBudgetShedsOnFullQueue) {
+  std::vector<Tenant::Config> configs;
+  configs.push_back(tenant_config(8, 4, nullptr));
+  ServiceOptions options;
+  options.workers = 1;
+  options.queue_capacity = 1;
+  options.submit_retry_budget = 2;
+  options.backoff_initial_us = 1;  // keep the test fast; pacing only
+  options.start_paused = true;     // the queue cannot drain
+  PlacementService service(std::move(configs), options);
+
+  auto queued = service.submit(place_req(0, 0, 2));
+  // Queue full and frozen: the retry budget burns down, then kShedQueue.
+  auto shed = service.submit(place_req(0, 1, 2));
+  EXPECT_EQ(shed.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(shed.get().status, Response::Status::kShedQueue);
+
+  service.resume();
+  EXPECT_EQ(queued.get().status, Response::Status::kPlaced);
+  service.stop();
+  const ShedCounters counters = service.shed_counters();
+  EXPECT_EQ(counters.shed_queue, 1u);
+  EXPECT_EQ(counters.submit_retries, 2u);  // attempt-counted, deterministic
+  EXPECT_EQ(counters.submitted, counters.completed + counters.total_shed());
+}
+
+TEST(ServiceStats, ToJsonCarriesShedSection) {
+  std::vector<Tenant::Config> configs;
+  configs.push_back(tenant_config(8, 4, nullptr));
+  PlacementService service(std::move(configs));
+  EXPECT_EQ(service.call(place_req(0, 0, 2)).status,
+            Response::Status::kPlaced);
+  service.stop();
+  (void)service.submit(place_req(0, 1, 2));  // one rejected_stopped
+
+  const json::Value doc = service.stats().to_json();
+  ASSERT_TRUE(doc.contains("shed"));
+  const json::Value& shed = doc.at("shed");
+  for (const char* key : {"submitted", "completed", "deadline", "quota",
+                          "queue", "stopped", "submit_retries", "shed_rate"})
+    EXPECT_TRUE(shed.contains(key)) << key;
+  EXPECT_EQ(shed.at("submitted").as_number(), 2.0);
+  EXPECT_EQ(shed.at("completed").as_number(), 1.0);
+  EXPECT_EQ(shed.at("stopped").as_number(), 1.0);
+  EXPECT_EQ(shed.at("shed_rate").as_number(), 0.5);
 }
 
 TEST(PlacementService, WorkerShardingIsStableAndInRange) {

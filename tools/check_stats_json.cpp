@@ -119,6 +119,21 @@ void check_stats_v1(const Value& doc) {
       for (const char* key : {"mean_ms", "p50_ms", "p99_ms", "max_ms"})
         check_number(split, key);
     }
+    // Admission/shed accounting (overload control).
+    const Value& shed = service.at("shed");
+    for (const char* key : {"submitted", "completed", "deadline", "quota",
+                            "queue", "stopped", "submit_retries", "shed_rate"})
+      check_number(shed, key);
+  }
+  // The soak section is optional (rrplace_cli --soak only), but when
+  // present it must carry the invariant-audit contract.
+  if (doc.contains("soak")) {
+    const Value& soak = doc.at("soak");
+    require(soak.is_object(), "\"soak\" must be an object");
+    for (const char* key :
+         {"requests", "epochs", "violations", "final_live", "lost",
+          "min_tenant_completed_fraction"})
+      check_number(soak, key);
   }
 }
 
@@ -190,6 +205,13 @@ void check_bench_v1(const Value& doc) {
          {"requests", "wirelength2_first_fit", "wirelength2_comm",
           "wirelength_reduction", "acceptance_first_fit", "acceptance_comm",
           "zero_weight_mismatches", "index_sweep_mismatches"})
+      check_result_metric(results, key);
+  } else if (bench == "soak") {
+    for (const char* key :
+         {"requests", "tenants", "workers", "wave", "deadline_ms",
+          "unloaded_p99_ms", "shed_p99_ms", "control_p99_ms",
+          "shed_p99_ratio", "control_p99_ratio", "shed_rate",
+          "shed_p99_within_bound", "invariant_violations"})
       check_result_metric(results, key);
   } else if (bench == "fault_recovery") {
     for (const char* key :

@@ -24,7 +24,8 @@
 //                             lines: "place <id> <module>", "remove <id>",
 //                             "#" comments
 //   --defrag <seconds>        per-request defragmentation deadline for
-//                             --online-trace (0 = off, plain first-fit)
+//                             --online-trace or --soak (0 = off, plain
+//                             first-fit)
 //   --online-policy <p>       anchor-selection policy for the online placer
 //                             (firstfit | bestfit | bottomleft | commcost;
 //                             default firstfit); applies to --online-trace
@@ -52,8 +53,34 @@
 //                             column/rect in the .fft grammar),
 //                             "repair <tenant> <x> <y>",
 //                             "repair-transient <tenant>", "#" comments
-//   --serve-workers <n>       service worker pool width (default 4)
-//   --serve-queue <n>         per-worker queue capacity (default 256)
+//   --serve-workers <n>       service worker pool width (default 4);
+//                             also applies to --soak
+//   --serve-queue <n>         per-worker queue capacity (default 256);
+//                             also applies to --soak
+//   --soak <n>                soak mode: generate an adversarial workload of
+//                             n requests (src/sim: MMPP bursts, heavy-tailed
+//                             sizes/lifetimes, fault storms), replay it
+//                             through the placement service, and audit
+//                             end-state invariants at every epoch boundary
+//                             (accounting identity, no leaked tiles,
+//                             instance conservation, no placements on faulty
+//                             tiles); any violation exits nonzero
+//   --soak-tenants <n>        tenants in the generated workload (default 4)
+//   --soak-epoch <n>          requests per epoch between invariant audits
+//                             (default 2000)
+//   --soak-quota <n>          per-tenant inflight quota; submits over it are
+//                             shed with kShedQuota (0 = unlimited)
+//   --soak-deadline-ms <x>    priority-class deadline base for generated
+//                             place requests; class k gets base * 4^k ms and
+//                             requests whose queue wait consumes the budget
+//                             are shed (0 = no deadlines)
+//   --soak-retry <n>          submit retry budget on a full shard queue
+//                             (negative = block forever; default -1)
+//   --soak-floor <f>          minimum per-tenant completed fraction audited
+//                             at the end of the horizon (0 = off)
+//   --gen-trace <path>        with --soak: write the generated trace text
+//                             (serve-trace grammar) and exit without
+//                             replaying; "-" for stdout
 //   --no-serve-cache          disable the shared solve-context cache
 //                             (every request pays the full anchor scan)
 //   --serve-cache-cap <n>     solve-context cache LRU capacity (default
@@ -118,6 +145,14 @@ struct CliOptions {
   std::size_t serve_queue = 256;
   bool serve_cache = true;
   std::size_t serve_cache_cap = rr::service::SolveContextCache::kDefaultCapacity;
+  long soak_requests = 0;  // > 0 selects soak mode
+  int soak_tenants = 4;
+  long soak_epoch = 2000;
+  int soak_quota = 0;
+  double soak_deadline_ms = 0.0;
+  int soak_retry = -1;
+  double soak_floor = 0.0;
+  std::string gen_trace_path;
   std::string nets_path;
   long comm_weight = 1;
   int bus_period = 0;
@@ -130,6 +165,7 @@ struct CliOptions {
   bool mode_set = false;
   bool defrag_set = false;
   bool serve_tuning_set = false;
+  bool soak_tuning_set = false;
   bool online_policy_set = false;
   bool free_space_index_set = false;
   bool comm_weight_set = false;
@@ -150,6 +186,9 @@ struct CliOptions {
       "  --faults PATH, --fault-trace PATH, --fault-deadline S,\n"
       "  --serve-trace PATH, --serve-workers N, --serve-queue N,\n"
       "  --no-serve-cache, --serve-cache-cap N,\n"
+      "  --soak N, --soak-tenants N, --soak-epoch N, --soak-quota N,\n"
+      "  --soak-deadline-ms X, --soak-retry N, --soak-floor F,\n"
+      "  --gen-trace PATH,\n"
       "  --nets PATH, --comm-weight W,\n"
       "  --bus-period P, --bus-offset R, --bus-attach ROW, --quiet\n";
   std::exit(error == nullptr ? 0 : 2);
@@ -180,32 +219,38 @@ void check_conflicts(const CliOptions& options) {
   const bool online = !options.online_trace_path.empty();
   const bool fault = !options.fault_trace_path.empty();
   const bool serve = !options.serve_trace_path.empty();
+  const bool soak = options.soak_requests > 0;
   const bool anchors = !options.anchors_module.empty();
   if (online && fault) conflict("--online-trace with --fault-trace");
   if (serve && online) conflict("--serve-trace with --online-trace");
   if (serve && fault) conflict("--serve-trace with --fault-trace");
-  if (anchors && (online || fault || serve))
+  if (soak && (online || fault || serve))
+    conflict("--soak with another trace replay mode");
+  if (anchors && (online || fault || serve || soak))
     conflict("--anchors with a trace replay mode");
   // The service runs the online first-fit placer per tenant; the offline
   // search mode can't apply, so an explicit --mode is a confused command
   // line even when it names the default.
-  if (serve && options.mode_set) conflict("--serve-trace with --mode");
+  if ((serve || soak) && options.mode_set)
+    conflict("--serve-trace/--soak with --mode");
   // Tenants own private fabrics built from the pristine description;
   // pre-damage via --faults would be silently dropped.
-  if (serve && !options.faults_path.empty())
-    conflict("--serve-trace with --faults (pre-damage is per-tenant: use "
-             "fault events in the serve trace)");
-  if (options.defrag_set && !online)
-    conflict("--defrag without --online-trace");
+  if ((serve || soak) && !options.faults_path.empty())
+    conflict("--serve-trace/--soak with --faults (pre-damage is per-tenant: "
+             "use fault events in the trace)");
+  if (options.defrag_set && !online && !soak)
+    conflict("--defrag without --online-trace or --soak");
   // The policy and index toggles steer the OnlinePlacer, which only runs
-  // inside the two trace modes that host it.
-  if (options.online_policy_set && !online && !serve)
-    conflict("--online-policy without --online-trace or --serve-trace");
-  if (options.free_space_index_set && !online && !serve)
-    conflict("--no-free-space-index without --online-trace or --serve-trace");
-  if (options.serve_tuning_set && !serve)
+  // inside the trace modes that host it.
+  if (options.online_policy_set && !online && !serve && !soak)
+    conflict("--online-policy without a trace replay mode");
+  if (options.free_space_index_set && !online && !serve && !soak)
+    conflict("--no-free-space-index without a trace replay mode");
+  if (options.serve_tuning_set && !serve && !soak)
     conflict("--serve-workers/--serve-queue/--no-serve-cache/"
-             "--serve-cache-cap without --serve-trace");
+             "--serve-cache-cap without --serve-trace or --soak");
+  if (options.soak_tuning_set && !soak)
+    conflict("--soak-* or --gen-trace without --soak");
   // The communication term needs nets to price; a bare weight (or a
   // commcost policy with nothing to rank by) is a confused command line.
   if (options.comm_weight_set && options.nets_path.empty())
@@ -290,6 +335,40 @@ CliOptions parse_args(int argc, char** argv) {
       options.serve_cache_cap = parse_number<std::size_t>(
           need_value(i), "--serve-cache-cap", std::size_t{0});
       options.serve_tuning_set = true;
+    }
+    else if (arg == "--soak")
+      options.soak_requests = parse_number<long>(need_value(i), "--soak", 1L);
+    else if (arg == "--soak-tenants") {
+      options.soak_tenants =
+          parse_number<int>(need_value(i), "--soak-tenants", 1);
+      options.soak_tuning_set = true;
+    }
+    else if (arg == "--soak-epoch") {
+      options.soak_epoch = parse_number<long>(need_value(i), "--soak-epoch", 1L);
+      options.soak_tuning_set = true;
+    }
+    else if (arg == "--soak-quota") {
+      options.soak_quota = parse_number<int>(need_value(i), "--soak-quota", 0);
+      options.soak_tuning_set = true;
+    }
+    else if (arg == "--soak-deadline-ms") {
+      options.soak_deadline_ms =
+          parse_number<double>(need_value(i), "--soak-deadline-ms", 0.0);
+      options.soak_tuning_set = true;
+    }
+    else if (arg == "--soak-retry") {
+      options.soak_retry =
+          parse_number<int>(need_value(i), "--soak-retry", -1);
+      options.soak_tuning_set = true;
+    }
+    else if (arg == "--soak-floor") {
+      options.soak_floor =
+          parse_number<double>(need_value(i), "--soak-floor", 0.0);
+      options.soak_tuning_set = true;
+    }
+    else if (arg == "--gen-trace") {
+      options.gen_trace_path = need_value(i);
+      options.soak_tuning_set = true;
     }
     else if (arg == "--online-policy") {
       options.online_policy_set = true;
@@ -732,6 +811,19 @@ int run_fault_trace(const CliOptions& cli,
   return 0;
 }
 
+// One log token for the overload/lifecycle statuses; nullptr for outcomes
+// of requests that actually executed.
+const char* shed_text(rr::service::Response::Status status) {
+  using Status = rr::service::Response::Status;
+  switch (status) {
+    case Status::kShedDeadline: return "shed(deadline)";
+    case Status::kShedQuota: return "shed(quota)";
+    case Status::kShedQueue: return "shed(queue)";
+    case Status::kRejectedStopped: return "rejected(stopped)";
+    default: return nullptr;
+  }
+}
+
 // Multi-tenant service replay: parse the whole trace into a request list,
 // pump it through the in-process PlacementService (one private fabric per
 // tenant, shared solve-context cache), then report throughput, latency
@@ -746,109 +838,13 @@ int run_serve_trace(const CliOptions& cli,
     std::cerr << "error: cannot read trace " << cli.serve_trace_path << '\n';
     return 2;
   }
-  auto trace_error = [&](long line_no, const std::string& what) {
-    std::cerr << "error: " << cli.serve_trace_path << ':' << line_no << ": "
-              << what << '\n';
-    return 2;
-  };
-  auto module_index = [&](const std::string& name) {
-    for (std::size_t i = 0; i < modules.size(); ++i)
-      if (modules[i].name() == name) return static_cast<int>(i);
-    return -1;
-  };
-  const rr::Rect fabric_bounds{0, 0, fabric->width(), fabric->height()};
-
-  int tenants = 1;
-  std::vector<rr::service::Request> requests;
-  long line_no = 0;
-  std::string line;
-  while (std::getline(in, line)) {
-    ++line_no;
-    std::istringstream tokens(line);
-    std::string op;
-    if (!(tokens >> op) || op.front() == '#') continue;
-    if (op == "tenants") {
-      if (!requests.empty())
-        return trace_error(line_no, "tenants header after the first request");
-      if (!(tokens >> tenants) || tenants < 1)
-        return trace_error(line_no, "expected: tenants <count >= 1>");
-      continue;
-    }
-    rr::service::Request request;
-    if (!(tokens >> request.tenant))
-      return trace_error(line_no, "expected: " + op + " <tenant> ...");
-    if (request.tenant < 0 || request.tenant >= tenants)
-      return trace_error(line_no, "tenant " + std::to_string(request.tenant) +
-                                      " outside [0, " +
-                                      std::to_string(tenants) + ")");
-    if (op == "place") {
-      request.op = rr::service::RequestOp::kPlace;
-      std::string name;
-      if (!(tokens >> request.instance >> name))
-        return trace_error(line_no, "expected: place <tenant> <id> <module>");
-      request.module = module_index(name);
-      if (request.module < 0)
-        return trace_error(line_no, "no module named '" + name + "'");
-    } else if (op == "remove") {
-      request.op = rr::service::RequestOp::kRemove;
-      if (!(tokens >> request.instance))
-        return trace_error(line_no, "expected: remove <tenant> <id>");
-    } else if (op == "fault" || op == "repair" || op == "repair-transient") {
-      request.op = rr::service::RequestOp::kFault;
-      auto parse_kind = [&]() {
-        std::string kind;
-        return (tokens >> kind) && kind == "transient"
-                   ? rr::fpga::FaultKind::kTransient
-                   : rr::fpga::FaultKind::kPermanent;
-      };
-      if (op == "repair") {
-        request.fault.op = rr::fpga::FaultEvent::Op::kRepairTile;
-        int x = 0, y = 0;
-        if (!(tokens >> x >> y))
-          return trace_error(line_no, "expected: repair <tenant> <x> <y>");
-        request.fault.rect = rr::Rect{x, y, 1, 1};
-      } else if (op == "repair-transient") {
-        request.fault.op = rr::fpga::FaultEvent::Op::kRepairTransient;
-      } else {
-        std::string where;
-        if (!(tokens >> where))
-          return trace_error(line_no,
-                             "expected: fault <tenant> tile|column|rect ...");
-        if (where == "tile") {
-          request.fault.op = rr::fpga::FaultEvent::Op::kTile;
-          int x = 0, y = 0;
-          if (!(tokens >> x >> y))
-            return trace_error(line_no,
-                               "expected: fault <tenant> tile <x> <y> [kind]");
-          request.fault.rect = rr::Rect{x, y, 1, 1};
-        } else if (where == "column") {
-          request.fault.op = rr::fpga::FaultEvent::Op::kColumn;
-          int x = 0;
-          if (!(tokens >> x))
-            return trace_error(line_no,
-                               "expected: fault <tenant> column <x> [kind]");
-          request.fault.rect = rr::Rect{x, 0, 1, fabric->height()};
-        } else if (where == "rect") {
-          request.fault.op = rr::fpga::FaultEvent::Op::kRect;
-          rr::Rect r{};
-          if (!(tokens >> r.x >> r.y >> r.width >> r.height))
-            return trace_error(
-                line_no, "expected: fault <tenant> rect <x> <y> <w> <h>");
-          request.fault.rect = r;
-        } else {
-          return trace_error(line_no, "unknown fault op '" + where + "'");
-        }
-        request.fault.kind = parse_kind();
-      }
-      if (request.fault.op != rr::fpga::FaultEvent::Op::kRepairTransient &&
-          (request.fault.rect.empty() ||
-           !fabric_bounds.contains(request.fault.rect)))
-        return trace_error(line_no, "fault rect outside the fabric");
-    } else {
-      return trace_error(line_no, "unknown trace op '" + op + "'");
-    }
-    requests.push_back(request);
-  }
+  // Shared grammar parser (src/service/trace.*) — the same one the workload
+  // generator's output round-trips through. InvalidInput propagates to
+  // main's catch (exit 2) with the "<path>:<line>: <what>" message.
+  const rr::service::ServeTrace trace = rr::service::parse_serve_trace(
+      in, cli.serve_trace_path, modules, fabric->width(), fabric->height());
+  const int tenants = trace.tenants;
+  const std::vector<rr::service::Request>& requests = trace.requests;
 
   std::vector<rr::service::Tenant::Config> configs;
   configs.reserve(static_cast<std::size_t>(tenants));
@@ -890,6 +886,7 @@ int run_serve_trace(const CliOptions& cli,
     for (std::size_t i = 0; i < requests.size(); ++i) {
       const auto& request = requests[i];
       const auto& response = responses[i];
+      const char* shed = shed_text(response.status);
       human << "  [t" << request.tenant << "] ";
       switch (request.op) {
         case rr::service::RequestOp::kPlace:
@@ -908,13 +905,15 @@ int run_serve_trace(const CliOptions& cli,
           human << "remove " << request.instance << ':';
           break;
         case rr::service::RequestOp::kFault:
-          human << fault_event_text(request.fault) << ": "
-                << response.displaced << " displaced, " << response.recovered
-                << " recovered";
+          human << fault_event_text(request.fault) << ": ";
+          if (shed == nullptr)
+            human << response.displaced << " displaced, "
+                  << response.recovered << " recovered";
           break;
       }
       if (response.status == Status::kError)
         human << "error: " << response.error;
+      if (shed != nullptr) human << shed;
       human << '\n';
     }
   }
@@ -928,6 +927,15 @@ int run_serve_trace(const CliOptions& cli,
         << stats.fault_events << " faults, " << stats.errors << " errors  "
         << "batching: " << stats.batches << " rounds, "
         << stats.batched_requests << " coalesced\n";
+  if (stats.shed.total_shed() > 0) {
+    human << "shed: " << stats.shed.shed_deadline << " deadline, "
+          << stats.shed.shed_quota << " quota, " << stats.shed.shed_queue
+          << " queue, " << stats.shed.rejected_stopped << " stopped ("
+          << rr::TextTable::pct(
+                 static_cast<double>(stats.shed.total_shed()) /
+                 static_cast<double>(stats.shed.submitted))
+          << " of " << stats.shed.submitted << " submitted)\n";
+  }
   if (cli.serve_cache) {
     human << "cache: " << stats.cache.hits << " hits / " << stats.cache.misses
           << " misses (" << rr::TextTable::pct(stats.cache.hit_rate())
@@ -984,6 +992,311 @@ int run_serve_trace(const CliOptions& cli,
     }
   }
   return 0;
+}
+
+// Long-horizon soak: generate an adversarial workload (src/sim), replay it
+// through the placement service epoch by epoch, and audit end-state
+// invariants at every epoch boundary. An audit runs only after every
+// submitted future has resolved, so the shed counters are exact (inflight
+// is zero) and the workers are quiescent on every tenant — the
+// tenant_quiesced() contract. Invariants:
+//
+//   - accounting: submitted == completed + shed + stopped, exactly, and
+//     every counter equals the number of responses observed with the
+//     matching status (monotone across epochs);
+//   - no leaked tiles: per tenant, occupancy-bitmap popcount ==
+//     occupied-tile counter == sum of live footprint areas;
+//   - conservation: live instances == accepted places - removes - fault
+//     losses (displaced minus recovered);
+//   - no live placement overlaps a faulty tile;
+//   - optionally (--soak-floor) every tenant completed at least the floor
+//     fraction of its submitted requests, checked once at the end.
+int run_soak(const CliOptions& cli, const rr::fpga::PartialRegion& region,
+             const std::shared_ptr<const rr::fpga::Fabric>& fabric,
+             const std::vector<rr::model::Module>& modules,
+             const std::shared_ptr<const rr::comm::NetList>& nets) {
+  rr::sim::WorkloadParams params;
+  params.tenants = cli.soak_tenants;
+  params.requests = cli.soak_requests;
+  params.seed = cli.seed;
+  params.deadline_base_ms = cli.soak_deadline_ms;
+  rr::sim::WorkloadGenerator generator(params, modules, fabric->width(),
+                                       fabric->height());
+  const rr::service::ServeTrace trace = generator.generate();
+
+  if (!cli.gen_trace_path.empty()) {
+    const std::string text = rr::sim::WorkloadGenerator::render(trace, modules);
+    if (cli.gen_trace_path == "-") {
+      std::cout << text;
+    } else {
+      std::ofstream out(cli.gen_trace_path);
+      if (!out) {
+        std::cerr << "error: cannot write " << cli.gen_trace_path << '\n';
+        return 2;
+      }
+      out << text;
+    }
+    return 0;
+  }
+
+  const int tenants = trace.tenants;
+  std::vector<rr::service::Tenant::Config> configs;
+  configs.reserve(static_cast<std::size_t>(tenants));
+  for (int t = 0; t < tenants; ++t) {
+    rr::service::Tenant::Config config;
+    config.fabric = fabric;
+    config.library = modules;
+    config.online.use_alternatives = cli.alternatives;
+    config.online.policy = cli.online_policy;
+    config.online.free_space_index = cli.free_space_index;
+    config.online.defrag.deadline_seconds = cli.defrag_seconds;
+    config.online.defrag.seed = cli.seed;
+    config.online.nets = nets;
+    config.online.comm_weight = cli.comm_weight;
+    configs.push_back(std::move(config));
+  }
+  rr::service::ServiceOptions service_options;
+  service_options.workers = cli.serve_workers;
+  service_options.queue_capacity = cli.serve_queue;
+  service_options.cache_capacity = cli.serve_cache_cap;
+  service_options.tenant_inflight_quota = cli.soak_quota;
+  service_options.submit_retry_budget = cli.soak_retry;
+  rr::service::PlacementService service(std::move(configs), service_options,
+                                        cli.serve_cache);
+
+  using Status = rr::service::Response::Status;
+  // Instance → library module, recorded at submit time regardless of the
+  // admission outcome: the generator never reuses ids, so this resolves the
+  // footprint of any instance the placer reports live.
+  std::vector<std::unordered_map<int, int>> instance_module(
+      static_cast<std::size_t>(tenants));
+  std::vector<long> accepted(static_cast<std::size_t>(tenants), 0);
+  std::vector<long> removed(static_cast<std::size_t>(tenants), 0);
+  std::vector<long> lost(static_cast<std::size_t>(tenants), 0);
+  std::vector<long> tenant_submitted(static_cast<std::size_t>(tenants), 0);
+  std::vector<long> tenant_completed(static_cast<std::size_t>(tenants), 0);
+  std::uint64_t observed_completed = 0, observed_deadline = 0,
+                observed_quota = 0, observed_queue = 0, observed_stopped = 0;
+  rr::service::ShedCounters previous{};
+  long violations = 0;
+  long epochs = 0;
+  auto violate = [&](const std::string& what) {
+    ++violations;
+    std::cerr << "soak: INVARIANT VIOLATION (epoch " << epochs << "): " << what
+              << '\n';
+  };
+  auto tenant_tag = [](int t) { return "tenant " + std::to_string(t); };
+
+  rr::Stopwatch watch;
+  std::size_t next = 0;
+  std::vector<std::pair<std::size_t, std::future<rr::service::Response>>>
+      inflight;
+  while (next < trace.requests.size()) {
+    const std::size_t end =
+        std::min(trace.requests.size(),
+                 next + static_cast<std::size_t>(cli.soak_epoch));
+    inflight.clear();
+    for (; next < end; ++next) {
+      const rr::service::Request& request = trace.requests[next];
+      const auto t = static_cast<std::size_t>(request.tenant);
+      if (request.op == rr::service::RequestOp::kPlace)
+        instance_module[t][request.instance] = request.module;
+      ++tenant_submitted[t];
+      inflight.emplace_back(next, service.submit(request));
+    }
+    for (auto& [index, future] : inflight) {
+      const rr::service::Response response = future.get();
+      const auto t = static_cast<std::size_t>(trace.requests[index].tenant);
+      switch (response.status) {
+        case Status::kPlaced:
+          ++accepted[t];
+          ++observed_completed;
+          ++tenant_completed[t];
+          break;
+        case Status::kRemoved:
+          ++removed[t];
+          ++observed_completed;
+          ++tenant_completed[t];
+          break;
+        case Status::kFaulted:
+          lost[t] += response.displaced - response.recovered;
+          ++observed_completed;
+          ++tenant_completed[t];
+          break;
+        case Status::kRejected:
+        case Status::kError:
+          ++observed_completed;
+          ++tenant_completed[t];
+          break;
+        case Status::kShedDeadline: ++observed_deadline; break;
+        case Status::kShedQuota: ++observed_quota; break;
+        case Status::kShedQueue: ++observed_queue; break;
+        case Status::kRejectedStopped: ++observed_stopped; break;
+      }
+    }
+    ++epochs;
+
+    // --- Accounting audit.
+    const rr::service::ShedCounters counters = service.shed_counters();
+    if (counters.submitted != static_cast<std::uint64_t>(next))
+      violate("submitted counter " + std::to_string(counters.submitted) +
+              " != " + std::to_string(next) + " submit() calls");
+    if (counters.submitted != counters.completed + counters.total_shed())
+      violate("identity broken: submitted " +
+              std::to_string(counters.submitted) + " != completed " +
+              std::to_string(counters.completed) + " + shed " +
+              std::to_string(counters.total_shed()));
+    if (counters.completed != observed_completed ||
+        counters.shed_deadline != observed_deadline ||
+        counters.shed_quota != observed_quota ||
+        counters.shed_queue != observed_queue ||
+        counters.rejected_stopped != observed_stopped)
+      violate("shed counters disagree with the observed response statuses");
+    if (counters.completed < previous.completed ||
+        counters.shed_deadline < previous.shed_deadline ||
+        counters.shed_quota < previous.shed_quota ||
+        counters.shed_queue < previous.shed_queue ||
+        counters.rejected_stopped < previous.rejected_stopped ||
+        counters.submit_retries < previous.submit_retries)
+      violate("a shed counter went backwards");
+    previous = counters;
+
+    // --- Per-tenant state audit.
+    for (int t = 0; t < tenants; ++t) {
+      const auto ti = static_cast<std::size_t>(t);
+      const rr::service::Tenant& tenant = service.tenant_quiesced(t);
+      const rr::baseline::OnlinePlacer& placer = tenant.placer();
+      const auto live = placer.live_placements();
+      const long bitmap_tiles =
+          static_cast<long>(placer.occupied_matrix().popcount());
+      long footprint_tiles = 0;
+      for (const auto& p : live) {
+        const auto it = instance_module[ti].find(p.module);
+        if (it == instance_module[ti].end()) {
+          violate(tenant_tag(t) + ": live instance " +
+                  std::to_string(p.module) + " the trace never placed");
+          continue;
+        }
+        footprint_tiles +=
+            modules[static_cast<std::size_t>(it->second)]
+                .shapes()[static_cast<std::size_t>(p.shape)]
+                .area();
+      }
+      if (bitmap_tiles != placer.occupied_tiles())
+        violate(tenant_tag(t) + ": bitmap popcount " +
+                std::to_string(bitmap_tiles) + " != occupied-tile counter " +
+                std::to_string(placer.occupied_tiles()));
+      if (footprint_tiles != placer.occupied_tiles())
+        violate(tenant_tag(t) + ": leaked tiles: live footprints cover " +
+                std::to_string(footprint_tiles) + " but " +
+                std::to_string(placer.occupied_tiles()) + " are occupied");
+      if (static_cast<long>(live.size()) != placer.live_count())
+        violate(tenant_tag(t) + ": live_count " +
+                std::to_string(placer.live_count()) + " != " +
+                std::to_string(live.size()) + " live placements");
+      if (placer.live_count() != accepted[ti] - removed[ti] - lost[ti])
+        violate(tenant_tag(t) + ": conservation broken: " +
+                std::to_string(placer.live_count()) + " live != " +
+                std::to_string(accepted[ti]) + " accepted - " +
+                std::to_string(removed[ti]) + " removed - " +
+                std::to_string(lost[ti]) + " lost");
+      if (placer.occupied_matrix().intersects_shifted(
+              tenant.region().fault_mask(), 0, 0))
+        violate(tenant_tag(t) + ": a live placement covers a faulty tile");
+    }
+  }
+  const double seconds = watch.seconds();
+  service.stop();
+  const rr::service::ServiceStats stats = service.stats();
+  const double throughput =
+      seconds > 0.0 ? static_cast<double>(trace.requests.size()) / seconds
+                    : 0.0;
+
+  double min_fraction = 1.0;
+  long total_live = 0, total_lost = 0;
+  for (int t = 0; t < tenants; ++t) {
+    const auto ti = static_cast<std::size_t>(t);
+    if (tenant_submitted[ti] > 0)
+      min_fraction = std::min(
+          min_fraction, static_cast<double>(tenant_completed[ti]) /
+                            static_cast<double>(tenant_submitted[ti]));
+    total_live += accepted[ti] - removed[ti] - lost[ti];
+    total_lost += lost[ti];
+  }
+  if (cli.soak_floor > 0.0 && min_fraction < cli.soak_floor)
+    violate("per-tenant completion floor: min fraction " +
+            std::to_string(min_fraction) + " < " +
+            std::to_string(cli.soak_floor));
+
+  std::ostream& human = cli.stats_json_path == "-" ? std::cerr : std::cout;
+  human << "soak: " << trace.requests.size() << " requests, " << tenants
+        << " tenants on " << service.worker_count() << " workers, " << epochs
+        << " epochs  time: " << rr::TextTable::num(seconds, 3)
+        << "s  throughput: " << rr::TextTable::num(throughput, 1)
+        << " req/s\n";
+  human << "audit: " << violations << " violations  state: " << total_live
+        << " live, " << total_lost << " lost to faults, min tenant "
+        << "completion " << rr::TextTable::pct(min_fraction) << '\n';
+  human << "shed: " << stats.shed.shed_deadline << " deadline, "
+        << stats.shed.shed_quota << " quota, " << stats.shed.shed_queue
+        << " queue, " << stats.shed.rejected_stopped << " stopped, "
+        << stats.shed.submit_retries << " retries ("
+        << rr::TextTable::pct(
+               stats.shed.submitted > 0
+                   ? static_cast<double>(stats.shed.total_shed()) /
+                         static_cast<double>(stats.shed.submitted)
+                   : 0.0)
+        << " of " << stats.shed.submitted << " submitted)\n";
+  human << "latency: p50 " << rr::TextTable::num(stats.latency_p50_ms, 3)
+        << "ms, p99 " << rr::TextTable::num(stats.latency_p99_ms, 3)
+        << "ms, max " << rr::TextTable::num(stats.latency_max_ms, 3)
+        << "ms\n";
+
+  if (!cli.stats_json_path.empty()) {
+    rr::json::Value config = rr::json::Value::object();
+    config.set("fabric", rr::json::Value(cli.fabric_path));
+    config.set("modules", rr::json::Value(cli.modules_path));
+    config.set("requests", rr::json::Value(cli.soak_requests));
+    config.set("tenants", rr::json::Value(tenants));
+    config.set("epoch", rr::json::Value(cli.soak_epoch));
+    config.set("seed", rr::json::Value(cli.seed));
+    config.set("quota", rr::json::Value(cli.soak_quota));
+    config.set("deadline_base_ms", rr::json::Value(cli.soak_deadline_ms));
+    config.set("retry_budget", rr::json::Value(cli.soak_retry));
+    config.set("defrag_deadline_seconds", rr::json::Value(cli.defrag_seconds));
+    rr::placer::PlacementOutcome outcome;
+    outcome.seconds = seconds;
+    rr::json::Value stats_doc = rr::placer::solve_stats_json(
+        region, modules, outcome, "rrplace_cli-soak", std::move(config));
+    rr::json::Value service_doc = stats.to_json();
+    service_doc.set("tenants", rr::json::Value(tenants));
+    service_doc.set("workers", rr::json::Value(service.worker_count()));
+    service_doc.set("seconds", rr::json::Value(seconds));
+    service_doc.set("throughput_rps", rr::json::Value(throughput));
+    stats_doc.set("service", std::move(service_doc));
+    rr::json::Value soak_doc = rr::json::Value::object();
+    soak_doc.set("requests", rr::json::Value(
+                                 static_cast<std::uint64_t>(
+                                     trace.requests.size())));
+    soak_doc.set("epochs", rr::json::Value(epochs));
+    soak_doc.set("violations", rr::json::Value(violations));
+    soak_doc.set("final_live", rr::json::Value(total_live));
+    soak_doc.set("lost", rr::json::Value(total_lost));
+    soak_doc.set("min_tenant_completed_fraction",
+                 rr::json::Value(min_fraction));
+    stats_doc.set("soak", std::move(soak_doc));
+    if (cli.stats_json_path == "-") {
+      std::cout << stats_doc.dump(2) << '\n';
+    } else {
+      std::ofstream out(cli.stats_json_path);
+      if (!out) {
+        std::cerr << "error: cannot write " << cli.stats_json_path << '\n';
+        return 2;
+      }
+      out << stats_doc.dump(2) << '\n';
+    }
+  }
+  return violations == 0 ? 0 : 1;
 }
 
 }  // namespace
@@ -1056,6 +1369,11 @@ int main(int argc, char** argv) {
       // per-worker metric shards (service.* counters) are recorded.
       if (!cli.stats_json_path.empty()) rr::metrics::set_enabled(true);
       return run_serve_trace(cli, region, fabric, modules, nets);
+    }
+
+    if (cli.soak_requests > 0) {
+      if (!cli.stats_json_path.empty()) rr::metrics::set_enabled(true);
+      return run_soak(cli, region, fabric, modules, nets);
     }
 
     rr::placer::PlacerOptions options;
